@@ -1,0 +1,70 @@
+#ifndef TCOMP_BENCH_BENCH_COMMON_H_
+#define TCOMP_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_gen.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "util/flags.h"
+
+namespace tcomp {
+namespace bench {
+
+/// Shared flags for every bench binary:
+///   --snapshots N   override the synthetic datasets' stream length
+///   --full          paper-scale stream lengths (D3/D4: 1,440 snapshots)
+///   --quick         tiny streams for smoke runs
+struct BenchConfig {
+  int d1_snapshots = kD1Snapshots;   // 50 — always paper scale
+  int d2_snapshots = kD2Snapshots;   // 180 — always paper scale
+  int d3_snapshots = 240;            // reduced from 1,440 (see DESIGN.md §3)
+  int d4_snapshots = 60;             // reduced from 1,440
+  bool skip_slow = false;            // drop CI/SW from the largest runs
+};
+
+inline BenchConfig ParseBenchConfig(int argc, const char* const* argv) {
+  FlagParser flags;
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::cerr << s.ToString() << "\n";
+  }
+  BenchConfig config;
+  if (flags.GetBool("full", false)) {
+    config.d3_snapshots = kD3Snapshots;
+    config.d4_snapshots = kD4Snapshots;
+  }
+  if (flags.GetBool("quick", false)) {
+    config.d2_snapshots = 60;
+    config.d3_snapshots = 60;
+    config.d4_snapshots = 20;
+  }
+  if (flags.Has("snapshots")) {
+    int n = flags.GetInt("snapshots", 0);
+    config.d3_snapshots = n;
+    config.d4_snapshots = n;
+  }
+  config.skip_slow = flags.GetBool("skip-slow", false);
+  return config;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const std::string& figure, const std::string& what,
+                   const BenchConfig& config) {
+  std::cout << "==============================================\n"
+            << "Reproduces paper " << figure << ": " << what << "\n"
+            << "Snapshots: D1=" << config.d1_snapshots
+            << " D2=" << config.d2_snapshots
+            << " D3=" << config.d3_snapshots
+            << " D4=" << config.d4_snapshots
+            << "  (use --full for paper scale)\n"
+            << "==============================================\n";
+}
+
+}  // namespace bench
+}  // namespace tcomp
+
+#endif  // TCOMP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Reproduces Fig. 24: precision (a) and recall (b) vs. the inactive-
+// period threshold on D2 with 10% of the reports randomly removed
+// (the paper's missing-data experiment, Section VI).
+//
+// Paper result: precision falls as the inactive period grows (filled-in
+// members produce more false-positive variants) while recall rises — with
+// a tolerant inactive period BU/SC recover ~95% of the true companions
+// despite 10% missing data.
+//
+// Both the paper-style one-to-one score and the coverage score (see
+// eval/metrics.h) are printed; under missing data the one-to-one score
+// punishes every near-variant of a team, so its precision drops much more
+// steeply — same shape, steeper slope.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "data/degrade.h"
+#include "stream/inactive_period.h"
+
+namespace tcomp {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  Banner("Fig. 24",
+         "precision & recall vs inactive period (D2, 10% missing)",
+         config);
+
+  Dataset d2 = MakeMilitaryD2(config.d2_snapshots);
+  SnapshotStream degraded = DropReports(d2.stream, 0.10, /*seed=*/23);
+
+  TablePrinter table({"inactive", "BU prec", "BU rec", "SC prec", "SC rec",
+                      "CI prec", "CI rec", "BU cov-prec"});
+
+  for (int inactive : {0, 1, 2, 3, 4, 5, 6}) {
+    InactivePeriodFiller filler(inactive);
+    SnapshotStream filled = filler.FillStream(degraded);
+
+    RunResult bu = RunStreamingAlgorithm(Algorithm::kBuddy,
+                                         d2.default_params, filled);
+    RunResult sc = RunStreamingAlgorithm(Algorithm::kSmartClosed,
+                                         d2.default_params, filled);
+    RunResult ci = RunStreamingAlgorithm(
+        Algorithm::kClusteringIntersection, d2.default_params, filled);
+
+    EffectivenessResult bu_s =
+        ScoreCompanions(bu.companions, d2.ground_truth);
+    EffectivenessResult sc_s =
+        ScoreCompanions(sc.companions, d2.ground_truth);
+    EffectivenessResult ci_s =
+        ScoreCompanions(ci.companions, d2.ground_truth);
+    EffectivenessResult bu_cov =
+        ScoreCompanionsCoverage(bu.companions, d2.ground_truth, 0.35);
+
+    table.AddRow({std::to_string(inactive),
+                  FormatPercent(bu_s.precision), FormatPercent(bu_s.recall),
+                  FormatPercent(sc_s.precision), FormatPercent(sc_s.recall),
+                  FormatPercent(ci_s.precision), FormatPercent(ci_s.recall),
+                  FormatPercent(bu_cov.precision)});
+  }
+
+  std::cout << "\nFig. 24 — effectiveness vs inactive period (10% of "
+               "reports dropped)\n";
+  table.Print();
+  std::cout << "\nExpected shape (paper): recall rises, precision falls, "
+               "BU = SC throughout.\nMeasured: the falling-precision trend "
+               "appears in the coverage score (last\ncolumn) — tolerant "
+               "fills admit wrong memberships. The one-to-one score\n"
+               "instead *rises* because fills heal outage-fragment "
+               "variants, which that\nmetric counts as false positives "
+               "(see EXPERIMENTS.md).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcomp
+
+int main(int argc, char** argv) {
+  return tcomp::bench::Main(argc, argv);
+}

@@ -1,0 +1,145 @@
+// Quantifies the paper's motivating claim (Section IV, citing [21]):
+// "maintaining traditional spatial indexes (such as R-tree or quad-tree)
+// at each time snapshot incurs high cost" — the reason traveling buddies
+// store object *relationships* instead of coordinates.
+//
+// Per-snapshot clustering strategies under the stopwatch, same stream:
+//   dbscan-n2      plain O(n²) DBSCAN (no index at all)
+//   rtree-rebuild  STR bulk-load a fresh R-tree, query ε-neighborhoods
+//   rtree-update   incremental delete+reinsert per moved object, query
+//   grid           rebuild an ε-grid per snapshot, query
+//   buddy          buddy maintenance (Alg. 3) + buddy clustering (Alg. 4)
+//
+// All five produce identical clusterings (asserted in tests); only cost
+// differs.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/buddy.h"
+#include "core/buddy_clustering.h"
+#include "spatial/quadtree.h"
+#include "spatial/rtree.h"
+#include "util/timer.h"
+
+namespace tcomp {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  Banner("(motivation)", "spatial-index maintenance cost per snapshot",
+         config);
+
+  TablePrinter table({"objects", "dbscan-n2", "rtree-rebuild",
+                      "rtree-update", "quadtree-update", "grid",
+                      "buddy"});
+
+  for (int n : {500, 1000, 2000, 5000}) {
+    Dataset d = MakeSyntheticDataset("bench", n, /*num_snapshots=*/60,
+                                     /*seed=*/42);
+    const DbscanParams params = d.default_params.cluster;
+
+    Timer plain;
+    plain.Start();
+    for (const Snapshot& s : d.stream) Dbscan(s, params);
+    plain.Stop();
+
+    Timer rebuild;
+    {
+      RTree tree(8);
+      rebuild.Start();
+      for (const Snapshot& s : d.stream) {
+        DbscanRtree(s, params, &tree, nullptr);
+      }
+      rebuild.Stop();
+    }
+
+    Timer update;
+    {
+      RTree tree(8);
+      const Snapshot* previous = nullptr;
+      update.Start();
+      for (const Snapshot& s : d.stream) {
+        DbscanRtree(s, params, &tree, previous);
+        previous = &s;
+      }
+      update.Stop();
+    }
+
+    Timer quadtree;
+    {
+      // The generators keep the synthetic world inside [0, 20000]².
+      QuadTree qt(Point{-500.0, -500.0}, 21000.0, 16);
+      const Snapshot& first = d.stream[0];
+      quadtree.Start();
+      for (size_t i = 0; i < first.size(); ++i) {
+        qt.Insert(first.id(i), first.pos(i));
+      }
+      for (size_t t = 1; t < d.stream.size(); ++t) {
+        const Snapshot& prev = d.stream[t - 1];
+        const Snapshot& cur = d.stream[t];
+        for (size_t i = 0; i < prev.size(); ++i) {
+          size_t idx = cur.IndexOf(prev.id(i));
+          if (idx != Snapshot::kNpos) {
+            qt.Update(prev.id(i), prev.pos(i), cur.pos(idx));
+          } else {
+            qt.Delete(prev.id(i), prev.pos(i));
+          }
+        }
+        for (size_t i = 0; i < cur.size(); ++i) {
+          qt.Search(cur.pos(i), params.epsilon);
+        }
+      }
+      quadtree.Stop();
+    }
+
+    Timer grid;
+    grid.Start();
+    for (const Snapshot& s : d.stream) DbscanGrid(s, params);
+    grid.Stop();
+
+    Timer buddy;
+    {
+      BuddySet buddies(params.epsilon / 2.0);
+      buddy.Start();
+      buddies.Initialize(d.stream[0]);
+      BuddyBasedClustering(d.stream[0], buddies, params);
+      for (size_t t = 1; t < d.stream.size(); ++t) {
+        buddies.Update(d.stream[t], nullptr);
+        BuddyBasedClustering(d.stream[t], buddies, params);
+      }
+      buddy.Stop();
+    }
+
+    auto per_snapshot = [&](const Timer& t) {
+      return FormatDouble(t.Seconds() * 1000.0 /
+                              static_cast<double>(d.stream.size()),
+                          3) + "ms";
+    };
+    table.AddRow({std::to_string(n), per_snapshot(plain),
+                  per_snapshot(rebuild), per_snapshot(update),
+                  per_snapshot(quadtree), per_snapshot(grid),
+                  per_snapshot(buddy)});
+  }
+
+  std::cout << "\nPer-snapshot clustering cost by maintenance strategy "
+               "(60-snapshot streams)\n";
+  table.Print();
+  std::cout << "\nExpected shape: incremental R-tree updates cost ~2x a "
+               "wholesale rebuild (the\npaper's [21] point — updating the "
+               "index each snapshot is the worst option);\nbuddy "
+               "maintenance + clustering matches the per-snapshot ε-grid "
+               "and beats every\nR-tree strategy, with the gap growing in "
+               "n — and unlike the grid, the buddy\nstructure also "
+               "accelerates the intersection step (Fig. 19).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcomp
+
+int main(int argc, char** argv) {
+  return tcomp::bench::Main(argc, argv);
+}

@@ -1,0 +1,83 @@
+// Extension bench (paper Section VIII future work): companion discovery
+// on road networks. Compares Euclidean-ε and network-ε discovery on the
+// same road-constrained traffic, sweeping ε — small ε behaves similarly;
+// as ε approaches the block size the Euclidean version starts merging
+// traffic across parallel roads while the network version holds.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "network/network_dbscan.h"
+#include "network/network_gen.h"
+#include "util/timer.h"
+
+namespace tcomp {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  Banner("(extension)", "Euclidean vs road-network discovery", config);
+
+  NetworkTrafficOptions options;
+  options.num_vehicles = 300;
+  options.num_snapshots = 80;
+  options.platoon_size_min = 5;
+  options.platoon_size_max = 10;
+  NetworkTrafficDataset city = GenerateNetworkTraffic(options);
+
+  TablePrinter table({"epsilon", "euclid prec", "euclid rec",
+                      "network prec", "network rec", "euclid time",
+                      "network time"});
+
+  for (double eps : {30.0, 60.0, 120.0, 200.0, 350.0}) {
+    DiscoveryParams params;
+    params.cluster.epsilon = eps;
+    params.cluster.mu = 3;
+    params.size_threshold = 5;
+    params.duration_threshold = 15;
+
+    auto run = [&](std::unique_ptr<CompanionDiscoverer> d, double* secs) {
+      Timer t;
+      t.Start();
+      for (const Snapshot& s : city.stream) d->ProcessSnapshot(s, nullptr);
+      t.Stop();
+      *secs = t.Seconds();
+      std::vector<ObjectSet> retrieved;
+      for (const Companion& c : d->log().companions()) {
+        retrieved.push_back(c.objects);
+      }
+      return ScoreCompanions(retrieved, city.ground_truth, 0.5);
+    };
+
+    double es, ns;
+    EffectivenessResult e =
+        run(MakeDiscoverer(Algorithm::kSmartClosed, params), &es);
+    EffectivenessResult n = run(MakeNetworkDiscoverer(city.graph, params),
+                                &ns);
+
+    table.AddRow({FormatDouble(eps, 0), FormatPercent(e.precision),
+                  FormatPercent(e.recall), FormatPercent(n.precision),
+                  FormatPercent(n.recall), FormatDouble(es, 3) + "s",
+                  FormatDouble(ns, 3) + "s"});
+  }
+
+  std::cout << "\nEuclidean vs network epsilon on road-constrained "
+               "traffic (grid spacing 400 m)\n";
+  table.Print();
+  std::cout << "\nExpected shape: identical at small epsilon; as epsilon "
+               "approaches the block\nsize the network metric dominates "
+               "on both precision and recall (the Euclidean\nmetric "
+               "additionally merges parallel-road traffic). Both degrade "
+               "eventually from\nsame-road platoon encounters, which no "
+               "distance metric can separate.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcomp
+
+int main(int argc, char** argv) {
+  return tcomp::bench::Main(argc, argv);
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 16 (a) time and (b) space vs. the companion size
+// threshold δs ∈ [5, 40] on dataset D3, other parameters at defaults.
+//
+// Paper result: larger δs prunes more candidates per snapshot — space
+// drops sharply and time falls for CI/SC/BU; TC is flat (it has no δs);
+// SW benefits only weakly (object-growth prunes on size, but mining cost
+// is dominated by support computation).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace tcomp {
+namespace bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  Banner("Fig. 16", "time & space vs size threshold (D3)", config);
+
+  Dataset d3 = MakeSyntheticD3(config.d3_snapshots);
+  TablePrinter time_table(
+      {"delta_s", "CI", "SC", "BU", "SW", "TC"});
+  TablePrinter space_table(
+      {"delta_s", "CI", "SC", "BU", "SW"});
+
+  // TC ignores δs entirely: run it once and reuse (as the paper's flat
+  // line shows).
+  RunResult tc =
+      RunTraClusBaseline(TraClusParamsFrom(d3.default_params), d3.stream);
+
+  for (int delta_s : {5, 10, 15, 20, 25, 30, 40}) {
+    DiscoveryParams params = d3.default_params;
+    params.size_threshold = delta_s;
+    RunResult ci = RunStreamingAlgorithm(
+        Algorithm::kClusteringIntersection, params, d3.stream);
+    RunResult sc =
+        RunStreamingAlgorithm(Algorithm::kSmartClosed, params, d3.stream);
+    RunResult bu =
+        RunStreamingAlgorithm(Algorithm::kBuddy, params, d3.stream);
+    RunResult sw = RunSwarmBaseline(SwarmParamsFrom(params), d3.stream);
+
+    time_table.AddRow({std::to_string(delta_s),
+                       FormatDouble(ci.wall_seconds, 3) + "s",
+                       FormatDouble(sc.wall_seconds, 3) + "s",
+                       FormatDouble(bu.wall_seconds, 3) + "s",
+                       FormatDouble(sw.wall_seconds, 3) + "s",
+                       FormatDouble(tc.wall_seconds, 3) + "s"});
+    space_table.AddRow({std::to_string(delta_s),
+                        FormatCount(ci.space_cost),
+                        FormatCount(sc.space_cost),
+                        FormatCount(bu.space_cost),
+                        FormatCount(sw.space_cost)});
+  }
+
+  std::cout << "\nFig. 16(a) — running time vs delta_s\n";
+  time_table.Print();
+  std::cout << "\nFig. 16(b) — space cost vs delta_s\n";
+  space_table.Print();
+  std::cout << "\nExpected shape: CI/SC/BU time and space fall as delta_s "
+               "grows; TC flat; BU lowest.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcomp
+
+int main(int argc, char** argv) {
+  return tcomp::bench::Main(argc, argv);
+}

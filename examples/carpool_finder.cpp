@@ -1,0 +1,82 @@
+// Car-pool matching — the paper's first motivating application:
+// "commuters want to discover people with the same route to share car
+// pools."
+//
+//   $ ./carpool_finder [--commuters N] [--days D]
+//
+// Synthetic commuters drive a grid city every morning: most follow their
+// own home→office route; some share a corridor for long stretches. The
+// pipeline discovers groups that travel together for at least δt
+// five-minute intervals — the car-pool candidates — and prints a ranked
+// list.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "data/taxi_gen.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace tcomp;
+
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  const int commuters = flags.GetInt("commuters", 400);
+  const int days = flags.GetInt("days", 1);
+
+  // The grid-city generator doubles as a commuter model: platoons are
+  // households/colleagues already sharing cars; everyone else drives
+  // alone. 5-minute position reports over ~4 hours of driving per day.
+  TaxiOptions options;
+  options.num_taxis = commuters;
+  options.num_snapshots = 48 * days;
+  options.platoon_fraction = 0.30;  // commuters on shared corridors
+  options.platoon_size_min = 3;
+  options.platoon_size_max = 9;
+  options.defect_probability = 0.005;
+  options.seed = 7;
+  SnapshotStream stream = GenerateTaxi(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 80.0;   // ~lane-level co-location in meters
+  params.cluster.mu = 3;
+  params.size_threshold = 3;       // a car pool needs ≥3 riders
+  params.duration_threshold = 12;  // ≥1 hour of shared route
+
+  auto discoverer = MakeDiscoverer(Algorithm::kBuddy, params);
+  for (const Snapshot& snapshot : stream) {
+    discoverer->ProcessSnapshot(snapshot, nullptr);
+  }
+
+  // Rank pools by duration, then size.
+  std::vector<Companion> pools(discoverer->log().companions());
+  std::sort(pools.begin(), pools.end(),
+            [](const Companion& a, const Companion& b) {
+              if (a.duration != b.duration) return a.duration > b.duration;
+              return a.objects.size() > b.objects.size();
+            });
+
+  std::printf("car-pool candidates among %d commuters "
+              "(>=%d riders, >=%.0f shared 5-min intervals):\n\n",
+              commuters, params.size_threshold,
+              params.duration_threshold);
+  int shown = 0;
+  for (const Companion& pool : pools) {
+    if (shown++ >= 10) break;
+    std::printf("  pool #%d: %zu riders, %.0f intervals together, riders:",
+                shown, pool.objects.size(), pool.duration);
+    for (size_t i = 0; i < std::min<size_t>(6, pool.objects.size()); ++i) {
+      std::printf(" C%u", pool.objects[i]);
+    }
+    if (pool.objects.size() > 6) std::printf(" ...");
+    std::printf("\n");
+  }
+  if (pools.empty()) {
+    std::printf("  (none found — lower --commuters or thresholds)\n");
+  }
+  std::printf("\n%zu candidate pools in total\n", pools.size());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Contact tracing — the paper's Example 4 motivation: "in the scenario of
+// infected disease monitoring, the people in the two clusters should then
+// be watched together since the disease may spread among them."
+//
+//   $ ./contact_tracing
+//
+// Walking groups move through a district; occasionally two groups merge
+// for a while (a shared market, a gathering) and later separate. The
+// pipeline discovers the companions, reconstructs their lifetimes
+// (CompanionTimeline), and the evolution analyzer flags every merge —
+// i.e., every potential cross-group exposure event — with the groups and
+// the time window involved.
+
+#include <cstdio>
+
+#include "core/discoverer.h"
+#include "core/evolution.h"
+#include "core/timeline.h"
+#include "data/group_model.h"
+
+int main() {
+  using namespace tcomp;
+
+  GroupModelOptions options;
+  options.num_objects = 260;
+  options.num_snapshots = 160;
+  options.area_size = 3000.0;   // a district, not a continent
+  options.min_group_size = 8;
+  options.max_group_size = 16;
+  options.group_speed = 40.0;
+  options.merge_distance = 60.0;   // groups meeting merge for a while
+  options.split_probability = 0.006;  // ...and later drift apart
+  options.leave_probability = 0.0005;
+  options.seed = 77;
+  GroupDataset district = GenerateGroupStream(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 20.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 6;
+  params.duration_threshold = 10;
+
+  auto discoverer = MakeDiscoverer(Algorithm::kBuddy, params);
+  CompanionTimeline timeline;
+  timeline.Track(discoverer.get());
+  for (const Snapshot& s : district.stream) {
+    discoverer->ProcessSnapshot(s, nullptr);
+  }
+
+  std::vector<CompanionEpisode> episodes = timeline.Episodes();
+  EvolutionOptions evo;
+  evo.max_gap = static_cast<int64_t>(params.duration_threshold);
+  std::vector<EvolutionEvent> events = AnalyzeEvolution(episodes, evo);
+
+  std::printf("district monitoring: %zu people, %zu snapshots, "
+              "%zu group episodes\n\n",
+              static_cast<size_t>(options.num_objects),
+              district.stream.size(), episodes.size());
+
+  int merges = 0, splits = 0, continuations = 0;
+  for (const EvolutionEvent& e : events) {
+    switch (e.kind) {
+      case EvolutionEvent::Kind::kMerge: {
+        ++merges;
+        size_t exposed = 0;
+        for (size_t src : e.sources) {
+          exposed += episodes[src].objects.size();
+        }
+        std::printf("[t=%3lld] EXPOSURE: %zu groups merged into one of "
+                    "%zu people — watch all %zu members together\n",
+                    static_cast<long long>(e.snapshot), e.sources.size(),
+                    episodes[e.targets[0]].objects.size(), exposed);
+        break;
+      }
+      case EvolutionEvent::Kind::kSplit:
+        ++splits;
+        std::printf("[t=%3lld] group of %zu split into %zu groups — "
+                    "exposure carries into each\n",
+                    static_cast<long long>(e.snapshot),
+                    episodes[e.sources[0]].objects.size(),
+                    e.targets.size());
+        break;
+      case EvolutionEvent::Kind::kContinuation:
+        ++continuations;
+        break;
+    }
+  }
+
+  std::printf("\n%d merges (exposure events), %d splits, "
+              "%d quiet membership changes\n",
+              merges, splits, continuations);
+  CompanionEpisode longest = timeline.Longest();
+  if (longest.length() > 0) {
+    std::printf("longest continuously-together group: %zu people for "
+                "%lld snapshots\n",
+                longest.objects.size(),
+                static_cast<long long>(longest.length()));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: discover traveling companions from a snapshot stream in
+// ~60 lines.
+//
+//   $ ./quickstart
+//
+// Three groups of objects wander a 2 km square; one pair of groups later
+// merges. The buddy-based discoverer (BU, the paper's contribution)
+// reports companions incrementally, as soon as each group has stayed
+// together for δt snapshots.
+
+#include <cstdio>
+
+#include "core/discoverer.h"
+#include "data/group_model.h"
+
+int main() {
+  using namespace tcomp;
+
+  // 1. A synthetic stream: 120 objects in groups of 8-15, 60 snapshots.
+  GroupModelOptions options;
+  options.num_objects = 120;
+  options.num_snapshots = 60;
+  options.area_size = 2000.0;
+  options.min_group_size = 8;
+  options.max_group_size = 15;
+  options.seed = 2026;
+  GroupDataset data = GenerateGroupStream(options);
+
+  // 2. Discovery parameters: density thresholds (ε, μ) define "close",
+  //    δs/δt define how large and long-lived a companion must be.
+  DiscoveryParams params;
+  params.cluster.epsilon = 20.0;  // meters
+  params.cluster.mu = 4;
+  params.size_threshold = 8;       // δs
+  params.duration_threshold = 12;  // δt, in snapshots
+
+  // 3. Feed snapshots; companions pop out as soon as they qualify.
+  auto discoverer = MakeDiscoverer(Algorithm::kBuddy, params);
+  int64_t t = 0;
+  for (const Snapshot& snapshot : data.stream) {
+    std::vector<Companion> newly;
+    discoverer->ProcessSnapshot(snapshot, &newly);
+    for (const Companion& c : newly) {
+      std::printf("snapshot %3lld: companion of %zu objects {%u, %u, ... }"
+                  " traveling together for %.0f snapshots\n",
+                  static_cast<long long>(t), c.objects.size(),
+                  c.objects[0], c.objects[1], c.duration);
+    }
+    ++t;
+  }
+
+  // 4. Summary.
+  const DiscoveryStats& stats = discoverer->stats();
+  std::printf("\n%zu distinct companions; %lld intersections; "
+              "%.1f%% of buddy pairs pruned by Lemma 3\n",
+              discoverer->log().size(),
+              static_cast<long long>(stats.intersections),
+              100.0 * static_cast<double>(stats.buddy_pairs_pruned) /
+                  static_cast<double>(stats.buddy_pairs_checked));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Road-network companion discovery — the paper's Section VIII future
+// work ("we plan to extend the companion discovery technique to more
+// complex scenarios, such as road networks"), implemented in
+// src/network/.
+//
+//   $ ./road_network
+//
+// Vehicles drive a 12×12 city grid; platoons travel strung out along the
+// road. The example contrasts Euclidean and network-constrained
+// discovery on the same stream: across a block, two unrelated platoons
+// on parallel avenues are Euclidean-close but network-far.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/discoverer.h"
+#include "eval/metrics.h"
+#include "network/network_dbscan.h"
+#include "network/network_gen.h"
+
+int main() {
+  using namespace tcomp;
+
+  NetworkTrafficOptions options;
+  options.num_vehicles = 300;
+  options.num_snapshots = 80;
+  options.platoon_size_min = 5;
+  options.platoon_size_max = 10;
+  options.seed = 31;
+  NetworkTrafficDataset city = GenerateNetworkTraffic(options);
+  std::printf("city: %zu intersections, %zu road segments, %d vehicles, "
+              "%zu platoons\n",
+              city.graph.num_nodes(), city.graph.num_edges(),
+              options.num_vehicles, city.ground_truth.size());
+
+  DiscoveryParams params;
+  // ε at half a block: wide enough that straight-line distance reaches
+  // across to parallel avenues, while road distance does not.
+  params.cluster.epsilon = 200.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 15;
+
+  // Euclidean discovery (straight-line ε) vs network discovery (road
+  // distance ε) on the same stream.
+  auto euclid = MakeDiscoverer(Algorithm::kSmartClosed, params);
+  auto network = MakeNetworkDiscoverer(city.graph, params);
+  for (const Snapshot& s : city.stream) {
+    euclid->ProcessSnapshot(s, nullptr);
+    network->ProcessSnapshot(s, nullptr);
+  }
+
+  auto score = [&](const CompanionDiscoverer& d) {
+    std::vector<ObjectSet> retrieved;
+    for (const Companion& c : d.log().companions()) {
+      retrieved.push_back(c.objects);
+    }
+    return ScoreCompanions(retrieved, city.ground_truth, 0.5);
+  };
+  EffectivenessResult e = score(*euclid);
+  EffectivenessResult n = score(*network);
+
+  std::printf("\n%-22s %10s %10s %10s\n", "", "groups", "precision",
+              "recall");
+  std::printf("%-22s %10zu %9.1f%% %9.1f%%\n", "Euclidean epsilon",
+              euclid->log().size(), 100.0 * e.precision, 100.0 * e.recall);
+  std::printf("%-22s %10zu %9.1f%% %9.1f%%\n", "network epsilon",
+              network->log().size(), 100.0 * n.precision,
+              100.0 * n.recall);
+
+  std::printf("\nwhy they differ: with straight-line distance, platoons "
+              "passing on parallel\navenues or opposite sides of an "
+              "intersection get merged into one cluster;\nthe road metric "
+              "knows they are a block of driving apart.\n");
+  return 0;
+}

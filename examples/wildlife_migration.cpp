@@ -1,0 +1,77 @@
+// Wildlife migration — the paper's third motivating application:
+// "Scientists would like to study the pathways of species migration"
+// and "families of birds, deer and other animals often move together".
+//
+//   $ ./wildlife_migration
+//
+// Herds migrate across a 20 km range, occasionally splitting in two or
+// merging at water holes; individual animals stray. The example shows
+// how the discovered companions track the herd structure over time, and
+// how the traveling-buddy statistics expose the micro-group structure
+// (families) inside herds.
+
+#include <cstdio>
+
+#include "core/buddy_discovery.h"
+#include "data/group_model.h"
+
+int main() {
+  using namespace tcomp;
+
+  GroupModelOptions options;
+  options.num_objects = 500;
+  options.num_snapshots = 200;
+  options.area_size = 20000.0;
+  options.min_group_size = 20;
+  options.max_group_size = 45;
+  options.group_fraction = 0.9;
+  options.group_speed = 80.0;
+  options.split_probability = 0.004;   // herds split...
+  options.merge_distance = 60.0;       // ...and merge at shared spots
+  options.leave_probability = 0.0008;  // strays
+  options.seed = 99;
+  GroupDataset herds = GenerateGroupStream(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 25.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 15;      // a herd, not a family
+  params.duration_threshold = 30;  // sustained co-migration
+
+  BuddyDiscoverer discoverer(params);
+  int64_t reports_by_quarter[4] = {0, 0, 0, 0};
+  for (size_t t = 0; t < herds.stream.size(); ++t) {
+    std::vector<Companion> newly;
+    discoverer.ProcessSnapshot(herds.stream[t], &newly);
+    reports_by_quarter[t * 4 / herds.stream.size()] +=
+        static_cast<int64_t>(newly.size());
+  }
+
+  std::printf("herd discovery over %zu snapshots:\n", herds.stream.size());
+  for (int q = 0; q < 4; ++q) {
+    std::printf("  quarter %d: %lld new herd groupings\n", q + 1,
+                static_cast<long long>(reports_by_quarter[q]));
+  }
+
+  std::printf("\ndistinct co-migrating herds found: %zu\n",
+              discoverer.log().size());
+  size_t biggest = 0;
+  double longest = 0;
+  for (const Companion& c : discoverer.log().companions()) {
+    biggest = std::max(biggest, c.objects.size());
+    longest = std::max(longest, c.duration);
+  }
+  std::printf("largest herd: %zu animals; longest co-migration: %.0f "
+              "snapshots\n", biggest, longest);
+
+  // The buddy set inside the discoverer mirrors the family micro-groups.
+  const DiscoveryStats& stats = discoverer.stats();
+  std::printf("\nmicro-group (family) structure: avg buddy size %.2f, "
+              "%.1f%% of buddies unchanged per snapshot\n",
+              stats.average_buddy_size(),
+              100.0 * static_cast<double>(stats.buddies_unchanged) /
+                  static_cast<double>(stats.buddies_total));
+  std::printf("final snapshot ground truth: %zu herds in the generator\n",
+              herds.final_groups.size());
+  return 0;
+}

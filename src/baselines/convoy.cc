@@ -1,0 +1,134 @@
+#include "baselines/convoy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+namespace {
+
+struct Cand {
+  ObjectSet objects;
+  int32_t begin = 0;
+  int32_t last = 0;  // last snapshot the set was co-clustered
+};
+
+}  // namespace
+
+std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
+                                    const ConvoyParams& params,
+                                    ConvoyStats* stats) {
+  TCOMP_CHECK_GT(params.min_objects, 0);
+  TCOMP_CHECK_GT(params.min_lifetime, 0);
+  const size_t m = static_cast<size_t>(params.min_objects);
+  ConvoyStats local;
+
+  std::vector<Cand> candidates;
+  std::vector<Convoy> results;
+
+  auto emit = [&](const Cand& v) {
+    if (v.last - v.begin + 1 >= params.min_lifetime) {
+      results.push_back(Convoy{v.objects, v.begin, v.last});
+    }
+  };
+
+  for (size_t t = 0; t < stream.size(); ++t) {
+    Clustering clustering =
+        Dbscan(stream[t], params.cluster, &local.distance_ops);
+    const int32_t now = static_cast<int32_t>(t);
+
+    // Products, deduplicated by object set keeping the earliest begin
+    // (the longest-covering chain dominates).
+    std::map<ObjectSet, Cand> next;
+    auto add = [&](ObjectSet objects, int32_t begin) {
+      auto it = next.find(objects);
+      if (it == next.end()) {
+        Cand c{std::move(objects), begin, now};
+        next.emplace(c.objects, c);
+      } else if (begin < it->second.begin) {
+        it->second.begin = begin;
+      }
+    };
+
+    for (const Cand& v : candidates) {
+      bool continued_whole = false;
+      for (const ObjectSet& c : clustering.clusters) {
+        ++local.intersections;
+        ObjectSet inter = SortedIntersect(v.objects, c);
+        if (inter.size() < m) continue;
+        if (inter.size() == v.objects.size()) continued_whole = true;
+        add(std::move(inter), v.begin);
+      }
+      // The set broke apart this snapshot: its interval is maximal in
+      // time — report it (subset products keep running with the same
+      // begin, so object-maximality is resolved by the final filter).
+      if (!continued_whole) emit(v);
+    }
+
+    // Fresh clusters open new chains unless dominated by a running one
+    // (a subset of a running candidate has been co-clustered for that
+    // candidate's whole interval already).
+    for (const ObjectSet& c : clustering.clusters) {
+      if (c.size() < m) continue;
+      bool dominated = false;
+      for (const auto& [objects, cand] : next) {
+        if (objects.size() >= c.size() && SortedIsSubset(c, objects)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) add(c, now);
+    }
+
+    candidates.clear();
+    candidates.reserve(next.size());
+    int64_t stored = 0;
+    for (auto& [objects, cand] : next) {
+      stored += static_cast<int64_t>(objects.size());
+      candidates.push_back(std::move(cand));
+    }
+    local.peak_candidates = std::max(local.peak_candidates, stored);
+  }
+  // End of stream closes every running chain.
+  for (const Cand& v : candidates) emit(v);
+
+  // Maximality filter: drop convoys dominated in both objects and time.
+  std::vector<Convoy> maximal;
+  for (size_t i = 0; i < results.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < results.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const Convoy& a = results[i];
+      const Convoy& b = results[j];
+      bool subset = a.objects.size() <= b.objects.size() &&
+                    SortedIsSubset(a.objects, b.objects);
+      bool covered = b.begin <= a.begin && a.end <= b.end;
+      if (subset && covered) {
+        // Strict domination, or tie broken toward the earlier entry.
+        if (a.objects != b.objects || a.begin != b.begin ||
+            a.end != b.end || j < i) {
+          dominated = true;
+        }
+      }
+    }
+    if (!dominated) maximal.push_back(results[i]);
+  }
+
+  std::sort(maximal.begin(), maximal.end(),
+            [](const Convoy& a, const Convoy& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.end != b.end) return a.end < b.end;
+              return a.objects < b.objects;
+            });
+  if (stats != nullptr) {
+    stats->distance_ops += local.distance_ops;
+    stats->intersections += local.intersections;
+    stats->peak_candidates =
+        std::max(stats->peak_candidates, local.peak_candidates);
+  }
+  return maximal;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,125 @@
+#include "baselines/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcomp {
+namespace {
+
+double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Perpendicular distance from `p` to the infinite line through the base
+/// segment (s, e); `t_out` receives the projection parameter.
+double PointToLine(Point p, Point s, Point e, double* t_out) {
+  Point d = e - s;
+  double len2 = Dot(d, d);
+  if (len2 == 0.0) {
+    *t_out = 0.0;
+    return Distance(p, s);
+  }
+  double t = Dot(p - s, d) / len2;
+  *t_out = t;
+  Point proj = s + d * t;
+  return Distance(p, proj);
+}
+
+/// log2(x+1): the practical guard against log(0) used by TraClus
+/// implementations for MDL encoding lengths.
+double Log2p1(double x) { return std::log2(x + 1.0); }
+
+}  // namespace
+
+SegmentDistanceComponents SegmentDistance(const Segment& a,
+                                          const Segment& b) {
+  // The longer segment is the base.
+  const Segment& base = a.Length() >= b.Length() ? a : b;
+  const Segment& other = a.Length() >= b.Length() ? b : a;
+
+  SegmentDistanceComponents out;
+
+  double t1, t2;
+  double l_perp1 = PointToLine(other.start, base.start, base.end, &t1);
+  double l_perp2 = PointToLine(other.end, base.start, base.end, &t2);
+  if (l_perp1 + l_perp2 > 0.0) {
+    out.perpendicular =
+        (l_perp1 * l_perp1 + l_perp2 * l_perp2) / (l_perp1 + l_perp2);
+  }
+
+  // Parallel distance: distance from each projection to the nearer base
+  // endpoint, measured outside the base segment; TraClus takes the min.
+  double base_len = base.Length();
+  auto overhang = [base_len](double t) {
+    if (t < 0.0) return -t * base_len;
+    if (t > 1.0) return (t - 1.0) * base_len;
+    return 0.0;
+  };
+  out.parallel = std::min(overhang(t1), overhang(t2));
+
+  // Angular distance.
+  Point db = base.end - base.start;
+  Point d_other = other.end - other.start;
+  double other_len = other.Length();
+  if (base_len == 0.0 || other_len == 0.0) {
+    out.angular = 0.0;
+  } else {
+    double cosang = Dot(db, d_other) / (base_len * other_len);
+    if (cosang < 0.0) {
+      out.angular = other_len;  // θ ≥ 90°
+    } else {
+      double sinang =
+          std::abs(Cross(db, d_other)) / (base_len * other_len);
+      out.angular = other_len * sinang;
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> PartitionTrajectory(const std::vector<Point>& points,
+                                        double cost_advantage) {
+  std::vector<size_t> cps;
+  const size_t n = points.size();
+  if (n == 0) return cps;
+  cps.push_back(0);
+  if (n == 1) return cps;
+
+  size_t start = 0;
+  size_t length = 1;
+  while (start + length < n) {
+    size_t curr = start + length;
+    // MDL(par): encode the shortcut (start→curr) plus the deviation of
+    // the original points from it.
+    double cost_par = Log2p1(Distance(points[start], points[curr]));
+    Segment hypothesis{points[start], points[curr], 0};
+    for (size_t k = start; k < curr; ++k) {
+      Segment piece{points[k], points[k + 1], 0};
+      SegmentDistanceComponents d = SegmentDistance(hypothesis, piece);
+      // L(D|H): per-edge encoding cost of the deviation (TraClus eq. 5).
+      cost_par += Log2p1(d.perpendicular) + Log2p1(d.angular);
+    }
+
+    // MDL(nopar): encode every original edge as-is (no deviation term).
+    double cost_nopar = 0.0;
+    for (size_t k = start; k < curr; ++k) {
+      cost_nopar += Log2p1(Distance(points[k], points[k + 1]));
+    }
+
+    // length == 1 compares an edge against itself; floating-point residue
+    // in the projection can make cost_par epsilon-greater, and a trigger
+    // there would not advance `start` (infinite loop). A single edge is
+    // never partitionable, so only consider longer hypotheses.
+    if (length > 1 && cost_par > cost_nopar + cost_advantage) {
+      cps.push_back(curr - 1);
+      start = curr - 1;
+      length = 1;
+    } else {
+      ++length;
+    }
+  }
+  cps.push_back(n - 1);
+  // Collapse a duplicate if the loop closed exactly at the end.
+  if (cps.size() >= 2 && cps[cps.size() - 2] == cps.back()) cps.pop_back();
+  return cps;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,50 @@
+#ifndef TCOMP_BASELINES_SEGMENT_H_
+#define TCOMP_BASELINES_SEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// A directed line segment belonging to one object's trajectory.
+struct Segment {
+  Point start;
+  Point end;
+  ObjectId object = 0;
+
+  double Length() const { return Distance(start, end); }
+  Point Midpoint() const { return (start + end) / 2.0; }
+};
+
+/// The three TraClus distance components between segments (Lee et al.,
+/// SIGMOD 2007). The longer segment acts as the base.
+struct SegmentDistanceComponents {
+  double perpendicular = 0.0;
+  double parallel = 0.0;
+  double angular = 0.0;
+
+  double Total(double w_perp, double w_par, double w_ang) const {
+    return w_perp * perpendicular + w_par * parallel + w_ang * angular;
+  }
+};
+
+/// Computes the TraClus distance components:
+///  * d⊥ — weighted mean (l⊥1²+l⊥2²)/(l⊥1+l⊥2) of the endpoint
+///    projections of the shorter segment onto the longer;
+///  * d∥ — min of the parallel overhangs;
+///  * dθ — ‖shorter‖·sin θ (θ < 90°), ‖shorter‖ otherwise.
+SegmentDistanceComponents SegmentDistance(const Segment& a,
+                                          const Segment& b);
+
+/// MDL-based approximate trajectory partitioning: returns the indices of
+/// the characteristic points of `points` (always including the first and
+/// last). `cost_advantage` biases against over-partitioning (the MDL
+/// comparison uses costPar > costNopar + cost_advantage).
+std::vector<size_t> PartitionTrajectory(const std::vector<Point>& points,
+                                        double cost_advantage = 0.0);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_BASELINES_SEGMENT_H_

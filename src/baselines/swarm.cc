@@ -1,0 +1,178 @@
+#include "baselines/swarm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+namespace {
+
+/// Per-snapshot cluster labels, indexed [t][object_id]; -1 = noise/absent.
+struct LabelMatrix {
+  std::vector<std::vector<int32_t>> labels;
+  std::vector<std::vector<ObjectSet>> clusters;  // [t][label] -> members
+  ObjectId max_id = 0;
+};
+
+LabelMatrix BuildLabels(const SnapshotStream& stream,
+                        const DbscanParams& params, int64_t* distance_ops) {
+  LabelMatrix m;
+  for (const Snapshot& s : stream) {
+    if (!s.empty()) m.max_id = std::max(m.max_id, s.id(s.size() - 1));
+  }
+  m.labels.reserve(stream.size());
+  m.clusters.reserve(stream.size());
+  for (const Snapshot& s : stream) {
+    Clustering c = Dbscan(s, params, distance_ops);
+    std::vector<int32_t> row(m.max_id + 1, -1);
+    for (size_t i = 0; i < s.size(); ++i) row[s.id(i)] = c.labels[i];
+    m.labels.push_back(std::move(row));
+    m.clusters.push_back(std::move(c.clusters));
+  }
+  return m;
+}
+
+/// The ObjectGrowth depth-first miner.
+class ObjectGrowth {
+ public:
+  ObjectGrowth(const LabelMatrix& matrix, const SwarmParams& params,
+               SwarmStats* stats)
+      : m_(matrix),
+        mino_(static_cast<size_t>(params.min_objects)),
+        mint_(static_cast<size_t>(params.min_snapshots)),
+        stats_(stats),
+        count_(matrix.max_id + 1, 0),
+        in_set_(matrix.max_id + 1, false) {}
+
+  std::vector<Swarm> Mine() {
+    for (ObjectId o = 0; o <= m_.max_id; ++o) {
+      std::vector<int32_t> support;
+      for (size_t t = 0; t < m_.labels.size(); ++t) {
+        if (m_.labels[t][o] >= 0) {
+          support.push_back(static_cast<int32_t>(t));
+        }
+      }
+      ObjectSet set = {o};
+      in_set_[o] = true;
+      Grow(&set, support);
+      in_set_[o] = false;
+    }
+    return std::move(results_);
+  }
+
+ private:
+  void Bump(int64_t stack_objects) {
+    if (stats_ == nullptr) return;
+    int64_t now = stack_objects + reported_objects_;
+    stats_->peak_candidate_objects =
+        std::max(stats_->peak_candidate_objects, now);
+  }
+
+  void Grow(ObjectSet* set, const std::vector<int32_t>& support) {
+    if (stats_ != nullptr) ++stats_->nodes_explored;
+    if (support.size() < mint_) {
+      if (stats_ != nullptr) ++stats_->apriori_pruned;
+      return;
+    }
+    stack_objects_ += static_cast<int64_t>(set->size());
+    Bump(stack_objects_);
+
+    // One counting pass over the clusters containing this set in its
+    // support snapshots: count[o'] = #snapshots of `support` where o'
+    // shares the set's cluster.
+    const ObjectId rep = set->front();
+    std::vector<ObjectId> touched;
+    for (int32_t t : support) {
+      int32_t label = m_.labels[static_cast<size_t>(t)][rep];
+      TCOMP_DCHECK(label >= 0);
+      for (ObjectId o :
+           m_.clusters[static_cast<size_t>(t)][static_cast<size_t>(label)]) {
+        if (in_set_[o]) continue;
+        if (count_[o] == 0) touched.push_back(o);
+        ++count_[o];
+      }
+    }
+
+    const ObjectId max_member = set->back();
+    bool pruned = false;
+    bool closed_forward = true;
+    // Backward pruning: a smaller-id object with full support means a
+    // lexicographically earlier branch enumerates this set's closure.
+    for (ObjectId o : touched) {
+      if (o < max_member && count_[o] == support.size()) {
+        pruned = true;
+        if (stats_ != nullptr) ++stats_->backward_pruned;
+        break;
+      }
+    }
+
+    if (!pruned) {
+      // Forward extensions in ascending id order (determinism).
+      std::vector<ObjectId> extensions;
+      for (ObjectId o : touched) {
+        if (o > max_member && count_[o] >= mint_) extensions.push_back(o);
+        if (o > max_member && count_[o] == support.size()) {
+          closed_forward = false;
+        }
+      }
+      std::sort(extensions.begin(), extensions.end());
+
+      // Counters must be clean before recursing (children run their own
+      // counting pass).
+      for (ObjectId o : touched) count_[o] = 0;
+      touched.clear();
+
+      for (ObjectId o : extensions) {
+        std::vector<int32_t> sub;
+        sub.reserve(support.size());
+        for (int32_t t : support) {
+          if (m_.labels[static_cast<size_t>(t)][o] ==
+              m_.labels[static_cast<size_t>(t)][rep]) {
+            sub.push_back(t);
+          }
+        }
+        set->push_back(o);
+        in_set_[o] = true;
+        Grow(set, sub);
+        in_set_[o] = false;
+        set->pop_back();
+      }
+
+      if (closed_forward && set->size() >= mino_) {
+        results_.push_back(Swarm{*set, support});
+        reported_objects_ += static_cast<int64_t>(set->size());
+        Bump(stack_objects_);
+      }
+    }
+
+    for (ObjectId o : touched) count_[o] = 0;
+    stack_objects_ -= static_cast<int64_t>(set->size());
+  }
+
+  const LabelMatrix& m_;
+  const size_t mino_;
+  const size_t mint_;
+  SwarmStats* stats_;
+  std::vector<uint32_t> count_;
+  std::vector<bool> in_set_;
+  std::vector<Swarm> results_;
+  int64_t stack_objects_ = 0;
+  int64_t reported_objects_ = 0;
+};
+
+}  // namespace
+
+std::vector<Swarm> MineClosedSwarms(const SnapshotStream& stream,
+                                    const SwarmParams& params,
+                                    SwarmStats* stats) {
+  TCOMP_CHECK_GT(params.min_objects, 0);
+  TCOMP_CHECK_GT(params.min_snapshots, 0);
+  int64_t distance_ops = 0;
+  LabelMatrix matrix = BuildLabels(stream, params.cluster, &distance_ops);
+  if (stats != nullptr) stats->distance_ops += distance_ops;
+  ObjectGrowth miner(matrix, params, stats);
+  return miner.Mine();
+}
+
+}  // namespace tcomp

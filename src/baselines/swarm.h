@@ -1,0 +1,59 @@
+#ifndef TCOMP_BASELINES_SWARM_H_
+#define TCOMP_BASELINES_SWARM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Parameters of the swarm baseline (Li et al., VLDB 2010): a swarm is a
+/// pair (O, T) with |O| ≥ min_objects objects that appear in a common
+/// density cluster in at least min_snapshots snapshots — the snapshots
+/// need NOT be consecutive (the "relaxed temporal" property that makes
+/// swarms a superset of traveling companions).
+struct SwarmParams {
+  DbscanParams cluster;
+  int min_objects = 10;    // mino — maps to the companion δs
+  int min_snapshots = 10;  // mint — maps to the companion δt
+};
+
+/// A closed swarm: no proper object-superset has the same snapshot
+/// support, and no extra snapshot supports the same object set.
+struct Swarm {
+  ObjectSet objects;
+  std::vector<int32_t> snapshots;  // sorted, possibly non-consecutive
+};
+
+/// Cost counters for the bench harnesses.
+struct SwarmStats {
+  int64_t distance_ops = 0;      // clustering stage
+  int64_t nodes_explored = 0;    // ObjectGrowth search nodes
+  int64_t apriori_pruned = 0;    // nodes cut by |T| < mint
+  int64_t backward_pruned = 0;   // nodes cut by backward pruning
+  /// Peak working-set size in objects (candidate object sets on the DFS
+  /// stack + per-snapshot cluster labels) — the space metric the paper
+  /// compares in Fig. 15(b).
+  int64_t peak_candidate_objects = 0;
+};
+
+/// Mines all closed swarms with the ObjectGrowth algorithm: depth-first
+/// object-set growth in id order with apriori pruning (a set whose
+/// snapshot support is below mint cannot be repaired by growing),
+/// backward pruning (a skipped smaller-id object with identical support
+/// proves this branch is covered by an earlier one), and forward closure
+/// checking.
+///
+/// This is a whole-dataset algorithm — it cannot emit results until the
+/// stream is complete, which is exactly the limitation the paper's
+/// streaming algorithms remove.
+std::vector<Swarm> MineClosedSwarms(const SnapshotStream& stream,
+                                    const SwarmParams& params,
+                                    SwarmStats* stats = nullptr);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_BASELINES_SWARM_H_

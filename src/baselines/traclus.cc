@@ -1,0 +1,191 @@
+#include "baselines/traclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+namespace {
+
+struct CellKey {
+  int64_t cx;
+  int64_t cy;
+  bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Extracts each object's trajectory (its position sequence over the
+/// stream) keyed by object id.
+std::unordered_map<ObjectId, std::vector<Point>> ExtractTrajectories(
+    const SnapshotStream& stream) {
+  std::unordered_map<ObjectId, std::vector<Point>> out;
+  for (const Snapshot& s : stream) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      out[s.id(i)].push_back(s.pos(i));
+    }
+  }
+  return out;
+}
+
+/// Subdivides a segment into pieces no longer than `max_len`.
+void EmitBounded(const Segment& seg, double max_len,
+                 std::vector<Segment>* out) {
+  double len = seg.Length();
+  if (len <= max_len) {
+    out->push_back(seg);
+    return;
+  }
+  int pieces = static_cast<int>(std::ceil(len / max_len));
+  Point delta = (seg.end - seg.start) / static_cast<double>(pieces);
+  Point cursor = seg.start;
+  for (int k = 0; k < pieces; ++k) {
+    Point next = (k == pieces - 1) ? seg.end : cursor + delta;
+    out->push_back(Segment{cursor, next, seg.object});
+    cursor = next;
+  }
+}
+
+}  // namespace
+
+std::vector<SegmentCluster> RunTraClus(const SnapshotStream& stream,
+                                       const TraClusParams& params,
+                                       TraClusStats* stats) {
+  TCOMP_CHECK_GT(params.epsilon, 0.0);
+  TraClusStats local;
+
+  // --- Phase 1: MDL partitioning into characteristic segments. ---
+  std::vector<Segment> segments;
+  {
+    auto trajectories = ExtractTrajectories(stream);
+    // Deterministic order.
+    std::vector<ObjectId> ids;
+    ids.reserve(trajectories.size());
+    for (const auto& [oid, pts] : trajectories) ids.push_back(oid);
+    std::sort(ids.begin(), ids.end());
+    for (ObjectId oid : ids) {
+      const std::vector<Point>& pts = trajectories[oid];
+      std::vector<size_t> cps =
+          PartitionTrajectory(pts, params.mdl_cost_advantage);
+      local.characteristic_points += static_cast<int64_t>(cps.size());
+      for (size_t k = 0; k + 1 < cps.size(); ++k) {
+        Segment seg{pts[cps[k]], pts[cps[k + 1]], oid};
+        if (seg.Length() == 0.0) continue;
+        EmitBounded(seg, params.max_segment_length, &segments);
+      }
+    }
+  }
+  local.segments_total = static_cast<int64_t>(segments.size());
+
+  // --- Phase 2: line-segment DBSCAN. ---
+  // Spatial index on midpoints: two segments of length ≤ Lmax can only be
+  // within distance ε if their midpoints are within ε + Lmax (each
+  // component distance is ≥ midpoint distance − (len_a+len_b)/2).
+  const double reach = params.epsilon + params.max_segment_length;
+  const size_t m = segments.size();
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
+  auto cell_of = [reach](Point p) {
+    return CellKey{static_cast<int64_t>(std::floor(p.x / reach)),
+                   static_cast<int64_t>(std::floor(p.y / reach))};
+  };
+  for (uint32_t i = 0; i < m; ++i) {
+    grid[cell_of(segments[i].Midpoint())].push_back(i);
+  }
+
+  auto neighbors_of = [&](uint32_t i) {
+    std::vector<uint32_t> result;
+    CellKey c = cell_of(segments[i].Midpoint());
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(CellKey{c.cx + dx, c.cy + dy});
+        if (it == grid.end()) continue;
+        for (uint32_t j : it->second) {
+          if (j == i) continue;
+          ++local.segment_distance_ops;
+          SegmentDistanceComponents d =
+              SegmentDistance(segments[i], segments[j]);
+          if (d.Total(params.w_perpendicular, params.w_parallel,
+                      params.w_angular) <= params.epsilon) {
+            result.push_back(j);
+          }
+        }
+      }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+  };
+
+  const size_t min_lines = static_cast<size_t>(params.min_lines);
+  std::vector<int32_t> label(m, -2);  // -2 unvisited, -1 noise
+  std::vector<bool> enqueued(m, false);
+  int32_t next_label = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (label[i] != -2) continue;
+    std::vector<uint32_t> seeds = neighbors_of(i);
+    if (seeds.size() + 1 < min_lines) {
+      label[i] = -1;
+      continue;
+    }
+    int32_t cluster = next_label++;
+    label[i] = cluster;
+    // Standard DBSCAN expansion; `enqueued` keeps the queue duplicate-free
+    // (neighbor lists overlap heavily inside dense corridors).
+    std::vector<uint32_t> queue;
+    for (uint32_t s : seeds) {
+      queue.push_back(s);
+      enqueued[s] = true;
+    }
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      uint32_t j = queue[qi];
+      if (label[j] == -1) label[j] = cluster;  // border
+      if (label[j] != -2) continue;
+      label[j] = cluster;
+      std::vector<uint32_t> js = neighbors_of(j);
+      if (js.size() + 1 >= min_lines) {
+        for (uint32_t s : js) {
+          if (!enqueued[s] && label[s] <= -1) {
+            queue.push_back(s);
+            enqueued[s] = true;
+          }
+        }
+      }
+    }
+    for (uint32_t s : queue) enqueued[s] = false;
+  }
+
+  // Assemble clusters; enforce trajectory cardinality ≥ min_lines.
+  std::vector<SegmentCluster> clusters(
+      static_cast<size_t>(std::max<int32_t>(next_label, 0)));
+  for (uint32_t i = 0; i < m; ++i) {
+    if (label[i] < 0) continue;
+    SegmentCluster& c = clusters[static_cast<size_t>(label[i])];
+    c.segments.push_back(segments[i]);
+    c.objects.push_back(segments[i].object);
+  }
+  std::vector<SegmentCluster> result;
+  for (SegmentCluster& c : clusters) {
+    SortUnique(&c.objects);
+    if (c.objects.size() >= min_lines) {
+      result.push_back(std::move(c));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->segments_total += local.segments_total;
+    stats->segment_distance_ops += local.segment_distance_ops;
+    stats->characteristic_points += local.characteristic_points;
+  }
+  return result;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,60 @@
+#ifndef TCOMP_BASELINES_TRACLUS_H_
+#define TCOMP_BASELINES_TRACLUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/segment.h"
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Parameters of the TraClus baseline (Lee, Han, Whang — SIGMOD 2007):
+/// partition-and-group sub-trajectory clustering. TraClus ignores time
+/// entirely — the paper uses it to show that direction-based trajectory
+/// clustering cannot recover traveling companions.
+struct TraClusParams {
+  /// Segment-distance threshold ε for the line-segment DBSCAN.
+  double epsilon = 25.0;
+  /// Density threshold: minimum number of ε-neighbor segments.
+  int min_lines = 5;
+  /// Distance-component weights (w⊥, w∥, wθ).
+  double w_perpendicular = 1.0;
+  double w_parallel = 1.0;
+  double w_angular = 1.0;
+  /// MDL partitioning bias (higher → fewer characteristic points).
+  double mdl_cost_advantage = 0.0;
+  /// Segments longer than this are subdivided before clustering; bounds
+  /// the spatial-index search radius (engineering addition — documented
+  /// in DESIGN.md; does not change which segments are ε-close).
+  double max_segment_length = 500.0;
+};
+
+/// One sub-trajectory cluster.
+struct SegmentCluster {
+  std::vector<Segment> segments;
+  /// Distinct objects contributing segments — the "object group" used
+  /// when TraClus is scored against companion ground truth.
+  ObjectSet objects;
+};
+
+struct TraClusStats {
+  int64_t segments_total = 0;
+  int64_t segment_distance_ops = 0;
+  int64_t characteristic_points = 0;
+};
+
+/// Runs partition-and-group over a whole stream: each object's snapshot
+/// sequence forms its trajectory; MDL partitioning extracts
+/// characteristic segments; segments are density-clustered with the
+/// TraClus distance. Clusters whose segments come from fewer than
+/// `min_lines` distinct objects are discarded (trajectory-cardinality
+/// check).
+std::vector<SegmentCluster> RunTraClus(const SnapshotStream& stream,
+                                       const TraClusParams& params,
+                                       TraClusStats* stats = nullptr);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_BASELINES_TRACLUS_H_

@@ -1,0 +1,266 @@
+#include "core/buddy_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace tcomp {
+namespace {
+
+constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);
+
+struct CellKey {
+  int64_t cx;
+  int64_t cy;
+  bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Clustering BuddyBasedClustering(const Snapshot& snapshot,
+                                const BuddySet& buddies,
+                                const DbscanParams& params,
+                                BuddyClusteringStats* stats) {
+  const size_t n = snapshot.size();
+  const double eps = params.epsilon;
+  const double eps2 = eps * eps;
+  const size_t mu = static_cast<size_t>(params.mu);
+  BuddyClusteringStats local;
+
+  const std::vector<Buddy>& blist = buddies.buddies();
+  const size_t m = blist.size();
+
+  // Member snapshot-indices per buddy (members absent from the snapshot
+  // are skipped; upstream carry-forward normally prevents that).
+  std::vector<std::vector<uint32_t>> members(m);
+  std::vector<uint32_t> buddy_of(n, kAbsent);
+  for (size_t b = 0; b < m; ++b) {
+    members[b].reserve(blist[b].members.size());
+    for (ObjectId oid : blist[b].members) {
+      size_t idx = snapshot.IndexOf(oid);
+      if (idx == Snapshot::kNpos) continue;
+      members[b].push_back(static_cast<uint32_t>(idx));
+      buddy_of[idx] = static_cast<uint32_t>(b);
+    }
+    std::sort(members[b].begin(), members[b].end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TCOMP_DCHECK(buddy_of[i] != kAbsent)
+        << "object " << snapshot.id(i) << " is in no buddy; call "
+        << "BuddySet::Update with this snapshot first";
+  }
+
+  // Density-connected buddies (Lemma 2): every member is core.
+  std::vector<bool> dcb(m, false);
+  for (size_t b = 0; b < m; ++b) {
+    if (members[b].size() >= mu + 1 && blist[b].radius <= eps / 2.0) {
+      dcb[b] = true;
+      ++local.lemma2_buddies;
+    }
+  }
+
+  // Buddy adjacency under Lemma 3. Pairs pruned here never reach the
+  // object level. A grid over buddy centers skips pairs whose centers are
+  // so far apart that the Lemma-3 condition d − γi − γj > ε holds
+  // trivially (cell size covers ε + 2·γmax); grid-skipped pairs count as
+  // Lemma-3-pruned — same criterion, evaluated geometrically.
+  std::vector<std::vector<uint32_t>> adjacent(m);
+  {
+    double gamma_max = 0.0;
+    int64_t nonempty = 0;
+    for (size_t b = 0; b < m; ++b) {
+      if (members[b].empty()) continue;
+      ++nonempty;
+      gamma_max = std::max(gamma_max, blist[b].radius);
+    }
+    local.pairs_checked += nonempty * (nonempty - 1) / 2;
+
+    const double cell = eps + 2.0 * gamma_max;
+    std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
+    auto cell_of = [cell](Point p) {
+      return CellKey{static_cast<int64_t>(std::floor(p.x / cell)),
+                     static_cast<int64_t>(std::floor(p.y / cell))};
+    };
+    for (size_t b = 0; b < m; ++b) {
+      if (members[b].empty()) continue;
+      grid[cell_of(blist[b].center())].push_back(static_cast<uint32_t>(b));
+    }
+    int64_t linked = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (members[i].empty()) continue;
+      CellKey c = cell_of(blist[i].center());
+      for (int64_t dx = -1; dx <= 1; ++dx) {
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          auto it = grid.find(CellKey{c.cx + dx, c.cy + dy});
+          if (it == grid.end()) continue;
+          for (uint32_t j : it->second) {
+            if (j <= i) continue;
+            double d = Distance(blist[i].center(), blist[j].center());
+            if (d - blist[i].radius - blist[j].radius > eps) continue;
+            adjacent[i].push_back(j);
+            adjacent[j].push_back(static_cast<uint32_t>(i));
+            ++linked;
+          }
+        }
+      }
+    }
+    local.pairs_pruned += nonempty * (nonempty - 1) / 2 - linked;
+    for (std::vector<uint32_t>& list : adjacent) {
+      std::sort(list.begin(), list.end());
+    }
+  }
+
+  // Core flags. Members of density-connected buddies are core for free;
+  // everyone else counts ε-neighbors (self included) over its own buddy
+  // plus adjacent buddies, stopping early at μ.
+  std::vector<bool> core(n, false);
+  for (size_t b = 0; b < m; ++b) {
+    if (dcb[b]) {
+      for (uint32_t idx : members[b]) core[idx] = true;
+      continue;
+    }
+    for (uint32_t idx : members[b]) {
+      size_t count = 1;  // self
+      Point p = snapshot.pos(idx);
+      auto scan = [&](const std::vector<uint32_t>& list) {
+        for (uint32_t other : list) {
+          if (other == idx) continue;
+          ++local.distance_ops;
+          if (SquaredDistance(p, snapshot.pos(other)) <= eps2) {
+            ++count;
+            if (count >= mu) return true;
+          }
+        }
+        return false;
+      };
+      bool done = scan(members[b]);
+      if (!done) {
+        for (uint32_t nb : adjacent[b]) {
+          if (scan(members[nb])) {
+            done = true;
+            break;
+          }
+        }
+      }
+      core[idx] = count >= mu;
+    }
+  }
+
+  // Union core objects into clusters.
+  internal::DisjointSets sets(n);
+
+  // Within one buddy: a density-connected buddy is fully ε-close, so its
+  // cores chain directly; otherwise check in-buddy core pairs.
+  for (size_t b = 0; b < m; ++b) {
+    const std::vector<uint32_t>& mem = members[b];
+    if (dcb[b]) {
+      for (size_t k = 1; k < mem.size(); ++k) sets.Union(mem[0], mem[k]);
+      continue;
+    }
+    for (size_t a = 0; a < mem.size(); ++a) {
+      if (!core[mem[a]]) continue;
+      for (size_t c = a + 1; c < mem.size(); ++c) {
+        if (!core[mem[c]]) continue;
+        ++local.distance_ops;
+        if (SquaredDistance(snapshot.pos(mem[a]), snapshot.pos(mem[c])) <=
+            eps2) {
+          sets.Union(mem[a], mem[c]);
+        }
+      }
+    }
+  }
+
+  // Across adjacent buddy pairs. Lemma 4 short-circuits pairs of
+  // density-connected buddies at the first ε-close cross pair.
+  for (size_t i = 0; i < m; ++i) {
+    for (uint32_t j : adjacent[i]) {
+      if (j <= i) continue;  // each unordered pair once
+      bool both_dcb = dcb[i] && dcb[j];
+      bool shortcut_done = false;
+      for (uint32_t a : members[i]) {
+        if (shortcut_done) break;
+        for (uint32_t c : members[j]) {
+          ++local.distance_ops;
+          if (SquaredDistance(snapshot.pos(a), snapshot.pos(c)) > eps2) {
+            continue;
+          }
+          if (both_dcb) {
+            // Lemma 4: all objects of both buddies are density connected.
+            sets.Union(a, c);
+            ++local.lemma4_shortcuts;
+            shortcut_done = true;
+            break;
+          }
+          if (core[a] && core[c]) sets.Union(a, c);
+        }
+      }
+    }
+  }
+
+  // Border attachment: lowest-index core neighbor within ε, searched over
+  // the own buddy and adjacent buddies (farther cores are excluded by
+  // Lemma 3). Matches the deterministic rule of Dbscan().
+  Clustering result;
+  result.labels.assign(n, -1);
+  result.core = core;
+  std::vector<uint32_t> attach_to(n, kAbsent);
+  for (size_t i = 0; i < n; ++i) {
+    if (core[i]) {
+      attach_to[i] = static_cast<uint32_t>(i);
+      continue;
+    }
+    uint32_t best = kAbsent;
+    Point p = snapshot.pos(i);
+    uint32_t b = buddy_of[i];
+    auto consider = [&](const std::vector<uint32_t>& list) {
+      for (uint32_t other : list) {
+        if (other == i || !core[other]) continue;
+        if (other >= best) continue;  // only lower indices can improve
+        ++local.distance_ops;
+        if (SquaredDistance(p, snapshot.pos(other)) <= eps2) best = other;
+      }
+    };
+    consider(members[b]);
+    for (uint32_t nb : adjacent[b]) consider(members[nb]);
+    attach_to[i] = best;
+  }
+
+  std::unordered_map<uint32_t, int32_t> root_to_label;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (attach_to[i] == kAbsent) continue;
+    uint32_t root = sets.Find(attach_to[i]);
+    auto it = root_to_label.find(root);
+    int32_t label;
+    if (it == root_to_label.end()) {
+      label = static_cast<int32_t>(result.clusters.size());
+      root_to_label.emplace(root, label);
+      result.clusters.emplace_back();
+    } else {
+      label = it->second;
+    }
+    result.labels[i] = label;
+    result.clusters[static_cast<size_t>(label)].push_back(snapshot.id(i));
+  }
+
+  if (stats != nullptr) {
+    stats->pairs_checked += local.pairs_checked;
+    stats->pairs_pruned += local.pairs_pruned;
+    stats->lemma2_buddies += local.lemma2_buddies;
+    stats->lemma4_shortcuts += local.lemma4_shortcuts;
+    stats->distance_ops += local.distance_ops;
+  }
+  return result;
+}
+
+}  // namespace tcomp

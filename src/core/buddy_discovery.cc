@@ -1,0 +1,370 @@
+#include "core/buddy_discovery.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+#include "util/timer.h"
+
+namespace tcomp {
+namespace {
+
+double EffectiveBuddyRadius(const DiscoveryParams& params) {
+  if (params.buddy_radius > 0.0) return params.buddy_radius;
+  // Paper recommendation: δγ = ε/2, the largest radius for which Lemma 2
+  // can certify density-connected buddies.
+  return params.cluster.epsilon / 2.0;
+}
+
+}  // namespace
+
+BuddyDiscoverer::BuddyDiscoverer(const DiscoveryParams& params)
+    : params_(params), buddies_(EffectiveBuddyRadius(params)) {
+  // Like SC, BU reports only closed companions (Definition 5 on outputs).
+  log_.set_closed_mode(true);
+}
+
+BuddyId BuddyDiscoverer::LiveBuddyOf(ObjectId oid) const {
+  const Buddy* b = buddies_.FindBuddyOfObject(oid);
+  return b == nullptr ? kNoLiveBuddy : b->id;
+}
+
+void BuddyDiscoverer::EnsureIndexed(BuddyId id) {
+  if (index_.Contains(id)) return;
+  const Buddy* b = buddies_.FindBuddyById(id);
+  TCOMP_CHECK(b != nullptr) << "buddy " << id
+                            << " is neither indexed nor live";
+  index_.Register(id, b->members);
+}
+
+void BuddyDiscoverer::ProcessSnapshot(
+    const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
+  // --- M-step: buddy maintenance + candidate token expansion. ---
+  Timer maintain_timer;
+  maintain_timer.Start();
+  if (!initialized_) {
+    buddies_.Initialize(snapshot);
+    initialized_ = true;
+    stats_.buddies_total += static_cast<int64_t>(buddies_.buddies().size());
+    for (const Buddy& b : buddies_.buddies()) {
+      stats_.buddy_member_sum += static_cast<int64_t>(b.members.size());
+    }
+  } else {
+    BuddyMaintenanceStats mstats;
+    buddies_.Update(snapshot, &mstats);
+    stats_.buddies_total += mstats.total;
+    stats_.buddies_unchanged += mstats.unchanged;
+    stats_.buddy_member_sum += mstats.member_sum;
+    stats_.distance_ops += mstats.distance_ops;
+
+    // Replace retired buddy tokens in stored candidates by their objects
+    // (Definition 7: the index knows every referenced id's membership).
+    const std::vector<BuddyId>& retired = buddies_.retired_ids();
+    if (!retired.empty()) {
+      for (AtomSet& r : candidates_) {
+        index_.ExpandRetired(retired, &r);
+      }
+    }
+  }
+  maintain_timer.Stop();
+  stats_.maintain_seconds += maintain_timer.Seconds();
+
+  // --- C-step: buddy-based clustering (Algorithm 4). ---
+  Timer cluster_timer;
+  cluster_timer.Start();
+  BuddyClusteringStats cstats;
+  Clustering clustering =
+      BuddyBasedClustering(snapshot, buddies_, params_.cluster, &cstats);
+  cluster_timer.Stop();
+  stats_.cluster_seconds += cluster_timer.Seconds();
+  stats_.buddy_pairs_checked += cstats.pairs_checked;
+  stats_.buddy_pairs_pruned += cstats.pairs_pruned;
+  stats_.distance_ops += cstats.distance_ops;
+
+  // --- I-step: smart-and-closed intersection over atom sets. ---
+  Timer intersect_timer;
+  intersect_timer.Start();
+  const size_t min_size = static_cast<size_t>(params_.size_threshold);
+
+  // Atomize clusters: a buddy wholly inside a cluster becomes one token;
+  // straddling buddies contribute loose objects.
+  std::vector<AtomSet> cluster_atoms(clustering.clusters.size());
+  for (size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
+    const ObjectSet& cluster = clustering.clusters[ci];
+    AtomSet& atoms = cluster_atoms[ci];
+    atoms.size = cluster.size();
+    // Group consecutive members by live buddy; a buddy's member list is
+    // wholly inside the cluster iff its member count here matches.
+    std::unordered_map<BuddyId, uint32_t> counts;
+    for (ObjectId o : cluster) {
+      BuddyId b = LiveBuddyOf(o);
+      TCOMP_DCHECK(b != kNoLiveBuddy);
+      ++counts[b];
+    }
+    for (ObjectId o : cluster) {
+      BuddyId b = LiveBuddyOf(o);
+      const Buddy* buddy = buddies_.FindBuddyOfObject(o);
+      if (buddy != nullptr && counts[b] == buddy->members.size()) {
+        atoms.buddy_ids.push_back(b);
+      } else {
+        atoms.objects.push_back(o);
+      }
+    }
+    SortUnique(&atoms.buddy_ids);
+    for (BuddyId b : atoms.buddy_ids) EnsureIndexed(b);
+    // `objects` is already sorted (cluster is sorted) and unique.
+  }
+
+  auto buddy_of = [this](ObjectId oid) { return LiveBuddyOf(oid); };
+
+  auto report = [&](const AtomSet& atoms, double duration) {
+    ReportCompanion(index_.Expand(atoms), duration, newly_qualified);
+  };
+
+  std::vector<AtomSet> next;
+  next.reserve(candidates_.size() + cluster_atoms.size());
+
+  for (AtomSet& r : candidates_) {
+    double duration = r.duration + snapshot.duration();
+    AtomSet working = std::move(r);
+
+    auto intersect_with = [&](const AtomSet& c) {
+      ++stats_.intersections;
+      AtomIntersection inter =
+          IntersectAtomSets(working, c, index_, buddy_of);
+      if (!inter.any_overlap) return;  // working set unchanged
+      working = std::move(inter.remaining);
+      if (inter.result.size < min_size) return;
+      inter.result.duration = duration;
+      // Qualified companions are output and leave the candidate set
+      // (Definition 4: candidate duration < δt).
+      if (duration >= params_.duration_threshold) {
+        report(inter.result, duration);
+      } else {
+        next.push_back(std::move(inter.result));
+      }
+    };
+
+    // Probe the cluster holding the candidate's first object before the
+    // rest: an intact candidate is consumed there and the Lemma-1 early
+    // stop fires at once. Products don't depend on scan order (hard
+    // clustering).
+    int32_t first_label = -1;
+    {
+      ObjectId probe;
+      bool has_probe = false;
+      if (!working.buddy_ids.empty()) {
+        probe = index_.MembersOf(working.buddy_ids.front()).front();
+        has_probe = true;
+      } else if (!working.objects.empty()) {
+        probe = working.objects.front();
+        has_probe = true;
+      }
+      if (has_probe) {
+        size_t idx = snapshot.IndexOf(probe);
+        if (idx != Snapshot::kNpos) first_label = clustering.labels[idx];
+      }
+    }
+    if (first_label >= 0) {
+      intersect_with(cluster_atoms[static_cast<size_t>(first_label)]);
+    }
+    for (size_t k = 0; k < cluster_atoms.size(); ++k) {
+      if (working.size < min_size) break;  // smart early stop (Lemma 1)
+      if (static_cast<int32_t>(k) == first_label) continue;
+      intersect_with(cluster_atoms[k]);
+    }
+  }
+
+  // New clusters enter as candidates only if closed (Definition 5).
+  for (AtomSet& c : cluster_atoms) {
+    if (c.size < min_size) continue;
+    double duration = snapshot.duration();
+    bool closed = true;
+    for (const AtomSet& r : next) {
+      if (r.duration >= duration && AtomSetIsSubset(c, r, index_, buddy_of)) {
+        closed = false;
+        break;
+      }
+    }
+    if (!closed) continue;
+    c.duration = duration;
+    if (duration >= params_.duration_threshold) {
+      report(c, duration);
+    } else {
+      next.push_back(std::move(c));
+    }
+  }
+
+  candidates_ = std::move(next);
+
+  // Prune the index down to the ids still referenced by candidates.
+  std::vector<BuddyId> referenced;
+  for (const AtomSet& r : candidates_) {
+    referenced.insert(referenced.end(), r.buddy_ids.begin(),
+                      r.buddy_ids.end());
+  }
+  SortUnique(&referenced);
+  index_.PruneExcept(referenced);
+
+  intersect_timer.Stop();
+  stats_.intersect_seconds += intersect_timer.Seconds();
+
+  // Space cost: atoms stored in candidates plus the index's single copy of
+  // each referenced buddy's member list.
+  int64_t space = index_.stored_objects();
+  for (const AtomSet& r : candidates_) {
+    space += static_cast<int64_t>(r.atom_count());
+  }
+  stats_.candidate_objects_last = space;
+  stats_.candidate_objects_peak =
+      std::max(stats_.candidate_objects_peak, space);
+  ++stats_.snapshots;
+  ++snapshot_index_;
+}
+
+void BuddyDiscoverer::Reset() {
+  buddies_.Clear();
+  index_.Clear();
+  candidates_.clear();
+  initialized_ = false;
+  log_.Clear();
+  stats_ = DiscoveryStats{};
+  snapshot_index_ = 0;
+}
+
+
+Status BuddyDiscoverer::SaveState(std::ostream& out) const {
+  SaveCommon(out);
+  out << "initialized " << (initialized_ ? 1 : 0) << '\n';
+
+  BuddySet::SerializedState state = buddies_.ExportState();
+  out << "buddyset " << state.next_id << ' ' << state.buddies.size()
+      << '\n';
+  for (const Buddy& b : state.buddies) {
+    out << b.id << ' ' << b.radius << ' ' << b.coord_sum.x << ' '
+        << b.coord_sum.y << ' ' << b.members.size();
+    for (ObjectId o : b.members) out << ' ' << o;
+    out << '\n';
+  }
+  out << "lastpos " << state.last_positions.size() << '\n';
+  for (const auto& [oid, pos] : state.last_positions) {
+    out << oid << ' ' << pos.x << ' ' << pos.y << '\n';
+  }
+
+  // Index entries, id-sorted for a deterministic file.
+  std::vector<BuddyId> ids;
+  ids.reserve(index_.entries().size());
+  for (const auto& [id, members] : index_.entries()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out << "index " << ids.size() << '\n';
+  for (BuddyId id : ids) {
+    const ObjectSet& members = index_.entries().at(id);
+    out << id << ' ' << members.size();
+    for (ObjectId o : members) out << ' ' << o;
+    out << '\n';
+  }
+
+  out << "candidates " << candidates_.size() << '\n';
+  for (const AtomSet& r : candidates_) {
+    out << r.duration << ' ' << r.size << ' ' << r.buddy_ids.size();
+    for (BuddyId b : r.buddy_ids) out << ' ' << b;
+    out << ' ' << r.objects.size();
+    for (ObjectId o : r.objects) out << ' ' << o;
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status BuddyDiscoverer::LoadState(std::istream& in) {
+  TCOMP_RETURN_IF_ERROR(LoadCommon(in));
+  std::string tag;
+  int initialized = 0;
+  if (!(in >> tag >> initialized) || tag != "initialized") {
+    return Status::Corruption("expected 'initialized' section");
+  }
+  initialized_ = initialized != 0;
+
+  BuddySet::SerializedState state;
+  size_t nbuddies = 0;
+  if (!(in >> tag >> state.next_id >> nbuddies) || tag != "buddyset") {
+    return Status::Corruption("expected 'buddyset' section");
+  }
+  state.buddies.resize(nbuddies);
+  for (Buddy& b : state.buddies) {
+    size_t n = 0;
+    if (!(in >> b.id >> b.radius >> b.coord_sum.x >> b.coord_sum.y >> n)) {
+      return Status::Corruption("bad buddy record");
+    }
+    b.members.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (!(in >> b.members[k])) {
+        return Status::Corruption("bad buddy member");
+      }
+    }
+  }
+  size_t npos = 0;
+  if (!(in >> tag >> npos) || tag != "lastpos") {
+    return Status::Corruption("expected 'lastpos' section");
+  }
+  state.last_positions.resize(npos);
+  for (auto& [oid, pos] : state.last_positions) {
+    if (!(in >> oid >> pos.x >> pos.y)) {
+      return Status::Corruption("bad lastpos record");
+    }
+  }
+  buddies_.ImportState(state);
+
+  size_t nindex = 0;
+  if (!(in >> tag >> nindex) || tag != "index") {
+    return Status::Corruption("expected 'index' section");
+  }
+  index_.Clear();
+  for (size_t i = 0; i < nindex; ++i) {
+    BuddyId id = 0;
+    size_t n = 0;
+    if (!(in >> id >> n)) return Status::Corruption("bad index record");
+    ObjectSet members(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (!(in >> members[k])) {
+        return Status::Corruption("bad index member");
+      }
+    }
+    index_.Register(id, members);
+  }
+
+  size_t ncand = 0;
+  if (!(in >> tag >> ncand) || tag != "candidates") {
+    return Status::Corruption("expected 'candidates' section");
+  }
+  candidates_.clear();
+  candidates_.reserve(ncand);
+  for (size_t i = 0; i < ncand; ++i) {
+    AtomSet r;
+    size_t nb = 0;
+    if (!(in >> r.duration >> r.size >> nb)) {
+      return Status::Corruption("bad atom candidate record");
+    }
+    r.buddy_ids.resize(nb);
+    for (size_t k = 0; k < nb; ++k) {
+      if (!(in >> r.buddy_ids[k])) {
+        return Status::Corruption("bad candidate buddy token");
+      }
+    }
+    size_t no = 0;
+    if (!(in >> no)) return Status::Corruption("bad candidate record");
+    r.objects.resize(no);
+    for (size_t k = 0; k < no; ++k) {
+      if (!(in >> r.objects[k])) {
+        return Status::Corruption("bad candidate object");
+      }
+    }
+    candidates_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace tcomp

@@ -1,0 +1,173 @@
+#include "core/buddy_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+
+void BuddyIndex::Register(BuddyId id, const ObjectSet& members) {
+  auto it = members_.find(id);
+  if (it != members_.end()) {
+    stored_objects_ -= static_cast<int64_t>(it->second.size());
+    it->second = members;
+  } else {
+    members_.emplace(id, members);
+  }
+  stored_objects_ += static_cast<int64_t>(members.size());
+}
+
+const ObjectSet& BuddyIndex::MembersOf(BuddyId id) const {
+  auto it = members_.find(id);
+  TCOMP_CHECK(it != members_.end()) << "buddy " << id << " not indexed";
+  return it->second;
+}
+
+ObjectSet BuddyIndex::Expand(const AtomSet& set) const {
+  ObjectSet out = set.objects;
+  for (BuddyId b : set.buddy_ids) {
+    const ObjectSet& members = MembersOf(b);
+    out.insert(out.end(), members.begin(), members.end());
+  }
+  SortUnique(&out);
+  return out;
+}
+
+void BuddyIndex::ExpandRetired(const std::vector<BuddyId>& retired,
+                               AtomSet* set) const {
+  TCOMP_DCHECK(IsSortedUnique(retired));
+  std::vector<BuddyId> kept;
+  kept.reserve(set->buddy_ids.size());
+  bool any = false;
+  for (BuddyId b : set->buddy_ids) {
+    if (std::binary_search(retired.begin(), retired.end(), b)) {
+      const ObjectSet& members = MembersOf(b);
+      set->objects.insert(set->objects.end(), members.begin(),
+                          members.end());
+      any = true;
+    } else {
+      kept.push_back(b);
+    }
+  }
+  if (!any) return;
+  set->buddy_ids = std::move(kept);
+  SortUnique(&set->objects);
+  // Object count is unchanged by expansion; `size` stays valid.
+}
+
+void BuddyIndex::PruneExcept(const std::vector<BuddyId>& referenced) {
+  TCOMP_DCHECK(IsSortedUnique(referenced));
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (!std::binary_search(referenced.begin(), referenced.end(),
+                            it->first)) {
+      stored_objects_ -= static_cast<int64_t>(it->second.size());
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BuddyIndex::Clear() {
+  members_.clear();
+  stored_objects_ = 0;
+}
+
+AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
+                                   const BuddyIndex& index,
+                                   const BuddyOfFn& buddy_of) {
+  AtomIntersection out;
+
+  // Allocation-free disjointness probe first: most candidate×cluster
+  // pairs share nothing, and the full path below allocates several
+  // vectors.
+  bool overlap = SortedIntersects(r.buddy_ids, c.buddy_ids);
+  if (!overlap && !c.objects.empty()) {
+    for (BuddyId b : r.buddy_ids) {
+      if (SortedIntersects(index.MembersOf(b), c.objects)) {
+        overlap = true;
+        break;
+      }
+    }
+  }
+  if (!overlap) {
+    for (ObjectId o : r.objects) {
+      BuddyId bo = buddy_of(o);
+      if ((bo != kNoLiveBuddy && SortedContains(c.buddy_ids, bo)) ||
+          SortedContains(c.objects, o)) {
+        overlap = true;
+        break;
+      }
+    }
+  }
+  if (!overlap) return out;  // any_overlap stays false
+  out.any_overlap = true;
+
+  // Whole-buddy token matches: O(1) per token, members never touched.
+  std::vector<BuddyId> shared = SortedIntersect(r.buddy_ids, c.buddy_ids);
+  out.result.buddy_ids = shared;
+  size_t result_size = 0;
+  for (BuddyId b : shared) result_size += index.MembersOf(b).size();
+
+  // Unmatched candidate buddies may straddle the cluster boundary: the
+  // cluster then lists the inside members as loose objects.
+  for (BuddyId b : r.buddy_ids) {
+    if (std::binary_search(shared.begin(), shared.end(), b)) continue;
+    const ObjectSet& members = index.MembersOf(b);
+    ObjectSet matched = SortedIntersect(members, c.objects);
+    if (matched.empty()) {
+      out.remaining.buddy_ids.push_back(b);
+      out.remaining.size += members.size();
+      continue;
+    }
+    // Partially matched: the token dissolves — matched members join the
+    // result, the rest stay in the candidate as loose objects.
+    for (ObjectId o : members) {
+      if (std::binary_search(matched.begin(), matched.end(), o)) {
+        out.result.objects.push_back(o);
+      } else {
+        out.remaining.objects.push_back(o);
+      }
+    }
+  }
+
+  // Loose candidate objects: inside one of the cluster's buddy tokens, or
+  // among the cluster's loose objects, or unmatched.
+  for (ObjectId o : r.objects) {
+    BuddyId bo = buddy_of(o);
+    bool matched =
+        (bo != kNoLiveBuddy && SortedContains(c.buddy_ids, bo)) ||
+        SortedContains(c.objects, o);
+    if (matched) {
+      out.result.objects.push_back(o);
+    } else {
+      out.remaining.objects.push_back(o);
+    }
+  }
+
+  SortUnique(&out.result.objects);
+  SortUnique(&out.remaining.objects);
+  out.result.size = result_size + out.result.objects.size();
+  out.remaining.size += out.remaining.objects.size();
+  return out;
+}
+
+bool AtomSetIsSubset(const AtomSet& inner, const AtomSet& outer,
+                     const BuddyIndex& index, const BuddyOfFn& buddy_of) {
+  if (inner.size > outer.size) return false;
+  for (BuddyId b : inner.buddy_ids) {
+    if (SortedContains(outer.buddy_ids, b)) continue;
+    for (ObjectId o : index.MembersOf(b)) {
+      if (!SortedContains(outer.objects, o)) return false;
+    }
+  }
+  for (ObjectId o : inner.objects) {
+    BuddyId bo = buddy_of(o);
+    if (bo != kNoLiveBuddy && SortedContains(outer.buddy_ids, bo)) continue;
+    if (!SortedContains(outer.objects, o)) return false;
+  }
+  return true;
+}
+
+}  // namespace tcomp

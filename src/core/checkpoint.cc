@@ -1,0 +1,68 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace tcomp {
+namespace {
+
+constexpr char kMagic[] = "tcomp-checkpoint";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status SaveDiscoverer(const CompanionDiscoverer& discoverer,
+                      std::ostream& out) {
+  out << kMagic << ' ' << kVersion << ' ' << discoverer.name() << '\n';
+  // 17 significant digits round-trip IEEE doubles exactly.
+  out << std::setprecision(17);
+  Status s = discoverer.SaveState(out);
+  if (!s.ok()) return s;
+  out << "end\n";
+  if (!out) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+Status LoadDiscoverer(CompanionDiscoverer* discoverer, std::istream& in) {
+  std::string magic, algo;
+  int version = 0;
+  if (!(in >> magic >> version >> algo)) {
+    return Status::Corruption("checkpoint header unreadable");
+  }
+  if (magic != kMagic) {
+    return Status::Corruption("not a tcomp checkpoint");
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  if (algo != discoverer->name()) {
+    return Status::InvalidArgument(
+        "checkpoint was written by algorithm " + algo + ", not " +
+        discoverer->name());
+  }
+  Status s = discoverer->LoadState(in);
+  if (!s.ok()) return s;
+  std::string tail;
+  if (!(in >> tail) || tail != "end") {
+    return Status::Corruption("checkpoint trailer missing");
+  }
+  return Status::OK();
+}
+
+Status SaveDiscovererToFile(const CompanionDiscoverer& discoverer,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveDiscoverer(discoverer, out);
+}
+
+Status LoadDiscovererFromFile(CompanionDiscoverer* discoverer,
+                              const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadDiscoverer(discoverer, in);
+}
+
+}  // namespace tcomp

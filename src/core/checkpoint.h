@@ -1,0 +1,40 @@
+#ifndef TCOMP_CORE_CHECKPOINT_H_
+#define TCOMP_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/discoverer.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Checkpoint/restore for long-running stream monitors: a discoverer's
+/// complete state (candidate sets, buddy structures, companion log, cost
+/// counters) round-trips through a versioned text record, so after a
+/// process restart the monitor resumes exactly where it left off —
+/// continuing the stream after LoadDiscovererFromFile() yields the same
+/// companions and counters as an uninterrupted run (asserted by
+/// tests/checkpoint_test.cc).
+///
+/// Usage:
+///   SaveDiscovererToFile(*discoverer, "state.ckpt");
+///   ...restart...
+///   auto discoverer = MakeDiscoverer(algorithm, same_params);
+///   LoadDiscovererFromFile(discoverer.get(), "state.ckpt");
+///
+/// The restoring discoverer must be constructed with the same algorithm
+/// and parameters as the saved one (the algorithm is verified from the
+/// header; parameters are the caller's responsibility, as they are not
+/// part of the mutable state).
+Status SaveDiscoverer(const CompanionDiscoverer& discoverer,
+                      std::ostream& out);
+Status LoadDiscoverer(CompanionDiscoverer* discoverer, std::istream& in);
+
+Status SaveDiscovererToFile(const CompanionDiscoverer& discoverer,
+                            const std::string& path);
+Status LoadDiscovererFromFile(CompanionDiscoverer* discoverer,
+                              const std::string& path);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_CHECKPOINT_H_

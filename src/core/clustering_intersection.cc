@@ -1,0 +1,122 @@
+#include "core/clustering_intersection.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/sorted_ops.h"
+#include "util/timer.h"
+
+namespace tcomp {
+
+ClusteringIntersectionDiscoverer::ClusteringIntersectionDiscoverer(
+    const DiscoveryParams& params)
+    : params_(params) {}
+
+void ClusteringIntersectionDiscoverer::ProcessSnapshot(
+    const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
+  Timer cluster_timer;
+  cluster_timer.Start();
+  Clustering clustering =
+      Dbscan(snapshot, params_.cluster, &stats_.distance_ops);
+  cluster_timer.Stop();
+  stats_.cluster_seconds += cluster_timer.Seconds();
+
+  Timer intersect_timer;
+  intersect_timer.Start();
+  const size_t min_size = static_cast<size_t>(params_.size_threshold);
+  std::vector<Candidate> next;
+  next.reserve(candidates_.size() + clustering.clusters.size());
+
+  auto report = [&](const ObjectSet& objects, double duration) {
+    ReportCompanion(objects, duration, newly_qualified);
+  };
+
+  // Lines 4–11: intersect every candidate with every cluster. A result
+  // whose duration reaches δt is *output* as a companion and leaves the
+  // candidate set — Definition 4 requires candidates to have duration
+  // < δt (this is also what lets larger δt shrink the working set,
+  // Fig. 17).
+  for (const Candidate& r : candidates_) {
+    for (const ObjectSet& c : clustering.clusters) {
+      ++stats_.intersections;
+      ObjectSet inter = SortedIntersect(r.objects, c);
+      if (inter.size() < min_size) continue;
+      double duration = r.duration + snapshot.duration();
+      if (duration >= params_.duration_threshold) {
+        report(inter, duration);
+      } else {
+        next.push_back(Candidate{std::move(inter), duration});
+      }
+    }
+  }
+
+  // Line 12: every new cluster becomes a candidate, unconditionally.
+  for (const ObjectSet& c : clustering.clusters) {
+    if (c.size() < min_size) continue;
+    double duration = snapshot.duration();
+    if (duration >= params_.duration_threshold) {
+      report(c, duration);
+    } else {
+      next.push_back(Candidate{c, duration});
+    }
+  }
+
+  candidates_ = std::move(next);
+  intersect_timer.Stop();
+  stats_.intersect_seconds += intersect_timer.Seconds();
+
+  stats_.candidate_objects_last = TotalCandidateObjects(candidates_);
+  stats_.candidate_objects_peak =
+      std::max(stats_.candidate_objects_peak, stats_.candidate_objects_last);
+  ++stats_.snapshots;
+  ++snapshot_index_;
+}
+
+void ClusteringIntersectionDiscoverer::Reset() {
+  candidates_.clear();
+  log_.Clear();
+  stats_ = DiscoveryStats{};
+  snapshot_index_ = 0;
+}
+
+
+Status ClusteringIntersectionDiscoverer::SaveState(std::ostream& out) const {
+  SaveCommon(out);
+  out << "candidates " << candidates_.size() << '\n';
+  for (const Candidate& r : candidates_) {
+    out << r.duration << ' ' << r.objects.size();
+    for (ObjectId o : r.objects) out << ' ' << o;
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status ClusteringIntersectionDiscoverer::LoadState(std::istream& in) {
+  TCOMP_RETURN_IF_ERROR(LoadCommon(in));
+  std::string tag;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "candidates") {
+    return Status::Corruption("expected 'candidates' section");
+  }
+  candidates_.clear();
+  candidates_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Candidate r;
+    size_t n = 0;
+    if (!(in >> r.duration >> n)) {
+      return Status::Corruption("bad candidate record");
+    }
+    r.objects.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (!(in >> r.objects[k])) {
+        return Status::Corruption("bad candidate member");
+      }
+    }
+    candidates_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace tcomp

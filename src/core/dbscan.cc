@@ -1,0 +1,164 @@
+#include "core/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace tcomp {
+namespace internal {
+
+Clustering BuildClusteringFromCores(
+    const Snapshot& snapshot, const std::vector<bool>& core,
+    const std::vector<std::vector<uint32_t>>& neighbors) {
+  const size_t n = snapshot.size();
+  Clustering result;
+  result.labels.assign(n, -1);
+  result.core = core;
+
+  DisjointSets sets(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    for (uint32_t j : neighbors[i]) {
+      if (core[j]) sets.Union(i, j);
+    }
+  }
+
+  // Border objects join the cluster of their lowest-index core neighbor.
+  // neighbors[] lists are ascending, so the first core hit is the lowest.
+  std::vector<uint32_t> attach_to(n, 0);
+  std::vector<bool> attached(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (core[i]) {
+      attach_to[i] = i;
+      attached[i] = true;
+      continue;
+    }
+    for (uint32_t j : neighbors[i]) {
+      if (core[j]) {
+        attach_to[i] = j;
+        attached[i] = true;
+        break;
+      }
+    }
+  }
+
+  // Number clusters by first appearance in index order.
+  std::unordered_map<uint32_t, int32_t> root_to_label;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!attached[i]) continue;
+    uint32_t root = sets.Find(attach_to[i]);
+    auto it = root_to_label.find(root);
+    int32_t label;
+    if (it == root_to_label.end()) {
+      label = static_cast<int32_t>(result.clusters.size());
+      root_to_label.emplace(root, label);
+      result.clusters.emplace_back();
+    } else {
+      label = it->second;
+    }
+    result.labels[i] = label;
+    // Indices ascend => ids ascend, so each cluster vector stays sorted.
+    result.clusters[static_cast<size_t>(label)].push_back(snapshot.id(i));
+  }
+  return result;
+}
+
+}  // namespace internal
+
+Clustering Dbscan(const Snapshot& snapshot, const DbscanParams& params,
+                  int64_t* distance_ops) {
+  const size_t n = snapshot.size();
+  const double eps2 = params.epsilon * params.epsilon;
+  std::vector<std::vector<uint32_t>> neighbors(n);
+  int64_t ops = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    neighbors[i].push_back(i);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ++ops;
+      if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+  // Restore ascending order (j<i entries were appended after i itself).
+  for (auto& list : neighbors) std::sort(list.begin(), list.end());
+
+  std::vector<bool> core(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    core[i] = neighbors[i].size() >= static_cast<size_t>(params.mu);
+  }
+  if (distance_ops != nullptr) *distance_ops += ops;
+  return internal::BuildClusteringFromCores(snapshot, core, neighbors);
+}
+
+namespace {
+
+struct CellKey {
+  int64_t cx;
+  int64_t cy;
+  bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
+                      int64_t* distance_ops) {
+  const size_t n = snapshot.size();
+  const double eps = params.epsilon;
+  const double eps2 = eps * eps;
+  TCOMP_CHECK_GT(eps, 0.0);
+
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
+  grid.reserve(n);
+  auto cell_of = [eps](Point p) {
+    return CellKey{static_cast<int64_t>(std::floor(p.x / eps)),
+                   static_cast<int64_t>(std::floor(p.y / eps))};
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    grid[cell_of(snapshot.pos(i))].push_back(i);
+  }
+
+  int64_t ops = 0;
+  std::vector<std::vector<uint32_t>> neighbors(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CellKey c = cell_of(snapshot.pos(i));
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(CellKey{c.cx + dx, c.cy + dy});
+        if (it == grid.end()) continue;
+        for (uint32_t j : it->second) {
+          if (j == i) continue;
+          ++ops;
+          if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+            neighbors[i].push_back(j);
+          }
+        }
+      }
+    }
+    neighbors[i].push_back(i);
+    std::sort(neighbors[i].begin(), neighbors[i].end());
+  }
+
+  std::vector<bool> core(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    core[i] = neighbors[i].size() >= static_cast<size_t>(params.mu);
+  }
+  if (distance_ops != nullptr) *distance_ops += ops;
+  return internal::BuildClusteringFromCores(snapshot, core, neighbors);
+}
+
+}  // namespace tcomp

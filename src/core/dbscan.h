@@ -1,0 +1,96 @@
+#ifndef TCOMP_CORE_DBSCAN_H_
+#define TCOMP_CORE_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Density clustering parameters (paper Definitions 1–2): `epsilon` is the
+/// distance threshold ε, `mu` the density threshold μ. The ε-neighborhood
+/// N_ε(o) includes o itself (dist(o,o)=0 ≤ ε), so an object is a *core*
+/// object iff at least `mu` objects (itself included) lie within ε.
+struct DbscanParams {
+  double epsilon = 1.0;
+  int mu = 3;
+};
+
+/// Result of clustering one snapshot.
+///
+/// The labeling is deterministic: clusters are numbered by their smallest
+/// member index, and a border object (non-core with ≥1 core within ε) is
+/// assigned to the cluster of its lowest-index core neighbor. Objects that
+/// are neither core nor border are noise (label -1). Every clustering
+/// implementation in this library follows the same spec, so results are
+/// comparable across algorithms ("hard clustering", paper footnote 2).
+struct Clustering {
+  /// Per snapshot-index label; -1 = noise.
+  std::vector<int32_t> labels;
+  /// Per snapshot-index core flag.
+  std::vector<bool> core;
+  /// Object-id sets per cluster, sorted ascending; cluster k = clusters[k].
+  std::vector<ObjectSet> clusters;
+};
+
+/// Reference density-based clustering, O(n²) pairwise distances (the cost
+/// model the paper assumes for the CI/SC baselines). If `distance_ops` is
+/// non-null it is incremented by the number of distance evaluations.
+Clustering Dbscan(const Snapshot& snapshot, const DbscanParams& params,
+                  int64_t* distance_ops = nullptr);
+
+/// Grid-accelerated density clustering with identical output to Dbscan().
+/// Buckets objects into an ε×ε grid and only compares 3×3 neighborhoods.
+/// Used by generators/examples where a fast exact clustering is needed and
+/// as a reference point in the clustering microbenchmarks.
+Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
+                      int64_t* distance_ops = nullptr);
+
+namespace internal {
+
+/// Shared finishing step: given core flags and an adjacency oracle, builds
+/// the deterministic Clustering described above. Exposed for the
+/// buddy-based clustering implementation.
+Clustering BuildClusteringFromCores(
+    const Snapshot& snapshot, const std::vector<bool>& core,
+    const std::vector<std::vector<uint32_t>>& neighbors);
+
+/// Union-find over snapshot indices with smallest-index representatives,
+/// shared by the clustering implementations.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Unions the two sets; the smaller root index becomes the
+  /// representative, keeping labels deterministic.
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace internal
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_DBSCAN_H_

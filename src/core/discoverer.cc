@@ -1,0 +1,105 @@
+#include "core/discoverer.h"
+
+#include <istream>
+#include <ostream>
+
+#include "core/buddy_discovery.h"
+#include "core/clustering_intersection.h"
+#include "core/smart_closed.h"
+#include "util/logging.h"
+
+namespace tcomp {
+
+void CompanionDiscoverer::SaveCommon(std::ostream& out) const {
+  out << "common " << snapshot_index_ << '\n';
+  const DiscoveryStats& s = stats_;
+  out << "stats " << s.snapshots << ' ' << s.intersections << ' '
+      << s.distance_ops << ' ' << s.candidate_objects_peak << ' '
+      << s.candidate_objects_last << ' ' << s.companions_reported << ' '
+      << s.buddy_pairs_checked << ' ' << s.buddy_pairs_pruned << ' '
+      << s.buddies_total << ' ' << s.buddies_unchanged << ' '
+      << s.buddy_member_sum << ' ' << s.maintain_seconds << ' '
+      << s.cluster_seconds << ' ' << s.intersect_seconds << '\n';
+  const std::vector<Companion>& companions = log_.companions();
+  out << "log " << companions.size() << '\n';
+  for (const Companion& c : companions) {
+    out << c.snapshot_index << ' ' << c.duration << ' '
+        << c.objects.size();
+    for (ObjectId o : c.objects) out << ' ' << o;
+    out << '\n';
+  }
+}
+
+Status CompanionDiscoverer::LoadCommon(std::istream& in) {
+  std::string tag;
+  if (!(in >> tag) || tag != "common") {
+    return Status::Corruption("expected 'common' section");
+  }
+  if (!(in >> snapshot_index_)) {
+    return Status::Corruption("bad snapshot index");
+  }
+  if (!(in >> tag) || tag != "stats") {
+    return Status::Corruption("expected 'stats' section");
+  }
+  DiscoveryStats s;
+  if (!(in >> s.snapshots >> s.intersections >> s.distance_ops >>
+        s.candidate_objects_peak >> s.candidate_objects_last >>
+        s.companions_reported >> s.buddy_pairs_checked >>
+        s.buddy_pairs_pruned >> s.buddies_total >> s.buddies_unchanged >>
+        s.buddy_member_sum >> s.maintain_seconds >> s.cluster_seconds >>
+        s.intersect_seconds)) {
+    return Status::Corruption("bad stats record");
+  }
+  stats_ = s;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "log") {
+    return Status::Corruption("expected 'log' section");
+  }
+  log_.Clear();
+  for (size_t i = 0; i < count; ++i) {
+    Companion c;
+    size_t n = 0;
+    if (!(in >> c.snapshot_index >> c.duration >> n)) {
+      return Status::Corruption("bad companion record");
+    }
+    c.objects.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (!(in >> c.objects[k])) {
+        return Status::Corruption("bad companion member");
+      }
+    }
+    log_.RestoreEntry(std::move(c));
+  }
+  return Status::OK();
+}
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kClusteringIntersection:
+      return "CI";
+    case Algorithm::kSmartClosed:
+      return "SC";
+    case Algorithm::kBuddy:
+      return "BU";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CompanionDiscoverer> MakeDiscoverer(
+    Algorithm algorithm, const DiscoveryParams& params) {
+  TCOMP_CHECK_GT(params.cluster.epsilon, 0.0);
+  TCOMP_CHECK_GT(params.cluster.mu, 0);
+  TCOMP_CHECK_GT(params.size_threshold, 0);
+  switch (algorithm) {
+    case Algorithm::kClusteringIntersection:
+      return std::make_unique<ClusteringIntersectionDiscoverer>(params);
+    case Algorithm::kSmartClosed:
+      return std::make_unique<SmartClosedDiscoverer>(params);
+    case Algorithm::kBuddy:
+      return std::make_unique<BuddyDiscoverer>(params);
+  }
+  TCOMP_LOG(FATAL) << "unknown algorithm";
+  return nullptr;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,160 @@
+#ifndef TCOMP_CORE_DISCOVERER_H_
+#define TCOMP_CORE_DISCOVERER_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Parameters shared by every companion-discovery algorithm.
+struct DiscoveryParams {
+  /// Density clustering thresholds ε and μ (Definitions 1–2).
+  DbscanParams cluster;
+  /// Companion size threshold δs (Definition 3).
+  int size_threshold = 10;
+  /// Companion duration threshold δt, in the stream's time unit. With
+  /// unit-duration snapshots this is "number of snapshots".
+  double duration_threshold = 10.0;
+  /// Buddy radius threshold δγ (Definition 6); only the buddy-based
+  /// algorithm reads it. If ≤ 0 it defaults to ε/2, the paper's
+  /// recommended setting (Lemma 2 requires δγ ≤ ε/2).
+  double buddy_radius = 0.0;
+};
+
+/// Cost counters every discoverer maintains; these are exactly the
+/// quantities the paper's figures plot.
+struct DiscoveryStats {
+  int64_t snapshots = 0;
+  /// Candidate×cluster intersection operations (Figs. 4/6/13 trace this).
+  int64_t intersections = 0;
+  /// Pairwise distance evaluations in the clustering stage.
+  int64_t distance_ops = 0;
+  /// Peak over snapshots of the stored candidate-set size in objects —
+  /// the paper's space-cost metric (Figs. 15b, 16b, 17b, 23b).
+  int64_t candidate_objects_peak = 0;
+  /// Candidate-set size after the most recent snapshot.
+  int64_t candidate_objects_last = 0;
+  /// Companion reports before deduplication.
+  int64_t companions_reported = 0;
+
+  // Buddy-based discovery only (zero elsewhere):
+  int64_t buddy_pairs_checked = 0;   // pairs examined by Lemma 3
+  int64_t buddy_pairs_pruned = 0;    // pairs pruned by Lemma 3
+  int64_t buddies_total = 0;         // Σ per-snapshot buddy count
+  int64_t buddies_unchanged = 0;     // Σ per-snapshot unchanged buddies
+  int64_t buddy_member_sum = 0;      // Σ per-snapshot Σ|b| (avg size calc)
+
+  /// Per-stage wall time in seconds: M-step (buddy maintenance), C-step
+  /// (clustering), I-step (candidate intersection). Fig. 19.
+  double maintain_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double intersect_seconds = 0.0;
+
+  double total_seconds() const {
+    return maintain_seconds + cluster_seconds + intersect_seconds;
+  }
+  double average_buddy_size() const {
+    return buddies_total == 0
+               ? 0.0
+               : static_cast<double>(buddy_member_sum) /
+                     static_cast<double>(buddies_total);
+  }
+};
+
+/// The companion-discovery algorithms of the paper.
+enum class Algorithm {
+  kClusteringIntersection,  // CI — Algorithm 1 (convoy-style baseline)
+  kSmartClosed,             // SC — Algorithm 2
+  kBuddy,                   // BU — Algorithm 5
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Incremental traveling-companion discoverer: feed snapshots in stream
+/// order; qualified companions are reported as soon as their duration
+/// crosses δt (paper problem definition, Section II).
+///
+/// Thread-compatibility: instances are stateful and not thread-safe; use
+/// one instance per stream.
+class CompanionDiscoverer {
+ public:
+  /// Observer invoked on *every* qualification event (before the log's
+  /// deduplication/closedness filtering): a persisting companion fires
+  /// once per snapshot it stays qualified. Used by CompanionTimeline to
+  /// reconstruct companion lifetimes.
+  using ReportSink =
+      std::function<void(const ObjectSet& objects, double duration,
+                         int64_t snapshot_index)>;
+
+  virtual ~CompanionDiscoverer() = default;
+
+  /// Processes the next snapshot. If `newly_qualified` is non-null, the
+  /// companions whose object set qualified for the first time during this
+  /// snapshot are appended to it.
+  virtual void ProcessSnapshot(const Snapshot& snapshot,
+                               std::vector<Companion>* newly_qualified) = 0;
+
+  /// Every distinct companion reported so far.
+  const CompanionLog& log() const { return log_; }
+
+  const DiscoveryStats& stats() const { return stats_; }
+
+  void set_report_sink(ReportSink sink) { report_sink_ = std::move(sink); }
+
+  virtual Algorithm algorithm() const = 0;
+  std::string name() const { return AlgorithmName(algorithm()); }
+
+  /// Drops all stream state (candidates, buddies, log, stats). The
+  /// report sink is kept.
+  virtual void Reset() = 0;
+
+  /// Checkpointing: writes/restores the complete stream state (candidate
+  /// sets, buddy structures, companion log, counters) as a versioned text
+  /// record, so a monitoring process can resume a stream after a restart.
+  /// See core/checkpoint.h for the file-level convenience wrappers.
+  /// LoadState() replaces the current state; the parameters the
+  /// discoverer was constructed with must match the saved run's.
+  virtual Status SaveState(std::ostream& out) const = 0;
+  virtual Status LoadState(std::istream& in) = 0;
+
+ protected:
+  /// Serialization helpers for the state every algorithm shares
+  /// (defined in discoverer.cc).
+  void SaveCommon(std::ostream& out) const;
+  Status LoadCommon(std::istream& in);
+  /// Shared reporting path: feeds the sink, the deduplicating log, and
+  /// the caller's newly-qualified list. Implementations call this for
+  /// every qualifying candidate.
+  void ReportCompanion(const ObjectSet& objects, double duration,
+                       std::vector<Companion>* newly_qualified) {
+    ++stats_.companions_reported;
+    if (report_sink_) report_sink_(objects, duration, snapshot_index_);
+    if (log_.Report(objects, duration, snapshot_index_) &&
+        newly_qualified != nullptr) {
+      newly_qualified->push_back(
+          Companion{objects, duration, snapshot_index_});
+    }
+  }
+
+  CompanionLog log_;
+  DiscoveryStats stats_;
+  ReportSink report_sink_;
+  int64_t snapshot_index_ = 0;
+};
+
+/// Factory for the three incremental algorithms.
+std::unique_ptr<CompanionDiscoverer> MakeDiscoverer(
+    Algorithm algorithm, const DiscoveryParams& params);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_DISCOVERER_H_

@@ -1,0 +1,103 @@
+#include "core/evolution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+namespace {
+
+struct Link {
+  size_t source;
+  size_t target;
+};
+
+}  // namespace
+
+std::vector<EvolutionEvent> AnalyzeEvolution(
+    const std::vector<CompanionEpisode>& episodes,
+    const EvolutionOptions& options) {
+  // Candidate links: target begins in (source.begin, source.end + gap],
+  // memberships overlap enough, and the pair differs. The begin ordering
+  // keeps links pointing forward in time.
+  std::vector<Link> links;
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    for (size_t j = 0; j < episodes.size(); ++j) {
+      if (i == j) continue;
+      const CompanionEpisode& a = episodes[i];
+      const CompanionEpisode& b = episodes[j];
+      if (b.begin <= a.begin) continue;
+      if (b.begin > a.end + options.max_gap) continue;
+      size_t shared = SortedIntersect(a.objects, b.objects).size();
+      size_t smaller = std::min(a.objects.size(), b.objects.size());
+      if (smaller == 0) continue;
+      if (static_cast<double>(shared) <
+          options.min_overlap * static_cast<double>(smaller)) {
+        continue;
+      }
+      links.push_back(Link{i, j});
+    }
+  }
+
+  std::map<size_t, std::vector<size_t>> targets_of;  // source -> targets
+  std::map<size_t, std::vector<size_t>> sources_of;  // target -> sources
+  for (const Link& l : links) {
+    targets_of[l.source].push_back(l.target);
+    sources_of[l.target].push_back(l.source);
+  }
+
+  std::vector<EvolutionEvent> events;
+  std::vector<bool> consumed_as_merge_target(episodes.size(), false);
+  std::vector<bool> consumed_as_split_source(episodes.size(), false);
+
+  // Merges: a target fed by several sources.
+  for (const auto& [target, sources] : sources_of) {
+    if (sources.size() < 2) continue;
+    EvolutionEvent e;
+    e.kind = EvolutionEvent::Kind::kMerge;
+    e.sources = sources;
+    std::sort(e.sources.begin(), e.sources.end());
+    e.targets = {target};
+    e.snapshot = episodes[target].begin;
+    consumed_as_merge_target[target] = true;
+    events.push_back(std::move(e));
+  }
+  // Splits: a source feeding several targets.
+  for (const auto& [source, targets] : targets_of) {
+    if (targets.size() < 2) continue;
+    EvolutionEvent e;
+    e.kind = EvolutionEvent::Kind::kSplit;
+    e.sources = {source};
+    e.targets = targets;
+    std::sort(e.targets.begin(), e.targets.end());
+    e.snapshot = episodes[e.targets.front()].begin;
+    consumed_as_split_source[source] = true;
+    events.push_back(std::move(e));
+  }
+  // Plain continuations: 1-1 links not already explained above.
+  for (const Link& l : links) {
+    if (targets_of[l.source].size() != 1) continue;
+    if (sources_of[l.target].size() != 1) continue;
+    if (consumed_as_merge_target[l.target] ||
+        consumed_as_split_source[l.source]) {
+      continue;
+    }
+    EvolutionEvent e;
+    e.kind = EvolutionEvent::Kind::kContinuation;
+    e.sources = {l.source};
+    e.targets = {l.target};
+    e.snapshot = episodes[l.target].begin;
+    events.push_back(std::move(e));
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const EvolutionEvent& a, const EvolutionEvent& b) {
+              if (a.snapshot != b.snapshot) return a.snapshot < b.snapshot;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.sources < b.sources;
+            });
+  return events;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,48 @@
+#ifndef TCOMP_CORE_EVOLUTION_H_
+#define TCOMP_CORE_EVOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timeline.h"
+
+namespace tcomp {
+
+/// How companion populations evolve: one group continuing under changed
+/// membership, several groups merging into one, or one group splitting
+/// apart — the phenomena the group-movement scenarios (herds, convoys,
+/// infected-contact monitoring from the paper's Example 4) care about.
+struct EvolutionEvent {
+  enum class Kind { kContinuation, kMerge, kSplit };
+  Kind kind = Kind::kContinuation;
+  /// Indices into the episode list passed to AnalyzeEvolution.
+  std::vector<size_t> sources;
+  std::vector<size_t> targets;
+  /// Snapshot around which the transition happened (the earliest target
+  /// begin).
+  int64_t snapshot = 0;
+};
+
+struct EvolutionOptions {
+  /// Maximum gap (snapshots) between a source episode's end and a target
+  /// episode's begin for them to be linked. Episodes may also overlap.
+  int64_t max_gap = 2;
+  /// Minimum shared-member fraction, relative to the smaller episode,
+  /// for a link.
+  double min_overlap = 0.5;
+};
+
+/// Links episodes whose memberships overlap across a temporal boundary
+/// and classifies the transitions:
+///  * one source → one target: continuation (membership drift);
+///  * ≥2 sources → one target: merge;
+///  * one source → ≥2 targets: split.
+/// A target participating in a merge is not re-reported as a
+/// continuation (and likewise for split sources).
+std::vector<EvolutionEvent> AnalyzeEvolution(
+    const std::vector<CompanionEpisode>& episodes,
+    const EvolutionOptions& options = {});
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_EVOLUTION_H_

@@ -1,0 +1,157 @@
+#include "core/smart_closed.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/sorted_ops.h"
+#include "util/timer.h"
+
+namespace tcomp {
+
+SmartClosedDiscoverer::SmartClosedDiscoverer(const DiscoveryParams& params)
+    : params_(params) {
+  // SC reports only closed companions (Definition 5 applied to outputs);
+  // emitting the redundant non-closed ones is CI's failure mode.
+  log_.set_closed_mode(true);
+}
+
+SmartClosedDiscoverer::SmartClosedDiscoverer(const DiscoveryParams& params,
+                                             ClusteringFn clustering)
+    : params_(params), clustering_fn_(std::move(clustering)) {
+  log_.set_closed_mode(true);
+}
+
+void SmartClosedDiscoverer::ProcessSnapshot(
+    const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
+  Timer cluster_timer;
+  cluster_timer.Start();
+  Clustering clustering =
+      clustering_fn_ ? clustering_fn_(snapshot)
+                     : Dbscan(snapshot, params_.cluster,
+                              &stats_.distance_ops);
+  cluster_timer.Stop();
+  stats_.cluster_seconds += cluster_timer.Seconds();
+
+  Timer intersect_timer;
+  intersect_timer.Start();
+  const size_t min_size = static_cast<size_t>(params_.size_threshold);
+  std::vector<Candidate> next;
+  next.reserve(candidates_.size() + clustering.clusters.size());
+
+  auto report = [&](const ObjectSet& objects, double duration) {
+    ReportCompanion(objects, duration, newly_qualified);
+  };
+
+  for (const Candidate& r : candidates_) {
+    // Working copy; matched objects are removed after each intersection
+    // (smart intersection, Lemma 1).
+    ObjectSet remaining = r.objects;
+    double duration = r.duration + snapshot.duration();
+
+    auto intersect_with = [&](const ObjectSet& c) {
+      ++stats_.intersections;
+      ObjectSet inter = SortedIntersect(remaining, c);
+      if (inter.empty()) return;
+      SortedSubtractInPlace(&remaining, inter);
+      if (inter.size() < min_size) return;
+      // Qualified companions are output and leave the candidate set
+      // (Definition 4: candidate duration < δt).
+      if (duration >= params_.duration_threshold) {
+        report(inter, duration);
+      } else {
+        next.push_back(Candidate{std::move(inter), duration});
+      }
+    };
+
+    // Probe the cluster holding the candidate's first object before the
+    // rest: an intact candidate is consumed by that one intersection and
+    // the Lemma-1 early stop fires immediately. Products are independent
+    // of scan order (hard clustering), so only cost changes.
+    int32_t first_label = -1;
+    if (!remaining.empty()) {
+      size_t idx = snapshot.IndexOf(remaining.front());
+      if (idx != Snapshot::kNpos) first_label = clustering.labels[idx];
+    }
+    if (first_label >= 0) {
+      intersect_with(clustering.clusters[static_cast<size_t>(first_label)]);
+    }
+    for (size_t k = 0; k < clustering.clusters.size(); ++k) {
+      // Line 6: once fewer than δs objects remain, no further cluster can
+      // produce a qualifying result — stop early.
+      if (remaining.size() < min_size) break;
+      if (static_cast<int32_t>(k) == first_label) continue;
+      intersect_with(clustering.clusters[k]);
+    }
+  }
+
+  // Lines 14–15: new clusters are stored only if closed (Definition 5).
+  for (const ObjectSet& c : clustering.clusters) {
+    if (c.size() < min_size) continue;
+    double duration = snapshot.duration();
+    if (!IsClosedAgainst(c, duration, next)) continue;
+    if (duration >= params_.duration_threshold) {
+      report(c, duration);
+    } else {
+      next.push_back(Candidate{c, duration});
+    }
+  }
+
+  candidates_ = std::move(next);
+  intersect_timer.Stop();
+  stats_.intersect_seconds += intersect_timer.Seconds();
+
+  stats_.candidate_objects_last = TotalCandidateObjects(candidates_);
+  stats_.candidate_objects_peak =
+      std::max(stats_.candidate_objects_peak, stats_.candidate_objects_last);
+  ++stats_.snapshots;
+  ++snapshot_index_;
+}
+
+void SmartClosedDiscoverer::Reset() {
+  candidates_.clear();
+  log_.Clear();
+  stats_ = DiscoveryStats{};
+  snapshot_index_ = 0;
+}
+
+
+Status SmartClosedDiscoverer::SaveState(std::ostream& out) const {
+  SaveCommon(out);
+  out << "candidates " << candidates_.size() << '\n';
+  for (const Candidate& r : candidates_) {
+    out << r.duration << ' ' << r.objects.size();
+    for (ObjectId o : r.objects) out << ' ' << o;
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status SmartClosedDiscoverer::LoadState(std::istream& in) {
+  TCOMP_RETURN_IF_ERROR(LoadCommon(in));
+  std::string tag;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "candidates") {
+    return Status::Corruption("expected 'candidates' section");
+  }
+  candidates_.clear();
+  candidates_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Candidate r;
+    size_t n = 0;
+    if (!(in >> r.duration >> n)) {
+      return Status::Corruption("bad candidate record");
+    }
+    r.objects.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      if (!(in >> r.objects[k])) {
+        return Status::Corruption("bad candidate member");
+      }
+    }
+    candidates_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace tcomp

@@ -1,0 +1,39 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+Snapshot::Snapshot(std::vector<ObjectPosition> positions, double duration)
+    : duration_(duration) {
+  std::sort(positions.begin(), positions.end(),
+            [](const ObjectPosition& a, const ObjectPosition& b) {
+              return a.id < b.id;
+            });
+  ids_.reserve(positions.size());
+  points_.reserve(positions.size());
+  for (const ObjectPosition& p : positions) {
+    if (!ids_.empty() && ids_.back() == p.id) {
+      TCOMP_LOG(FATAL) << "duplicate object id " << p.id
+                       << " in snapshot; resolve multi-reports upstream";
+    }
+    ids_.push_back(p.id);
+    points_.push_back(p.pos);
+  }
+}
+
+size_t Snapshot::IndexOf(ObjectId id) const {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return kNpos;
+  return static_cast<size_t>(it - ids_.begin());
+}
+
+int64_t TotalRecords(const SnapshotStream& stream) {
+  int64_t n = 0;
+  for (const Snapshot& s : stream) n += static_cast<int64_t>(s.size());
+  return n;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,66 @@
+#ifndef TCOMP_CORE_SNAPSHOT_H_
+#define TCOMP_CORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// One object's position inside a snapshot.
+struct ObjectPosition {
+  ObjectId id = 0;
+  Point pos;
+};
+
+/// A snapshot: the projection of all objects' positions over one time span
+/// (paper Section II / VI). Objects are stored sorted by id so snapshots
+/// can be joined by index and diffed in linear time.
+///
+/// A snapshot carries its `duration` (the time span it covers, in the
+/// stream's time unit — minutes for the paper's datasets); candidate
+/// durations accumulate these values.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Builds a snapshot from unsorted positions. Duplicate ids must have
+  /// been resolved upstream (the sliding window averages multi-reports).
+  Snapshot(std::vector<ObjectPosition> positions, double duration);
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  double duration() const { return duration_; }
+
+  /// The i-th object id, ascending in i.
+  ObjectId id(size_t i) const { return ids_[i]; }
+  /// Position of the i-th object (same index space as id()).
+  Point pos(size_t i) const { return points_[i]; }
+
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Index of `id` in this snapshot, or npos if the object is absent.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t IndexOf(ObjectId id) const;
+
+  /// True if the object reported a position in this snapshot.
+  bool Contains(ObjectId id) const { return IndexOf(id) != kNpos; }
+
+ private:
+  std::vector<ObjectId> ids_;    // sorted ascending
+  std::vector<Point> points_;    // parallel to ids_
+  double duration_ = 1.0;
+};
+
+/// A fully materialized stream: the snapshot sequence the discoverers
+/// consume. Produced by dataset generators or by the sliding window.
+using SnapshotStream = std::vector<Snapshot>;
+
+/// Total number of (object, position) records in a stream.
+int64_t TotalRecords(const SnapshotStream& stream);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_SNAPSHOT_H_

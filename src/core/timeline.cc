@@ -1,0 +1,69 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcomp {
+
+void CompanionTimeline::Track(CompanionDiscoverer* discoverer) {
+  discoverer->set_report_sink(
+      [this](const ObjectSet& objects, double duration,
+             int64_t snapshot_index) {
+        Observe(objects, duration, snapshot_index);
+      });
+}
+
+void CompanionTimeline::Observe(const ObjectSet& objects, double duration,
+                                int64_t snapshot_index) {
+  // The event certifies co-travel over the closed snapshot interval
+  // [s - ceil(d) + 1, s] (durations are in snapshot-duration units; with
+  // unit snapshots d is the snapshot count).
+  int64_t span = std::max<int64_t>(1, static_cast<int64_t>(
+                                          std::llround(duration)));
+  int64_t begin = snapshot_index - span + 1;
+  std::vector<CompanionEpisode>& list = episodes_[objects];
+  if (!list.empty() && begin <= list.back().end + 1) {
+    // Touches or overlaps the open episode: extend it.
+    list.back().end = std::max(list.back().end, snapshot_index);
+    list.back().begin = std::min(list.back().begin, begin);
+  } else {
+    list.push_back(CompanionEpisode{objects, begin, snapshot_index});
+  }
+}
+
+std::vector<CompanionEpisode> CompanionTimeline::Episodes() const {
+  std::vector<CompanionEpisode> out;
+  for (const auto& [set, list] : episodes_) {
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  return out;
+}
+
+std::vector<CompanionEpisode> CompanionTimeline::ActiveAt(
+    int64_t snapshot_index) const {
+  std::vector<CompanionEpisode> out;
+  for (const auto& [set, list] : episodes_) {
+    for (const CompanionEpisode& e : list) {
+      if (e.begin <= snapshot_index && snapshot_index <= e.end) {
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+CompanionEpisode CompanionTimeline::Longest() const {
+  CompanionEpisode best;
+  best.begin = 1;
+  best.end = 0;  // length 0 marker
+  for (const auto& [set, list] : episodes_) {
+    for (const CompanionEpisode& e : list) {
+      if (e.length() > best.length()) best = e;
+    }
+  }
+  return best;
+}
+
+void CompanionTimeline::Clear() { episodes_.clear(); }
+
+}  // namespace tcomp

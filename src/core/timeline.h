@@ -1,0 +1,66 @@
+#ifndef TCOMP_CORE_TIMELINE_H_
+#define TCOMP_CORE_TIMELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// A contiguous lifetime of one companion: the object set stayed
+/// qualified from snapshot `begin` through snapshot `end` (inclusive).
+struct CompanionEpisode {
+  ObjectSet objects;
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t length() const { return end - begin + 1; }
+};
+
+/// Reconstructs companion lifetimes from a discoverer's report stream
+/// (attach with Track()). Under Definition 4 a persisting group
+/// re-qualifies every δt snapshots; the timeline stitches qualification
+/// events of the same object set into episodes: an event at snapshot s
+/// with duration d covers [s-d+1, s], and events whose covers touch or
+/// overlap merge into one episode.
+///
+/// This answers the monitoring questions the companion *set* alone
+/// cannot: when did a group form, how long did it persist, did it
+/// dissolve and re-form (separate episodes), and what was traveling
+/// together at a given instant.
+class CompanionTimeline {
+ public:
+  /// Subscribes this timeline to `discoverer`'s reports (replaces any
+  /// previously installed sink). The timeline must outlive the
+  /// discoverer's processing.
+  void Track(CompanionDiscoverer* discoverer);
+
+  /// Feeds one qualification event directly (what Track() wires up).
+  void Observe(const ObjectSet& objects, double duration,
+               int64_t snapshot_index);
+
+  /// All episodes, ordered by (objects, begin). Adjacent episodes of one
+  /// set are already merged.
+  std::vector<CompanionEpisode> Episodes() const;
+
+  /// Episodes whose cover contains `snapshot_index`.
+  std::vector<CompanionEpisode> ActiveAt(int64_t snapshot_index) const;
+
+  /// The longest episode, or nullopt-like empty episode when none.
+  CompanionEpisode Longest() const;
+
+  size_t distinct_sets() const { return episodes_.size(); }
+  void Clear();
+
+ private:
+  // Per object set: episodes sorted by begin; the last one is "open" for
+  // extension by subsequent events.
+  std::map<ObjectSet, std::vector<CompanionEpisode>> episodes_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_TIMELINE_H_

@@ -1,0 +1,49 @@
+#ifndef TCOMP_CORE_TYPES_H_
+#define TCOMP_CORE_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tcomp {
+
+/// Identifier of a moving object. Objects are dense-numbered from 0 by the
+/// dataset generators and readers.
+using ObjectId = uint32_t;
+
+/// Identifier of a traveling buddy. Buddy ids are never reused within one
+/// stream: every split/merge product receives a fresh id, so "same id"
+/// always means "same membership".
+using BuddyId = uint32_t;
+
+/// A set of object ids, stored sorted ascending without duplicates. All
+/// cluster/candidate/companion kernels rely on this representation (see
+/// util/sorted_ops.h).
+using ObjectSet = std::vector<ObjectId>;
+
+/// A 2-D position in the local metric plane (meters, or the generator's
+/// abstract unit). GPS inputs are projected before entering the pipeline
+/// (see stream/geo.h).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+inline Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+inline Point operator*(Point p, double k) { return {p.x * k, p.y * k}; }
+inline Point operator/(Point p, double k) { return {p.x / k, p.y / k}; }
+
+inline double SquaredDistance(Point a, Point b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(Point a, Point b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_TYPES_H_

@@ -1,0 +1,84 @@
+#include "data/degrade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tcomp {
+
+SnapshotStream DropReports(const SnapshotStream& stream, double fraction,
+                           uint64_t seed) {
+  TCOMP_CHECK_GE(fraction, 0.0);
+  TCOMP_CHECK_LT(fraction, 1.0);
+  Pcg32 rng(seed);
+
+  // Outage lengths are uniform in [2, 6] (mean 4); the per-snapshot
+  // probability of *entering* an outage is tuned so the expected dropped
+  // fraction matches `fraction`.
+  constexpr double kMeanOutage = 4.0;
+  const double start_probability = fraction / kMeanOutage;
+
+  // Remaining outage length per object id.
+  std::vector<int> outage;
+  SnapshotStream out;
+  out.reserve(stream.size());
+  for (const Snapshot& s : stream) {
+    std::vector<ObjectPosition> kept;
+    kept.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      ObjectId oid = s.id(i);
+      if (oid >= outage.size()) outage.resize(oid + 1, 0);
+      if (outage[oid] > 0) {
+        --outage[oid];
+        continue;  // silent
+      }
+      if (fraction > 0.0 && rng.NextBernoulli(start_probability)) {
+        outage[oid] = rng.NextInt(2, 6) - 1;  // this snapshot counts
+        continue;
+      }
+      kept.push_back(ObjectPosition{oid, s.pos(i)});
+    }
+    out.push_back(Snapshot(std::move(kept), s.duration()));
+  }
+  return out;
+}
+
+SnapshotStream JitterReports(const SnapshotStream& stream,
+                             double max_delay_snapshots, uint64_t seed) {
+  TCOMP_CHECK_GE(max_delay_snapshots, 0.0);
+  Pcg32 rng(seed);
+  std::vector<std::vector<ObjectPosition>> buckets(stream.size());
+  for (size_t t = 0; t < stream.size(); ++t) {
+    const Snapshot& s = stream[t];
+    for (size_t i = 0; i < s.size(); ++i) {
+      double delay = rng.NextDouble(0.0, max_delay_snapshots);
+      size_t target =
+          std::min(stream.size() - 1, t + static_cast<size_t>(delay));
+      buckets[target].push_back(ObjectPosition{s.id(i), s.pos(i)});
+    }
+  }
+  SnapshotStream out;
+  out.reserve(stream.size());
+  for (size_t t = 0; t < stream.size(); ++t) {
+    // An object may land twice in one bucket (its own report + a delayed
+    // one); keep the freshest (later-pushed) report.
+    std::sort(buckets[t].begin(), buckets[t].end(),
+              [](const ObjectPosition& a, const ObjectPosition& b) {
+                return a.id < b.id;
+              });
+    std::vector<ObjectPosition> unique;
+    for (const ObjectPosition& p : buckets[t]) {
+      if (!unique.empty() && unique.back().id == p.id) {
+        unique.back() = p;
+      } else {
+        unique.push_back(p);
+      }
+    }
+    out.push_back(Snapshot(std::move(unique), stream[t].duration()));
+  }
+  return out;
+}
+
+}  // namespace tcomp

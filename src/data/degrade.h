@@ -1,0 +1,29 @@
+#ifndef TCOMP_DATA_DEGRADE_H_
+#define TCOMP_DATA_DEGRADE_H_
+
+#include <cstdint>
+
+#include "core/snapshot.h"
+
+namespace tcomp {
+
+/// Randomly removes `fraction` of the (object, snapshot) reports from a
+/// stream — the paper's Section VI missing-data experiment ("we randomly
+/// remove 10% data from D2"). Removal is *bursty*: an object enters an
+/// outage lasting 2–6 snapshots (mean 4), modeling a device going silent
+/// for a stretch rather than dropping isolated reports — only bursty
+/// outages make the inactive-period threshold a meaningful knob (an
+/// isolated missing report is healed by inactive=1 regardless).
+/// Deterministic in `seed`.
+SnapshotStream DropReports(const SnapshotStream& stream, double fraction,
+                           uint64_t seed);
+
+/// Delays each report by a per-object constant plus per-report jitter, in
+/// snapshot units; reports whose delayed time falls into a later snapshot
+/// move there (coarse network-delay model for robustness tests).
+SnapshotStream JitterReports(const SnapshotStream& stream,
+                             double max_delay_snapshots, uint64_t seed);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_DATA_DEGRADE_H_

@@ -1,0 +1,197 @@
+#include "data/group_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+struct Group {
+  Point center;
+  Point target;
+  std::vector<uint32_t> members;  // object indices
+  bool alive = true;
+};
+
+struct FreeObject {
+  Point pos;
+  Point target;
+};
+
+Point RandomPoint(Pcg32& rng, double area) {
+  return Point{rng.NextDouble(0.0, area), rng.NextDouble(0.0, area)};
+}
+
+/// Moves `pos` toward `target` by at most `speed`; re-rolls the target on
+/// arrival. Returns the new position.
+Point StepToward(Point pos, Point* target, double speed, Pcg32& rng,
+                 double area) {
+  double d = Distance(pos, *target);
+  if (d <= speed) {
+    Point arrived = *target;
+    *target = RandomPoint(rng, area);
+    return arrived;
+  }
+  Point dir = (*target - pos) / d;
+  return pos + dir * speed;
+}
+
+Point DiscOffset(Pcg32& rng, double radius) {
+  // Uniform in a disc (rejection-free via sqrt radius).
+  double r = radius * std::sqrt(rng.NextDouble());
+  double theta = rng.NextDouble(0.0, kTwoPi);
+  return Point{r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace
+
+GroupDataset GenerateGroupStream(const GroupModelOptions& options) {
+  TCOMP_CHECK_GT(options.num_objects, 0);
+  TCOMP_CHECK_GT(options.num_snapshots, 0);
+  TCOMP_CHECK_GE(options.max_group_size, options.min_group_size);
+  Pcg32 rng(options.seed);
+
+  const uint32_t n = static_cast<uint32_t>(options.num_objects);
+  const double area = options.area_size;
+
+  // Object state.
+  std::vector<Point> offsets(n);     // in-group offset (grouped objects)
+  std::vector<int32_t> group_of(n, -1);
+  std::vector<FreeObject> free_state(n);
+
+  // Partition the grouped objects into groups.
+  std::vector<Group> groups;
+  uint32_t grouped_count =
+      static_cast<uint32_t>(options.group_fraction * n);
+  uint32_t next = 0;
+  while (next < grouped_count) {
+    uint32_t size = static_cast<uint32_t>(rng.NextInt(
+        options.min_group_size, options.max_group_size));
+    size = std::min(size, grouped_count - next);
+    if (size == 0) break;
+    Group g;
+    g.center = RandomPoint(rng, area);
+    g.target = RandomPoint(rng, area);
+    for (uint32_t k = 0; k < size; ++k) {
+      uint32_t oid = next + k;
+      g.members.push_back(oid);
+      group_of[oid] = static_cast<int32_t>(groups.size());
+      offsets[oid] = DiscOffset(rng, options.group_spread);
+    }
+    next += size;
+    groups.push_back(std::move(g));
+  }
+  for (uint32_t oid = next; oid < n; ++oid) {
+    free_state[oid].pos = RandomPoint(rng, area);
+    free_state[oid].target = RandomPoint(rng, area);
+  }
+
+  GroupDataset out;
+  out.stream.reserve(options.num_snapshots);
+
+  for (int t = 0; t < options.num_snapshots; ++t) {
+    // --- Advance group centers. ---
+    for (Group& g : groups) {
+      if (!g.alive) continue;
+      g.center =
+          StepToward(g.center, &g.target, options.group_speed, rng, area);
+    }
+
+    // --- Membership churn: leaves. ---
+    for (Group& g : groups) {
+      if (!g.alive) continue;
+      for (size_t k = 0; k < g.members.size();) {
+        if (g.members.size() > 2 &&
+            rng.NextBernoulli(options.leave_probability)) {
+          uint32_t oid = g.members[k];
+          group_of[oid] = -1;
+          free_state[oid].pos = g.center + offsets[oid];
+          free_state[oid].target = RandomPoint(rng, area);
+          g.members.erase(g.members.begin() + static_cast<int64_t>(k));
+        } else {
+          ++k;
+        }
+      }
+    }
+
+    // --- Splits. ---
+    size_t num_groups_now = groups.size();
+    for (size_t gi = 0; gi < num_groups_now; ++gi) {
+      Group& g = groups[gi];
+      if (!g.alive || g.members.size() < 6) continue;
+      if (!rng.NextBernoulli(options.split_probability)) continue;
+      Group half;
+      half.center = g.center;
+      half.target = RandomPoint(rng, area);
+      size_t take = g.members.size() / 2;
+      for (size_t k = 0; k < take; ++k) {
+        uint32_t oid = g.members.back();
+        g.members.pop_back();
+        half.members.push_back(oid);
+        group_of[oid] = static_cast<int32_t>(groups.size());
+      }
+      groups.push_back(std::move(half));
+    }
+
+    // --- Merges. ---
+    if (options.merge_distance > 0.0) {
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (!groups[i].alive) continue;
+        for (size_t j = i + 1; j < groups.size(); ++j) {
+          if (!groups[j].alive) continue;
+          if (Distance(groups[i].center, groups[j].center) >
+              options.merge_distance) {
+            continue;
+          }
+          for (uint32_t oid : groups[j].members) {
+            groups[i].members.push_back(oid);
+            group_of[oid] = static_cast<int32_t>(i);
+            offsets[oid] = DiscOffset(rng, options.group_spread);
+          }
+          groups[j].members.clear();
+          groups[j].alive = false;
+        }
+      }
+    }
+
+    // --- Advance free objects. ---
+    for (uint32_t oid = 0; oid < n; ++oid) {
+      if (group_of[oid] >= 0) continue;
+      FreeObject& f = free_state[oid];
+      f.pos = StepToward(f.pos, &f.target, options.free_speed, rng, area);
+    }
+
+    // --- Emit the snapshot. ---
+    std::vector<ObjectPosition> positions;
+    positions.reserve(n);
+    for (uint32_t oid = 0; oid < n; ++oid) {
+      Point p;
+      if (group_of[oid] >= 0) {
+        const Group& g = groups[static_cast<size_t>(group_of[oid])];
+        p = g.center + offsets[oid];
+      } else {
+        p = free_state[oid].pos;
+      }
+      p.x += options.member_jitter * rng.NextGaussian();
+      p.y += options.member_jitter * rng.NextGaussian();
+      positions.push_back(ObjectPosition{oid, p});
+    }
+    out.stream.push_back(
+        Snapshot(std::move(positions), options.snapshot_duration));
+  }
+
+  for (const Group& g : groups) {
+    if (!g.alive || g.members.empty()) continue;
+    ObjectSet set(g.members.begin(), g.members.end());
+    std::sort(set.begin(), set.end());
+    out.final_groups.push_back(std::move(set));
+  }
+  return out;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,65 @@
+#ifndef TCOMP_DATA_GROUP_MODEL_H_
+#define TCOMP_DATA_GROUP_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Configuration of the group-movement generator: objects are organized in
+/// groups that travel toward random waypoints; members keep a persistent
+/// offset inside the group plus per-snapshot jitter. Groups shed members
+/// (who become independent wanderers), occasionally split in two, and merge
+/// when they drift close — the churn that drives candidate pruning and
+/// buddy split/merge dynamics in the paper's synthetic experiments.
+struct GroupModelOptions {
+  int num_objects = 1000;
+  int num_snapshots = 1440;
+  double snapshot_duration = 1.0;
+
+  /// Side length of the square world.
+  double area_size = 20000.0;
+  /// Fraction of objects initially assigned to groups; the rest wander
+  /// independently (clutter for the clustering stage).
+  double group_fraction = 0.85;
+  int min_group_size = 15;
+  int max_group_size = 35;
+  /// Group-center speed per snapshot.
+  double group_speed = 60.0;
+  /// Member offsets are drawn uniformly in a disc of this radius around
+  /// the group center.
+  double group_spread = 25.0;
+  /// Per-snapshot Gaussian jitter (σ) added to each member position.
+  double member_jitter = 2.0;
+  /// Independent-object speed per snapshot.
+  double free_speed = 80.0;
+
+  /// Per-member, per-snapshot probability of leaving its group.
+  double leave_probability = 0.0005;
+  /// Per-group, per-snapshot probability of splitting in two halves.
+  double split_probability = 0.001;
+  /// Two groups merge when their centers are within this distance
+  /// (0 disables merging).
+  double merge_distance = 30.0;
+
+  uint64_t seed = 42;
+};
+
+/// A generated stream plus its evolving group structure.
+struct GroupDataset {
+  SnapshotStream stream;
+  /// Group membership at the final snapshot (diagnostic; the military
+  /// generator provides stable ground truth instead).
+  std::vector<ObjectSet> final_groups;
+};
+
+/// Generates a stream under the group-movement model. Deterministic in
+/// `options.seed`.
+GroupDataset GenerateGroupStream(const GroupModelOptions& options);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_DATA_GROUP_MODEL_H_

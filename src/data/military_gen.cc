@@ -1,0 +1,257 @@
+#include "data/military_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Route r (0 or 1): a gently curving path from (0, ±sep/2) that converges
+/// on the shared destination (L, 0). Parameterized by distance s ∈ [0, L]
+/// along the x axis (curvature is mild, so x ≈ arc length).
+struct Route {
+  double length;
+  double separation;
+  int side;  // +1 or -1
+
+  Point At(double s) const {
+    // Linear extensions before the start and past the destination keep
+    // staggered teams spatially separated for the whole stream (they march
+    // up to the start and through the objective rather than piling up).
+    if (s < 0.0) return Point{s, OnRouteY(0.0)};
+    if (s > length) return Point{s, OnRouteY(length)};
+    return Point{s, OnRouteY(s)};
+  }
+
+  double OnRouteY(double x) const {
+    double frac = x / length;
+    double base = side * (separation / 2.0) * (1.0 - 0.85 * frac);
+    double wiggle = 0.03 * separation *
+                    std::sin(3.0 * kPi * frac + (side > 0 ? 0.3 : 1.1));
+    return base + wiggle;
+  }
+
+  /// Unit tangent at s (finite differences — plenty for formation math).
+  Point TangentAt(double s) const {
+    const double h = 10.0;
+    Point a = At(s - h);
+    Point b = At(s + h);
+    double d = Distance(a, b);
+    if (d == 0.0) return Point{1.0, 0.0};
+    return (b - a) / d;
+  }
+};
+
+}  // namespace
+
+MilitaryDataset GenerateMilitary(const MilitaryOptions& options) {
+  TCOMP_CHECK_GT(options.num_teams, 0);
+  TCOMP_CHECK_GE(options.num_units, options.num_teams);
+  Pcg32 rng(options.seed);
+
+  const int teams = options.num_teams;
+  const int units = options.num_units;
+
+  // Team sizes: start uniform, then shuffle units between random pairs of
+  // teams within ±(base-25, 30-base) so sizes spread over [25, 30] for the
+  // default configuration (the paper: "each team has 25 to 30 units")
+  // while the total stays exact.
+  const int base = units / teams;
+  std::vector<int> team_size(teams, base);
+  int leftover = units - base * teams;
+  for (int i = 0; i < leftover; ++i) ++team_size[i];
+  const int lo = std::max(1, std::min(base - 1, 25));
+  const int hi = std::max(base + 1, 30);
+  for (int round = 0; round < teams * 4; ++round) {
+    int i = rng.NextInt(0, teams - 1);
+    int j = rng.NextInt(0, teams - 1);
+    if (i == j) continue;
+    if (team_size[i] < hi && team_size[j] > lo) {
+      ++team_size[i];
+      --team_size[j];
+    }
+  }
+
+  Route routes[2] = {
+      Route{options.route_length, options.route_separation, +1},
+      Route{options.route_length, options.route_separation, -1},
+  };
+
+  // Assign teams to routes alternately and stagger their starts.
+  std::vector<int> route_of(teams);
+  std::vector<double> lead(teams);
+  int per_route_count[2] = {0, 0};
+  for (int g = 0; g < teams; ++g) {
+    int r = g % 2;
+    route_of[g] = r;
+    lead[g] = per_route_count[r] * options.team_gap;
+    ++per_route_count[r];
+  }
+  double max_lead =
+      std::max(per_route_count[0], per_route_count[1]) * options.team_gap;
+  // Speed so the last team reaches the destination by the final snapshot.
+  double speed =
+      (options.route_length + max_lead) / std::max(1, options.num_snapshots);
+
+  // Per-unit state.
+  std::vector<int> team_of(units);
+  std::vector<int> slot_of(units);
+  std::vector<double> lag(units, 0.0);
+  MilitaryDataset out;
+  {
+    int uid = 0;
+    for (int g = 0; g < teams; ++g) {
+      ObjectSet members;
+      for (int k = 0; k < team_size[g]; ++k, ++uid) {
+        team_of[uid] = g;
+        slot_of[uid] = k;
+        members.push_back(static_cast<ObjectId>(uid));
+      }
+      out.ground_truth.push_back(std::move(members));
+    }
+  }
+
+  // Detachment schedule: per snapshot, per unit, how to place the unit.
+  enum class Duty : int8_t { kFormation = 0, kJointPatrol, kLiaison };
+  struct Override {
+    Duty duty = Duty::kFormation;
+    int16_t partner_team = -1;  // patrol partner / liaison host
+    int16_t squad_index = -1;   // slot inside the detached squad
+    int8_t side = 1;            // patrol side of the route
+  };
+  std::vector<std::vector<Override>> duty(
+      options.num_snapshots, std::vector<Override>(units));
+  if (options.detachments_per_team > 0.0) {
+    // First unit id of each team (slots are contiguous).
+    std::vector<int> first_uid(teams, 0);
+    for (int g = 1; g < teams; ++g) {
+      first_uid[g] = first_uid[g - 1] + team_size[g - 1];
+    }
+    for (int g = 0; g + 2 < teams; ++g) {
+      // Partner = the next team on the same route (routes alternate).
+      int partner = g + 2;
+      int events = 0;
+      for (int k = 0; k < 3; ++k) {
+        if (rng.NextBernoulli(options.detachments_per_team / 3.0)) ++events;
+      }
+      if (events == 0) continue;
+      if (team_size[g] < 2 * options.squad_size_min ||
+          team_size[partner] < 2 * options.squad_size_min) {
+        continue;
+      }
+      bool joint = rng.NextBernoulli(0.5);
+      int squad_g = rng.NextInt(
+          options.squad_size_min,
+          std::min(options.squad_size_max,
+                   team_size[g] - options.squad_size_min));
+      int squad_p = rng.NextInt(
+          options.squad_size_min,
+          std::min(options.squad_size_max,
+                   team_size[partner] - options.squad_size_min));
+      int8_t side = rng.NextBernoulli(0.5) ? 1 : -1;
+      int cursor = rng.NextInt(5, std::max(6, options.num_snapshots / 2));
+      for (int e = 0; e < events; ++e) {
+        int duration = rng.NextInt(options.detach_duration_min,
+                                   options.detach_duration_max);
+        int end = std::min(options.num_snapshots, cursor + duration);
+        for (int t = cursor; t < end; ++t) {
+          // The squad is the last `squad` slots of its team.
+          for (int k = 0; k < squad_g; ++k) {
+            int uid = first_uid[g] + team_size[g] - squad_g + k;
+            duty[t][uid] = Override{
+                joint ? Duty::kJointPatrol : Duty::kLiaison,
+                static_cast<int16_t>(partner), static_cast<int16_t>(k),
+                side};
+          }
+          if (joint) {
+            for (int k = 0; k < squad_p; ++k) {
+              int uid =
+                  first_uid[partner] + team_size[partner] - squad_p + k;
+              duty[t][uid] = Override{
+                  Duty::kJointPatrol, static_cast<int16_t>(g),
+                  static_cast<int16_t>(squad_g + k), side};
+            }
+          }
+        }
+        cursor = end + rng.NextInt(8, 16);
+        if (cursor >= options.num_snapshots) break;
+      }
+    }
+  }
+
+  out.stream.reserve(options.num_snapshots);
+  for (int t = 0; t < options.num_snapshots; ++t) {
+    std::vector<ObjectPosition> positions;
+    positions.reserve(units);
+    for (int uid = 0; uid < units; ++uid) {
+      int g = team_of[uid];
+      const Route& route = routes[route_of[g]];
+
+      // Straggling: a unit occasionally drops behind, then catches up.
+      if (rng.NextBernoulli(options.straggle_probability)) {
+        lag[uid] += rng.NextDouble(20.0, 60.0);
+      }
+      lag[uid] *= 0.90;
+
+      const Override& od = duty[static_cast<size_t>(t)][uid];
+      Point p;
+      if (od.duty == Duty::kJointPatrol) {
+        // Patrol camp: halfway between the two columns, offset from the
+        // route; members form their own files×ranks grid there.
+        int other = od.partner_team;
+        double s_own = speed * t - lead[g];
+        double s_other = speed * t - lead[other];
+        const Route& r_own = routes[route_of[g]];
+        Point mid = (r_own.At(s_own) + r_own.At(s_other)) / 2.0;
+        Point tangent = r_own.TangentAt((s_own + s_other) / 2.0);
+        Point normal{-tangent.y, tangent.x};
+        int rank = od.squad_index / options.files;
+        int file = od.squad_index % options.files;
+        double across =
+            (file - (options.files - 1) / 2.0) * options.slot_spacing;
+        double along = -rank * options.slot_spacing;
+        p = mid + normal * (options.detach_offset * od.side) +
+            tangent * along + normal * across;
+      } else if (od.duty == Duty::kLiaison) {
+        // Embedded at the rear of the host team's column.
+        int host = od.partner_team;
+        double s_host = speed * t - lead[host];
+        const Route& r_host = routes[route_of[host]];
+        Point center = r_host.At(s_host);
+        Point tangent = r_host.TangentAt(s_host);
+        Point normal{-tangent.y, tangent.x};
+        int slot = team_size[host] + od.squad_index;
+        int rank = slot / options.files;
+        int file = slot % options.files;
+        double across =
+            (file - (options.files - 1) / 2.0) * options.slot_spacing;
+        double along = -rank * options.slot_spacing;
+        p = center + tangent * along + normal * across;
+      } else {
+        double s = speed * t - lead[g] - lag[uid];
+        Point center = route.At(s);
+        Point tangent = route.TangentAt(s);
+        Point normal{-tangent.y, tangent.x};
+        int rank = slot_of[uid] / options.files;
+        int file = slot_of[uid] % options.files;
+        double across =
+            (file - (options.files - 1) / 2.0) * options.slot_spacing;
+        double along = -rank * options.slot_spacing;
+        p = center + tangent * along + normal * across;
+      }
+      p.x += options.formation_noise * rng.NextGaussian();
+      p.y += options.formation_noise * rng.NextGaussian();
+      positions.push_back(ObjectPosition{static_cast<ObjectId>(uid), p});
+    }
+    out.stream.push_back(
+        Snapshot(std::move(positions), options.snapshot_duration));
+  }
+  return out;
+}
+
+}  // namespace tcomp

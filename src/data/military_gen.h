@@ -1,0 +1,80 @@
+#ifndef TCOMP_DATA_MILITARY_GEN_H_
+#define TCOMP_DATA_MILITARY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Substitute for the paper's CBMANET military dataset (D2): an infantry
+/// battalion of `num_units` units organized in `num_teams` teams (25–30
+/// units each) marches from a start point to a destination along two
+/// routes over `num_snapshots` snapshots at one-minute sampling. The team
+/// partition is retained as effectiveness ground truth (paper Section
+/// V-D).
+///
+/// Teams march in column formation: members hold persistent slots in a
+/// files×ranks grid around the team center with small Gaussian formation
+/// noise, and team starts are staggered so teams stay spatially separated
+/// on the shared route.
+struct MilitaryOptions {
+  int num_units = 780;
+  int num_teams = 30;
+  int num_snapshots = 180;
+  double snapshot_duration = 1.0;
+
+  /// Straight-line distance between the endpoints, meters.
+  double route_length = 30000.0;
+  /// Lateral offset between the two routes, meters.
+  double route_separation = 4000.0;
+  /// Column formation: lateral/longitudinal spacing between unit slots.
+  double slot_spacing = 8.0;
+  int files = 5;  // units per rank
+  /// Per-snapshot Gaussian noise (σ) on each unit position.
+  double formation_noise = 1.5;
+  /// Gap between consecutive team starts on one route, meters.
+  double team_gap = 900.0;
+  /// Per-unit per-snapshot probability of straggling (dropping behind its
+  /// team for a few snapshots). Introduces mild intra-team churn.
+  double straggle_probability = 0.0005;
+
+  /// Expected number of detachment events per team. Two kinds, both
+  /// creating the short-lived *cross-team* groups behind the paper's
+  /// Fig. 20/21 precision curves (same-team subsets are closed-companion
+  /// suppressed, so only cross-team mixtures can be false positives):
+  ///  * joint patrol — squads from two adjacent teams on a route meet
+  ///    halfway between their columns and patrol together for
+  ///    detach_duration_min..max snapshots (group size 2×squad, 10–24:
+  ///    the δs sweep filters these);
+  ///  * liaison — a squad embeds at the rear of the team ahead of it,
+  ///    extending that team's column (group size team+squad, ~31–42:
+  ///    only the δt sweep filters these).
+  /// Events may repeat with the same squad after a gap — non-consecutive
+  /// co-movement that swarms accept but companions reject.
+  /// Set to 0 for perfectly clean marches.
+  double detachments_per_team = 1.0;
+  int squad_size_min = 5;
+  int squad_size_max = 12;
+  int detach_duration_min = 4;
+  int detach_duration_max = 10;
+  /// Lateral offset of a joint patrol from the route, meters (≫ ε keeps
+  /// it a separate cluster).
+  double detach_offset = 120.0;
+
+  uint64_t seed = 7;
+};
+
+struct MilitaryDataset {
+  SnapshotStream stream;
+  /// Team partition — the ground truth companions.
+  std::vector<ObjectSet> ground_truth;
+};
+
+MilitaryDataset GenerateMilitary(const MilitaryOptions& options);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_DATA_MILITARY_GEN_H_

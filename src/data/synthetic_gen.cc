@@ -1,0 +1,67 @@
+#include "data/synthetic_gen.h"
+
+#include "data/military_gen.h"
+#include "data/taxi_gen.h"
+
+namespace tcomp {
+namespace {
+
+DiscoveryParams DefaultThresholds(double epsilon, int mu) {
+  DiscoveryParams p;
+  p.cluster.epsilon = epsilon;
+  p.cluster.mu = mu;
+  p.size_threshold = 10;      // paper default δs
+  p.duration_threshold = 10;  // paper default δt (snapshots)
+  p.buddy_radius = 0.0;       // ε/2
+  return p;
+}
+
+}  // namespace
+
+Dataset MakeTaxiD1(int num_snapshots, uint64_t seed) {
+  TaxiOptions options;
+  options.num_snapshots = num_snapshots;
+  options.seed = seed;
+  Dataset d;
+  d.name = "D1-taxi";
+  d.stream = GenerateTaxi(options);
+  d.default_params = DefaultThresholds(/*epsilon=*/80.0, /*mu=*/4);
+  return d;
+}
+
+Dataset MakeMilitaryD2(int num_snapshots, uint64_t seed) {
+  MilitaryOptions options;
+  options.num_snapshots = num_snapshots;
+  options.seed = seed;
+  MilitaryDataset md = GenerateMilitary(options);
+  Dataset d;
+  d.name = "D2-military";
+  d.stream = std::move(md.stream);
+  d.ground_truth = std::move(md.ground_truth);
+  d.default_params = DefaultThresholds(/*epsilon=*/24.0, /*mu=*/5);
+  return d;
+}
+
+Dataset MakeSyntheticDataset(const std::string& name, int num_objects,
+                             int num_snapshots, uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = num_objects;
+  options.num_snapshots = num_snapshots;
+  options.seed = seed;
+  GroupDataset gd = GenerateGroupStream(options);
+  Dataset d;
+  d.name = name;
+  d.stream = std::move(gd.stream);
+  d.default_params = DefaultThresholds(/*epsilon=*/20.0, /*mu=*/4);
+  return d;
+}
+
+Dataset MakeSyntheticD3(int num_snapshots, uint64_t seed) {
+  return MakeSyntheticDataset("D3-syn1k", 1000, num_snapshots, seed);
+}
+
+Dataset MakeSyntheticD4(int num_snapshots, uint64_t seed) {
+  return MakeSyntheticDataset("D4-syn10k", 10000, num_snapshots, seed);
+}
+
+}  // namespace tcomp

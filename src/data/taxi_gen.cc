@@ -1,0 +1,148 @@
+#include "data/taxi_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+/// A vehicle walking the grid: heading 0..3 = +x, +y, -x, -y.
+struct GridWalker {
+  Point pos;
+  int heading = 0;
+  double to_next = 0.0;  // distance to the next intersection
+
+  static const Point kDirs[4];
+};
+
+const Point GridWalker::kDirs[4] = {
+    {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+
+class GridCity {
+ public:
+  GridCity(double block, int blocks) : block_(block), blocks_(blocks) {}
+
+  double extent() const { return block_ * blocks_; }
+
+  GridWalker SpawnAtIntersection(Pcg32& rng) const {
+    GridWalker w;
+    int ix = rng.NextInt(1, blocks_ - 1);
+    int iy = rng.NextInt(1, blocks_ - 1);
+    w.pos = Point{ix * block_, iy * block_};
+    w.heading = rng.NextInt(0, 3);
+    w.to_next = block_;
+    return w;
+  }
+
+  /// Drives the walker `dist` meters, turning randomly at intersections
+  /// (straight 50%, left 25%, right 25%, adjusted at the boundary).
+  void Drive(GridWalker* w, double dist, Pcg32& rng) const {
+    while (dist > 0.0) {
+      if (w->to_next > dist) {
+        w->pos = w->pos + GridWalker::kDirs[w->heading] * dist;
+        w->to_next -= dist;
+        return;
+      }
+      w->pos = w->pos + GridWalker::kDirs[w->heading] * w->to_next;
+      dist -= w->to_next;
+      w->to_next = block_;
+      // Pick the next heading; re-roll until it stays inside the city.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        int turn = rng.NextInt(0, 3);
+        int heading = w->heading;
+        if (turn == 1) heading = (heading + 1) % 4;       // left, 25%
+        else if (turn == 2) heading = (heading + 3) % 4;  // right, 25%
+        Point probe = w->pos + GridWalker::kDirs[heading] * block_;
+        if (probe.x >= 0.0 && probe.x <= extent() && probe.y >= 0.0 &&
+            probe.y <= extent()) {
+          w->heading = heading;
+          break;
+        }
+        // Against the wall: force a turn on the next attempt.
+        w->heading = (w->heading + 1) % 4;
+      }
+    }
+  }
+
+ private:
+  double block_;
+  int blocks_;
+};
+
+}  // namespace
+
+SnapshotStream GenerateTaxi(const TaxiOptions& options) {
+  TCOMP_CHECK_GT(options.num_taxis, 0);
+  Pcg32 rng(options.seed);
+  GridCity city(options.block_size, options.grid_blocks);
+
+  const int n = options.num_taxis;
+  // Platoon assignment: leaders walk the grid; followers shadow their
+  // leader with a persistent offset.
+  std::vector<int32_t> leader_of(n, -1);  // -1: independent or leader
+  std::vector<Point> follower_offset(n);
+  std::vector<GridWalker> walker(n);
+
+  int platooned = static_cast<int>(options.platoon_fraction * n);
+  int uid = 0;
+  while (uid < platooned) {
+    int size = rng.NextInt(options.platoon_size_min,
+                           options.platoon_size_max);
+    size = std::min(size, platooned - uid);
+    if (size <= 0) break;
+    int leader = uid;
+    walker[leader] = city.SpawnAtIntersection(rng);
+    for (int k = 1; k < size; ++k) {
+      int f = uid + k;
+      leader_of[f] = leader;
+      follower_offset[f] =
+          Point{rng.NextDouble(-options.platoon_spread,
+                               options.platoon_spread),
+                rng.NextDouble(-options.platoon_spread,
+                               options.platoon_spread)};
+    }
+    uid += size;
+  }
+  for (; uid < n; ++uid) {
+    walker[uid] = city.SpawnAtIntersection(rng);
+  }
+
+  SnapshotStream stream;
+  stream.reserve(options.num_snapshots);
+  for (int t = 0; t < options.num_snapshots; ++t) {
+    // Move leaders and independents.
+    for (int i = 0; i < n; ++i) {
+      if (leader_of[i] >= 0) continue;
+      // Speed varies per taxi per interval (traffic).
+      double dist = options.speed * rng.NextDouble(0.6, 1.3);
+      city.Drive(&walker[i], dist, rng);
+    }
+    // Followers defect occasionally and become independent walkers.
+    for (int i = 0; i < n; ++i) {
+      if (leader_of[i] < 0) continue;
+      if (rng.NextBernoulli(options.defect_probability)) {
+        walker[i] = walker[leader_of[i]];
+        leader_of[i] = -1;
+      }
+    }
+
+    std::vector<ObjectPosition> positions;
+    positions.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      Point p = leader_of[i] >= 0
+                    ? walker[leader_of[i]].pos + follower_offset[i]
+                    : walker[i].pos;
+      p.x += options.gps_noise * rng.NextGaussian();
+      p.y += options.gps_noise * rng.NextGaussian();
+      positions.push_back(ObjectPosition{static_cast<ObjectId>(i), p});
+    }
+    stream.push_back(
+        Snapshot(std::move(positions), options.snapshot_duration));
+  }
+  return stream;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,47 @@
+#ifndef TCOMP_DATA_TAXI_GEN_H_
+#define TCOMP_DATA_TAXI_GEN_H_
+
+#include <cstdint>
+
+#include "core/snapshot.h"
+
+namespace tcomp {
+
+/// Substitute for the paper's GeoLife/T-Drive taxi dataset (D1): taxis
+/// move on a Manhattan grid road network with random turns at
+/// intersections, sampled every five minutes over ~4 hours (500 objects,
+/// 50 snapshots, 25 K records in the default configuration).
+///
+/// A configurable fraction of taxis travel in small platoons (shared
+/// route, small offsets) so the stream contains the weak, transient
+/// co-travel structure real taxi data shows: many short-lived companion
+/// candidates, heavy candidate churn, few long-lived companions.
+struct TaxiOptions {
+  int num_taxis = 500;
+  int num_snapshots = 50;
+  double snapshot_duration = 1.0;
+
+  double block_size = 400.0;   // meters between intersections
+  int grid_blocks = 40;        // city is grid_blocks × grid_blocks blocks
+  /// Distance driven per snapshot (meters per 5 minutes ≈ 30 km/h).
+  double speed = 2500.0;
+  /// GPS noise (σ, meters).
+  double gps_noise = 10.0;
+
+  /// Fraction of taxis organized in platoons following a shared route.
+  double platoon_fraction = 0.25;
+  int platoon_size_min = 4;
+  int platoon_size_max = 14;
+  /// Lateral/longitudinal jitter of platoon followers, meters.
+  double platoon_spread = 25.0;
+  /// Per-follower per-snapshot probability of leaving its platoon.
+  double defect_probability = 0.01;
+
+  uint64_t seed = 11;
+};
+
+SnapshotStream GenerateTaxi(const TaxiOptions& options);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_DATA_TAXI_GEN_H_

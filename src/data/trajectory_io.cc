@@ -1,0 +1,188 @@
+#include "data/trajectory_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tcomp {
+namespace {
+
+/// Splits a CSV line; no quoting support (trajectory files don't use it).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && end != nullptr;
+}
+
+}  // namespace
+
+Status ReadRecordCsv(const std::string& path,
+                     std::vector<TrajectoryRecord>* records) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() < 4) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": expected 4 fields");
+    }
+    double oid, ts, x, y;
+    if (!ParseDouble(fields[0], &oid)) continue;  // header row
+    if (!ParseDouble(fields[1], &ts) || !ParseDouble(fields[2], &x) ||
+        !ParseDouble(fields[3], &y)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed numeric field");
+    }
+    records->push_back(TrajectoryRecord{
+        static_cast<ObjectId>(oid), ts, Point{x, y}});
+  }
+  return Status::OK();
+}
+
+Status WriteRecordCsv(const std::string& path,
+                      const std::vector<TrajectoryRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# object_id,timestamp,x,y\n";
+  char buf[160];
+  for (const TrajectoryRecord& r : records) {
+    std::snprintf(buf, sizeof(buf), "%u,%.3f,%.3f,%.3f\n", r.object,
+                  r.timestamp, r.pos.x, r.pos.y);
+    out << buf;
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadGeoLifePlt(const std::string& path, ObjectId object,
+                      std::vector<GpsRecord>* records) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  // GeoLife .plt files carry six header lines.
+  for (int i = 0; i < 6 && std::getline(in, line); ++i) {
+  }
+  int64_t lineno = 6;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() < 5) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": expected ≥5 fields");
+    }
+    double lat, lon, days;
+    if (!ParseDouble(fields[0], &lat) || !ParseDouble(fields[1], &lon) ||
+        !ParseDouble(fields[4], &days)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed numeric field");
+    }
+    records->push_back(
+        GpsRecord{object, days * 86400.0, LatLon{lat, lon}});
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses "YYYY-MM-DD HH:MM:SS" into seconds since the Unix epoch,
+/// treating the wall time as UTC. Returns false on malformed input.
+/// Self-contained civil-time math (days-from-civil algorithm) — no
+/// dependence on the process time zone.
+bool ParseDateTime(const std::string& text, double* seconds) {
+  int y, mo, d, h, mi, s;
+  if (std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi,
+                  &s) != 6) {
+    return false;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 60) {
+    return false;
+  }
+  // Howard Hinnant's days_from_civil.
+  int64_t yy = y - (mo <= 2 ? 1 : 0);
+  int64_t era = (yy >= 0 ? yy : yy - 399) / 400;
+  int64_t yoe = yy - era * 400;
+  int64_t doy = (153 * (mo + (mo > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  int64_t days = era * 146097 + doe - 719468;
+  *seconds = static_cast<double>(days * 86400 + h * 3600 + mi * 60 + s);
+  return true;
+}
+
+}  // namespace
+
+Status ReadTDriveTxt(const std::string& path,
+                     std::vector<GpsRecord>* records) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() < 4) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": expected 4 fields");
+    }
+    double id, lon, lat, ts;
+    if (!ParseDouble(fields[0], &id) || !ParseDouble(fields[2], &lon) ||
+        !ParseDouble(fields[3], &lat) ||
+        !ParseDateTime(fields[1], &ts)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed field");
+    }
+    records->push_back(GpsRecord{static_cast<ObjectId>(id), ts,
+                                 LatLon{lat, lon}});
+  }
+  return Status::OK();
+}
+
+std::vector<TrajectoryRecord> ProjectGpsRecords(
+    const std::vector<GpsRecord>& records, LatLon reference) {
+  LocalProjection projection(reference);
+  std::vector<TrajectoryRecord> out;
+  out.reserve(records.size());
+  for (const GpsRecord& r : records) {
+    out.push_back(
+        TrajectoryRecord{r.object, r.timestamp, projection.Project(r.pos)});
+  }
+  return out;
+}
+
+std::vector<TrajectoryRecord> ProjectGpsRecords(
+    const std::vector<GpsRecord>& records) {
+  if (records.empty()) return {};
+  return ProjectGpsRecords(records, records.front().pos);
+}
+
+std::vector<TrajectoryRecord> StreamToRecords(const SnapshotStream& stream,
+                                              double seconds_per_snapshot) {
+  std::vector<TrajectoryRecord> out;
+  out.reserve(static_cast<size_t>(TotalRecords(stream)));
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Snapshot& s = stream[i];
+    double ts = static_cast<double>(i) * seconds_per_snapshot;
+    for (size_t k = 0; k < s.size(); ++k) {
+      out.push_back(TrajectoryRecord{s.id(k), ts, s.pos(k)});
+    }
+  }
+  return out;
+}
+
+}  // namespace tcomp

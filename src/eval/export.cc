@@ -1,0 +1,104 @@
+#include "eval/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace tcomp {
+namespace {
+
+void WriteObjectsArray(const ObjectSet& objects, std::ostream& out) {
+  out << '[';
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (i) out << ',';
+    out << objects[i];
+  }
+  out << ']';
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void WriteCompanionsJson(const std::vector<Companion>& companions,
+                         std::ostream& out) {
+  out << "{\"companions\":[";
+  for (size_t i = 0; i < companions.size(); ++i) {
+    if (i) out << ',';
+    const Companion& c = companions[i];
+    out << "{\"objects\":";
+    WriteObjectsArray(c.objects, out);
+    out << ",\"duration\":" << FormatNumber(c.duration)
+        << ",\"snapshot\":" << c.snapshot_index << '}';
+  }
+  out << "]}\n";
+}
+
+void WriteCompanionsCsv(const std::vector<Companion>& companions,
+                        std::ostream& out) {
+  out << "duration,snapshot_index,size,objects\n";
+  for (const Companion& c : companions) {
+    out << FormatNumber(c.duration) << ',' << c.snapshot_index << ','
+        << c.objects.size() << ',';
+    for (size_t i = 0; i < c.objects.size(); ++i) {
+      if (i) out << ' ';
+      out << c.objects[i];
+    }
+    out << '\n';
+  }
+}
+
+void WriteStatsJson(const DiscoveryStats& stats, std::ostream& out) {
+  out << "{\"snapshots\":" << stats.snapshots
+      << ",\"intersections\":" << stats.intersections
+      << ",\"distance_ops\":" << stats.distance_ops
+      << ",\"candidate_objects_peak\":" << stats.candidate_objects_peak
+      << ",\"candidate_objects_last\":" << stats.candidate_objects_last
+      << ",\"companions_reported\":" << stats.companions_reported
+      << ",\"buddy_pairs_checked\":" << stats.buddy_pairs_checked
+      << ",\"buddy_pairs_pruned\":" << stats.buddy_pairs_pruned
+      << ",\"buddies_total\":" << stats.buddies_total
+      << ",\"buddies_unchanged\":" << stats.buddies_unchanged
+      << ",\"buddy_member_sum\":" << stats.buddy_member_sum
+      << ",\"maintain_seconds\":" << FormatNumber(stats.maintain_seconds)
+      << ",\"cluster_seconds\":" << FormatNumber(stats.cluster_seconds)
+      << ",\"intersect_seconds\":"
+      << FormatNumber(stats.intersect_seconds) << "}\n";
+}
+
+void WriteEpisodesJson(const std::vector<CompanionEpisode>& episodes,
+                       std::ostream& out) {
+  out << "{\"episodes\":[";
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    if (i) out << ',';
+    const CompanionEpisode& e = episodes[i];
+    out << "{\"objects\":";
+    WriteObjectsArray(e.objects, out);
+    out << ",\"begin\":" << e.begin << ",\"end\":" << e.end << '}';
+  }
+  out << "]}\n";
+}
+
+Status WriteCompanionsJsonFile(const std::vector<Companion>& companions,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteCompanionsJson(companions, out);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteCompanionsCsvFile(const std::vector<Companion>& companions,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteCompanionsCsv(companions, out);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tcomp

@@ -1,0 +1,43 @@
+#ifndef TCOMP_EVAL_EXPORT_H_
+#define TCOMP_EVAL_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/discoverer.h"
+#include "core/timeline.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Writers for downstream analysis pipelines: companions and run
+/// statistics as JSON, companions as CSV. All output is deterministic
+/// (insertion order preserved, fixed float formatting).
+
+/// JSON: {"companions":[{"objects":[...],"duration":d,"snapshot":s},...]}
+void WriteCompanionsJson(const std::vector<Companion>& companions,
+                         std::ostream& out);
+
+/// CSV: `duration,snapshot_index,size,objects` with objects
+/// space-separated inside one field.
+void WriteCompanionsCsv(const std::vector<Companion>& companions,
+                        std::ostream& out);
+
+/// JSON object with every DiscoveryStats counter.
+void WriteStatsJson(const DiscoveryStats& stats, std::ostream& out);
+
+/// JSON: {"episodes":[{"objects":[...],"begin":b,"end":e},...]}
+void WriteEpisodesJson(const std::vector<CompanionEpisode>& episodes,
+                       std::ostream& out);
+
+/// File-level conveniences.
+Status WriteCompanionsJsonFile(const std::vector<Companion>& companions,
+                               const std::string& path);
+Status WriteCompanionsCsvFile(const std::vector<Companion>& companions,
+                              const std::string& path);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_EVAL_EXPORT_H_

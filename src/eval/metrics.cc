@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+
+double Jaccard(const ObjectSet& a, const ObjectSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersect(a, b).size();
+  size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+EffectivenessResult ScoreCompanions(const std::vector<ObjectSet>& retrieved,
+                                    const std::vector<ObjectSet>& truth,
+                                    double jaccard_threshold) {
+  EffectivenessResult out;
+  out.retrieved = static_cast<int64_t>(retrieved.size());
+  out.truth = static_cast<int64_t>(truth.size());
+
+  std::vector<bool> used(retrieved.size(), false);
+  for (const ObjectSet& g : truth) {
+    double best = 0.0;
+    size_t best_idx = retrieved.size();
+    for (size_t i = 0; i < retrieved.size(); ++i) {
+      if (used[i]) continue;
+      double j = Jaccard(retrieved[i], g);
+      if (j > best) {
+        best = j;
+        best_idx = i;
+      }
+    }
+    if (best_idx < retrieved.size() && best >= jaccard_threshold) {
+      used[best_idx] = true;
+      ++out.matched;
+    }
+  }
+
+  out.precision = retrieved.empty()
+                      ? 0.0
+                      : static_cast<double>(out.matched) /
+                            static_cast<double>(out.retrieved);
+  out.recall = truth.empty() ? 0.0
+                             : static_cast<double>(out.matched) /
+                                   static_cast<double>(out.truth);
+  return out;
+}
+
+EffectivenessResult ScoreCompanionsCoverage(
+    const std::vector<ObjectSet>& retrieved,
+    const std::vector<ObjectSet>& truth, double jaccard_threshold) {
+  EffectivenessResult out;
+  out.retrieved = static_cast<int64_t>(retrieved.size());
+  out.truth = static_cast<int64_t>(truth.size());
+
+  int64_t true_positives = 0;
+  for (const ObjectSet& r : retrieved) {
+    for (const ObjectSet& g : truth) {
+      if (Jaccard(r, g) >= jaccard_threshold) {
+        ++true_positives;
+        break;
+      }
+    }
+  }
+  int64_t recalled = 0;
+  for (const ObjectSet& g : truth) {
+    for (const ObjectSet& r : retrieved) {
+      if (Jaccard(r, g) >= jaccard_threshold) {
+        ++recalled;
+        break;
+      }
+    }
+  }
+  out.matched = recalled;
+  out.precision = retrieved.empty()
+                      ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(out.retrieved);
+  out.recall = truth.empty() ? 0.0
+                             : static_cast<double>(recalled) /
+                                   static_cast<double>(out.truth);
+  return out;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,49 @@
+#ifndef TCOMP_EVAL_METRICS_H_
+#define TCOMP_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// |a ∩ b| / |a ∪ b| for sorted unique object sets.
+double Jaccard(const ObjectSet& a, const ObjectSet& b);
+
+/// Effectiveness of a companion-discovery run against ground truth
+/// (paper Section V-D).
+struct EffectivenessResult {
+  /// matched / retrieved: the algorithm's selectivity. Redundant outputs
+  /// (duplicates, non-closed subsets, mixed-group sets) count against it.
+  double precision = 0.0;
+  /// matched / truth: the algorithm's sensitivity.
+  double recall = 0.0;
+  int64_t matched = 0;
+  int64_t retrieved = 0;
+  int64_t truth = 0;
+};
+
+/// Scores retrieved companions against ground-truth groups with greedy
+/// one-to-one matching: ground-truth groups are matched to their best
+/// remaining retrieved set by Jaccard similarity, accepting matches with
+/// Jaccard ≥ `jaccard_threshold`. One-to-one matching is what makes the
+/// paper's observation measurable — CI and SW emit many redundant sets per
+/// true group, and each unmatched duplicate costs precision.
+EffectivenessResult ScoreCompanions(const std::vector<ObjectSet>& retrieved,
+                                    const std::vector<ObjectSet>& truth,
+                                    double jaccard_threshold = 0.5);
+
+/// Coverage-style (many-to-one) scoring: a retrieved set is a true
+/// positive if it matches *some* ground-truth group (Jaccard ≥ threshold),
+/// and a group is recalled if *some* retrieved set matches it. Under
+/// missing data a true group legitimately appears as several near-variants
+/// (members temporarily dropped); this score asks whether the outputs
+/// correspond to real groups at all, while ScoreCompanions() additionally
+/// punishes redundancy.
+EffectivenessResult ScoreCompanionsCoverage(
+    const std::vector<ObjectSet>& retrieved,
+    const std::vector<ObjectSet>& truth, double jaccard_threshold = 0.5);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_EVAL_METRICS_H_

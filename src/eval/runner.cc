@@ -1,0 +1,87 @@
+#include "eval/runner.h"
+
+#include "util/timer.h"
+
+namespace tcomp {
+
+RunResult RunStreamingAlgorithm(Algorithm algorithm,
+                                const DiscoveryParams& params,
+                                const SnapshotStream& stream) {
+  RunResult out;
+  out.algorithm = AlgorithmName(algorithm);
+  std::unique_ptr<CompanionDiscoverer> discoverer =
+      MakeDiscoverer(algorithm, params);
+  Timer timer;
+  timer.Start();
+  for (const Snapshot& s : stream) {
+    discoverer->ProcessSnapshot(s, nullptr);
+  }
+  timer.Stop();
+  out.wall_seconds = timer.Seconds();
+  out.stats = discoverer->stats();
+  out.space_cost = out.stats.candidate_objects_peak;
+  out.companions.reserve(discoverer->log().size());
+  for (const Companion& c : discoverer->log().companions()) {
+    out.companions.push_back(c.objects);
+  }
+  return out;
+}
+
+RunResult RunSwarmBaseline(const SwarmParams& params,
+                           const SnapshotStream& stream) {
+  RunResult out;
+  out.algorithm = "SW";
+  SwarmStats stats;
+  Timer timer;
+  timer.Start();
+  std::vector<Swarm> swarms = MineClosedSwarms(stream, params, &stats);
+  timer.Stop();
+  out.wall_seconds = timer.Seconds();
+  out.space_cost = stats.peak_candidate_objects;
+  out.stats.distance_ops = stats.distance_ops;
+  out.companions.reserve(swarms.size());
+  for (Swarm& s : swarms) {
+    out.companions.push_back(std::move(s.objects));
+  }
+  return out;
+}
+
+RunResult RunTraClusBaseline(const TraClusParams& params,
+                             const SnapshotStream& stream) {
+  RunResult out;
+  out.algorithm = "TC";
+  TraClusStats stats;
+  Timer timer;
+  timer.Start();
+  std::vector<SegmentCluster> clusters = RunTraClus(stream, params, &stats);
+  timer.Stop();
+  out.wall_seconds = timer.Seconds();
+  out.space_cost = 0;  // TC stores no companion candidates (paper V-B)
+  out.companions.reserve(clusters.size());
+  for (SegmentCluster& c : clusters) {
+    out.companions.push_back(std::move(c.objects));
+  }
+  return out;
+}
+
+SwarmParams SwarmParamsFrom(const DiscoveryParams& params) {
+  SwarmParams sp;
+  sp.cluster = params.cluster;
+  sp.min_objects = params.size_threshold;
+  sp.min_snapshots = static_cast<int>(params.duration_threshold);
+  return sp;
+}
+
+TraClusParams TraClusParamsFrom(const DiscoveryParams& params) {
+  TraClusParams tp;
+  // The segment ε needs headroom over the point ε: the TraClus distance
+  // sums three components.
+  tp.epsilon = params.cluster.epsilon * 2.0;
+  tp.min_lines = params.cluster.mu;
+  // Shorter segments keep the midpoint grid tight (reach = ε + max_len),
+  // which bounds the neighbor-candidate count in dense corridors.
+  tp.max_segment_length = params.cluster.epsilon * 10.0;
+  return tp;
+}
+
+}  // namespace tcomp

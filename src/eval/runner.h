@@ -1,0 +1,53 @@
+#ifndef TCOMP_EVAL_RUNNER_H_
+#define TCOMP_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/swarm.h"
+#include "baselines/traclus.h"
+#include "core/discoverer.h"
+#include "core/snapshot.h"
+
+namespace tcomp {
+
+/// Outcome of running one algorithm over one stream, normalized so the
+/// five methods (CI, SC, BU, SW, TC) can share bench tables.
+struct RunResult {
+  std::string algorithm;
+  double wall_seconds = 0.0;
+  /// Peak memory-resident candidate size in objects (the paper's space
+  /// metric). For TC this stays 0 — the paper excludes TC from the space
+  /// comparison because it stores no companion candidates.
+  int64_t space_cost = 0;
+  /// Distinct object groups the method reports.
+  std::vector<ObjectSet> companions;
+  /// Detailed counters (streaming algorithms only).
+  DiscoveryStats stats;
+};
+
+/// Runs one of the incremental algorithms (CI/SC/BU) over the stream.
+RunResult RunStreamingAlgorithm(Algorithm algorithm,
+                                const DiscoveryParams& params,
+                                const SnapshotStream& stream);
+
+/// Runs the swarm baseline (whole-dataset mining).
+RunResult RunSwarmBaseline(const SwarmParams& params,
+                           const SnapshotStream& stream);
+
+/// Runs the TraClus baseline (whole-dataset sub-trajectory clustering).
+RunResult RunTraClusBaseline(const TraClusParams& params,
+                             const SnapshotStream& stream);
+
+/// Derives SwarmParams from companion DiscoveryParams (mino = δs,
+/// mint = δt in snapshots).
+SwarmParams SwarmParamsFrom(const DiscoveryParams& params);
+
+/// Derives TraClusParams from companion DiscoveryParams: the segment ε
+/// scales with the point ε; δs/δt are ignored (TraClus has no equivalent —
+/// the paper's observation that TC is flat in both).
+TraClusParams TraClusParamsFrom(const DiscoveryParams& params);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_EVAL_RUNNER_H_

@@ -1,0 +1,73 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TCOMP_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&]() {
+    os << "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatCount(int64_t value) {
+  char buf[64];
+  double v = static_cast<double>(value);
+  if (value >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (value >= 100'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,35 @@
+#ifndef TCOMP_EVAL_TABLE_H_
+#define TCOMP_EVAL_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace tcomp {
+
+/// Fixed-width ASCII table printer for the bench harnesses: each bench
+/// prints the same rows/series its paper figure plots.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.346").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Engineering formatting with unit suffix ("1.44M", "25.0K", "321").
+std::string FormatCount(int64_t value);
+
+/// "12.3%" from a 0..1 fraction.
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_EVAL_TABLE_H_

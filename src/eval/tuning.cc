@@ -1,0 +1,98 @@
+#include "eval/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+std::vector<double> SortedKDistances(const Snapshot& snapshot, int k) {
+  TCOMP_CHECK_GT(k, 0);
+  const size_t n = snapshot.size();
+  std::vector<double> kdist;
+  kdist.reserve(n);
+  std::vector<double> dists;
+  for (size_t i = 0; i < n; ++i) {
+    dists.clear();
+    dists.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.push_back(Distance(snapshot.pos(i), snapshot.pos(j)));
+    }
+    if (dists.size() < static_cast<size_t>(k)) {
+      kdist.push_back(std::numeric_limits<double>::infinity());
+      continue;
+    }
+    std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+    kdist.push_back(dists[static_cast<size_t>(k - 1)]);
+  }
+  std::sort(kdist.begin(), kdist.end());
+  return kdist;
+}
+
+TuningSuggestion SuggestClusterParams(const SnapshotStream& stream,
+                                      int k, double tail_trim,
+                                      int max_snapshots) {
+  TCOMP_CHECK_GT(max_snapshots, 0);
+  TCOMP_CHECK_GE(tail_trim, 0.0);
+  TCOMP_CHECK_LT(tail_trim, 1.0);
+
+  TuningSuggestion suggestion;
+  suggestion.params.mu = k + 1;
+  if (stream.empty()) {
+    suggestion.params.epsilon = 1.0;
+    return suggestion;
+  }
+
+  // Evenly spaced sample snapshots.
+  std::vector<double> kdist;
+  size_t samples =
+      std::min<size_t>(stream.size(), static_cast<size_t>(max_snapshots));
+  for (size_t s = 0; s < samples; ++s) {
+    size_t idx = s * stream.size() / samples;
+    std::vector<double> snap_dists = SortedKDistances(stream[idx], k);
+    kdist.insert(kdist.end(), snap_dists.begin(), snap_dists.end());
+  }
+  std::sort(kdist.begin(), kdist.end());
+  // Strip unreachable objects (fewer than k neighbors anywhere) and the
+  // extreme tail (isolated wanderers stretch the chord and hide the
+  // knee).
+  while (!kdist.empty() && std::isinf(kdist.back())) kdist.pop_back();
+  size_t trimmed = static_cast<size_t>(
+      std::floor((1.0 - tail_trim) * static_cast<double>(kdist.size())));
+  const size_t total = kdist.size();
+  if (trimmed < kdist.size()) kdist.resize(std::max<size_t>(trimmed, 1));
+  if (kdist.empty()) {
+    suggestion.params.epsilon = 1.0;
+    suggestion.noise_fraction = 1.0;
+    return suggestion;
+  }
+
+  // Knee: the index with maximum distance to the chord from (0, y0) to
+  // (n-1, yN). With a flat head and rising tail, this is the corner
+  // where in-cluster spacing ends and the noise regime begins.
+  const size_t n = kdist.size();
+  size_t knee = n - 1;
+  if (n >= 3 && kdist.back() > kdist.front()) {
+    double x_span = static_cast<double>(n - 1);
+    double y_span = kdist.back() - kdist.front();
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      // Perpendicular distance to the chord, up to a constant factor.
+      double d = std::abs(static_cast<double>(i) / x_span * y_span -
+                          (kdist[i] - kdist.front()));
+      if (d > best) {
+        best = d;
+        knee = i;
+      }
+    }
+  }
+  suggestion.params.epsilon = kdist[knee];
+  suggestion.noise_fraction =
+      1.0 - static_cast<double>(knee + 1) / static_cast<double>(total);
+  return suggestion;
+}
+
+}  // namespace tcomp

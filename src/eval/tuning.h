@@ -1,0 +1,41 @@
+#ifndef TCOMP_EVAL_TUNING_H_
+#define TCOMP_EVAL_TUNING_H_
+
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+
+namespace tcomp {
+
+/// Parameter suggestion for the clustering thresholds the paper sets "per
+/// dataset" (Fig. 14): the classic sorted-k-distance heuristic of the
+/// original DBSCAN paper (Ester et al. 1996). ε is read from the knee of
+/// the sorted k-NN distance curve, μ = k + 1 (the neighborhood includes
+/// the object itself).
+
+/// Each object's distance to its k-th nearest neighbor, ascending.
+/// Objects with fewer than k neighbors contribute +inf entries.
+std::vector<double> SortedKDistances(const Snapshot& snapshot, int k);
+
+struct TuningSuggestion {
+  DbscanParams params;
+  /// Fraction of objects whose k-distance exceeds the chosen ε (they
+  /// would start as noise/border at this setting).
+  double noise_fraction = 0.0;
+};
+
+/// Suggests (ε, μ) from sample snapshots of a stream. `k` is the density
+/// count to calibrate for (μ = k+1). ε is read at the *knee* of the
+/// sorted k-distance curve — the point of maximum distance to the chord
+/// between the curve's endpoints — after trimming `tail_trim` of the
+/// extreme tail (isolated wanderers would otherwise stretch the chord).
+/// Deterministic; uses up to `max_snapshots` evenly spaced samples.
+TuningSuggestion SuggestClusterParams(const SnapshotStream& stream,
+                                      int k = 4,
+                                      double tail_trim = 0.02,
+                                      int max_snapshots = 5);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_EVAL_TUNING_H_

@@ -1,0 +1,46 @@
+#ifndef TCOMP_NETWORK_NETWORK_DBSCAN_H_
+#define TCOMP_NETWORK_NETWORK_DBSCAN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dbscan.h"
+#include "core/discoverer.h"
+#include "core/snapshot.h"
+#include "network/road_graph.h"
+
+namespace tcomp {
+
+struct NetworkDbscanStats {
+  int64_t snap_operations = 0;      // map-matching calls
+  int64_t expansions = 0;           // bounded Dijkstra expansions
+  int64_t distance_evaluations = 0;  // object-pair network distances
+};
+
+/// Density clustering of a snapshot under *road-network* distance (the
+/// paper's Section VIII extension): each object is map-matched onto the
+/// graph, and N_ε(o) contains the objects within network distance ε —
+/// two platoons on parallel avenues one block apart are Euclidean-close
+/// but network-far, and only this clustering separates them.
+///
+/// Output follows the exact deterministic Clustering spec of
+/// core/dbscan.h, so the result plugs into the smart-and-closed companion
+/// machinery unchanged.
+///
+/// Implementation: objects are bucketed per edge; each object runs one
+/// bounded Dijkstra (radius ε) from its network position and scores
+/// same-edge neighbors directly and cross-edge neighbors through the
+/// expansion's node distances.
+Clustering NetworkDbscan(const Snapshot& snapshot, const RoadGraph& graph,
+                         const DbscanParams& params,
+                         NetworkDbscanStats* stats = nullptr);
+
+/// A smart-and-closed companion discoverer whose "traveling together"
+/// relation is network-constrained density connection. `graph` must
+/// outlive the discoverer.
+std::unique_ptr<CompanionDiscoverer> MakeNetworkDiscoverer(
+    const RoadGraph& graph, const DiscoveryParams& params);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_NETWORK_NETWORK_DBSCAN_H_

@@ -1,0 +1,150 @@
+#include "network/network_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+/// A rectilinear route on the grid: drive along x to the target column,
+/// then along y to the target row. Parameterized by driven distance.
+class GridRoute {
+ public:
+  GridRoute() = default;
+  GridRoute(Point from, Point to) : from_(from), to_(to) {
+    leg1_ = std::abs(to.x - from.x);
+    leg2_ = std::abs(to.y - from.y);
+  }
+
+  double length() const { return leg1_ + leg2_; }
+
+  Point At(double s) const {
+    s = std::clamp(s, 0.0, length());
+    if (s <= leg1_) {
+      double dir = to_.x >= from_.x ? 1.0 : -1.0;
+      return Point{from_.x + dir * s, from_.y};
+    }
+    double dir = to_.y >= from_.y ? 1.0 : -1.0;
+    return Point{to_.x, from_.y + dir * (s - leg1_)};
+  }
+
+ private:
+  Point from_;
+  Point to_;
+  double leg1_ = 0.0;
+  double leg2_ = 0.0;
+};
+
+}  // namespace
+
+NetworkTrafficDataset GenerateNetworkTraffic(
+    const NetworkTrafficOptions& options) {
+  TCOMP_CHECK_GT(options.num_vehicles, 0);
+  Pcg32 rng(options.seed);
+
+  NetworkTrafficDataset out;
+  out.graph = RoadGraph::Grid(options.grid_width, options.grid_height,
+                              options.spacing);
+  out.graph.Freeze();
+
+  auto random_intersection = [&]() {
+    return Point{rng.NextInt(0, options.grid_width - 1) * options.spacing,
+                 rng.NextInt(0, options.grid_height - 1) * options.spacing};
+  };
+
+  const int n = options.num_vehicles;
+  // Leaders drive routes; followers replay the leader's track delayed by
+  // (position in platoon)·headway meters ≙ headway/speed snapshots.
+  std::vector<int32_t> leader_of(n, -1);
+  std::vector<int32_t> rank_in_platoon(n, 0);
+  struct LeaderState {
+    GridRoute route;
+    double driven = 0.0;
+    std::deque<Point> history;  // one entry per snapshot
+  };
+  std::vector<LeaderState> state(n);
+
+  int platooned = static_cast<int>(options.platoon_fraction * n);
+  int uid = 0;
+  while (uid < platooned) {
+    int size = rng.NextInt(options.platoon_size_min,
+                           options.platoon_size_max);
+    size = std::min(size, platooned - uid);
+    if (size <= 0) break;
+    ObjectSet members;
+    for (int k = 0; k < size; ++k) {
+      members.push_back(static_cast<ObjectId>(uid + k));
+      if (k > 0) {
+        leader_of[uid + k] = uid;
+        rank_in_platoon[uid + k] = k;
+      }
+    }
+    out.ground_truth.push_back(std::move(members));
+    uid += size;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (leader_of[i] >= 0) continue;
+    Point start = random_intersection();
+    state[i].route = GridRoute(start, random_intersection());
+  }
+
+  // Warm-up: leaders accumulate enough history for the longest follower
+  // delay before the first emitted snapshot.
+  int max_delay = static_cast<int>(
+      std::ceil(options.platoon_size_max * options.headway /
+                options.speed)) + 1;
+
+  out.stream.reserve(options.num_snapshots);
+  for (int t = -max_delay; t < options.num_snapshots; ++t) {
+    // Advance leaders and independents.
+    for (int i = 0; i < n; ++i) {
+      if (leader_of[i] >= 0) continue;
+      LeaderState& ls = state[i];
+      ls.driven += options.speed * rng.NextDouble(0.85, 1.15);
+      if (ls.driven >= ls.route.length()) {
+        Point here = ls.route.At(ls.route.length());
+        ls.route = GridRoute(here, random_intersection());
+        ls.driven = 0.0;
+      }
+      ls.history.push_back(ls.route.At(ls.driven));
+      if (static_cast<int>(ls.history.size()) > max_delay + 1) {
+        ls.history.pop_front();
+      }
+    }
+    if (t < 0) continue;
+
+    std::vector<ObjectPosition> positions;
+    positions.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      Point p;
+      if (leader_of[i] < 0) {
+        p = state[i].history.back();
+      } else {
+        const LeaderState& ls = state[leader_of[i]];
+        // Delay in snapshots for this follower's headway.
+        double delay_snapshots =
+            rank_in_platoon[i] * options.headway / options.speed;
+        int whole = static_cast<int>(delay_snapshots);
+        size_t last = ls.history.size() - 1;
+        size_t idx = last - std::min<size_t>(last, whole + 1);
+        size_t idx2 = last - std::min<size_t>(last, whole);
+        double frac = delay_snapshots - whole;
+        Point older = ls.history[idx];
+        Point newer = ls.history[idx2];
+        p = newer + (older - newer) * frac;
+      }
+      p.x += options.gps_noise * rng.NextGaussian();
+      p.y += options.gps_noise * rng.NextGaussian();
+      positions.push_back(ObjectPosition{static_cast<ObjectId>(i), p});
+    }
+    out.stream.push_back(
+        Snapshot(std::move(positions), options.snapshot_duration));
+  }
+  return out;
+}
+
+}  // namespace tcomp

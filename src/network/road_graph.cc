@@ -1,0 +1,249 @@
+#include "network/road_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace tcomp {
+namespace {
+
+/// Distance from point `p` to segment (a, b), and the projection offset
+/// from `a` along the segment.
+double PointToSegment(Point p, Point a, Point b, double* offset) {
+  Point d = b - a;
+  double len2 = d.x * d.x + d.y * d.y;
+  if (len2 == 0.0) {
+    *offset = 0.0;
+    return Distance(p, a);
+  }
+  double t = ((p.x - a.x) * d.x + (p.y - a.y) * d.y) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj = a + d * t;
+  *offset = t * std::sqrt(len2);
+  return Distance(p, proj);
+}
+
+}  // namespace
+
+NodeId RoadGraph::AddNode(Point pos) {
+  nodes_.push_back(pos);
+  adjacency_.emplace_back();
+  frozen_ = false;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+StatusOr<EdgeId> RoadGraph::AddEdge(NodeId from, NodeId to, double length) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.length = length > 0.0 ? length : Distance(nodes_[from], nodes_[to]);
+  edges_.push_back(e);
+  EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  adjacency_[from].push_back(id);
+  adjacency_[to].push_back(id);
+  frozen_ = false;
+  return id;
+}
+
+Point RoadGraph::Coordinates(const NetworkPosition& p) const {
+  const Edge& e = edges_[p.edge];
+  double t = e.length == 0.0 ? 0.0 : std::clamp(p.offset / e.length, 0.0,
+                                                1.0);
+  return nodes_[e.from] + (nodes_[e.to] - nodes_[e.from]) * t;
+}
+
+std::vector<std::pair<NodeId, double>> RoadGraph::NodesWithin(
+    const NetworkPosition& source, double bound) const {
+  const Edge& e = edges_[source.edge];
+  // Seed the frontier with the two endpoints of the source edge.
+  using QueueItem = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  std::unordered_map<NodeId, double> best;
+  auto relax = [&](NodeId n, double d) {
+    if (d > bound) return;
+    auto it = best.find(n);
+    if (it != best.end() && it->second <= d) return;
+    best[n] = d;
+    frontier.push({d, n});
+  };
+  relax(e.from, source.offset);
+  relax(e.to, e.length - source.offset);
+
+  std::vector<std::pair<NodeId, double>> out;
+  while (!frontier.empty()) {
+    auto [d, n] = frontier.top();
+    frontier.pop();
+    auto it = best.find(n);
+    if (it == best.end() || it->second < d) continue;  // stale entry
+    out.push_back({n, d});
+    for (EdgeId eid : adjacency_[n]) {
+      const Edge& edge = edges_[eid];
+      NodeId other = edge.from == n ? edge.to : edge.from;
+      relax(other, d + edge.length);
+    }
+  }
+  return out;
+}
+
+double RoadGraph::NetworkDistance(const NetworkPosition& a,
+                                  const NetworkPosition& b,
+                                  double bound) const {
+  double direct = kInfinity;
+  if (a.edge == b.edge) {
+    direct = std::abs(a.offset - b.offset);
+    if (direct <= 0.0) return 0.0;
+  }
+  // Via endpoints: bounded Dijkstra from a, then attach b's edge.
+  const Edge& eb = edges_[b.edge];
+  double best = direct;
+  for (const auto& [node, dist] : NodesWithin(a, std::min(bound, best))) {
+    if (node == eb.from) {
+      best = std::min(best, dist + b.offset);
+    }
+    if (node == eb.to) {
+      best = std::min(best, dist + eb.length - b.offset);
+    }
+  }
+  return best <= bound ? best : kInfinity;
+}
+
+void RoadGraph::CellRangeForEdge(EdgeId e, int64_t* x0, int64_t* y0,
+                                 int64_t* x1, int64_t* y1) const {
+  Point a = nodes_[edges_[e].from];
+  Point b = nodes_[edges_[e].to];
+  *x0 = static_cast<int64_t>(std::floor(std::min(a.x, b.x) / cell_size_));
+  *y0 = static_cast<int64_t>(std::floor(std::min(a.y, b.y) / cell_size_));
+  *x1 = static_cast<int64_t>(std::floor(std::max(a.x, b.x) / cell_size_));
+  *y1 = static_cast<int64_t>(std::floor(std::max(a.y, b.y) / cell_size_));
+}
+
+void RoadGraph::Freeze() const {
+  if (frozen_ || edges_.empty()) {
+    frozen_ = true;
+    return;
+  }
+  // Cell size: the mean edge length keeps per-cell edge lists short.
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.length;
+  cell_size_ = std::max(1e-9, total / static_cast<double>(edges_.size()));
+
+  int64_t min_x = std::numeric_limits<int64_t>::max();
+  int64_t min_y = std::numeric_limits<int64_t>::max();
+  int64_t max_x = std::numeric_limits<int64_t>::min();
+  int64_t max_y = std::numeric_limits<int64_t>::min();
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    int64_t x0, y0, x1, y1;
+    CellRangeForEdge(e, &x0, &y0, &x1, &y1);
+    min_x = std::min(min_x, x0);
+    min_y = std::min(min_y, y0);
+    max_x = std::max(max_x, x1);
+    max_y = std::max(max_y, y1);
+  }
+  grid_min_x_ = min_x;
+  grid_min_y_ = min_y;
+  grid_w_ = max_x - min_x + 1;
+  grid_h_ = max_y - min_y + 1;
+  cells_.assign(static_cast<size_t>(grid_w_ * grid_h_), {});
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    int64_t x0, y0, x1, y1;
+    CellRangeForEdge(e, &x0, &y0, &x1, &y1);
+    for (int64_t x = x0; x <= x1; ++x) {
+      for (int64_t y = y0; y <= y1; ++y) {
+        cells_[static_cast<size_t>((y - grid_min_y_) * grid_w_ +
+                                   (x - grid_min_x_))]
+            .push_back(e);
+      }
+    }
+  }
+  frozen_ = true;
+}
+
+NetworkPosition RoadGraph::Snap(Point p, double* snap_distance) const {
+  TCOMP_CHECK_GT(edges_.size(), 0u) << "cannot snap onto an empty graph";
+  Freeze();
+
+  NetworkPosition best_pos;
+  double best = kInfinity;
+  auto consider = [&](EdgeId e) {
+    double offset;
+    double d = PointToSegment(p, nodes_[edges_[e].from],
+                              nodes_[edges_[e].to], &offset);
+    if (d < best) {
+      best = d;
+      best_pos = NetworkPosition{e, offset};
+    }
+  };
+
+  // Expand search rings around p's cell. A candidate found at distance d
+  // rules out edges beyond ring floor(d/cell)+1 (cells at ring r contain
+  // only geometry at distance > (r-1)·cell), so the scan stops as soon as
+  // the ring index passes that limit.
+  int64_t cx = static_cast<int64_t>(std::floor(p.x / cell_size_));
+  int64_t cy = static_cast<int64_t>(std::floor(p.y / cell_size_));
+  int64_t max_ring = grid_w_ + grid_h_;  // covers any in-grid point
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    if (best < kInfinity) {
+      int64_t limit =
+          static_cast<int64_t>(std::floor(best / cell_size_)) + 1;
+      if (ring > limit) break;
+    }
+    for (int64_t x = cx - ring; x <= cx + ring; ++x) {
+      for (int64_t y = cy - ring; y <= cy + ring; ++y) {
+        if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) continue;
+        if (x < grid_min_x_ || y < grid_min_y_ ||
+            x >= grid_min_x_ + grid_w_ || y >= grid_min_y_ + grid_h_) {
+          continue;
+        }
+        for (EdgeId e :
+             cells_[static_cast<size_t>((y - grid_min_y_) * grid_w_ +
+                                        (x - grid_min_x_))]) {
+          consider(e);
+        }
+      }
+    }
+  }
+  if (best == kInfinity) {
+    // Point far outside the indexed area: fall back to a full scan.
+    for (EdgeId e = 0; e < edges_.size(); ++e) consider(e);
+  }
+  if (snap_distance != nullptr) *snap_distance = best;
+  return best_pos;
+}
+
+RoadGraph RoadGraph::Grid(int width, int height, double spacing) {
+  TCOMP_CHECK_GT(width, 0);
+  TCOMP_CHECK_GT(height, 0);
+  RoadGraph g;
+  for (int j = 0; j < height; ++j) {
+    for (int i = 0; i < width; ++i) {
+      g.AddNode(Point{i * spacing, j * spacing});
+    }
+  }
+  auto id = [width](int i, int j) {
+    return static_cast<NodeId>(j * width + i);
+  };
+  for (int j = 0; j < height; ++j) {
+    for (int i = 0; i < width; ++i) {
+      if (i + 1 < width) {
+        g.AddEdge(id(i, j), id(i + 1, j)).ok();
+      }
+      if (j + 1 < height) {
+        g.AddEdge(id(i, j), id(i, j + 1)).ok();
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,122 @@
+#ifndef TCOMP_NETWORK_ROAD_GRAPH_H_
+#define TCOMP_NETWORK_ROAD_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+/// A position on the road network: a point `offset` meters from the
+/// `From()` endpoint of edge `edge`.
+struct NetworkPosition {
+  EdgeId edge = 0;
+  double offset = 0.0;
+};
+
+/// An undirected road network embedded in the plane (paper Section VIII
+/// future work: companion discovery "in more complex scenarios, such as
+/// road networks"). Nodes are intersections with coordinates; edges are
+/// road segments with lengths (defaulting to the Euclidean node
+/// distance). The graph answers the two queries network-constrained
+/// clustering needs: bounded-radius shortest-path expansion and
+/// map-matching of free points onto the nearest edge.
+class RoadGraph {
+ public:
+  struct Edge {
+    NodeId from = 0;
+    NodeId to = 0;
+    double length = 0.0;
+  };
+
+  /// Adds a node at `pos`; returns its id (dense, starting at 0).
+  NodeId AddNode(Point pos);
+
+  /// Adds an undirected edge. `length` ≤ 0 means "use the Euclidean
+  /// distance between the endpoints". Returns the edge id, or an error
+  /// for invalid node ids / self-loops.
+  StatusOr<EdgeId> AddEdge(NodeId from, NodeId to, double length = 0.0);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  Point node_pos(NodeId n) const { return nodes_[n]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Edges incident to `n` (ids into edge()).
+  const std::vector<EdgeId>& EdgesAt(NodeId n) const {
+    return adjacency_[n];
+  }
+
+  /// The planar coordinates of a network position.
+  Point Coordinates(const NetworkPosition& p) const;
+
+  /// Shortest network distance between two positions, capped at `bound`:
+  /// returns +inf when the true distance exceeds it (bounded Dijkstra —
+  /// the ε-neighborhood primitive of network DBSCAN). Positions on the
+  /// same edge use the along-edge distance if it is shorter than any
+  /// detour through the endpoints.
+  double NetworkDistance(const NetworkPosition& a, const NetworkPosition& b,
+                         double bound) const;
+
+  /// Bounded single-source shortest paths from a network position:
+  /// returns (node, distance) pairs for every node within `bound`.
+  std::vector<std::pair<NodeId, double>> NodesWithin(
+      const NetworkPosition& source, double bound) const;
+
+  /// Maps a planar point to the nearest network position (and optionally
+  /// its snap distance). Linear scan over edges accelerated by a coarse
+  /// bounding-box grid built lazily on first use; call Freeze() after
+  /// construction for deterministic timing.
+  NetworkPosition Snap(Point p, double* snap_distance = nullptr) const;
+
+  /// Builds the spatial index (idempotent).
+  void Freeze() const;
+
+  /// Convenience: a w×h Manhattan grid with `spacing` between
+  /// intersections (node (i,j) = j*w + i).
+  static RoadGraph Grid(int width, int height, double spacing);
+
+  static constexpr double kInfinity =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  struct CellKey {
+    int64_t cx;
+    int64_t cy;
+    bool operator==(const CellKey& o) const {
+      return cx == o.cx && cy == o.cy;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::vector<Point> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+
+  // Lazy spatial index over edges for Snap().
+  mutable bool frozen_ = false;
+  mutable double cell_size_ = 0.0;
+  mutable std::vector<std::vector<EdgeId>> cells_;
+  mutable int64_t grid_min_x_ = 0, grid_min_y_ = 0;
+  mutable int64_t grid_w_ = 0, grid_h_ = 0;
+
+  void CellRangeForEdge(EdgeId e, int64_t* x0, int64_t* y0, int64_t* x1,
+                        int64_t* y1) const;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_NETWORK_ROAD_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tcomp {
+namespace {
+
+/// Squared distance from `p` to the square cell (center, half).
+double CellDistance2(Point p, Point center, double half) {
+  double dx = std::max(std::abs(p.x - center.x) - half, 0.0);
+  double dy = std::max(std::abs(p.y - center.y) - half, 0.0);
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+QuadTree::QuadTree(Point origin, double extent, int bucket_capacity,
+                   int max_depth)
+    : origin_(origin),
+      extent_(extent),
+      bucket_capacity_(bucket_capacity),
+      max_depth_(max_depth) {
+  TCOMP_CHECK_GT(extent, 0.0);
+  TCOMP_CHECK_GT(bucket_capacity, 0);
+  nodes_.emplace_back();
+}
+
+void QuadTree::Clear() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  count_ = 0;
+}
+
+Point QuadTree::Clamp(Point p) const {
+  p.x = std::clamp(p.x, origin_.x, origin_.x + extent_);
+  p.y = std::clamp(p.y, origin_.y, origin_.y + extent_);
+  return p;
+}
+
+int QuadTree::Quadrant(Point p, Point center) const {
+  return (p.x >= center.x ? 1 : 0) + (p.y >= center.y ? 2 : 0);
+}
+
+void QuadTree::Split(int32_t n, Point center, double half, int depth) {
+  std::vector<Item> items = std::move(nodes_[n].items);
+  nodes_[n].leaf = false;
+  for (int q = 0; q < 4; ++q) {
+    nodes_[n].children[q] = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();  // may reallocate; children stored first
+  }
+  for (const Item& item : items) {
+    int q = Quadrant(item.pos, center);
+    nodes_[static_cast<size_t>(nodes_[n].children[q])].items.push_back(
+        item);
+  }
+  // A pathological all-same-point bucket re-splits immediately; depth
+  // capping in Insert() prevents runaway recursion.
+  (void)half;
+  (void)depth;
+}
+
+void QuadTree::Insert(ObjectId id, Point p) {
+  p = Clamp(p);
+  int32_t n = 0;
+  Point center{origin_.x + extent_ / 2.0, origin_.y + extent_ / 2.0};
+  double half = extent_ / 2.0;
+  int depth = 1;
+  while (!nodes_[n].leaf) {
+    int q = Quadrant(p, center);
+    center.x += (q & 1) ? half / 2.0 : -half / 2.0;
+    center.y += (q & 2) ? half / 2.0 : -half / 2.0;
+    half /= 2.0;
+    n = nodes_[n].children[q];
+    ++depth;
+  }
+  nodes_[n].items.push_back(Item{id, p});
+  ++count_;
+  if (nodes_[n].items.size() >
+          static_cast<size_t>(bucket_capacity_) &&
+      depth < max_depth_) {
+    Split(n, center, half, depth);
+  }
+}
+
+bool QuadTree::Delete(ObjectId id, Point p) {
+  p = Clamp(p);
+  int32_t n = 0;
+  Point center{origin_.x + extent_ / 2.0, origin_.y + extent_ / 2.0};
+  double half = extent_ / 2.0;
+  std::vector<int32_t> path;
+  while (!nodes_[n].leaf) {
+    path.push_back(n);
+    int q = Quadrant(p, center);
+    center.x += (q & 1) ? half / 2.0 : -half / 2.0;
+    center.y += (q & 2) ? half / 2.0 : -half / 2.0;
+    half /= 2.0;
+    n = nodes_[n].children[q];
+  }
+  std::vector<Item>& items = nodes_[n].items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].id == id && items[i].pos.x == p.x &&
+        items[i].pos.y == p.y) {
+      items.erase(items.begin() + static_cast<int64_t>(i));
+      --count_;
+      // Collapse sparse parents back into leaves (keeps the tree tight
+      // under sustained deletes). Only the immediate parent is checked —
+      // amortized cleanup, invariants unaffected.
+      if (!path.empty()) {
+        int32_t parent = path.back();
+        size_t total = 0;
+        bool all_leaves = true;
+        for (int q = 0; q < 4; ++q) {
+          const Node& child =
+              nodes_[static_cast<size_t>(nodes_[parent].children[q])];
+          if (!child.leaf) {
+            all_leaves = false;
+            break;
+          }
+          total += child.items.size();
+        }
+        if (all_leaves &&
+            total <= static_cast<size_t>(bucket_capacity_) / 2) {
+          std::vector<Item> merged;
+          for (int q = 0; q < 4; ++q) {
+            Node& child =
+                nodes_[static_cast<size_t>(nodes_[parent].children[q])];
+            merged.insert(merged.end(), child.items.begin(),
+                          child.items.end());
+            child.items.clear();
+            nodes_[parent].children[q] = -1;
+          }
+          nodes_[parent].leaf = true;
+          nodes_[parent].items = std::move(merged);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool QuadTree::Update(ObjectId id, Point from, Point to) {
+  if (!Delete(id, from)) return false;
+  Insert(id, to);
+  return true;
+}
+
+std::vector<ObjectId> QuadTree::Search(Point center, double radius) const {
+  std::vector<ObjectId> out;
+  double r2 = radius * radius;
+  struct Frame {
+    int32_t n;
+    Point center;
+    double half;
+  };
+  std::vector<Frame> stack = {
+      {0,
+       Point{origin_.x + extent_ / 2.0, origin_.y + extent_ / 2.0},
+       extent_ / 2.0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    ++nodes_visited_;
+    if (CellDistance2(center, f.center, f.half) > r2) continue;
+    const Node& node = nodes_[static_cast<size_t>(f.n)];
+    if (node.leaf) {
+      for (const Item& item : node.items) {
+        if (SquaredDistance(item.pos, center) <= r2) {
+          out.push_back(item.id);
+        }
+      }
+      continue;
+    }
+    for (int q = 0; q < 4; ++q) {
+      Point child_center{
+          f.center.x + ((q & 1) ? f.half / 2.0 : -f.half / 2.0),
+          f.center.y + ((q & 2) ? f.half / 2.0 : -f.half / 2.0)};
+      stack.push_back(Frame{node.children[q], child_center, f.half / 2.0});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool QuadTree::CheckNode(int32_t n, Point center, double half, int depth,
+                         size_t* seen) const {
+  const Node& node = nodes_[static_cast<size_t>(n)];
+  if (depth > max_depth_) return false;
+  if (node.leaf) {
+    for (const Item& item : node.items) {
+      if (std::abs(item.pos.x - center.x) > half + 1e-9 ||
+          std::abs(item.pos.y - center.y) > half + 1e-9) {
+        return false;
+      }
+    }
+    *seen += node.items.size();
+    return true;
+  }
+  if (!node.items.empty()) return false;
+  for (int q = 0; q < 4; ++q) {
+    if (node.children[q] < 0) return false;
+    Point child_center{center.x + ((q & 1) ? half / 2.0 : -half / 2.0),
+                       center.y + ((q & 2) ? half / 2.0 : -half / 2.0)};
+    if (!CheckNode(node.children[q], child_center, half / 2.0, depth + 1,
+                   seen)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool QuadTree::CheckInvariants() const {
+  size_t seen = 0;
+  if (!CheckNode(0,
+                 Point{origin_.x + extent_ / 2.0,
+                       origin_.y + extent_ / 2.0},
+                 extent_ / 2.0, 1, &seen)) {
+    return false;
+  }
+  return seen == count_;
+}
+
+}  // namespace tcomp

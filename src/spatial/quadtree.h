@@ -1,0 +1,69 @@
+#ifndef TCOMP_SPATIAL_QUADTREE_H_
+#define TCOMP_SPATIAL_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// A bucket PR-quadtree over a fixed square region — the second
+/// "traditional spatial index" the paper names when motivating traveling
+/// buddies (Section IV). Supports insert, delete, point moves, and
+/// circular range queries; bench_index_maintenance measures its
+/// per-snapshot maintenance cost against the alternatives.
+class QuadTree {
+ public:
+  /// Indexes points inside the square [origin, origin+extent)²; points
+  /// outside are clamped into the boundary cells (the generators keep
+  /// objects in-region, the clamp just avoids UB on GPS noise).
+  QuadTree(Point origin, double extent, int bucket_capacity = 16,
+           int max_depth = 16);
+
+  void Insert(ObjectId id, Point p);
+  bool Delete(ObjectId id, Point p);
+  bool Update(ObjectId id, Point from, Point to);
+
+  /// Ids within Euclidean `radius` of `center`, ascending.
+  std::vector<ObjectId> Search(Point center, double radius) const;
+
+  size_t size() const { return count_; }
+  int64_t nodes_visited() const { return nodes_visited_; }
+  void ResetStats() { nodes_visited_ = 0; }
+  void Clear();
+
+  /// Consistency check: every stored point inside its cell, counts add
+  /// up, depth bounded.
+  bool CheckInvariants() const;
+
+ private:
+  struct Item {
+    ObjectId id;
+    Point pos;
+  };
+  struct Node {
+    // children[0..3] = NW, NE, SW, SE; -1 when this is a leaf.
+    int32_t children[4] = {-1, -1, -1, -1};
+    std::vector<Item> items;  // leaf payload
+    bool leaf = true;
+  };
+
+  Point Clamp(Point p) const;
+  int Quadrant(Point p, Point center) const;
+  void Split(int32_t n, Point center, double half, int depth);
+  bool CheckNode(int32_t n, Point center, double half, int depth,
+                 size_t* seen) const;
+
+  Point origin_;
+  double extent_;
+  int bucket_capacity_;
+  int max_depth_;
+  std::vector<Node> nodes_;
+  size_t count_ = 0;
+  mutable int64_t nodes_visited_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SPATIAL_QUADTREE_H_

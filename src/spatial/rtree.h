@@ -1,0 +1,114 @@
+#ifndef TCOMP_SPATIAL_RTREE_H_
+#define TCOMP_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+#include "core/types.h"
+
+namespace tcomp {
+
+/// Axis-aligned bounding rectangle.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  static Rect ForPoint(Point p) { return {p.x, p.y, p.x, p.y}; }
+
+  bool Intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  void Extend(const Rect& o);
+  double Area() const { return (max_x - min_x) * (max_y - min_y); }
+  double EnlargementFor(const Rect& o) const;
+};
+
+/// A point R-tree (Guttman 1984, quadratic split) with STR bulk loading
+/// and incremental insert/delete.
+///
+/// This exists to *measure the paper's motivation*, not to serve the
+/// discovery pipeline: Section IV argues that "maintaining traditional
+/// spatial indexes (such as R-tree or quad-tree) at each time snapshot
+/// incurs high cost" [21], which is why traveling buddies store object
+/// relationships instead of coordinates. bench_index_maintenance puts
+/// that claim under a stopwatch: per-snapshot rebuild vs. incremental
+/// delete+reinsert vs. buddy maintenance.
+class RTree {
+ public:
+  /// `max_entries` per node (min is max/2, classic 40% fill on splits).
+  explicit RTree(int max_entries = 8);
+
+  /// Discards contents and bulk-loads with Sort-Tile-Recursive packing.
+  void BulkLoad(const std::vector<ObjectPosition>& items);
+
+  void Insert(ObjectId id, Point p);
+
+  /// Removes the entry (id at position p); returns false if absent.
+  /// The position must match what was inserted (point R-tree).
+  bool Delete(ObjectId id, Point p);
+
+  /// Updates an object's position (delete + reinsert — the maintenance
+  /// pattern whose cost the paper cites).
+  bool Update(ObjectId id, Point from, Point to);
+
+  /// Ids of all points within Euclidean `radius` of `center`, ascending.
+  std::vector<ObjectId> Search(Point center, double radius) const;
+
+  size_t size() const { return count_; }
+  int height() const;
+  /// Nodes visited by queries since the last ResetStats (cost metric).
+  int64_t nodes_visited() const { return nodes_visited_; }
+  void ResetStats() { nodes_visited_ = 0; }
+
+  /// Internal consistency check (tests): every child rect within its
+  /// parent rect, leaf depth uniform, entry count matches.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Rect rect;
+    int32_t child = -1;  // internal: node index; leaf: -1
+    ObjectId id = 0;     // leaf payload
+  };
+  struct Node {
+    bool leaf = true;
+    int32_t parent = -1;
+    std::vector<Entry> entries;
+  };
+
+  int32_t NewNode(bool leaf, int32_t parent);
+  Rect NodeRect(int32_t n) const;
+  /// Refreshes the parent-entry rects from `n` up to the root.
+  void RefreshUpward(int32_t n);
+  /// Splits overfull node `n`, propagating splits upward.
+  void HandleOverflow(int32_t n);
+  /// Collects every point entry in `n`'s subtree.
+  void CollectPoints(int32_t n, std::vector<Entry>* out) const;
+  bool CheckNode(int32_t n, int depth, int leaf_depth,
+                 size_t* points) const;
+
+  int max_entries_;
+  int min_entries_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_nodes_;
+  int32_t root_ = -1;
+  size_t count_ = 0;
+  mutable int64_t nodes_visited_ = 0;
+};
+
+/// Reference DBSCAN whose ε-neighborhood queries go through an R-tree.
+/// Output matches Dbscan()/DbscanGrid() exactly. `rebuild` selects the
+/// maintenance strategy being measured: true bulk-loads a fresh tree for
+/// the snapshot, false incrementally Updates `tree` from the previous
+/// positions (tree must then contain exactly the previous snapshot).
+Clustering DbscanRtree(const Snapshot& snapshot, const DbscanParams& params,
+                       RTree* tree, const Snapshot* previous);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SPATIAL_RTREE_H_

@@ -1,0 +1,41 @@
+#include "stream/geo.h"
+
+#include <cmath>
+
+namespace tcomp {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371008.8;  // mean Earth radius
+constexpr double kPi = 3.14159265358979323846;
+
+double Radians(double deg) { return deg * kPi / 180.0; }
+
+}  // namespace
+
+double HaversineMeters(LatLon a, LatLon b) {
+  double lat1 = Radians(a.lat);
+  double lat2 = Radians(b.lat);
+  double dlat = Radians(b.lat - a.lat);
+  double dlon = Radians(b.lon - a.lon);
+  double h = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                 std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LocalProjection::LocalProjection(LatLon reference) : reference_(reference) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kPi / 180.0;
+  meters_per_deg_lon_ = meters_per_deg_lat_ * std::cos(Radians(reference.lat));
+}
+
+Point LocalProjection::Project(LatLon p) const {
+  return Point{(p.lon - reference_.lon) * meters_per_deg_lon_,
+               (p.lat - reference_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::Unproject(Point p) const {
+  return LatLon{reference_.lat + p.y / meters_per_deg_lat_,
+                reference_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace tcomp

@@ -1,0 +1,39 @@
+#ifndef TCOMP_STREAM_GEO_H_
+#define TCOMP_STREAM_GEO_H_
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in meters (haversine).
+double HaversineMeters(LatLon a, LatLon b);
+
+/// Equirectangular projection around a reference point: maps lat/lon to a
+/// local metric plane (meters east / north of the reference). Accurate to
+/// well under the ε values used for urban trajectory clustering over city-
+/// scale extents, which is all the companion pipeline needs — GPS inputs
+/// (e.g. GeoLife .plt files) pass through here before clustering.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon reference);
+
+  Point Project(LatLon p) const;
+  LatLon Unproject(Point p) const;
+
+  LatLon reference() const { return reference_; }
+
+ private:
+  LatLon reference_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_STREAM_GEO_H_

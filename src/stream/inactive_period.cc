@@ -1,0 +1,64 @@
+#include "stream/inactive_period.h"
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+InactivePeriodFiller::InactivePeriodFiller(int max_inactive_snapshots)
+    : max_inactive_(max_inactive_snapshots) {
+  TCOMP_CHECK_GE(max_inactive_snapshots, 0);
+}
+
+void InactivePeriodFiller::Reset() {
+  current_ = 0;
+  last_.clear();
+  known_.clear();
+}
+
+Snapshot InactivePeriodFiller::Fill(const Snapshot& snapshot) {
+  std::vector<ObjectPosition> positions;
+  positions.reserve(snapshot.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    ObjectId oid = snapshot.id(i);
+    positions.push_back(ObjectPosition{oid, snapshot.pos(i)});
+    if (oid >= last_.size()) {
+      last_.resize(oid + 1);
+      known_.resize(oid + 1, false);
+    }
+    LastSeen& seen = last_[oid];
+    if (known_[oid]) {
+      int64_t gap = current_ - seen.snapshot;
+      seen.velocity =
+          (snapshot.pos(i) - seen.pos) / static_cast<double>(gap);
+    }
+    seen.pos = snapshot.pos(i);
+    seen.snapshot = current_;
+    known_[oid] = true;
+  }
+  if (max_inactive_ > 0) {
+    for (ObjectId oid = 0; oid < known_.size(); ++oid) {
+      if (!known_[oid] || snapshot.Contains(oid)) continue;
+      int64_t gap = current_ - last_[oid].snapshot;
+      if (gap <= max_inactive_) {
+        // Dead reckoning: advance the last position by the last observed
+        // velocity so the object stays with its moving companions.
+        Point predicted =
+            last_[oid].pos +
+            last_[oid].velocity * static_cast<double>(gap);
+        positions.push_back(ObjectPosition{oid, predicted});
+      }
+    }
+  }
+  ++current_;
+  return Snapshot(std::move(positions), snapshot.duration());
+}
+
+SnapshotStream InactivePeriodFiller::FillStream(
+    const SnapshotStream& stream) {
+  SnapshotStream out;
+  out.reserve(stream.size());
+  for (const Snapshot& s : stream) out.push_back(Fill(s));
+  return out;
+}
+
+}  // namespace tcomp

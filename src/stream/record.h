@@ -1,0 +1,21 @@
+#ifndef TCOMP_STREAM_RECORD_H_
+#define TCOMP_STREAM_RECORD_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace tcomp {
+
+/// One raw stream item: an object reporting its position at a timestamp.
+/// Items may arrive out of order and with per-device delays (paper Section
+/// VI); the sliding window turns them into snapshots.
+struct TrajectoryRecord {
+  ObjectId object = 0;
+  double timestamp = 0.0;  // seconds since stream epoch
+  Point pos;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_STREAM_RECORD_H_

@@ -1,0 +1,74 @@
+#include "stream/sliding_window.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+SlidingWindowSnapshotter::SlidingWindowSnapshotter(
+    const SlidingWindowOptions& options)
+    : options_(options) {
+  TCOMP_CHECK_GT(options.snapshot_duration, 0.0);
+  if (options.mode == WindowMode::kEqualLength) {
+    TCOMP_CHECK_GT(options.window_length, 0.0);
+  } else {
+    TCOMP_CHECK_GT(options.min_objects, 0u);
+  }
+}
+
+void SlidingWindowSnapshotter::EmitWindow(std::vector<Snapshot>* out) {
+  if (window_.empty()) return;
+  std::vector<ObjectPosition> positions;
+  positions.reserve(window_.size());
+  for (const auto& [oid, accum] : window_) {
+    positions.push_back(ObjectPosition{
+        oid, accum.sum / static_cast<double>(accum.count)});
+  }
+  out->push_back(Snapshot(std::move(positions), options_.snapshot_duration));
+  window_.clear();
+  ++emitted_;
+}
+
+Status SlidingWindowSnapshotter::Push(const TrajectoryRecord& record,
+                                      std::vector<Snapshot>* out) {
+  if (!std::isfinite(record.timestamp)) {
+    return Status::InvalidArgument("non-finite record timestamp");
+  }
+
+  if (options_.mode == WindowMode::kEqualLength) {
+    if (!window_started_) {
+      // Anchor the first window at the first record's span boundary so
+      // windows are [k·L, (k+1)·L) regardless of where the stream starts.
+      window_start_ =
+          std::floor(record.timestamp / options_.window_length) *
+          options_.window_length;
+      window_started_ = true;
+    }
+    // Close every window the new timestamp has moved past. Gaps produce no
+    // empty snapshots — an empty window simply advances.
+    while (record.timestamp >= window_start_ + options_.window_length) {
+      EmitWindow(out);
+      window_start_ += options_.window_length;
+    }
+    // Late records (timestamp < window_start_) fold into the current
+    // window; see the class comment.
+  }
+
+  Accum& accum = window_[record.object];
+  accum.sum = accum.sum + record.pos;
+  ++accum.count;
+
+  if (options_.mode == WindowMode::kEqualWidth &&
+      window_.size() >= options_.min_objects) {
+    EmitWindow(out);
+  }
+  return Status::OK();
+}
+
+void SlidingWindowSnapshotter::Flush(std::vector<Snapshot>* out) {
+  EmitWindow(out);
+  window_started_ = false;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,83 @@
+#ifndef TCOMP_STREAM_SLIDING_WINDOW_H_
+#define TCOMP_STREAM_SLIDING_WINDOW_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "stream/record.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Snapshot-formation policy (paper Section VI).
+enum class WindowMode {
+  /// Equal length: one snapshot per fixed time span.
+  kEqualLength,
+  /// Equal width: a snapshot is emitted once enough distinct objects have
+  /// reported a position.
+  kEqualWidth,
+};
+
+struct SlidingWindowOptions {
+  WindowMode mode = WindowMode::kEqualLength;
+  /// Equal-length mode: time span of one snapshot, in seconds.
+  double window_length = 60.0;
+  /// Equal-width mode: distinct objects required to close a snapshot.
+  size_t min_objects = 100;
+  /// Duration value attached to emitted snapshots (the time unit candidate
+  /// durations accumulate in). 1.0 makes δt mean "snapshots".
+  double snapshot_duration = 1.0;
+};
+
+/// Batches a (possibly out-of-order, delayed) record stream into
+/// snapshots using the sliding-window model of Section VI:
+///  * multiple reports by one object within a window are averaged
+///    (the paper's Fig. 22 multi-report rule);
+///  * in equal-length mode a record with a timestamp past the current
+///    window closes it (and any empty windows the gap spans);
+///  * late records older than the current window are folded into the
+///    current window rather than dropped — a bounded-staleness choice
+///    matching the paper's tolerance discussion.
+///
+/// Usage:
+///   SlidingWindowSnapshotter win(options);
+///   std::vector<Snapshot> ready;
+///   for (const TrajectoryRecord& r : stream) {
+///     win.Push(r, &ready);
+///     for (const Snapshot& s : ready) discoverer->ProcessSnapshot(s, ...);
+///     ready.clear();
+///   }
+///   win.Flush(&ready);
+class SlidingWindowSnapshotter {
+ public:
+  explicit SlidingWindowSnapshotter(const SlidingWindowOptions& options);
+
+  /// Feeds one record. Snapshots completed by it are appended to `out`.
+  /// Returns InvalidArgument for non-finite timestamps.
+  Status Push(const TrajectoryRecord& record, std::vector<Snapshot>* out);
+
+  /// Emits the in-progress window (if it holds any reports).
+  void Flush(std::vector<Snapshot>* out);
+
+  /// Number of snapshots emitted so far.
+  int64_t emitted() const { return emitted_; }
+
+ private:
+  struct Accum {
+    Point sum;
+    int count = 0;
+  };
+
+  void EmitWindow(std::vector<Snapshot>* out);
+
+  SlidingWindowOptions options_;
+  std::unordered_map<ObjectId, Accum> window_;
+  double window_start_ = 0.0;
+  bool window_started_ = false;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_STREAM_SLIDING_WINDOW_H_

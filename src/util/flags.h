@@ -1,0 +1,44 @@
+#ifndef TCOMP_UTIL_FLAGS_H_
+#define TCOMP_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Anything not starting with `--` is collected as a positional argument.
+///
+/// Example:
+///   FlagParser flags;
+///   Status s = flags.Parse(argc, argv);
+///   int n = flags.GetInt("objects", 1000);
+///   bool full = flags.GetBool("full", false);
+class FlagParser {
+ public:
+  /// Parses argv. Returns InvalidArgument on malformed input (e.g. `--=x`).
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  int64_t GetInt64(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_FLAGS_H_

@@ -1,0 +1,81 @@
+#ifndef TCOMP_UTIL_LOGGING_H_
+#define TCOMP_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tcomp {
+namespace internal {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Stream-style log sink. Messages are written to stderr when the line is
+/// destroyed; FATAL aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Global minimum severity; messages below it are dropped. Default: WARNING
+/// so library internals stay quiet in benchmarks unless asked.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+/// Swallows a log stream without evaluating it (used by disabled DCHECKs).
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace tcomp
+
+#define TCOMP_LOG_INFO \
+  ::tcomp::internal::LogMessage(::tcomp::internal::LogSeverity::kInfo, \
+                                __FILE__, __LINE__).stream()
+#define TCOMP_LOG_WARNING \
+  ::tcomp::internal::LogMessage(::tcomp::internal::LogSeverity::kWarning, \
+                                __FILE__, __LINE__).stream()
+#define TCOMP_LOG_ERROR \
+  ::tcomp::internal::LogMessage(::tcomp::internal::LogSeverity::kError, \
+                                __FILE__, __LINE__).stream()
+#define TCOMP_LOG_FATAL \
+  ::tcomp::internal::LogMessage(::tcomp::internal::LogSeverity::kFatal, \
+                                __FILE__, __LINE__).stream()
+
+#define TCOMP_LOG(severity) TCOMP_LOG_##severity
+
+/// Invariant check, active in all build modes. Fails fast: the algorithms
+/// here are deterministic, so a broken invariant is a bug, not bad input.
+#define TCOMP_CHECK(cond)                                  \
+  if (!(cond))                                             \
+  TCOMP_LOG(FATAL) << "Check failed: " #cond " "
+
+#define TCOMP_CHECK_GE(a, b) TCOMP_CHECK((a) >= (b))
+#define TCOMP_CHECK_GT(a, b) TCOMP_CHECK((a) > (b))
+#define TCOMP_CHECK_LE(a, b) TCOMP_CHECK((a) <= (b))
+#define TCOMP_CHECK_LT(a, b) TCOMP_CHECK((a) < (b))
+#define TCOMP_CHECK_EQ(a, b) TCOMP_CHECK((a) == (b))
+#define TCOMP_CHECK_NE(a, b) TCOMP_CHECK((a) != (b))
+
+#ifndef NDEBUG
+#define TCOMP_DCHECK(cond) TCOMP_CHECK(cond)
+#else
+#define TCOMP_DCHECK(cond) \
+  if (false) ::tcomp::internal::NullStream()
+#endif
+
+#endif  // TCOMP_UTIL_LOGGING_H_

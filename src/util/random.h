@@ -1,0 +1,94 @@
+#ifndef TCOMP_UTIL_RANDOM_H_
+#define TCOMP_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tcomp {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill, pcg-random.org;
+/// XSH-RR 64/32 variant). Used instead of <random> engines so that every
+/// dataset generator produces byte-identical streams across standard
+/// libraries and platforms — the experiment tables depend on it.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Two Pcg32 instances with the same (seed, stream)
+  /// produce the same sequence.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Returns the next 32 uniformly distributed bits.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Returns an unbiased integer in [0, bound). bound must be > 0.
+  uint32_t NextBounded(uint32_t bound) {
+    // Lemire-style rejection of the biased low region.
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Returns an integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(
+                    NextBounded(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  /// Returns a double uniformly in [0, 1).
+  double NextDouble() {
+    return NextU32() * (1.0 / 4294967296.0);
+  }
+
+  /// Returns a double uniformly in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Returns a standard-normal variate (Box–Muller, one value per call; the
+  /// pair's second value is cached).
+  double NextGaussian();
+
+  /// Returns true with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+inline double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Marsaglia polar method: no trig, still deterministic.
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double m = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * m;
+  has_cached_gaussian_ = true;
+  return u * m;
+}
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_RANDOM_H_

@@ -1,0 +1,112 @@
+#ifndef TCOMP_UTIL_SORTED_OPS_H_
+#define TCOMP_UTIL_SORTED_OPS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+/// Set algebra on sorted, duplicate-free vectors. The companion-discovery
+/// kernels store object-id sets this way: linear-merge intersection is the
+/// inner loop the paper's "intersection times" metric counts, and sorted
+/// vectors make it cache-friendly and allocation-light.
+
+/// True if `v` is sorted ascending with no duplicates.
+template <typename T>
+bool IsSortedUnique(const std::vector<T>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i - 1] < v[i])) return false;
+  }
+  return true;
+}
+
+/// Returns the intersection of two sorted unique vectors.
+template <typename T>
+std::vector<T> SortedIntersect(const std::vector<T>& a,
+                               const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  std::vector<T> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Returns the union of two sorted unique vectors.
+template <typename T>
+std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Returns a \ b for sorted unique vectors.
+template <typename T>
+std::vector<T> SortedDifference(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  std::vector<T> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// Removes, in place, every element of sorted `b` from sorted `a`.
+template <typename T>
+void SortedSubtractInPlace(std::vector<T>* a, const std::vector<T>& b) {
+  *a = SortedDifference(*a, b);
+}
+
+/// True if sorted unique `a` is a subset of sorted unique `b`.
+template <typename T>
+bool SortedIsSubset(const std::vector<T>& a, const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// True if the sorted unique vectors share at least one element. Early-exits
+/// on the first hit, unlike SortedIntersect().size() > 0.
+template <typename T>
+bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True if sorted unique `v` contains `x`.
+template <typename T>
+bool SortedContains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Sorts and removes duplicates in place.
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_SORTED_OPS_H_

@@ -1,0 +1,99 @@
+#ifndef TCOMP_UTIL_STATUS_H_
+#define TCOMP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tcomp {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight success/error result, modeled on the Status types used by
+/// production storage engines. The library does not use exceptions; any
+/// operation that can fail (IO, parsing, configuration validation) returns
+/// a Status or a StatusOr<T>.
+///
+/// Example:
+///   Status s = ReadTrajectoryCsv(path, &records);
+///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns early from the enclosing function if `expr` is a non-OK Status.
+#define TCOMP_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::tcomp::Status _tcomp_status = (expr);         \
+    if (!_tcomp_status.ok()) return _tcomp_status;  \
+  } while (false)
+
+/// Value-or-error result. Minimal: exactly what the IO and config paths
+/// need, nothing more.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  /// Constructs a success result holding `value`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_STATUS_H_

@@ -1,0 +1,63 @@
+#ifndef TCOMP_UTIL_TIMER_H_
+#define TCOMP_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tcomp {
+
+/// Monotonic stopwatch. Accumulates across Start/Stop pairs so one timer
+/// can measure a stage that runs once per snapshot over a whole stream.
+class Timer {
+ public:
+  Timer() = default;
+
+  void Start() { start_ = Clock::now(); running_ = true; }
+
+  /// Stops the current interval and adds it to the accumulated total.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  void Reset() {
+    accumulated_ = Duration::zero();
+    running_ = false;
+  }
+
+  /// Accumulated time in seconds (includes the in-flight interval if the
+  /// timer is currently running).
+  double Seconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_ = Duration::zero();
+  Clock::time_point start_{};
+  bool running_ = false;
+};
+
+/// RAII guard: times a scope into an accumulating Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) : timer_(timer) { timer_->Start(); }
+  ~ScopedTimer() { timer_->Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_TIMER_H_

@@ -1,0 +1,72 @@
+#include "core/candidate.h"
+
+#include <gtest/gtest.h>
+
+namespace tcomp {
+namespace {
+
+TEST(CompanionLogTest, DedupsByObjectSet) {
+  CompanionLog log;
+  EXPECT_TRUE(log.Report({1, 2, 3}, 4.0, 10));
+  EXPECT_FALSE(log.Report({1, 2, 3}, 5.0, 11));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.companions()[0].duration, 5.0);
+  EXPECT_EQ(log.companions()[0].snapshot_index, 10);
+}
+
+TEST(CompanionLogTest, KeepsLongestDuration) {
+  CompanionLog log;
+  log.Report({1, 2}, 9.0, 3);
+  log.Report({1, 2}, 7.0, 4);  // shorter report does not shrink it
+  EXPECT_DOUBLE_EQ(log.companions()[0].duration, 9.0);
+}
+
+TEST(CompanionLogTest, DistinctSetsKeptSeparately) {
+  CompanionLog log;
+  EXPECT_TRUE(log.Report({1, 2}, 4.0, 0));
+  EXPECT_TRUE(log.Report({1, 2, 3}, 4.0, 0));
+  EXPECT_TRUE(log.Report({2, 3}, 4.0, 1));
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(CompanionLogTest, ClearEmpties) {
+  CompanionLog log;
+  log.Report({1}, 1.0, 0);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.Report({1}, 1.0, 0));
+}
+
+TEST(ClosedCandidateTest, SupersetWithLongerDurationSuppresses) {
+  std::vector<Candidate> against = {{{1, 2, 3, 4}, 30.0}};
+  EXPECT_FALSE(IsClosedAgainst({1, 2, 3}, 10.0, against));
+  EXPECT_FALSE(IsClosedAgainst({1, 2, 3, 4}, 10.0, against));
+}
+
+TEST(ClosedCandidateTest, EqualDurationSupersetSuppresses) {
+  std::vector<Candidate> against = {{{1, 2, 3, 4}, 10.0}};
+  EXPECT_FALSE(IsClosedAgainst({1, 2, 3, 4}, 10.0, against));
+}
+
+TEST(ClosedCandidateTest, ShorterSupersetDoesNotSuppress) {
+  std::vector<Candidate> against = {{{1, 2, 3, 4}, 5.0}};
+  EXPECT_TRUE(IsClosedAgainst({1, 2, 3}, 10.0, against));
+}
+
+TEST(ClosedCandidateTest, NonSupersetDoesNotSuppress) {
+  std::vector<Candidate> against = {{{1, 2, 4}, 30.0}};
+  EXPECT_TRUE(IsClosedAgainst({1, 2, 3}, 10.0, against));
+}
+
+TEST(ClosedCandidateTest, EmptyAgainstIsClosed) {
+  EXPECT_TRUE(IsClosedAgainst({1, 2, 3}, 10.0, {}));
+}
+
+TEST(CandidateTest, TotalObjectsSums) {
+  std::vector<Candidate> r = {{{1, 2, 3}, 1.0}, {{4, 5}, 2.0}};
+  EXPECT_EQ(TotalCandidateObjects(r), 5);
+  EXPECT_EQ(TotalCandidateObjects({}), 0);
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,173 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "data/group_model.h"
+#include "data/military_gen.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+GroupDataset TestStream(uint64_t seed = 71) {
+  GroupModelOptions options;
+  options.num_objects = 110;
+  options.num_snapshots = 36;
+  options.area_size = 1800.0;
+  options.min_group_size = 7;
+  options.max_group_size = 14;
+  options.split_probability = 0.01;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams TestParams() {
+  DiscoveryParams params;
+  params.cluster.epsilon = 20.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 6;
+  params.duration_threshold = 9;
+  return params;
+}
+
+std::set<ObjectSet> Reported(const CompanionDiscoverer& d) {
+  std::set<ObjectSet> out;
+  for (const Companion& c : d.log().companions()) out.insert(c.objects);
+  return out;
+}
+
+/// The defining property: save mid-stream, restore into a fresh instance,
+/// finish the stream — identical companions and identical deterministic
+/// counters to an uninterrupted run.
+class CheckpointResumeTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CheckpointResumeTest, ResumeEqualsUninterruptedRun) {
+  GroupDataset data = TestStream();
+  DiscoveryParams params = TestParams();
+  const size_t cut = data.stream.size() / 2;
+
+  // Uninterrupted reference run.
+  auto reference = MakeDiscoverer(GetParam(), params);
+  for (const Snapshot& s : data.stream) {
+    reference->ProcessSnapshot(s, nullptr);
+  }
+
+  // Interrupted run: first half, checkpoint, restore, second half.
+  auto first = MakeDiscoverer(GetParam(), params);
+  for (size_t t = 0; t < cut; ++t) {
+    first->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDiscoverer(*first, buffer).ok());
+
+  auto resumed = MakeDiscoverer(GetParam(), params);
+  ASSERT_TRUE(LoadDiscoverer(resumed.get(), buffer).ok());
+  for (size_t t = cut; t < data.stream.size(); ++t) {
+    resumed->ProcessSnapshot(data.stream[t], nullptr);
+  }
+
+  EXPECT_EQ(Reported(*resumed), Reported(*reference));
+  EXPECT_EQ(resumed->stats().intersections,
+            reference->stats().intersections);
+  EXPECT_EQ(resumed->stats().companions_reported,
+            reference->stats().companions_reported);
+  EXPECT_EQ(resumed->stats().candidate_objects_peak,
+            reference->stats().candidate_objects_peak);
+  EXPECT_EQ(resumed->stats().snapshots, reference->stats().snapshots);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CheckpointResumeTest,
+    ::testing::Values(Algorithm::kClusteringIntersection,
+                      Algorithm::kSmartClosed, Algorithm::kBuddy),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return AlgorithmName(info.param);
+    });
+
+TEST(CheckpointTest, RoundTripPreservesLogDetails) {
+  MilitaryOptions options;
+  options.num_units = 100;
+  options.num_teams = 4;
+  options.num_snapshots = 30;
+  MilitaryDataset md = GenerateMilitary(options);
+
+  DiscoveryParams params = TestParams();
+  params.cluster.epsilon = 24.0;
+  params.cluster.mu = 5;
+  auto original = MakeDiscoverer(Algorithm::kBuddy, params);
+  for (const Snapshot& s : md.stream) {
+    original->ProcessSnapshot(s, nullptr);
+  }
+  ASSERT_GT(original->log().size(), 0u);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDiscoverer(*original, buffer).ok());
+  auto restored = MakeDiscoverer(Algorithm::kBuddy, params);
+  ASSERT_TRUE(LoadDiscoverer(restored.get(), buffer).ok());
+
+  const auto& a = original->log().companions();
+  const auto& b = restored->log().companions();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objects, b[i].objects);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].snapshot_index, b[i].snapshot_index);
+  }
+}
+
+TEST(CheckpointTest, AlgorithmMismatchRejected) {
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDiscoverer(*sc, buffer).ok());
+  auto bu = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  Status s = LoadDiscoverer(bu.get(), buffer);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, CorruptHeaderRejected) {
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  std::stringstream bad("not-a-checkpoint 1 SC\n");
+  EXPECT_EQ(LoadDiscoverer(sc.get(), bad).code(),
+            StatusCode::kCorruption);
+  std::stringstream empty;
+  EXPECT_EQ(LoadDiscoverer(sc.get(), empty).code(),
+            StatusCode::kCorruption);
+  std::stringstream version("tcomp-checkpoint 99 SC\n");
+  EXPECT_EQ(LoadDiscoverer(sc.get(), version).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, TruncatedBodyRejected) {
+  GroupDataset data = TestStream();
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  for (size_t t = 0; t < 12; ++t) {
+    sc->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDiscoverer(*sc, buffer).ok());
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  auto fresh = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  EXPECT_FALSE(LoadDiscoverer(fresh.get(), truncated).ok());
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  GroupDataset data = TestStream();
+  auto bu = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  for (size_t t = 0; t < 15; ++t) {
+    bu->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::string path = ::testing::TempDir() + "/state.ckpt";
+  ASSERT_TRUE(SaveDiscovererToFile(*bu, path).ok());
+  auto restored = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  ASSERT_TRUE(LoadDiscovererFromFile(restored.get(), path).ok());
+  EXPECT_EQ(Reported(*restored), Reported(*bu));
+  EXPECT_FALSE(
+      LoadDiscovererFromFile(restored.get(), "/no/such/file").ok());
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/clustering_intersection.h"
+#include "core/smart_closed.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::MakeSnapshot;
+
+/// A hand-built 4-snapshot stream mirroring the paper's worked example
+/// (Figs. 4 and 6): two clusters that merge, then split into a marching
+/// queue of three, with companions {0,1,2,3} and {7,8,9} emerging after
+/// four snapshots. Every expected count below is hand-computed in the
+/// comments.
+SnapshotStream WorkedExampleStream() {
+  SnapshotStream stream;
+  // s1: cluster A={0..5} (line, spacing 0.5), cluster B={7,8,9}, o6 noise.
+  stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                 {1, 0.5, 0.0},
+                                 {2, 1.0, 0.0},
+                                 {3, 1.5, 0.0},
+                                 {4, 2.0, 0.0},
+                                 {5, 2.5, 0.0},
+                                 {6, 50.0, 50.0},
+                                 {7, 0.0, 10.0},
+                                 {8, 0.5, 10.0},
+                                 {9, 1.0, 10.0}},
+                                /*duration=*/10.0));
+  // s2: everyone merges into one cluster (a single line).
+  stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                 {1, 0.5, 0.0},
+                                 {2, 1.0, 0.0},
+                                 {3, 1.5, 0.0},
+                                 {4, 2.0, 0.0},
+                                 {5, 2.5, 0.0},
+                                 {6, 3.0, 0.0},
+                                 {7, 3.5, 0.0},
+                                 {8, 4.0, 0.0},
+                                 {9, 4.5, 0.0}},
+                                10.0));
+  // s3, s4: queue formation — C1={0,1,2,3}, C2={4,5,6}, C3={7,8,9}.
+  for (int rep = 0; rep < 2; ++rep) {
+    stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.5, 0.0},
+                                   {2, 1.0, 0.0},
+                                   {3, 1.5, 0.0},
+                                   {4, 0.0, 5.0},
+                                   {5, 0.5, 5.0},
+                                   {6, 1.0, 5.0},
+                                   {7, 0.0, 10.0},
+                                   {8, 0.5, 10.0},
+                                   {9, 1.0, 10.0}},
+                                  10.0));
+  }
+  return stream;
+}
+
+DiscoveryParams ExampleParams() {
+  DiscoveryParams p;
+  p.cluster.epsilon = 0.6;
+  p.cluster.mu = 2;
+  p.size_threshold = 3;        // δs = 3 (as in the paper's example)
+  p.duration_threshold = 40.0;  // δt = 40 minutes = 4 snapshots
+  return p;
+}
+
+TEST(WorkedExampleTest, CiTraceMatchesHandComputation) {
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(ExampleParams());
+
+  // s1: two clusters become candidates; no intersections yet.
+  ci.ProcessSnapshot(stream[0], nullptr);
+  EXPECT_EQ(ci.stats().intersections, 0);
+  EXPECT_EQ(ci.stats().candidate_objects_last, 9);  // {0..5} + {7,8,9}
+
+  // s2: 2 candidates × 1 cluster = 2 intersections; candidates
+  // {0..5}@20 (6) + {7,8,9}@20 (3) + new cluster {0..9}@10 (10) = 19.
+  ci.ProcessSnapshot(stream[1], nullptr);
+  EXPECT_EQ(ci.stats().intersections, 2);
+  EXPECT_EQ(ci.stats().candidate_objects_last, 19);
+
+  // s3: 3 candidates × 3 clusters = 9 more (11 total). Surviving products:
+  // {0,1,2,3}@30, {7,8,9}@30, {0,1,2,3}@20, {4,5,6}@20, {7,8,9}@20
+  // (4+3+4+3+3 = 17) + new clusters 4+3+3 = 10 → 27.
+  ci.ProcessSnapshot(stream[2], nullptr);
+  EXPECT_EQ(ci.stats().intersections, 11);
+  EXPECT_EQ(ci.stats().candidate_objects_last, 27);
+
+  // s4: 8 candidates × 3 clusters = 24 more (35 total); two companions
+  // qualify at 40 minutes and *leave* the candidate set (Definition 4:
+  // candidates have duration < δt), so 37 stored objects drop to 30.
+  std::vector<Companion> newly;
+  ci.ProcessSnapshot(stream[3], &newly);
+  EXPECT_EQ(ci.stats().intersections, 35);
+  EXPECT_EQ(ci.stats().candidate_objects_last, 30);
+  EXPECT_EQ(ci.stats().candidate_objects_peak, 30);
+  ASSERT_EQ(newly.size(), 2u);
+  EXPECT_EQ(newly[0].objects, (ObjectSet{0, 1, 2, 3}));
+  EXPECT_EQ(newly[1].objects, (ObjectSet{7, 8, 9}));
+  EXPECT_DOUBLE_EQ(newly[0].duration, 40.0);
+  EXPECT_EQ(newly[0].snapshot_index, 3);
+}
+
+TEST(WorkedExampleTest, ScTraceMatchesHandComputation) {
+  SnapshotStream stream = WorkedExampleStream();
+  SmartClosedDiscoverer sc(ExampleParams());
+
+  sc.ProcessSnapshot(stream[0], nullptr);
+  EXPECT_EQ(sc.stats().intersections, 0);
+  EXPECT_EQ(sc.stats().candidate_objects_last, 9);
+
+  sc.ProcessSnapshot(stream[1], nullptr);
+  EXPECT_EQ(sc.stats().intersections, 2);
+  EXPECT_EQ(sc.stats().candidate_objects_last, 19);
+
+  // s3 smart intersection (first-object cluster probed first): candidate
+  // {0..5}@20 is consumed by C1 and stops (only {4,5} remain — below δs,
+  // 1 op); {7,8,9}@20 hits its own cluster C3 directly (1 op); {0..9}@10
+  // needs all three (3 ops) → 5 more (7 total). All three new clusters
+  // are suppressed as non-closed (each equals a product with longer
+  // duration): candidates {0123}@30 {789}@30 {0123}@20 {456}@20 {789}@20
+  // → 17 objects.
+  sc.ProcessSnapshot(stream[2], nullptr);
+  EXPECT_EQ(sc.stats().intersections, 7);
+  EXPECT_EQ(sc.stats().candidate_objects_last, 17);
+
+  // s4: each of the five candidates is consumed by its own cluster in one
+  // op → 5 more — 12 in total, matching the paper's Fig. 6 count.
+  std::vector<Companion> newly;
+  sc.ProcessSnapshot(stream[3], &newly);
+  EXPECT_EQ(sc.stats().intersections, 12);
+  ASSERT_EQ(newly.size(), 2u);
+  EXPECT_EQ(newly[0].objects, (ObjectSet{0, 1, 2, 3}));
+  EXPECT_EQ(newly[1].objects, (ObjectSet{7, 8, 9}));
+
+  // SC's peak stays at the s2 level — below CI's 37 (the paper's point).
+  EXPECT_EQ(sc.stats().candidate_objects_peak, 19);
+}
+
+TEST(WorkedExampleTest, ScCheaperThanCiButSameCompanions) {
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(ExampleParams());
+  SmartClosedDiscoverer sc(ExampleParams());
+  for (const Snapshot& s : stream) {
+    ci.ProcessSnapshot(s, nullptr);
+    sc.ProcessSnapshot(s, nullptr);
+  }
+  EXPECT_LT(sc.stats().intersections, ci.stats().intersections);
+  EXPECT_LT(sc.stats().candidate_objects_peak,
+            ci.stats().candidate_objects_peak);
+  ASSERT_EQ(ci.log().size(), sc.log().size());
+  for (size_t i = 0; i < ci.log().size(); ++i) {
+    EXPECT_EQ(ci.log().companions()[i].objects,
+              sc.log().companions()[i].objects);
+  }
+}
+
+TEST(CiTest, CompanionRequiresDuration) {
+  DiscoveryParams p = ExampleParams();
+  p.duration_threshold = 50.0;  // five snapshots — stream has four
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(p);
+  for (const Snapshot& s : stream) ci.ProcessSnapshot(s, nullptr);
+  EXPECT_EQ(ci.log().size(), 0u);
+}
+
+TEST(CiTest, CompanionRequiresSize) {
+  DiscoveryParams p = ExampleParams();
+  p.size_threshold = 5;  // {0,1,2,3} and {7,8,9} both too small
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(p);
+  for (const Snapshot& s : stream) ci.ProcessSnapshot(s, nullptr);
+  EXPECT_EQ(ci.log().size(), 0u);
+}
+
+TEST(CiTest, SingleSnapshotQualifiesWhenThresholdTiny) {
+  DiscoveryParams p = ExampleParams();
+  p.duration_threshold = 10.0;  // one snapshot suffices
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(p);
+  std::vector<Companion> newly;
+  ci.ProcessSnapshot(stream[0], &newly);
+  ASSERT_EQ(newly.size(), 2u);
+  EXPECT_EQ(newly[0].objects, (ObjectSet{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(CiTest, ResetDropsAllState) {
+  SnapshotStream stream = WorkedExampleStream();
+  ClusteringIntersectionDiscoverer ci(ExampleParams());
+  for (const Snapshot& s : stream) ci.ProcessSnapshot(s, nullptr);
+  ci.Reset();
+  EXPECT_EQ(ci.stats().intersections, 0);
+  EXPECT_EQ(ci.log().size(), 0u);
+  EXPECT_TRUE(ci.candidates().empty());
+  // Re-processing from scratch reproduces the original trace.
+  for (const Snapshot& s : stream) ci.ProcessSnapshot(s, nullptr);
+  EXPECT_EQ(ci.stats().intersections, 35);
+}
+
+TEST(ScTest, InterruptedGroupDoesNotQualify) {
+  // {7,8,9} scatters at s3 — its chain dies even though it re-forms later.
+  DiscoveryParams p = ExampleParams();
+  p.duration_threshold = 30.0;
+  SnapshotStream stream = WorkedExampleStream();
+  // Replace s3 with a snapshot where 7,8,9 are apart.
+  stream[2] = MakeSnapshot({{0, 0.0, 0.0},
+                            {1, 0.5, 0.0},
+                            {2, 1.0, 0.0},
+                            {3, 1.5, 0.0},
+                            {4, 0.0, 5.0},
+                            {5, 0.5, 5.0},
+                            {6, 1.0, 5.0},
+                            {7, 20.0, 10.0},
+                            {8, 40.0, 10.0},
+                            {9, 60.0, 10.0}},
+                           10.0);
+  SmartClosedDiscoverer sc(p);
+  for (const Snapshot& s : stream) sc.ProcessSnapshot(s, nullptr);
+  std::vector<ObjectSet> reported;
+  for (const Companion& c : sc.log().companions()) {
+    reported.push_back(c.objects);
+  }
+  // {0,1,2,3} persists through all four snapshots and qualifies at s3
+  // (30 min); no {7,8,9} companion exists.
+  EXPECT_TRUE(std::find(reported.begin(), reported.end(),
+                        (ObjectSet{0, 1, 2, 3})) != reported.end());
+  EXPECT_TRUE(std::find(reported.begin(), reported.end(),
+                        (ObjectSet{7, 8, 9})) == reported.end());
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,36 @@
+#!/bin/sh
+# End-to-end smoke test of the tcomp CLI: generate → discover (with
+# checkpoint round trip) → verify effectiveness output.
+set -e
+CLI="$1"
+DIR="$2"
+cd "$DIR"
+
+"$CLI" generate --dataset d2 --snapshots 40 --out d2.csv --truth d2.truth \
+    --seed 7 > gen.log
+grep -q "wrote" gen.log
+
+"$CLI" discover --csv d2.csv --algo bu --epsilon 24 --mu 5 \
+    --min-size 10 --min-duration 10 --window-seconds 60 \
+    --truth d2.truth --timeline --quiet --save-state d2.ckpt \
+    --out-json d2.json --out-csv d2_out.csv > run1.log
+grep -q "distinct companions" run1.log
+grep -q "recall" run1.log
+grep -q "companion timeline" run1.log
+test -f d2.ckpt
+grep -q '"companions"' d2.json
+head -1 d2_out.csv | grep -q "duration,snapshot_index,size,objects"
+
+# Parameter suggestion lands near the generator's scale.
+"$CLI" suggest --csv d2.csv --window-seconds 60 > suggest.log
+grep -q "suggested thresholds" suggest.log
+
+# Resume from the checkpoint (no further input — state must load).
+"$CLI" discover --csv d2.csv --algo bu --epsilon 24 --mu 5 \
+    --min-size 10 --min-duration 10 --window-seconds 60 \
+    --load-state d2.ckpt --quiet > run2.log
+grep -q "resumed from" run2.log
+
+# Unknown flags/commands fail loudly.
+if "$CLI" frobnicate > /dev/null 2>&1; then exit 1; fi
+echo "cli smoke OK"

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/candidate.h"
+
+namespace tcomp {
+namespace {
+
+TEST(ClosedLogTest, SupersetSuppressesLaterSubset) {
+  CompanionLog log(/*closed_mode=*/true);
+  EXPECT_TRUE(log.Report({1, 2, 3, 4}, 10.0, 0));
+  // Subset with shorter-or-equal duration is dominated.
+  EXPECT_FALSE(log.Report({1, 2, 3}, 10.0, 1));
+  EXPECT_FALSE(log.Report({2, 3, 4}, 5.0, 1));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(ClosedLogTest, LongerLivedSubsetSurvives) {
+  // Definition 5: a subset with *longer* duration is its own closed
+  // companion (a smaller group that traveled longer).
+  CompanionLog log(true);
+  EXPECT_TRUE(log.Report({1, 2, 3, 4}, 10.0, 0));
+  EXPECT_TRUE(log.Report({1, 2, 3}, 20.0, 1));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(ClosedLogTest, SupersetEvictsEarlierSubsets) {
+  CompanionLog log(true);
+  EXPECT_TRUE(log.Report({1, 2, 3}, 10.0, 0));
+  EXPECT_TRUE(log.Report({4, 5, 6}, 10.0, 0));
+  EXPECT_TRUE(log.Report({1, 2, 3, 4, 5, 6}, 10.0, 1));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.companions()[0].objects,
+            (ObjectSet{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ClosedLogTest, EvictionRespectsDuration) {
+  CompanionLog log(true);
+  EXPECT_TRUE(log.Report({1, 2, 3}, 30.0, 0));
+  // Superset with shorter duration does not dominate the longer subset.
+  EXPECT_TRUE(log.Report({1, 2, 3, 4}, 10.0, 1));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(ClosedLogTest, DisjointSetsUnaffected) {
+  CompanionLog log(true);
+  EXPECT_TRUE(log.Report({1, 2}, 5.0, 0));
+  EXPECT_TRUE(log.Report({3, 4}, 5.0, 0));
+  EXPECT_TRUE(log.Report({5, 6}, 5.0, 1));
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(ClosedLogTest, ReReportUpdatesDurationAndView) {
+  CompanionLog log(true);
+  log.Report({1, 2, 3}, 5.0, 0);
+  EXPECT_DOUBLE_EQ(log.companions()[0].duration, 5.0);
+  log.Report({1, 2, 3}, 9.0, 3);  // same set, longer duration
+  ASSERT_EQ(log.companions().size(), 1u);
+  EXPECT_DOUBLE_EQ(log.companions()[0].duration, 9.0);
+}
+
+TEST(ClosedLogTest, RawModeKeepsEverything) {
+  CompanionLog log(/*closed_mode=*/false);
+  EXPECT_TRUE(log.Report({1, 2, 3, 4}, 10.0, 0));
+  EXPECT_TRUE(log.Report({1, 2, 3}, 10.0, 1));  // CI's failure mode
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(ClosedLogTest, MaterializedViewSkipsTombstones) {
+  CompanionLog log(true);
+  log.Report({1, 2}, 5.0, 0);
+  log.Report({7, 8}, 5.0, 0);
+  log.Report({1, 2, 3}, 5.0, 1);  // evicts {1,2}
+  const std::vector<Companion>& view = log.companions();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].objects, (ObjectSet{7, 8}));
+  EXPECT_EQ(view[1].objects, (ObjectSet{1, 2, 3}));
+}
+
+TEST(ClosedLogTest, ClearResets) {
+  CompanionLog log(true);
+  log.Report({1, 2}, 5.0, 0);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.companions().empty());
+  EXPECT_TRUE(log.Report({1, 2}, 5.0, 0));
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,179 @@
+#include "baselines/convoy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/swarm.h"
+#include "core/discoverer.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::MakeSnapshot;
+
+Snapshot TwoGroups(bool b_together) {
+  std::vector<std::tuple<ObjectId, double, double>> items;
+  for (ObjectId o = 0; o < 3; ++o) items.push_back({o, o * 0.4, 0.0});
+  for (ObjectId o = 5; o < 8; ++o) {
+    double x = b_together ? (o - 5) * 0.4 : (o - 5) * 50.0;
+    items.push_back({o, 10.0 + x, 10.0});
+  }
+  return MakeSnapshot(items);
+}
+
+ConvoyParams SmallParams() {
+  ConvoyParams p;
+  p.cluster.epsilon = 0.5;
+  p.cluster.mu = 2;
+  p.min_objects = 3;
+  p.min_lifetime = 4;
+  return p;
+}
+
+TEST(ConvoyTest, FindsConvoyWithExactLifetime) {
+  SnapshotStream stream;
+  for (int t = 0; t < 6; ++t) stream.push_back(TwoGroups(true));
+  std::vector<Convoy> convoys = DiscoverConvoys(stream, SmallParams());
+  ASSERT_EQ(convoys.size(), 2u);
+  EXPECT_EQ(convoys[0].objects, (ObjectSet{0, 1, 2}));
+  EXPECT_EQ(convoys[0].begin, 0);
+  EXPECT_EQ(convoys[0].end, 5);
+  EXPECT_EQ(convoys[1].objects, (ObjectSet{5, 6, 7}));
+  EXPECT_EQ(convoys[1].lifetime(), 6);
+}
+
+TEST(ConvoyTest, GapBreaksConvoyButNotSwarm) {
+  // Group B together 3 snapshots, apart 1, together 3: too short for a
+  // convoy with k=4 (consecutive!) but a valid swarm with mint=4.
+  SnapshotStream stream;
+  for (int t = 0; t < 3; ++t) stream.push_back(TwoGroups(true));
+  stream.push_back(TwoGroups(false));
+  for (int t = 0; t < 3; ++t) stream.push_back(TwoGroups(true));
+
+  std::vector<Convoy> convoys = DiscoverConvoys(stream, SmallParams());
+  std::set<ObjectSet> convoy_sets;
+  for (const Convoy& c : convoys) convoy_sets.insert(c.objects);
+  EXPECT_TRUE(convoy_sets.count({0, 1, 2}));   // A unaffected (7 long)
+  EXPECT_FALSE(convoy_sets.count({5, 6, 7}));  // B's runs are 3 and 3
+
+  SwarmParams sp;
+  sp.cluster = SmallParams().cluster;
+  sp.min_objects = 3;
+  sp.min_snapshots = 4;
+  std::vector<Swarm> swarms = MineClosedSwarms(stream, sp);
+  std::set<ObjectSet> swarm_sets;
+  for (const Swarm& s : swarms) swarm_sets.insert(s.objects);
+  EXPECT_TRUE(swarm_sets.count({5, 6, 7}))
+      << "swarms accept non-consecutive support";
+}
+
+TEST(ConvoyTest, ShrinkingGroupYieldsNestedIntervals) {
+  // Objects {0,1,2,3} together for 4 snapshots; object 3 leaves; {0,1,2}
+  // continue for 4 more. Expect convoy {0,1,2,3}@[0,3] and the longer
+  // {0,1,2}@[0,7].
+  SnapshotStream stream;
+  for (int t = 0; t < 8; ++t) {
+    std::vector<std::tuple<ObjectId, double, double>> items;
+    for (ObjectId o = 0; o < 3; ++o) items.push_back({o, o * 0.4, 0.0});
+    items.push_back({3, t < 4 ? 1.2 : 80.0, 0.0});
+    stream.push_back(MakeSnapshot(items));
+  }
+  ConvoyParams p = SmallParams();
+  std::vector<Convoy> convoys = DiscoverConvoys(stream, p);
+  ASSERT_EQ(convoys.size(), 2u);
+  // Sorted by (begin, end): the short wide convoy precedes the long one.
+  EXPECT_EQ(convoys[0].objects, (ObjectSet{0, 1, 2, 3}));
+  EXPECT_EQ(convoys[0].begin, 0);
+  EXPECT_EQ(convoys[0].end, 3);
+  EXPECT_EQ(convoys[1].objects, (ObjectSet{0, 1, 2}));
+  EXPECT_EQ(convoys[1].begin, 0);
+  EXPECT_EQ(convoys[1].end, 7);
+}
+
+TEST(ConvoyTest, MaximalityFiltersDominatedResults) {
+  SnapshotStream stream;
+  for (int t = 0; t < 10; ++t) stream.push_back(TwoGroups(true));
+  std::vector<Convoy> convoys = DiscoverConvoys(stream, SmallParams());
+  // No convoy may be dominated by another (subset objects + covered
+  // interval).
+  for (size_t i = 0; i < convoys.size(); ++i) {
+    for (size_t j = 0; j < convoys.size(); ++j) {
+      if (i == j) continue;
+      bool subset = std::includes(convoys[j].objects.begin(),
+                                  convoys[j].objects.end(),
+                                  convoys[i].objects.begin(),
+                                  convoys[i].objects.end());
+      bool covered = convoys[j].begin <= convoys[i].begin &&
+                     convoys[i].end <= convoys[j].end;
+      EXPECT_FALSE(subset && covered)
+          << "convoy " << i << " dominated by " << j;
+    }
+  }
+}
+
+TEST(ConvoyTest, LifetimeThresholdRespected) {
+  SnapshotStream stream;
+  for (int t = 0; t < 3; ++t) stream.push_back(TwoGroups(true));
+  ConvoyParams p = SmallParams();  // k = 4 > stream length
+  EXPECT_TRUE(DiscoverConvoys(stream, p).empty());
+  p.min_lifetime = 3;
+  EXPECT_EQ(DiscoverConvoys(stream, p).size(), 2u);
+}
+
+TEST(ConvoyTest, CompanionsCoveredByConvoys) {
+  // Every streaming companion corresponds to a convoy with lifetime ≥ δt
+  // under equal thresholds (companions are the streaming view of the
+  // same consecutive-time concept).
+  GroupModelOptions options;
+  options.num_objects = 80;
+  options.num_snapshots = 25;
+  options.area_size = 1400.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.seed = 41;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DiscoveryParams dp;
+  dp.cluster.epsilon = 20.0;
+  dp.cluster.mu = 3;
+  dp.size_threshold = 5;
+  dp.duration_threshold = 6;
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, dp);
+  for (const Snapshot& s : data.stream) sc->ProcessSnapshot(s, nullptr);
+
+  ConvoyParams cp;
+  cp.cluster = dp.cluster;
+  cp.min_objects = dp.size_threshold;
+  cp.min_lifetime = static_cast<int>(dp.duration_threshold);
+  std::vector<Convoy> convoys = DiscoverConvoys(data.stream, cp);
+
+  for (const Companion& c : sc->log().companions()) {
+    bool covered = false;
+    for (const Convoy& v : convoys) {
+      if (std::includes(v.objects.begin(), v.objects.end(),
+                        c.objects.begin(), c.objects.end())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "companion of size " << c.objects.size()
+                         << " not covered by any convoy";
+  }
+}
+
+TEST(ConvoyTest, StatsAndEmptyStream) {
+  EXPECT_TRUE(DiscoverConvoys({}, SmallParams()).empty());
+  SnapshotStream stream;
+  for (int t = 0; t < 5; ++t) stream.push_back(TwoGroups(true));
+  ConvoyStats stats;
+  DiscoverConvoys(stream, SmallParams(), &stats);
+  EXPECT_GT(stats.distance_ops, 0);
+  EXPECT_GT(stats.intersections, 0);
+  EXPECT_GT(stats.peak_candidates, 0);
+}
+
+}  // namespace
+}  // namespace tcomp

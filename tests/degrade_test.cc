@@ -1,0 +1,112 @@
+#include "data/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+#include "tests/test_util.h"
+#include "util/sorted_ops.h"
+
+namespace tcomp {
+namespace {
+
+SnapshotStream ConstantStream(int objects, int snapshots) {
+  SnapshotStream stream;
+  for (int t = 0; t < snapshots; ++t) {
+    std::vector<ObjectPosition> pos;
+    for (int o = 0; o < objects; ++o) {
+      pos.push_back(ObjectPosition{static_cast<ObjectId>(o),
+                                   Point{o * 10.0, t * 1.0}});
+    }
+    stream.push_back(Snapshot(std::move(pos), 1.0));
+  }
+  return stream;
+}
+
+TEST(DropReportsTest, ZeroFractionIsIdentity) {
+  SnapshotStream stream = ConstantStream(20, 10);
+  SnapshotStream out = DropReports(stream, 0.0, 1);
+  EXPECT_EQ(TotalRecords(out), TotalRecords(stream));
+}
+
+TEST(DropReportsTest, FractionApproximatelyRespected) {
+  SnapshotStream stream = ConstantStream(100, 400);
+  SnapshotStream out = DropReports(stream, 0.10, 7);
+  double kept = static_cast<double>(TotalRecords(out)) /
+                static_cast<double>(TotalRecords(stream));
+  EXPECT_NEAR(kept, 0.90, 0.03);
+}
+
+TEST(DropReportsTest, OutagesAreBursty) {
+  // Count outage run lengths for one object; bursts must span 2-6.
+  SnapshotStream stream = ConstantStream(50, 600);
+  SnapshotStream out = DropReports(stream, 0.15, 3);
+  int max_run = 0;
+  int multi_runs = 0;
+  for (ObjectId o = 0; o < 50; ++o) {
+    int run = 0;
+    for (const Snapshot& s : out) {
+      if (!s.Contains(o)) {
+        ++run;
+      } else {
+        if (run > 1) ++multi_runs;
+        max_run = std::max(max_run, run);
+        run = 0;
+      }
+    }
+  }
+  EXPECT_GE(max_run, 2);
+  EXPECT_LE(max_run, 18);  // adjacent outages can concatenate
+  EXPECT_GT(multi_runs, 10);
+}
+
+TEST(DropReportsTest, Deterministic) {
+  SnapshotStream stream = ConstantStream(30, 50);
+  SnapshotStream a = DropReports(stream, 0.2, 9);
+  SnapshotStream b = DropReports(stream, 0.2, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].ids(), b[t].ids());
+  }
+  SnapshotStream c = DropReports(stream, 0.2, 10);
+  bool differs = false;
+  for (size_t t = 0; t < a.size(); ++t) {
+    if (a[t].ids() != c[t].ids()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DropReportsTest, PreservesDurations) {
+  SnapshotStream stream;
+  stream.push_back(Snapshot({{0, Point{0, 0}}}, 7.0));
+  SnapshotStream out = DropReports(stream, 0.1, 1);
+  EXPECT_DOUBLE_EQ(out[0].duration(), 7.0);
+}
+
+TEST(JitterReportsTest, ZeroDelayIsIdentity) {
+  SnapshotStream stream = ConstantStream(10, 5);
+  SnapshotStream out = JitterReports(stream, 0.0, 1);
+  ASSERT_EQ(out.size(), stream.size());
+  for (size_t t = 0; t < out.size(); ++t) {
+    EXPECT_EQ(out[t].ids(), stream[t].ids());
+  }
+}
+
+TEST(JitterReportsTest, DelaysMoveReportsLater) {
+  SnapshotStream stream = ConstantStream(40, 30);
+  SnapshotStream out = JitterReports(stream, 3.0, 5);
+  ASSERT_EQ(out.size(), stream.size());
+  // Record conservation is not exact (collisions keep the freshest), but
+  // nothing is invented and every snapshot stays deduplicated.
+  EXPECT_LE(TotalRecords(out), TotalRecords(stream));
+  for (const Snapshot& s : out) {
+    EXPECT_TRUE(IsSortedUnique(s.ids()));
+  }
+}
+
+TEST(JitterReportsTest, EmptyStream) {
+  EXPECT_TRUE(JitterReports({}, 2.0, 1).empty());
+  EXPECT_TRUE(DropReports({}, 0.5, 1).empty());
+}
+
+}  // namespace
+}  // namespace tcomp

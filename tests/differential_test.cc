@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/buddy_discovery.h"
+#include "core/clustering_intersection.h"
+#include "core/smart_closed.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+std::set<ObjectSet> Reported(const CompanionDiscoverer& d) {
+  std::set<ObjectSet> out;
+  for (const Companion& c : d.log().companions()) out.insert(c.objects);
+  return out;
+}
+
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 90;
+  options.num_snapshots = 32;
+  options.area_size = 1600.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams BaseParams() {
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+  return params;
+}
+
+/// δγ is a performance knob, not a semantic one: BU must report the same
+/// companions at every buddy radius (Lemmas 2–4 are exact, the atom
+/// algebra is an exact encoding).
+class BuddyRadiusInvarianceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyRadiusInvarianceTest, ResultsIndependentOfGamma) {
+  GroupDataset data = ChurnyStream(GetParam());
+  DiscoveryParams params = BaseParams();
+
+  std::set<ObjectSet> reference;
+  bool have_reference = false;
+  for (double frac : {0.1, 0.25, 0.5}) {
+    params.buddy_radius = params.cluster.epsilon * frac;
+    BuddyDiscoverer bu(params);
+    for (const Snapshot& s : data.stream) bu.ProcessSnapshot(s, nullptr);
+    std::set<ObjectSet> got = Reported(bu);
+    if (!have_reference) {
+      reference = got;
+      have_reference = true;
+      EXPECT_FALSE(reference.empty()) << "test wants companions";
+    } else {
+      EXPECT_EQ(got, reference) << "gamma fraction " << frac;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyRadiusInvarianceTest,
+                         ::testing::Values(301, 302, 303, 304));
+
+/// Containment chain: every companion SC reports, CI reports too (SC
+/// prunes only dominated work), and SC ≡ BU.
+class ContainmentTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentTest, ScSubsetOfCiAndEqualToBu) {
+  GroupDataset data = ChurnyStream(GetParam());
+  DiscoveryParams params = BaseParams();
+
+  ClusteringIntersectionDiscoverer ci(params);
+  SmartClosedDiscoverer sc(params);
+  BuddyDiscoverer bu(params);
+  for (const Snapshot& s : data.stream) {
+    ci.ProcessSnapshot(s, nullptr);
+    sc.ProcessSnapshot(s, nullptr);
+    bu.ProcessSnapshot(s, nullptr);
+  }
+  std::set<ObjectSet> ci_sets = Reported(ci);
+  std::set<ObjectSet> sc_sets = Reported(sc);
+  std::set<ObjectSet> bu_sets = Reported(bu);
+
+  EXPECT_EQ(sc_sets, bu_sets);
+  for (const ObjectSet& s : sc_sets) {
+    EXPECT_TRUE(ci_sets.count(s))
+        << "SC reported a set CI did not (size " << s.size() << ")";
+  }
+  // And every CI companion is dominated by (subset of) some SC companion.
+  for (const ObjectSet& c : ci_sets) {
+    bool covered = false;
+    for (const ObjectSet& s : sc_sets) {
+      if (std::includes(s.begin(), s.end(), c.begin(), c.end())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "CI set of size " << c.size()
+                         << " not dominated by any SC companion";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentTest,
+                         ::testing::Values(311, 312, 313, 314, 315));
+
+/// Snapshot-duration scaling: expressing δt in minutes with 10-minute
+/// snapshots must behave identically to unit snapshots with δt in
+/// snapshot counts.
+TEST(DurationUnitsTest, ScalingSnapshotDurationsIsEquivalent) {
+  GroupDataset data = ChurnyStream(99);
+  // Rebuild the stream with 10-minute snapshots.
+  SnapshotStream scaled;
+  for (const Snapshot& s : data.stream) {
+    std::vector<ObjectPosition> pos;
+    for (size_t i = 0; i < s.size(); ++i) {
+      pos.push_back(ObjectPosition{s.id(i), s.pos(i)});
+    }
+    scaled.push_back(Snapshot(std::move(pos), 10.0));
+  }
+
+  DiscoveryParams unit = BaseParams();           // δt = 7 snapshots
+  DiscoveryParams minutes = BaseParams();
+  minutes.duration_threshold = 70.0;             // δt = 70 minutes
+
+  SmartClosedDiscoverer a(unit);
+  SmartClosedDiscoverer b(minutes);
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    a.ProcessSnapshot(data.stream[t], nullptr);
+    b.ProcessSnapshot(scaled[t], nullptr);
+  }
+  EXPECT_EQ(Reported(a), Reported(b));
+  EXPECT_EQ(a.stats().intersections, b.stats().intersections);
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,131 @@
+#include "core/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/smart_closed.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using Kind = EvolutionEvent::Kind;
+using testing_util::MakeSnapshot;
+
+CompanionEpisode Ep(ObjectSet objects, int64_t begin, int64_t end) {
+  return CompanionEpisode{std::move(objects), begin, end};
+}
+
+TEST(EvolutionTest, ContinuationWithMembershipDrift) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3, 4}, 0, 10),
+      Ep({1, 2, 3, 5}, 11, 20),  // 4 left, 5 joined
+  };
+  std::vector<EvolutionEvent> events = AnalyzeEvolution(eps);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Kind::kContinuation);
+  EXPECT_EQ(events[0].sources, (std::vector<size_t>{0}));
+  EXPECT_EQ(events[0].targets, (std::vector<size_t>{1}));
+  EXPECT_EQ(events[0].snapshot, 11);
+}
+
+TEST(EvolutionTest, MergeOfTwoGroups) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3}, 0, 9),
+      Ep({7, 8, 9}, 0, 9),
+      Ep({1, 2, 3, 7, 8, 9}, 10, 20),
+  };
+  std::vector<EvolutionEvent> events = AnalyzeEvolution(eps);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Kind::kMerge);
+  EXPECT_EQ(events[0].sources, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(events[0].targets, (std::vector<size_t>{2}));
+}
+
+TEST(EvolutionTest, SplitIntoTwoGroups) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3, 7, 8, 9}, 0, 9),
+      Ep({1, 2, 3}, 10, 20),
+      Ep({7, 8, 9}, 11, 20),
+  };
+  std::vector<EvolutionEvent> events = AnalyzeEvolution(eps);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Kind::kSplit);
+  EXPECT_EQ(events[0].sources, (std::vector<size_t>{0}));
+  EXPECT_EQ(events[0].targets, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(events[0].snapshot, 10);
+}
+
+TEST(EvolutionTest, GapBeyondThresholdBreaksLineage) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3}, 0, 5),
+      Ep({1, 2, 3}, 20, 30),  // re-forms much later
+  };
+  EvolutionOptions options;
+  options.max_gap = 2;
+  EXPECT_TRUE(AnalyzeEvolution(eps, options).empty());
+  options.max_gap = 15;
+  EXPECT_EQ(AnalyzeEvolution(eps, options).size(), 1u);
+}
+
+TEST(EvolutionTest, OverlapThresholdFiltersWeakLinks) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3, 4, 5, 6}, 0, 9),
+      Ep({6, 10, 11, 12}, 10, 20),  // only one shared member
+  };
+  EvolutionOptions options;
+  options.min_overlap = 0.5;
+  EXPECT_TRUE(AnalyzeEvolution(eps, options).empty());
+  options.min_overlap = 0.2;
+  EXPECT_EQ(AnalyzeEvolution(eps, options).size(), 1u);
+}
+
+TEST(EvolutionTest, UnrelatedEpisodesProduceNothing) {
+  std::vector<CompanionEpisode> eps = {
+      Ep({1, 2, 3}, 0, 9),
+      Ep({10, 11, 12}, 10, 20),
+  };
+  EXPECT_TRUE(AnalyzeEvolution(eps).empty());
+  EXPECT_TRUE(AnalyzeEvolution({}).empty());
+}
+
+TEST(EvolutionTest, EndToEndSplitDetectedFromStream) {
+  // A six-object group travels 12 snapshots, then splits into two trios
+  // that keep traveling.
+  SnapshotStream stream;
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::tuple<ObjectId, double, double>> items;
+    bool together = t < 12;
+    for (ObjectId o = 0; o < 3; ++o) {
+      items.push_back({o, o * 0.4, 0.0});
+    }
+    for (ObjectId o = 3; o < 6; ++o) {
+      double y = together ? 0.0 : 30.0;
+      items.push_back({o, (o - 3) * 0.4 + (together ? 1.2 : 0.0), y});
+    }
+    stream.push_back(MakeSnapshot(items));
+  }
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 0.5;
+  params.cluster.mu = 2;
+  params.size_threshold = 3;
+  params.duration_threshold = 5;
+
+  SmartClosedDiscoverer sc(params);
+  CompanionTimeline timeline;
+  timeline.Track(&sc);
+  for (const Snapshot& s : stream) sc.ProcessSnapshot(s, nullptr);
+
+  EvolutionOptions options;
+  options.max_gap = 6;  // episodes end up to δt-1 before the transition
+  std::vector<EvolutionEvent> events =
+      AnalyzeEvolution(timeline.Episodes(), options);
+  bool split_found = false;
+  for (const EvolutionEvent& e : events) {
+    if (e.kind == Kind::kSplit) split_found = true;
+  }
+  EXPECT_TRUE(split_found);
+}
+
+}  // namespace
+}  // namespace tcomp

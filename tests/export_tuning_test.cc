@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/discoverer.h"
+#include "data/synthetic_gen.h"
+#include "eval/export.h"
+#include "eval/tuning.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::ClusteredSnapshot;
+
+TEST(ExportTest, CompanionsJsonShape) {
+  std::vector<Companion> companions = {
+      {{1, 2, 3}, 10.0, 7},
+      {{4, 5}, 12.5, 9},
+  };
+  std::ostringstream out;
+  WriteCompanionsJson(companions, out);
+  EXPECT_EQ(out.str(),
+            "{\"companions\":[{\"objects\":[1,2,3],\"duration\":10,"
+            "\"snapshot\":7},{\"objects\":[4,5],\"duration\":12.5,"
+            "\"snapshot\":9}]}\n");
+}
+
+TEST(ExportTest, EmptyCompanionsJson) {
+  std::ostringstream out;
+  WriteCompanionsJson({}, out);
+  EXPECT_EQ(out.str(), "{\"companions\":[]}\n");
+}
+
+TEST(ExportTest, CompanionsCsvShape) {
+  std::vector<Companion> companions = {{{1, 2, 3}, 10.0, 7}};
+  std::ostringstream out;
+  WriteCompanionsCsv(companions, out);
+  EXPECT_EQ(out.str(),
+            "duration,snapshot_index,size,objects\n10,7,3,1 2 3\n");
+}
+
+TEST(ExportTest, StatsJsonHasAllCounters) {
+  DiscoveryStats stats;
+  stats.snapshots = 5;
+  stats.intersections = 42;
+  stats.maintain_seconds = 0.25;
+  std::ostringstream out;
+  WriteStatsJson(stats, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("\"snapshots\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"intersections\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"maintain_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(text.find("\"buddy_pairs_pruned\":0"), std::string::npos);
+}
+
+TEST(ExportTest, EpisodesJsonShape) {
+  std::vector<CompanionEpisode> episodes = {{{1, 2}, 3, 9}};
+  std::ostringstream out;
+  WriteEpisodesJson(episodes, out);
+  EXPECT_EQ(out.str(),
+            "{\"episodes\":[{\"objects\":[1,2],\"begin\":3,\"end\":9}]}"
+            "\n");
+}
+
+TEST(ExportTest, FileWriters) {
+  std::vector<Companion> companions = {{{1, 2}, 4.0, 1}};
+  std::string json = ::testing::TempDir() + "/c.json";
+  std::string csv = ::testing::TempDir() + "/c.csv";
+  EXPECT_TRUE(WriteCompanionsJsonFile(companions, json).ok());
+  EXPECT_TRUE(WriteCompanionsCsvFile(companions, csv).ok());
+  EXPECT_FALSE(
+      WriteCompanionsJsonFile(companions, "/no/dir/c.json").ok());
+}
+
+TEST(TuningTest, KDistancesSortedAndSized) {
+  Pcg32 rng(5);
+  Snapshot s = ClusteredSnapshot(4, 20, 5, 200.0, 2.0, rng);
+  std::vector<double> kdist = SortedKDistances(s, 4);
+  ASSERT_EQ(kdist.size(), s.size());
+  EXPECT_TRUE(std::is_sorted(kdist.begin(), kdist.end()));
+  EXPECT_GT(kdist.front(), 0.0);
+}
+
+TEST(TuningTest, TinySnapshotsGiveInfinity) {
+  Pcg32 rng(6);
+  Snapshot s = testing_util::RandomSnapshot(3, 10.0, rng);
+  std::vector<double> kdist = SortedKDistances(s, 5);
+  for (double d : kdist) EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(TuningTest, RecoversGroupScaleOnSyntheticData) {
+  // The group model's in-group spacing is ~4-6 units (spread 25, ~25
+  // members); the suggested ε must land near the preset (20) — same
+  // order of magnitude, far below the inter-group distances (hundreds).
+  Dataset d3 = MakeSyntheticD3(/*num_snapshots=*/10);
+  TuningSuggestion s = SuggestClusterParams(d3.stream, /*k=*/4);
+  EXPECT_EQ(s.params.mu, 5);
+  EXPECT_GT(s.params.epsilon, 3.0);
+  EXPECT_LT(s.params.epsilon, 60.0);
+  // ~15% of D3's objects are independent wanderers — they sit past the
+  // knee.
+  EXPECT_LT(s.noise_fraction, 0.3);
+
+  // The suggestion actually clusters the data into group-sized clusters.
+  Clustering c = DbscanGrid(d3.stream[5], s.params);
+  size_t biggest = 0;
+  for (const ObjectSet& cluster : c.clusters) {
+    biggest = std::max(biggest, cluster.size());
+  }
+  EXPECT_GE(biggest, 10u);
+}
+
+TEST(TuningTest, EmptyStreamHandled) {
+  TuningSuggestion s = SuggestClusterParams({});
+  EXPECT_GT(s.params.epsilon, 0.0);
+  EXPECT_EQ(s.params.mu, 5);
+}
+
+TEST(TuningTest, DeterministicAcrossCalls) {
+  Dataset d3 = MakeSyntheticD3(/*num_snapshots=*/6);
+  TuningSuggestion a = SuggestClusterParams(d3.stream, 4);
+  TuningSuggestion b = SuggestClusterParams(d3.stream, 4);
+  EXPECT_DOUBLE_EQ(a.params.epsilon, b.params.epsilon);
+  EXPECT_DOUBLE_EQ(a.noise_fraction, b.noise_fraction);
+}
+
+TEST(TuningTest, KneeIgnoresExtremOutlierTail) {
+  // A tight blob plus a handful of extreme outliers: the knee must stay
+  // at the blob's spacing scale, not the outlier distances.
+  std::vector<ObjectPosition> pos;
+  Pcg32 rng(12);
+  for (ObjectId o = 0; o < 80; ++o) {
+    pos.push_back(ObjectPosition{
+        o, Point{rng.NextDouble(0, 20), rng.NextDouble(0, 20)}});
+  }
+  for (ObjectId o = 80; o < 85; ++o) {
+    pos.push_back(ObjectPosition{
+        o, Point{(o - 79) * 10000.0, (o - 79) * 10000.0}});
+  }
+  SnapshotStream stream = {Snapshot(pos, 1.0)};
+  TuningSuggestion s = SuggestClusterParams(stream, 4);
+  EXPECT_LT(s.params.epsilon, 50.0);
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dbscan.h"
+#include "data/group_model.h"
+#include "data/military_gen.h"
+#include "data/synthetic_gen.h"
+#include "data/taxi_gen.h"
+
+namespace tcomp {
+namespace {
+
+TEST(GroupModelTest, ShapeAndDeterminism) {
+  GroupModelOptions options;
+  options.num_objects = 200;
+  options.num_snapshots = 25;
+  options.seed = 9;
+  GroupDataset a = GenerateGroupStream(options);
+  GroupDataset b = GenerateGroupStream(options);
+  ASSERT_EQ(a.stream.size(), 25u);
+  for (size_t t = 0; t < a.stream.size(); ++t) {
+    ASSERT_EQ(a.stream[t].size(), 200u);
+    for (size_t i = 0; i < a.stream[t].size(); ++i) {
+      EXPECT_EQ(a.stream[t].id(i), b.stream[t].id(i));
+      EXPECT_DOUBLE_EQ(a.stream[t].pos(i).x, b.stream[t].pos(i).x);
+      EXPECT_DOUBLE_EQ(a.stream[t].pos(i).y, b.stream[t].pos(i).y);
+    }
+  }
+}
+
+TEST(GroupModelTest, DifferentSeedsDiffer) {
+  GroupModelOptions options;
+  options.num_objects = 50;
+  options.num_snapshots = 3;
+  options.seed = 1;
+  GroupDataset a = GenerateGroupStream(options);
+  options.seed = 2;
+  GroupDataset b = GenerateGroupStream(options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.stream[0].size(); ++i) {
+    if (a.stream[0].pos(i).x != b.stream[0].pos(i).x) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GroupModelTest, GroupsAreSpatiallyCoherent) {
+  GroupModelOptions options;
+  options.num_objects = 300;
+  options.num_snapshots = 10;
+  options.seed = 4;
+  GroupDataset data = GenerateGroupStream(options);
+  // Density clustering at the preset ε must find group-sized clusters.
+  Clustering c = DbscanGrid(data.stream[5], DbscanParams{20.0, 4});
+  size_t biggest = 0;
+  for (const ObjectSet& cluster : c.clusters) {
+    biggest = std::max(biggest, cluster.size());
+  }
+  EXPECT_GE(biggest, static_cast<size_t>(options.min_group_size));
+}
+
+TEST(MilitaryGenTest, GroundTruthPartitionsUnits) {
+  MilitaryOptions options;
+  options.num_snapshots = 20;
+  MilitaryDataset data = GenerateMilitary(options);
+  ASSERT_EQ(data.ground_truth.size(), 30u);
+  std::set<ObjectId> seen;
+  size_t total = 0;
+  for (const ObjectSet& team : data.ground_truth) {
+    EXPECT_GE(team.size(), 25u);
+    EXPECT_LE(team.size(), 30u);
+    total += team.size();
+    for (ObjectId o : team) {
+      EXPECT_TRUE(seen.insert(o).second) << "unit in two teams";
+    }
+  }
+  EXPECT_EQ(total, 780u);
+  ASSERT_EQ(data.stream.size(), 20u);
+  EXPECT_EQ(data.stream[0].size(), 780u);
+}
+
+TEST(MilitaryGenTest, TeamsClusterTogetherMidMarch) {
+  MilitaryOptions options;
+  options.num_snapshots = 180;
+  options.detachments_per_team = 0.0;  // clean march for this check
+  MilitaryDataset data = GenerateMilitary(options);
+  const Snapshot& mid = data.stream[90];
+  Clustering c = DbscanGrid(mid, DbscanParams{24.0, 5});
+  // Every team must map to exactly one cluster containing (at least) its
+  // own members — teams are 900 m apart, far beyond ε.
+  int well_separated = 0;
+  for (const ObjectSet& team : data.ground_truth) {
+    std::set<int32_t> labels;
+    for (ObjectId o : team) {
+      size_t idx = mid.IndexOf(o);
+      ASSERT_NE(idx, Snapshot::kNpos);
+      labels.insert(c.labels[idx]);
+    }
+    if (labels.size() == 1 && *labels.begin() >= 0) ++well_separated;
+  }
+  EXPECT_GE(well_separated, 28);  // stragglers may cost the odd unit
+}
+
+TEST(MilitaryGenTest, DetachmentsDisturbOnlyAFewTeamsAtATime) {
+  MilitaryOptions options;
+  options.num_snapshots = 180;  // detachments on (default rate)
+  MilitaryDataset data = GenerateMilitary(options);
+  const Snapshot& mid = data.stream[90];
+  Clustering c = DbscanGrid(mid, DbscanParams{24.0, 5});
+  int well_separated = 0;
+  for (const ObjectSet& team : data.ground_truth) {
+    std::set<int32_t> labels;
+    for (ObjectId o : team) {
+      labels.insert(c.labels[mid.IndexOf(o)]);
+    }
+    if (labels.size() == 1 && *labels.begin() >= 0) ++well_separated;
+  }
+  // Most teams are intact at any instant; a handful host events.
+  EXPECT_GE(well_separated, 20);
+  EXPECT_LE(well_separated, 30);
+}
+
+TEST(TaxiGenTest, ShapeAndBounds) {
+  TaxiOptions options;
+  options.num_taxis = 100;
+  options.num_snapshots = 10;
+  SnapshotStream stream = GenerateTaxi(options);
+  ASSERT_EQ(stream.size(), 10u);
+  double extent = options.block_size * options.grid_blocks;
+  for (const Snapshot& s : stream) {
+    ASSERT_EQ(s.size(), 100u);
+    for (size_t i = 0; i < s.size(); ++i) {
+      // Positions stay near the city (GPS noise can leak slightly out).
+      EXPECT_GT(s.pos(i).x, -200.0);
+      EXPECT_LT(s.pos(i).x, extent + 200.0);
+    }
+  }
+}
+
+TEST(TaxiGenTest, Deterministic) {
+  TaxiOptions options;
+  options.num_taxis = 50;
+  options.num_snapshots = 5;
+  SnapshotStream a = GenerateTaxi(options);
+  SnapshotStream b = GenerateTaxi(options);
+  for (size_t t = 0; t < a.size(); ++t) {
+    for (size_t i = 0; i < a[t].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[t].pos(i).x, b[t].pos(i).x);
+    }
+  }
+}
+
+TEST(DatasetPresetsTest, PaperScaleShapes) {
+  Dataset d1 = MakeTaxiD1(5);
+  EXPECT_EQ(d1.stream.size(), 5u);
+  EXPECT_EQ(d1.stream[0].size(), 500u);
+  EXPECT_TRUE(d1.ground_truth.empty());
+
+  Dataset d2 = MakeMilitaryD2(5);
+  EXPECT_EQ(d2.stream[0].size(), 780u);
+  EXPECT_EQ(d2.ground_truth.size(), 30u);
+
+  Dataset d3 = MakeSyntheticD3(3);
+  EXPECT_EQ(d3.stream[0].size(), 1000u);
+
+  Dataset d4 = MakeSyntheticD4(2);
+  EXPECT_EQ(d4.stream[0].size(), 10000u);
+}
+
+TEST(DatasetPresetsTest, FullScaleRecordCounts) {
+  // Record-count math of Fig. 14 (streams themselves are generated at
+  // reduced length here; the count formula is what matters).
+  EXPECT_EQ(500 * kD1Snapshots, 25000);
+  EXPECT_EQ(780 * kD2Snapshots, 140400);
+  EXPECT_EQ(1000 * kD3Snapshots, 1440000);
+  EXPECT_EQ(10000 * kD4Snapshots, 14400000);
+}
+
+}  // namespace
+}  // namespace tcomp

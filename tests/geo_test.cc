@@ -1,0 +1,65 @@
+#include "stream/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace tcomp {
+namespace {
+
+// Beijing city center — the GeoLife data's home turf.
+constexpr LatLon kBeijing{39.9042, 116.4074};
+
+TEST(GeoTest, HaversineZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(HaversineMeters(kBeijing, kBeijing), 0.0);
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // One degree of latitude ≈ 111.2 km.
+  LatLon a{39.0, 116.0};
+  LatLon b{40.0, 116.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 200.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  LatLon a{39.9, 116.3};
+  LatLon b{40.1, 116.6};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeoTest, ProjectionRoundTrips) {
+  LocalProjection proj(kBeijing);
+  LatLon p{39.95, 116.45};
+  LatLon back = proj.Unproject(proj.Project(p));
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+}
+
+TEST(GeoTest, ProjectionReferenceIsOrigin) {
+  LocalProjection proj(kBeijing);
+  Point origin = proj.Project(kBeijing);
+  EXPECT_DOUBLE_EQ(origin.x, 0.0);
+  EXPECT_DOUBLE_EQ(origin.y, 0.0);
+}
+
+TEST(GeoTest, ProjectionApproximatesHaversineLocally) {
+  LocalProjection proj(kBeijing);
+  // Points within a city-scale extent: projected Euclidean distance must
+  // track the great-circle distance to well under clustering ε scales.
+  LatLon a{39.93, 116.38};
+  LatLon b{39.97, 116.44};
+  double planar = Distance(proj.Project(a), proj.Project(b));
+  double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.002);
+}
+
+TEST(GeoTest, NorthIsPositiveYEastIsPositiveX) {
+  LocalProjection proj(kBeijing);
+  Point north = proj.Project(LatLon{kBeijing.lat + 0.01, kBeijing.lon});
+  Point east = proj.Project(LatLon{kBeijing.lat, kBeijing.lon + 0.01});
+  EXPECT_GT(north.y, 0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+  EXPECT_GT(east.x, 0.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/discoverer.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+/// Oracle soundness check for the problem definition (Definition 3):
+/// every reported companion must (a) have size ≥ δs and (b) have all its
+/// members sharing one density cluster in each of the δt consecutive
+/// snapshots ending at its report snapshot. Verified against an
+/// independent clustering of every snapshot.
+class SoundnessTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SoundnessTest, ReportedCompanionsSatisfyDefinition3) {
+  GroupModelOptions options;
+  options.num_objects = 150;
+  options.num_snapshots = 45;
+  options.area_size = 2500.0;
+  options.min_group_size = 8;
+  options.max_group_size = 16;
+  options.split_probability = 0.01;
+  options.leave_probability = 0.005;
+  options.seed = 404;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 20.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 6;
+  params.duration_threshold = 8;  // unit snapshot durations
+
+  // Independent per-snapshot clusterings for the oracle.
+  std::vector<Clustering> clusterings;
+  clusterings.reserve(data.stream.size());
+  for (const Snapshot& s : data.stream) {
+    clusterings.push_back(DbscanGrid(s, params.cluster));
+  }
+
+  auto discoverer = MakeDiscoverer(GetParam(), params);
+  for (const Snapshot& s : data.stream) {
+    discoverer->ProcessSnapshot(s, nullptr);
+  }
+  ASSERT_GT(discoverer->log().size(), 0u) << "test needs companions";
+
+  const int delta_t = static_cast<int>(params.duration_threshold);
+  for (const Companion& c : discoverer->log().companions()) {
+    EXPECT_GE(c.objects.size(),
+              static_cast<size_t>(params.size_threshold));
+    int64_t first = c.snapshot_index - delta_t + 1;
+    ASSERT_GE(first, 0);
+    for (int64_t t = first; t <= c.snapshot_index; ++t) {
+      const Snapshot& snap = data.stream[static_cast<size_t>(t)];
+      const Clustering& clustering = clusterings[static_cast<size_t>(t)];
+      std::set<int32_t> labels;
+      for (ObjectId o : c.objects) {
+        size_t idx = snap.IndexOf(o);
+        ASSERT_NE(idx, Snapshot::kNpos)
+            << "companion member absent from snapshot " << t;
+        labels.insert(clustering.labels[idx]);
+      }
+      EXPECT_EQ(labels.size(), 1u)
+          << "members split across clusters at snapshot " << t;
+      EXPECT_GE(*labels.begin(), 0)
+          << "members unclustered at snapshot " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SoundnessTest,
+    ::testing::Values(Algorithm::kClusteringIntersection,
+                      Algorithm::kSmartClosed, Algorithm::kBuddy),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return AlgorithmName(info.param);
+    });
+
+/// Completeness oracle: a group that provably stays in one cluster for
+/// the whole stream must be reported (possibly inside a superset).
+TEST(CompletenessTest, StableGroupIsAlwaysFound) {
+  // Deterministic stream: one tight group of 9 orbits the area; 20 noise
+  // objects wander far away.
+  SnapshotStream stream;
+  Pcg32 rng(12);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<ObjectPosition> pos;
+    Point center{500.0 + 10.0 * t, 300.0 + 5.0 * t};
+    for (ObjectId o = 0; o < 9; ++o) {
+      pos.push_back(ObjectPosition{
+          o, Point{center.x + (o % 3) * 4.0, center.y + (o / 3) * 4.0}});
+    }
+    for (ObjectId o = 9; o < 29; ++o) {
+      pos.push_back(ObjectPosition{
+          o, Point{5000.0 + rng.NextDouble(0, 4000),
+                   5000.0 + rng.NextDouble(0, 4000)}});
+    }
+    stream.push_back(Snapshot(std::move(pos), 1.0));
+  }
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 10.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 9;
+  params.duration_threshold = 10;
+
+  for (Algorithm a : {Algorithm::kClusteringIntersection,
+                      Algorithm::kSmartClosed, Algorithm::kBuddy}) {
+    auto discoverer = MakeDiscoverer(a, params);
+    for (const Snapshot& s : stream) discoverer->ProcessSnapshot(s, nullptr);
+    bool found = false;
+    ObjectSet group{0, 1, 2, 3, 4, 5, 6, 7, 8};
+    for (const Companion& c : discoverer->log().companions()) {
+      if (std::includes(c.objects.begin(), c.objects.end(), group.begin(),
+                        group.end())) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << AlgorithmName(a);
+  }
+}
+
+/// Determinism: identical streams and parameters give byte-identical
+/// outputs and cost counters, for every algorithm.
+TEST(DeterminismTest, RepeatRunsAreIdentical) {
+  GroupModelOptions options;
+  options.num_objects = 100;
+  options.num_snapshots = 25;
+  options.area_size = 1800.0;
+  options.seed = 55;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 20.0;
+  params.cluster.mu = 4;
+  params.size_threshold = 8;
+  params.duration_threshold = 8;
+
+  for (Algorithm a : {Algorithm::kClusteringIntersection,
+                      Algorithm::kSmartClosed, Algorithm::kBuddy}) {
+    auto d1 = MakeDiscoverer(a, params);
+    auto d2 = MakeDiscoverer(a, params);
+    for (const Snapshot& s : data.stream) {
+      d1->ProcessSnapshot(s, nullptr);
+      d2->ProcessSnapshot(s, nullptr);
+    }
+    ASSERT_EQ(d1->log().size(), d2->log().size()) << AlgorithmName(a);
+    for (size_t i = 0; i < d1->log().companions().size(); ++i) {
+      EXPECT_EQ(d1->log().companions()[i].objects,
+                d2->log().companions()[i].objects);
+    }
+    EXPECT_EQ(d1->stats().intersections, d2->stats().intersections);
+    EXPECT_EQ(d1->stats().distance_ops, d2->stats().distance_ops);
+    EXPECT_EQ(d1->stats().candidate_objects_peak,
+              d2->stats().candidate_objects_peak);
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tcomp {
+namespace {
+
+TEST(JaccardTest, BasicValues) {
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1}, {}), 0.0);
+}
+
+TEST(ScoreTest, PerfectRetrieval) {
+  std::vector<ObjectSet> truth = {{1, 2, 3}, {4, 5, 6}};
+  EffectivenessResult r = ScoreCompanions(truth, truth);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_EQ(r.matched, 2);
+}
+
+TEST(ScoreTest, RedundantDuplicatesCostPrecision) {
+  // The CI failure mode: many redundant sets per true group. One-to-one
+  // matching means only one can count.
+  std::vector<ObjectSet> truth = {{1, 2, 3, 4}};
+  std::vector<ObjectSet> retrieved = {
+      {1, 2, 3, 4}, {1, 2, 3}, {2, 3, 4}, {1, 2, 4}};
+  EffectivenessResult r = ScoreCompanions(retrieved, truth);
+  EXPECT_EQ(r.matched, 1);
+  EXPECT_DOUBLE_EQ(r.precision, 0.25);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(ScoreTest, MissedGroupCostsRecall) {
+  std::vector<ObjectSet> truth = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  std::vector<ObjectSet> retrieved = {{1, 2, 3}};
+  EffectivenessResult r = ScoreCompanions(retrieved, truth);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_NEAR(r.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreTest, ThresholdGatesWeakMatches) {
+  std::vector<ObjectSet> truth = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  std::vector<ObjectSet> retrieved = {{1, 2, 3}};  // Jaccard = 3/8
+  EffectivenessResult strict = ScoreCompanions(retrieved, truth, 0.5);
+  EXPECT_EQ(strict.matched, 0);
+  EffectivenessResult loose = ScoreCompanions(retrieved, truth, 0.3);
+  EXPECT_EQ(loose.matched, 1);
+}
+
+TEST(ScoreTest, BestMatchWins) {
+  std::vector<ObjectSet> truth = {{1, 2, 3, 4}};
+  std::vector<ObjectSet> retrieved = {{1, 2}, {1, 2, 3, 4}};
+  EffectivenessResult r = ScoreCompanions(retrieved, truth);
+  EXPECT_EQ(r.matched, 1);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);  // the weaker duplicate is unmatched
+}
+
+TEST(ScoreTest, EmptyEdgeCases) {
+  EffectivenessResult none = ScoreCompanions({}, {{1, 2}});
+  EXPECT_DOUBLE_EQ(none.precision, 0.0);
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  EffectivenessResult no_truth = ScoreCompanions({{1, 2}}, {});
+  EXPECT_DOUBLE_EQ(no_truth.recall, 0.0);
+  EXPECT_DOUBLE_EQ(no_truth.precision, 0.0);
+}
+
+TEST(ScoreTest, OneToOneAcrossMultipleGroups) {
+  // A single retrieved superset spanning two teams can match only one.
+  std::vector<ObjectSet> truth = {{1, 2, 3}, {4, 5, 6}};
+  std::vector<ObjectSet> retrieved = {{1, 2, 3, 4, 5, 6}};
+  EffectivenessResult r = ScoreCompanions(retrieved, truth, 0.4);
+  EXPECT_EQ(r.matched, 1);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+}  // namespace
+}  // namespace tcomp

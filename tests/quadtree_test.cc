@@ -1,0 +1,131 @@
+#include "spatial/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+std::vector<ObjectId> BruteSearch(const std::vector<ObjectPosition>& items,
+                                  Point center, double radius) {
+  std::vector<ObjectId> out;
+  for (const ObjectPosition& it : items) {
+    if (Distance(it.pos, center) <= radius) out.push_back(it.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectPosition> RandomItems(int n, double extent, Pcg32& rng) {
+  std::vector<ObjectPosition> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(ObjectPosition{
+        static_cast<ObjectId>(i),
+        Point{rng.NextDouble(0, extent), rng.NextDouble(0, extent)}});
+  }
+  return items;
+}
+
+TEST(QuadTreeTest, EmptyAndBasicOps) {
+  QuadTree tree({0, 0}, 100.0);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Search({50, 50}, 100).empty());
+  EXPECT_FALSE(tree.Delete(1, {10, 10}));
+  tree.Insert(1, {10, 10});
+  tree.Insert(2, {90, 90});
+  EXPECT_EQ(tree.Search({10, 10}, 5.0), (std::vector<ObjectId>{1}));
+  EXPECT_EQ(tree.Search({50, 50}, 80.0), (std::vector<ObjectId>{1, 2}));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(QuadTreeTest, SplitsAndSearchesMatchBruteForce) {
+  Pcg32 rng(1);
+  std::vector<ObjectPosition> items = RandomItems(400, 200.0, rng);
+  QuadTree tree({0, 0}, 200.0, /*bucket_capacity=*/8);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  EXPECT_EQ(tree.size(), 400u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int round = 0; round < 100; ++round) {
+    Point c{rng.NextDouble(0, 200), rng.NextDouble(0, 200)};
+    double r = rng.NextDouble(1.0, 25.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(items, c, r));
+  }
+}
+
+TEST(QuadTreeTest, DeleteAndCollapse) {
+  Pcg32 rng(2);
+  std::vector<ObjectPosition> items = RandomItems(300, 100.0, rng);
+  QuadTree tree({0, 0}, 100.0, 8);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  std::vector<ObjectPosition> kept;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(tree.Delete(items[i].id, items[i].pos));
+    } else {
+      kept.push_back(items[i]);
+    }
+  }
+  EXPECT_EQ(tree.size(), kept.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int round = 0; round < 60; ++round) {
+    Point c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    double r = rng.NextDouble(1.0, 15.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(kept, c, r));
+  }
+}
+
+TEST(QuadTreeTest, UpdateTracksMovingPoints) {
+  Pcg32 rng(3);
+  std::vector<ObjectPosition> items = RandomItems(200, 150.0, rng);
+  QuadTree tree({0, 0}, 150.0, 8);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  for (int step = 0; step < 5; ++step) {
+    for (ObjectPosition& it : items) {
+      Point to{std::clamp(it.pos.x + rng.NextDouble(-4, 4), 0.0, 150.0),
+               std::clamp(it.pos.y + rng.NextDouble(-4, 4), 0.0, 150.0)};
+      ASSERT_TRUE(tree.Update(it.id, it.pos, to));
+      it.pos = to;
+    }
+    ASSERT_TRUE(tree.CheckInvariants());
+  }
+  for (int round = 0; round < 50; ++round) {
+    Point c{rng.NextDouble(0, 150), rng.NextDouble(0, 150)};
+    double r = rng.NextDouble(1.0, 20.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(items, c, r));
+  }
+}
+
+TEST(QuadTreeTest, CoincidentPointsRespectDepthCap) {
+  QuadTree tree({0, 0}, 64.0, /*bucket_capacity=*/4, /*max_depth=*/6);
+  for (ObjectId id = 0; id < 40; ++id) tree.Insert(id, {10.0, 10.0});
+  EXPECT_EQ(tree.size(), 40u);
+  EXPECT_EQ(tree.Search({10, 10}, 0.5).size(), 40u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (ObjectId id = 0; id < 40; ++id) {
+    EXPECT_TRUE(tree.Delete(id, {10.0, 10.0}));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(QuadTreeTest, OutOfRegionPointsAreClamped) {
+  QuadTree tree({0, 0}, 100.0);
+  tree.Insert(1, {-50.0, 200.0});  // clamps to (0, 100)
+  EXPECT_EQ(tree.Search({0, 100}, 1.0), (std::vector<ObjectId>{1}));
+  EXPECT_TRUE(tree.Delete(1, {-50.0, 200.0}));  // same clamp on delete
+}
+
+TEST(QuadTreeTest, ClearResets) {
+  QuadTree tree({0, 0}, 100.0);
+  for (ObjectId id = 0; id < 50; ++id) {
+    tree.Insert(id, {id * 1.0, id * 1.0});
+  }
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Search({25, 25}, 100).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,229 @@
+#include "network/road_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+TEST(RoadGraphTest, BuildAndBasicAccessors) {
+  RoadGraph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({100, 0});
+  NodeId c = g.AddNode({100, 50});
+  auto e1 = g.AddEdge(a, b);
+  auto e2 = g.AddEdge(b, c);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(e1.value()).length, 100.0);
+  EXPECT_DOUBLE_EQ(g.edge(e2.value()).length, 50.0);
+  EXPECT_EQ(g.EdgesAt(b).size(), 2u);
+}
+
+TEST(RoadGraphTest, RejectsBadEdges) {
+  RoadGraph g;
+  NodeId a = g.AddNode({0, 0});
+  EXPECT_FALSE(g.AddEdge(a, 5).ok());
+  EXPECT_FALSE(g.AddEdge(a, a).ok());
+}
+
+TEST(RoadGraphTest, CoordinatesInterpolate) {
+  RoadGraph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({100, 0});
+  EdgeId e = g.AddEdge(a, b).value();
+  Point mid = g.Coordinates(NetworkPosition{e, 25.0});
+  EXPECT_DOUBLE_EQ(mid.x, 25.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+}
+
+TEST(RoadGraphTest, SameEdgeDistanceIsDirect) {
+  RoadGraph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({100, 0});
+  EdgeId e = g.AddEdge(a, b).value();
+  EXPECT_DOUBLE_EQ(
+      g.NetworkDistance({e, 10.0}, {e, 70.0}, 1000.0), 60.0);
+  EXPECT_DOUBLE_EQ(g.NetworkDistance({e, 50.0}, {e, 50.0}, 1000.0), 0.0);
+}
+
+TEST(RoadGraphTest, CrossEdgeDistanceGoesThroughNodes) {
+  // L-shape: a --100-- b --50-- c.
+  RoadGraph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({100, 0});
+  NodeId c = g.AddNode({100, 50});
+  EdgeId ab = g.AddEdge(a, b).value();
+  EdgeId bc = g.AddEdge(b, c).value();
+  // 30 from a on ab; 20 from b on bc → 70 + 20 = 90.
+  EXPECT_DOUBLE_EQ(
+      g.NetworkDistance({ab, 30.0}, {bc, 20.0}, 1000.0), 90.0);
+  // Bound below the true distance → infinity.
+  EXPECT_EQ(g.NetworkDistance({ab, 30.0}, {bc, 20.0}, 50.0),
+            RoadGraph::kInfinity);
+}
+
+TEST(RoadGraphTest, ParallelAvenuesAreNetworkFar) {
+  // Two parallel avenues joined only at their west ends:
+  //   a0 ── a1   (avenue A, y=0)
+  //   |
+  //   b0 ── b1   (avenue B, y=100)
+  RoadGraph g;
+  NodeId a0 = g.AddNode({0, 0});
+  NodeId a1 = g.AddNode({400, 0});
+  NodeId b0 = g.AddNode({0, 100});
+  NodeId b1 = g.AddNode({400, 100});
+  EdgeId ea = g.AddEdge(a0, a1).value();
+  EdgeId eb = g.AddEdge(b0, b1).value();
+  g.AddEdge(a0, b0).value();
+
+  NetworkPosition on_a{ea, 400.0};  // east end of A
+  NetworkPosition on_b{eb, 400.0};  // east end of B
+  // Euclidean: 100 m apart. Network: 400 + 100 + 400 = 900 m.
+  EXPECT_DOUBLE_EQ(Distance(g.Coordinates(on_a), g.Coordinates(on_b)),
+                   100.0);
+  EXPECT_DOUBLE_EQ(g.NetworkDistance(on_a, on_b, 10000.0), 900.0);
+}
+
+TEST(RoadGraphTest, GridFactoryShape) {
+  RoadGraph g = RoadGraph::Grid(4, 3, 100.0);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Horizontal: 3 per row × 3 rows; vertical: 4 per column × 2 = 17.
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 4u * 2u);
+  // Opposite corners: Manhattan distance through the grid.
+  Point corner = g.node_pos(11);
+  EXPECT_DOUBLE_EQ(corner.x, 300.0);
+  EXPECT_DOUBLE_EQ(corner.y, 200.0);
+}
+
+TEST(RoadGraphTest, GridDistanceIsManhattan) {
+  RoadGraph g = RoadGraph::Grid(5, 5, 100.0);
+  // Positions at two intersections (offset 0 on incident edges).
+  NetworkPosition p1 = g.Snap(Point{0, 0});
+  NetworkPosition p2 = g.Snap(Point{300, 200});
+  EXPECT_NEAR(g.NetworkDistance(p1, p2, 1e6), 500.0, 1e-6);
+}
+
+TEST(RoadGraphTest, SnapFindsNearestEdge) {
+  RoadGraph g = RoadGraph::Grid(4, 4, 100.0);
+  double snap_dist = 0.0;
+  // A point 10 m north of the road y=0, x=150.
+  NetworkPosition p = g.Snap(Point{150.0, 10.0}, &snap_dist);
+  EXPECT_DOUBLE_EQ(snap_dist, 10.0);
+  Point back = g.Coordinates(p);
+  EXPECT_DOUBLE_EQ(back.x, 150.0);
+  EXPECT_DOUBLE_EQ(back.y, 0.0);
+}
+
+TEST(RoadGraphTest, SnapFarOutsideGridStillWorks) {
+  RoadGraph g = RoadGraph::Grid(3, 3, 100.0);
+  double snap_dist = 0.0;
+  NetworkPosition p = g.Snap(Point{5000.0, 5000.0}, &snap_dist);
+  Point back = g.Coordinates(p);
+  EXPECT_DOUBLE_EQ(back.x, 200.0);
+  EXPECT_DOUBLE_EQ(back.y, 200.0);
+  EXPECT_NEAR(snap_dist, Distance(Point{5000, 5000}, back), 1e-9);
+}
+
+TEST(RoadGraphTest, SnapMatchesBruteForceOnRandomPoints) {
+  RoadGraph g = RoadGraph::Grid(6, 5, 120.0);
+  Pcg32 rng(3);
+  for (int round = 0; round < 200; ++round) {
+    Point p{rng.NextDouble(-50, 650), rng.NextDouble(-50, 530)};
+    double got_dist;
+    NetworkPosition got = g.Snap(p, &got_dist);
+    // Brute force over all edges.
+    double best = RoadGraph::kInfinity;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      Point a = g.node_pos(g.edge(e).from);
+      Point b = g.node_pos(g.edge(e).to);
+      // Point-segment distance via projection.
+      Point d = b - a;
+      double len2 = d.x * d.x + d.y * d.y;
+      double t = len2 == 0 ? 0
+                           : std::clamp(((p.x - a.x) * d.x +
+                                         (p.y - a.y) * d.y) / len2,
+                                        0.0, 1.0);
+      best = std::min(best, Distance(p, a + d * t));
+    }
+    EXPECT_NEAR(got_dist, best, 1e-9) << "round " << round;
+    (void)got;
+  }
+}
+
+TEST(RoadGraphTest, NetworkDistanceMatchesBruteForceDijkstra) {
+  // Random sparse graph; verify NetworkDistance against an O(V³)
+  // Floyd-Warshall on node distances plus endpoint attachment.
+  Pcg32 rng(9);
+  RoadGraph g;
+  const int kNodes = 12;
+  for (int i = 0; i < kNodes; ++i) {
+    g.AddNode(Point{rng.NextDouble(0, 500), rng.NextDouble(0, 500)});
+  }
+  std::vector<RoadGraph::Edge> edges;
+  for (int i = 0; i < kNodes; ++i) {
+    for (int j = i + 1; j < kNodes; ++j) {
+      if (rng.NextBernoulli(0.3)) {
+        auto e = g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        ASSERT_TRUE(e.ok());
+      }
+    }
+  }
+  if (g.num_edges() < 2) return;
+
+  // Floyd-Warshall node-to-node.
+  std::vector<std::vector<double>> dist(
+      kNodes, std::vector<double>(kNodes, RoadGraph::kInfinity));
+  for (int i = 0; i < kNodes; ++i) dist[i][i] = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    int u = static_cast<int>(g.edge(e).from);
+    int v = static_cast<int>(g.edge(e).to);
+    dist[u][v] = std::min(dist[u][v], g.edge(e).length);
+    dist[v][u] = dist[u][v];
+  }
+  for (int k = 0; k < kNodes; ++k) {
+    for (int i = 0; i < kNodes; ++i) {
+      for (int j = 0; j < kNodes; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+
+  for (int round = 0; round < 60; ++round) {
+    EdgeId e1 = rng.NextBounded(static_cast<uint32_t>(g.num_edges()));
+    EdgeId e2 = rng.NextBounded(static_cast<uint32_t>(g.num_edges()));
+    NetworkPosition p1{e1, rng.NextDouble(0, g.edge(e1).length)};
+    NetworkPosition p2{e2, rng.NextDouble(0, g.edge(e2).length)};
+
+    double expected = RoadGraph::kInfinity;
+    if (e1 == e2) expected = std::abs(p1.offset - p2.offset);
+    int u1 = static_cast<int>(g.edge(e1).from);
+    int v1 = static_cast<int>(g.edge(e1).to);
+    int u2 = static_cast<int>(g.edge(e2).from);
+    int v2 = static_cast<int>(g.edge(e2).to);
+    double l1 = g.edge(e1).length;
+    double l2 = g.edge(e2).length;
+    double ends1[2] = {p1.offset, l1 - p1.offset};
+    double ends2[2] = {p2.offset, l2 - p2.offset};
+    int nodes1[2] = {u1, v1};
+    int nodes2[2] = {u2, v2};
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        expected = std::min(
+            expected, ends1[x] + dist[nodes1[x]][nodes2[y]] + ends2[y]);
+      }
+    }
+    double got = g.NetworkDistance(p1, p2, 1e9);
+    if (expected == RoadGraph::kInfinity) {
+      EXPECT_EQ(got, RoadGraph::kInfinity) << "round " << round;
+    } else {
+      EXPECT_NEAR(got, expected, 1e-6) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,214 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dbscan.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::ClusteredSnapshot;
+using testing_util::RandomSnapshot;
+
+std::vector<ObjectId> BruteSearch(const std::vector<ObjectPosition>& items,
+                                  Point center, double radius) {
+  std::vector<ObjectId> out;
+  for (const ObjectPosition& it : items) {
+    if (Distance(it.pos, center) <= radius) out.push_back(it.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectPosition> RandomItems(int n, double extent, Pcg32& rng) {
+  std::vector<ObjectPosition> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(ObjectPosition{
+        static_cast<ObjectId>(i),
+        Point{rng.NextDouble(0, extent), rng.NextDouble(0, extent)}});
+  }
+  return items;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Search({0, 0}, 10).empty());
+  EXPECT_FALSE(tree.Delete(1, {0, 0}));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, InsertAndSearchSmall) {
+  RTree tree;
+  tree.Insert(1, {0, 0});
+  tree.Insert(2, {3, 4});
+  tree.Insert(3, {10, 10});
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Search({0, 0}, 5.0), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(tree.Search({10, 10}, 0.5), (std::vector<ObjectId>{3}));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, InsertSplitsKeepInvariants) {
+  Pcg32 rng(1);
+  RTree tree(/*max_entries=*/4);
+  std::vector<ObjectPosition> items = RandomItems(200, 100.0, rng);
+  for (const ObjectPosition& it : items) {
+    tree.Insert(it.id, it.pos);
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SearchMatchesBruteForce) {
+  Pcg32 rng(2);
+  std::vector<ObjectPosition> items = RandomItems(300, 50.0, rng);
+  RTree tree(6);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  for (int round = 0; round < 100; ++round) {
+    Point c{rng.NextDouble(0, 50), rng.NextDouble(0, 50)};
+    double r = rng.NextDouble(0.5, 10.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(items, c, r));
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  Pcg32 rng(3);
+  std::vector<ObjectPosition> items = RandomItems(500, 80.0, rng);
+  RTree tree(8);
+  tree.BulkLoad(items);
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int round = 0; round < 100; ++round) {
+    Point c{rng.NextDouble(0, 80), rng.NextDouble(0, 80)};
+    double r = rng.NextDouble(0.5, 12.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(items, c, r));
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesAndCondenses) {
+  Pcg32 rng(4);
+  std::vector<ObjectPosition> items = RandomItems(150, 40.0, rng);
+  RTree tree(4);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  // Delete every third item; verify searches against the survivors.
+  std::vector<ObjectPosition> kept;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(tree.Delete(items[i].id, items[i].pos)) << i;
+    } else {
+      kept.push_back(items[i]);
+    }
+  }
+  EXPECT_EQ(tree.size(), kept.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int round = 0; round < 60; ++round) {
+    Point c{rng.NextDouble(0, 40), rng.NextDouble(0, 40)};
+    double r = rng.NextDouble(1.0, 8.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(kept, c, r));
+  }
+  // Deleting a non-existent entry fails cleanly.
+  EXPECT_FALSE(tree.Delete(9999, {1, 1}));
+}
+
+TEST(RTreeTest, DeleteEverything) {
+  Pcg32 rng(5);
+  std::vector<ObjectPosition> items = RandomItems(80, 30.0, rng);
+  RTree tree(4);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  for (const ObjectPosition& it : items) {
+    EXPECT_TRUE(tree.Delete(it.id, it.pos));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.Search({15, 15}, 100).empty());
+}
+
+TEST(RTreeTest, UpdateMovesPoints) {
+  Pcg32 rng(6);
+  std::vector<ObjectPosition> items = RandomItems(120, 60.0, rng);
+  RTree tree(6);
+  for (const ObjectPosition& it : items) tree.Insert(it.id, it.pos);
+  // Drift everything and update incrementally.
+  for (ObjectPosition& it : items) {
+    Point to{it.pos.x + rng.NextDouble(-2, 2),
+             it.pos.y + rng.NextDouble(-2, 2)};
+    EXPECT_TRUE(tree.Update(it.id, it.pos, to));
+    it.pos = to;
+  }
+  EXPECT_EQ(tree.size(), items.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int round = 0; round < 60; ++round) {
+    Point c{rng.NextDouble(0, 60), rng.NextDouble(0, 60)};
+    double r = rng.NextDouble(1.0, 9.0);
+    EXPECT_EQ(tree.Search(c, r), BruteSearch(items, c, r));
+  }
+}
+
+TEST(RTreeTest, DuplicatePositionsSupported) {
+  RTree tree(4);
+  for (ObjectId id = 0; id < 10; ++id) tree.Insert(id, {5.0, 5.0});
+  EXPECT_EQ(tree.Search({5, 5}, 0.1).size(), 10u);
+  EXPECT_TRUE(tree.Delete(4, {5.0, 5.0}));
+  EXPECT_EQ(tree.Search({5, 5}, 0.1).size(), 9u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+class DbscanRtreeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DbscanRtreeTest, MatchesPlainDbscanOverStream) {
+  const bool incremental = GetParam();
+  GroupModelOptions options;
+  options.num_objects = 150;
+  options.num_snapshots = 12;
+  options.area_size = 2000.0;
+  options.seed = 20;
+  GroupDataset data = GenerateGroupStream(options);
+  DbscanParams params{20.0, 4};
+
+  RTree tree(8);
+  const Snapshot* previous = nullptr;
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    Clustering got = DbscanRtree(data.stream[t], params, &tree,
+                                 incremental ? previous : nullptr);
+    Clustering want = Dbscan(data.stream[t], params);
+    ASSERT_EQ(got.labels, want.labels) << "snapshot " << t;
+    ASSERT_EQ(got.clusters, want.clusters) << "snapshot " << t;
+    EXPECT_TRUE(tree.CheckInvariants()) << "snapshot " << t;
+    previous = &data.stream[t];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RebuildAndIncremental, DbscanRtreeTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "incremental" : "rebuild";
+                         });
+
+TEST(RTreeTest, SearchVisitsFewNodesOnClusteredData) {
+  Pcg32 rng(9);
+  Snapshot s = ClusteredSnapshot(10, 30, 0, 2000.0, 2.0, rng);
+  std::vector<ObjectPosition> items;
+  for (size_t i = 0; i < s.size(); ++i) {
+    items.push_back(ObjectPosition{s.id(i), s.pos(i)});
+  }
+  RTree tree(8);
+  tree.BulkLoad(items);
+  tree.ResetStats();
+  for (size_t i = 0; i < s.size(); ++i) {
+    tree.Search(s.pos(i), 5.0);
+  }
+  // Far below visiting every node for every query.
+  double per_query = static_cast<double>(tree.nodes_visited()) /
+                     static_cast<double>(s.size());
+  EXPECT_LT(per_query, 20.0);
+}
+
+}  // namespace
+}  // namespace tcomp

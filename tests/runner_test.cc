@@ -1,0 +1,87 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+
+namespace tcomp {
+namespace {
+
+TEST(RunnerTest, StreamingResultShape) {
+  Dataset d = MakeMilitaryD2(/*num_snapshots=*/25);
+  RunResult r = RunStreamingAlgorithm(Algorithm::kBuddy,
+                                      d.default_params, d.stream);
+  EXPECT_EQ(r.algorithm, "BU");
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.space_cost, 0);
+  EXPECT_EQ(r.stats.snapshots, 25);
+  for (const ObjectSet& c : r.companions) {
+    EXPECT_GE(c.size(),
+              static_cast<size_t>(d.default_params.size_threshold));
+  }
+}
+
+TEST(RunnerTest, SwarmBaselineResultShape) {
+  Dataset d = MakeMilitaryD2(/*num_snapshots=*/25);
+  RunResult r =
+      RunSwarmBaseline(SwarmParamsFrom(d.default_params), d.stream);
+  EXPECT_EQ(r.algorithm, "SW");
+  EXPECT_GT(r.space_cost, 0);
+  EXPECT_FALSE(r.companions.empty());
+}
+
+TEST(RunnerTest, TraClusBaselineResultShape) {
+  Dataset d = MakeMilitaryD2(/*num_snapshots=*/25);
+  RunResult r =
+      RunTraClusBaseline(TraClusParamsFrom(d.default_params), d.stream);
+  EXPECT_EQ(r.algorithm, "TC");
+  EXPECT_EQ(r.space_cost, 0);  // TC stores no candidates (paper V-B)
+  // TC clusters whole marching columns: object groups exist even though
+  // they do not match companion semantics.
+  EXPECT_FALSE(r.companions.empty());
+}
+
+TEST(RunnerTest, ParamDerivations) {
+  DiscoveryParams p;
+  p.cluster.epsilon = 10.0;
+  p.cluster.mu = 5;
+  p.size_threshold = 8;
+  p.duration_threshold = 12.0;
+  SwarmParams sp = SwarmParamsFrom(p);
+  EXPECT_EQ(sp.min_objects, 8);
+  EXPECT_EQ(sp.min_snapshots, 12);
+  EXPECT_DOUBLE_EQ(sp.cluster.epsilon, 10.0);
+  TraClusParams tp = TraClusParamsFrom(p);
+  EXPECT_DOUBLE_EQ(tp.epsilon, 20.0);
+  EXPECT_EQ(tp.min_lines, 5);
+  EXPECT_GT(tp.max_segment_length, tp.epsilon);
+}
+
+TEST(LoggingTest, SeverityFilter) {
+  using internal::LogSeverity;
+  internal::LogSeverity before = internal::MinLogSeverity();
+  internal::SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(internal::MinLogSeverity(), LogSeverity::kError);
+  // INFO below threshold — must not crash, just be swallowed.
+  TCOMP_LOG(INFO) << "suppressed";
+  TCOMP_LOG(ERROR) << "visible (stderr)";
+  internal::SetMinLogSeverity(before);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  TCOMP_CHECK(true) << "never printed";
+  TCOMP_CHECK_EQ(2 + 2, 4);
+  TCOMP_CHECK_LT(1, 2);
+  TCOMP_CHECK_GE(2, 2);
+  TCOMP_DCHECK(true);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TCOMP_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ TCOMP_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace tcomp

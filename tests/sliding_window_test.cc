@@ -1,0 +1,127 @@
+#include "stream/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace tcomp {
+namespace {
+
+TrajectoryRecord R(ObjectId o, double ts, double x, double y) {
+  return TrajectoryRecord{o, ts, Point{x, y}};
+}
+
+TEST(SlidingWindowTest, EqualLengthBatchesByTime) {
+  SlidingWindowOptions options;
+  options.mode = WindowMode::kEqualLength;
+  options.window_length = 60.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+
+  ASSERT_TRUE(win.Push(R(1, 0.0, 1.0, 1.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(2, 30.0, 2.0, 2.0), &out).ok());
+  EXPECT_TRUE(out.empty());
+  // Crossing the 60 s boundary closes the first window.
+  ASSERT_TRUE(win.Push(R(1, 61.0, 5.0, 5.0), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_TRUE(out[0].Contains(1));
+  EXPECT_TRUE(out[0].Contains(2));
+  out.clear();
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 1u);
+}
+
+TEST(SlidingWindowTest, MultiReportAveraged) {
+  // Paper Fig. 22: multiple reports in one span → mean position.
+  SlidingWindowOptions options;
+  options.window_length = 60.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(7, 1.0, 0.0, 0.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(7, 20.0, 10.0, 4.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(7, 40.0, 2.0, 2.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  size_t idx = out[0].IndexOf(7);
+  ASSERT_NE(idx, Snapshot::kNpos);
+  EXPECT_DOUBLE_EQ(out[0].pos(idx).x, 4.0);
+  EXPECT_DOUBLE_EQ(out[0].pos(idx).y, 2.0);
+}
+
+TEST(SlidingWindowTest, GapSkipsEmptyWindows) {
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 0.0, 0.0, 0.0), &out).ok());
+  // Jump over 5 empty windows: only the one real window is emitted.
+  ASSERT_TRUE(win.Push(R(1, 65.0, 1.0, 1.0), &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(win.emitted(), 1);
+}
+
+TEST(SlidingWindowTest, LateRecordFoldsIntoCurrentWindow) {
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 12.0, 0.0, 0.0), &out).ok());
+  // Timestamp 3.0 is older than the current window; it is folded in
+  // rather than dropped.
+  ASSERT_TRUE(win.Push(R(2, 3.0, 5.0, 5.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+}
+
+TEST(SlidingWindowTest, OutOfOrderWithinWindowIsFine) {
+  SlidingWindowOptions options;
+  options.window_length = 60.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 50.0, 1.0, 0.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(2, 10.0, 2.0, 0.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(3, 30.0, 3.0, 0.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 3u);
+}
+
+TEST(SlidingWindowTest, EqualWidthEmitsOnObjectCount) {
+  SlidingWindowOptions options;
+  options.mode = WindowMode::kEqualWidth;
+  options.min_objects = 3;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 0.0, 0.0, 0.0), &out).ok());
+  ASSERT_TRUE(win.Push(R(1, 1.0, 0.0, 0.0), &out).ok());  // same object
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(win.Push(R(2, 2.0, 0.0, 0.0), &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(win.Push(R(3, 3.0, 0.0, 0.0), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 3u);
+}
+
+TEST(SlidingWindowTest, RejectsNonFiniteTimestamp) {
+  SlidingWindowSnapshotter win(SlidingWindowOptions{});
+  std::vector<Snapshot> out;
+  TrajectoryRecord r = R(1, 0.0, 0.0, 0.0);
+  r.timestamp = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(win.Push(r, &out).ok());
+}
+
+TEST(SlidingWindowTest, SnapshotDurationPropagates) {
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  options.snapshot_duration = 5.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 0.0, 0.0, 0.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].duration(), 5.0);
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,62 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::MakeSnapshot;
+
+TEST(SnapshotTest, SortsById) {
+  Snapshot s = MakeSnapshot({{5, 1.0, 2.0}, {2, 3.0, 4.0}, {9, 5.0, 6.0}});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.id(0), 2u);
+  EXPECT_EQ(s.id(1), 5u);
+  EXPECT_EQ(s.id(2), 9u);
+  EXPECT_DOUBLE_EQ(s.pos(0).x, 3.0);
+  EXPECT_DOUBLE_EQ(s.pos(2).y, 6.0);
+}
+
+TEST(SnapshotTest, IndexOfFindsPresentAndAbsent) {
+  Snapshot s = MakeSnapshot({{1, 0, 0}, {3, 0, 0}, {7, 0, 0}});
+  EXPECT_EQ(s.IndexOf(3), 1u);
+  EXPECT_EQ(s.IndexOf(2), Snapshot::kNpos);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+}
+
+TEST(SnapshotTest, EmptySnapshot) {
+  Snapshot s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.IndexOf(0), Snapshot::kNpos);
+}
+
+TEST(SnapshotTest, DurationStored) {
+  Snapshot s = MakeSnapshot({{0, 0, 0}}, 10.0);
+  EXPECT_DOUBLE_EQ(s.duration(), 10.0);
+}
+
+TEST(SnapshotTest, TotalRecordsSumsStream) {
+  SnapshotStream stream;
+  stream.push_back(MakeSnapshot({{0, 0, 0}, {1, 0, 0}}));
+  stream.push_back(MakeSnapshot({{0, 0, 0}}));
+  EXPECT_EQ(TotalRecords(stream), 3);
+}
+
+TEST(PointTest, DistanceMath) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  Point c = (a + b) / 2.0;
+  EXPECT_DOUBLE_EQ(c.x, 1.5);
+  Point d = b * 2.0 - b;
+  EXPECT_DOUBLE_EQ(d.x, 3.0);
+  EXPECT_DOUBLE_EQ(d.y, 4.0);
+}
+
+}  // namespace
+}  // namespace tcomp

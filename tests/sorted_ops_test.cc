@@ -1,0 +1,102 @@
+#include "util/sorted_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+using IntVec = std::vector<int>;
+
+TEST(SortedOpsTest, IsSortedUnique) {
+  EXPECT_TRUE(IsSortedUnique(IntVec{}));
+  EXPECT_TRUE(IsSortedUnique(IntVec{1}));
+  EXPECT_TRUE(IsSortedUnique(IntVec{1, 2, 5}));
+  EXPECT_FALSE(IsSortedUnique(IntVec{1, 1}));
+  EXPECT_FALSE(IsSortedUnique(IntVec{2, 1}));
+}
+
+TEST(SortedOpsTest, IntersectBasic) {
+  EXPECT_EQ(SortedIntersect(IntVec{1, 3, 5}, IntVec{2, 3, 5, 7}),
+            (IntVec{3, 5}));
+  EXPECT_EQ(SortedIntersect(IntVec{}, IntVec{1, 2}), IntVec{});
+  EXPECT_EQ(SortedIntersect(IntVec{1, 2}, IntVec{}), IntVec{});
+  EXPECT_EQ(SortedIntersect(IntVec{1, 2}, IntVec{3, 4}), IntVec{});
+}
+
+TEST(SortedOpsTest, UnionBasic) {
+  EXPECT_EQ(SortedUnion(IntVec{1, 3}, IntVec{2, 3, 4}),
+            (IntVec{1, 2, 3, 4}));
+  EXPECT_EQ(SortedUnion(IntVec{}, IntVec{}), IntVec{});
+}
+
+TEST(SortedOpsTest, DifferenceBasic) {
+  EXPECT_EQ(SortedDifference(IntVec{1, 2, 3, 4}, IntVec{2, 4}),
+            (IntVec{1, 3}));
+  EXPECT_EQ(SortedDifference(IntVec{1, 2}, IntVec{1, 2}), IntVec{});
+}
+
+TEST(SortedOpsTest, SubtractInPlace) {
+  IntVec a{1, 2, 3, 4, 5};
+  SortedSubtractInPlace(&a, IntVec{1, 3, 5});
+  EXPECT_EQ(a, (IntVec{2, 4}));
+}
+
+TEST(SortedOpsTest, SubsetChecks) {
+  EXPECT_TRUE(SortedIsSubset(IntVec{}, IntVec{1}));
+  EXPECT_TRUE(SortedIsSubset(IntVec{2, 4}, IntVec{1, 2, 3, 4}));
+  EXPECT_FALSE(SortedIsSubset(IntVec{2, 5}, IntVec{1, 2, 3, 4}));
+  EXPECT_TRUE(SortedIsSubset(IntVec{1, 2}, IntVec{1, 2}));
+}
+
+TEST(SortedOpsTest, IntersectsEarlyExit) {
+  EXPECT_TRUE(SortedIntersects(IntVec{1, 9}, IntVec{9}));
+  EXPECT_FALSE(SortedIntersects(IntVec{1, 3}, IntVec{2, 4}));
+  EXPECT_FALSE(SortedIntersects(IntVec{}, IntVec{2}));
+}
+
+TEST(SortedOpsTest, ContainsBinarySearch) {
+  EXPECT_TRUE(SortedContains(IntVec{1, 5, 9}, 5));
+  EXPECT_FALSE(SortedContains(IntVec{1, 5, 9}, 4));
+}
+
+TEST(SortedOpsTest, SortUniqueNormalizes) {
+  IntVec v{5, 1, 3, 1, 5};
+  SortUnique(&v);
+  EXPECT_EQ(v, (IntVec{1, 3, 5}));
+}
+
+/// Property sweep: set algebra agrees with a naive reference on random
+/// inputs.
+class SortedOpsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortedOpsPropertyTest, MatchesNaiveReference) {
+  Pcg32 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    IntVec a, b;
+    for (int i = 0; i < 40; ++i) {
+      if (rng.NextBernoulli(0.4)) a.push_back(i);
+      if (rng.NextBernoulli(0.4)) b.push_back(i);
+    }
+    IntVec inter_ref, union_ref, diff_ref;
+    for (int i = 0; i < 40; ++i) {
+      bool in_a = SortedContains(a, i);
+      bool in_b = SortedContains(b, i);
+      if (in_a && in_b) inter_ref.push_back(i);
+      if (in_a || in_b) union_ref.push_back(i);
+      if (in_a && !in_b) diff_ref.push_back(i);
+    }
+    EXPECT_EQ(SortedIntersect(a, b), inter_ref);
+    EXPECT_EQ(SortedUnion(a, b), union_ref);
+    EXPECT_EQ(SortedDifference(a, b), diff_ref);
+    EXPECT_EQ(SortedIntersects(a, b), !inter_ref.empty());
+    EXPECT_EQ(SortedIsSubset(a, b), diff_ref.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortedOpsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/swarm.h"
+#include "core/dbscan.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+/// Brute-force closed-swarm miner for tiny instances: enumerate every
+/// object subset, compute its support, and keep the (O, T)-closed ones.
+std::vector<Swarm> BruteForceClosedSwarms(const SnapshotStream& stream,
+                                          const SwarmParams& params) {
+  // Cluster labels per snapshot per object.
+  ObjectId max_id = 0;
+  for (const Snapshot& s : stream) {
+    if (!s.empty()) max_id = std::max(max_id, s.id(s.size() - 1));
+  }
+  std::vector<std::vector<int32_t>> labels;
+  for (const Snapshot& s : stream) {
+    Clustering c = Dbscan(s, params.cluster);
+    std::vector<int32_t> row(max_id + 1, -1);
+    for (size_t i = 0; i < s.size(); ++i) row[s.id(i)] = c.labels[i];
+    labels.push_back(std::move(row));
+  }
+  const int n = static_cast<int>(max_id) + 1;
+
+  auto support_of = [&](const ObjectSet& set) {
+    std::vector<int32_t> support;
+    for (size_t t = 0; t < labels.size(); ++t) {
+      int32_t label = labels[t][set[0]];
+      if (label < 0) continue;
+      bool together = true;
+      for (ObjectId o : set) {
+        if (labels[t][o] != label) together = false;
+      }
+      if (together) support.push_back(static_cast<int32_t>(t));
+    }
+    return support;
+  };
+
+  std::vector<Swarm> result;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    ObjectSet set;
+    for (int o = 0; o < n; ++o) {
+      if (mask & (1u << o)) set.push_back(static_cast<ObjectId>(o));
+    }
+    if (set.size() < static_cast<size_t>(params.min_objects)) continue;
+    std::vector<int32_t> support = support_of(set);
+    if (support.size() < static_cast<size_t>(params.min_snapshots)) {
+      continue;
+    }
+    // Object-closed: no strict superset has the same support.
+    bool closed = true;
+    for (int o = 0; o < n && closed; ++o) {
+      if (mask & (1u << o)) continue;
+      ObjectSet bigger = set;
+      bigger.push_back(static_cast<ObjectId>(o));
+      std::sort(bigger.begin(), bigger.end());
+      if (support_of(bigger) == support) closed = false;
+    }
+    if (closed) result.push_back(Swarm{std::move(set), std::move(support)});
+  }
+  return result;
+}
+
+std::set<ObjectSet> Sets(const std::vector<Swarm>& swarms) {
+  std::set<ObjectSet> out;
+  for (const Swarm& s : swarms) out.insert(s.objects);
+  return out;
+}
+
+class SwarmBruteForceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SwarmBruteForceTest, ObjectGrowthMatchesExhaustiveEnumeration) {
+  // 10 objects, 8 snapshots, random clustered placements — small enough
+  // to enumerate all 2^10 subsets, structured enough to form swarms.
+  Pcg32 rng(GetParam());
+  SnapshotStream stream;
+  for (int t = 0; t < 8; ++t) {
+    std::vector<ObjectPosition> pos;
+    // Three anchor points; each object sticks to one anchor with
+    // occasional defections, so cluster memberships vary over time.
+    Point anchors[3] = {{0.0, 0.0}, {30.0, 0.0}, {0.0, 30.0}};
+    for (ObjectId o = 0; o < 10; ++o) {
+      int base = o % 3;
+      if (rng.NextBernoulli(0.2)) base = rng.NextInt(0, 2);
+      Point p = anchors[base];
+      p.x += rng.NextDouble(-1.0, 1.0);
+      p.y += rng.NextDouble(-1.0, 1.0);
+      pos.push_back(ObjectPosition{o, p});
+    }
+    stream.push_back(Snapshot(std::move(pos), 1.0));
+  }
+
+  SwarmParams params;
+  params.cluster.epsilon = 3.0;
+  params.cluster.mu = 2;
+  params.min_objects = 2;
+  params.min_snapshots = 3;
+
+  std::vector<Swarm> mined = MineClosedSwarms(stream, params);
+  std::vector<Swarm> brute = BruteForceClosedSwarms(stream, params);
+
+  EXPECT_EQ(Sets(mined), Sets(brute));
+  // Supports must agree set-by-set.
+  for (const Swarm& m : mined) {
+    for (const Swarm& b : brute) {
+      if (m.objects == b.objects) {
+        EXPECT_EQ(m.snapshots, b.snapshots);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwarmBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tcomp

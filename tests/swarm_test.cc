@@ -1,0 +1,184 @@
+#include "baselines/swarm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/discoverer.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::MakeSnapshot;
+
+/// Two groups clustered in every snapshot; group B skips snapshot 2 —
+/// swarms tolerate the gap (non-consecutive support), companions do not.
+SnapshotStream GappedStream() {
+  SnapshotStream stream;
+  auto both = MakeSnapshot({{0, 0.0, 0.0},
+                            {1, 0.4, 0.0},
+                            {2, 0.8, 0.0},
+                            {5, 10.0, 0.0},
+                            {6, 10.4, 0.0},
+                            {7, 10.8, 0.0}});
+  auto b_scattered = MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.4, 0.0},
+                                   {2, 0.8, 0.0},
+                                   {5, 10.0, 0.0},
+                                   {6, 40.0, 0.0},
+                                   {7, 70.0, 0.0}});
+  stream.push_back(both);
+  stream.push_back(both);
+  stream.push_back(b_scattered);
+  stream.push_back(both);
+  stream.push_back(both);
+  return stream;
+}
+
+SwarmParams GappedParams() {
+  SwarmParams p;
+  p.cluster.epsilon = 0.5;
+  p.cluster.mu = 2;
+  p.min_objects = 3;
+  p.min_snapshots = 4;
+  return p;
+}
+
+TEST(SwarmTest, FindsNonConsecutiveSupport) {
+  std::vector<Swarm> swarms =
+      MineClosedSwarms(GappedStream(), GappedParams());
+  ASSERT_EQ(swarms.size(), 2u);
+  EXPECT_EQ(swarms[0].objects, (ObjectSet{0, 1, 2}));
+  EXPECT_EQ(swarms[0].snapshots,
+            (std::vector<int32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(swarms[1].objects, (ObjectSet{5, 6, 7}));
+  // Group B's support skips snapshot 2 — exactly the swarm relaxation.
+  EXPECT_EQ(swarms[1].snapshots, (std::vector<int32_t>{0, 1, 3, 4}));
+}
+
+TEST(SwarmTest, MintFiltersShortSupport) {
+  SwarmParams p = GappedParams();
+  p.min_snapshots = 5;
+  std::vector<Swarm> swarms = MineClosedSwarms(GappedStream(), p);
+  ASSERT_EQ(swarms.size(), 1u);  // only {0,1,2} spans all five
+  EXPECT_EQ(swarms[0].objects, (ObjectSet{0, 1, 2}));
+}
+
+TEST(SwarmTest, MinoFiltersSmallSets) {
+  SwarmParams p = GappedParams();
+  p.min_objects = 4;
+  EXPECT_TRUE(MineClosedSwarms(GappedStream(), p).empty());
+}
+
+TEST(SwarmTest, ClosednessSuppressesSubsets) {
+  // {0,1,2} co-clustered everywhere: no subset like {0,1} may appear.
+  SwarmParams p = GappedParams();
+  p.min_objects = 2;
+  std::vector<Swarm> swarms = MineClosedSwarms(GappedStream(), p);
+  std::set<ObjectSet> sets;
+  for (const Swarm& s : swarms) sets.insert(s.objects);
+  EXPECT_TRUE(sets.count({0, 1, 2}));
+  EXPECT_FALSE(sets.count({0, 1}));
+  EXPECT_FALSE(sets.count({1, 2}));
+  EXPECT_FALSE(sets.count({0, 2}));
+}
+
+TEST(SwarmTest, SplitSupportProducesDistinctSwarms) {
+  // Objects {0,1,2,3} together in snapshots 0-3; {0,1} split off with
+  // {4} in snapshots 4-7. Expect swarms {0,1,2,3} (support 0-3) and
+  // {0,1,4}? No — 4 only joins later; {0,1} alone has support 0-7.
+  SnapshotStream stream;
+  for (int t = 0; t < 4; ++t) {
+    stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.4, 0.0},
+                                   {2, 0.8, 0.0},
+                                   {3, 1.2, 0.0},
+                                   {4, 30.0, 0.0},
+                                   {5, 30.4, 0.0},
+                                   {6, 30.8, 0.0}}));
+  }
+  for (int t = 0; t < 4; ++t) {
+    stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.4, 0.0},
+                                   {4, 0.8, 0.0},
+                                   {2, 30.0, 0.0},
+                                   {3, 30.4, 0.0},
+                                   {5, 60.0, 0.0},
+                                   {6, 60.4, 0.0}}));
+  }
+  SwarmParams p;
+  p.cluster.epsilon = 0.5;
+  p.cluster.mu = 2;
+  p.min_objects = 2;
+  p.min_snapshots = 4;
+  std::vector<Swarm> swarms = MineClosedSwarms(stream, p);
+  std::set<ObjectSet> sets;
+  for (const Swarm& s : swarms) sets.insert(s.objects);
+  EXPECT_TRUE(sets.count({0, 1, 2, 3}));   // support {0..3}
+  EXPECT_TRUE(sets.count({0, 1}));          // support {0..7}, closed
+  EXPECT_TRUE(sets.count({2, 3}));          // support {0..7}
+  EXPECT_TRUE(sets.count({0, 1, 4}));       // support {4..7}
+  EXPECT_TRUE(sets.count({5, 6}));
+}
+
+TEST(SwarmTest, SwarmsAreSupersetOfCompanions) {
+  // On a churning group stream, every companion the streaming algorithm
+  // reports must be covered by some closed swarm (swarm ⊇ companion with
+  // the same thresholds) — the paper's "superset" observation.
+  GroupModelOptions options;
+  options.num_objects = 80;
+  options.num_snapshots = 25;
+  options.area_size = 1200.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.01;
+  options.seed = 31;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DiscoveryParams dp;
+  dp.cluster.epsilon = 20.0;
+  dp.cluster.mu = 3;
+  dp.size_threshold = 5;
+  dp.duration_threshold = 6;
+
+  auto discoverer = MakeDiscoverer(Algorithm::kSmartClosed, dp);
+  for (const Snapshot& s : data.stream) {
+    discoverer->ProcessSnapshot(s, nullptr);
+  }
+
+  SwarmParams sp;
+  sp.cluster = dp.cluster;
+  sp.min_objects = dp.size_threshold;
+  sp.min_snapshots = static_cast<int>(dp.duration_threshold);
+  std::vector<Swarm> swarms = MineClosedSwarms(data.stream, sp);
+
+  for (const Companion& c : discoverer->log().companions()) {
+    bool covered = false;
+    for (const Swarm& s : swarms) {
+      if (std::includes(s.objects.begin(), s.objects.end(),
+                        c.objects.begin(), c.objects.end())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "companion of size " << c.objects.size()
+                         << " not covered by any closed swarm";
+  }
+}
+
+TEST(SwarmTest, StatsArePopulated) {
+  SwarmStats stats;
+  MineClosedSwarms(GappedStream(), GappedParams(), &stats);
+  EXPECT_GT(stats.distance_ops, 0);
+  EXPECT_GT(stats.nodes_explored, 0);
+  EXPECT_GT(stats.peak_candidate_objects, 0);
+}
+
+TEST(SwarmTest, EmptyStream) {
+  EXPECT_TRUE(MineClosedSwarms({}, GappedParams()).empty());
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,52 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcomp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "123456"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  // Header present, separators drawn, all rows rendered.
+  EXPECT_NE(text.find("| name      | value  |"), std::string::npos);
+  EXPECT_NE(text.find("| a         | 1      |"), std::string::npos);
+  EXPECT_NE(text.find("| long-name | 123456 |"), std::string::npos);
+  EXPECT_NE(text.find("+-----------+--------+"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(FormatTest, FormatCountScales) {
+  EXPECT_EQ(FormatCount(321), "321");
+  EXPECT_EQ(FormatCount(99999), "99999");
+  EXPECT_EQ(FormatCount(250000), "250.0K");
+  EXPECT_EQ(FormatCount(14400000), "14.40M");
+  EXPECT_EQ(FormatCount(0), "0");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.123), "12.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,65 @@
+#ifndef TCOMP_TESTS_TEST_UTIL_H_
+#define TCOMP_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/snapshot.h"
+#include "core/types.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace testing_util {
+
+/// A uniformly random snapshot of `n` objects in [0, extent)².
+inline Snapshot RandomSnapshot(int n, double extent, Pcg32& rng,
+                               double duration = 1.0) {
+  std::vector<ObjectPosition> positions;
+  positions.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    positions.push_back(ObjectPosition{
+        static_cast<ObjectId>(i),
+        Point{rng.NextDouble(0.0, extent), rng.NextDouble(0.0, extent)}});
+  }
+  return Snapshot(std::move(positions), duration);
+}
+
+/// A clustered snapshot: `clusters` Gaussian blobs of `per_cluster`
+/// objects (σ = spread) plus `noise` uniform objects.
+inline Snapshot ClusteredSnapshot(int clusters, int per_cluster, int noise,
+                                  double extent, double spread, Pcg32& rng,
+                                  double duration = 1.0) {
+  std::vector<ObjectPosition> positions;
+  ObjectId next = 0;
+  for (int c = 0; c < clusters; ++c) {
+    Point center{rng.NextDouble(0.1 * extent, 0.9 * extent),
+                 rng.NextDouble(0.1 * extent, 0.9 * extent)};
+    for (int k = 0; k < per_cluster; ++k) {
+      positions.push_back(ObjectPosition{
+          next++, Point{center.x + spread * rng.NextGaussian(),
+                        center.y + spread * rng.NextGaussian()}});
+    }
+  }
+  for (int k = 0; k < noise; ++k) {
+    positions.push_back(ObjectPosition{
+        next++, Point{rng.NextDouble(0.0, extent),
+                      rng.NextDouble(0.0, extent)}});
+  }
+  return Snapshot(std::move(positions), duration);
+}
+
+/// Builds a snapshot from explicit (id, x, y) triples.
+inline Snapshot MakeSnapshot(
+    const std::vector<std::tuple<ObjectId, double, double>>& items,
+    double duration = 1.0) {
+  std::vector<ObjectPosition> positions;
+  positions.reserve(items.size());
+  for (const auto& [id, x, y] : items) {
+    positions.push_back(ObjectPosition{id, Point{x, y}});
+  }
+  return Snapshot(std::move(positions), duration);
+}
+
+}  // namespace testing_util
+}  // namespace tcomp
+
+#endif  // TCOMP_TESTS_TEST_UTIL_H_

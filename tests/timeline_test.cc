@@ -1,0 +1,193 @@
+#include "core/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/smart_closed.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::MakeSnapshot;
+
+TEST(TimelineTest, SingleEventMakesOneEpisode) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2, 3}, 4.0, 10);  // covers [7, 10]
+  std::vector<CompanionEpisode> eps = tl.Episodes();
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].begin, 7);
+  EXPECT_EQ(eps[0].end, 10);
+  EXPECT_EQ(eps[0].length(), 4);
+}
+
+TEST(TimelineTest, AdjacentEventsMerge) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2}, 4.0, 10);  // [7, 10]
+  tl.Observe({1, 2}, 4.0, 14);  // [11, 14] — touches → merged
+  std::vector<CompanionEpisode> eps = tl.Episodes();
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].begin, 7);
+  EXPECT_EQ(eps[0].end, 14);
+}
+
+TEST(TimelineTest, GapSplitsEpisodes) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2}, 3.0, 5);   // [3, 5]
+  tl.Observe({1, 2}, 3.0, 20);  // [18, 20] — gap → new episode
+  std::vector<CompanionEpisode> eps = tl.Episodes();
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].end, 5);
+  EXPECT_EQ(eps[1].begin, 18);
+}
+
+TEST(TimelineTest, DistinctSetsTrackedSeparately) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2}, 2.0, 4);
+  tl.Observe({3, 4}, 2.0, 4);
+  EXPECT_EQ(tl.distinct_sets(), 2u);
+  EXPECT_EQ(tl.Episodes().size(), 2u);
+}
+
+TEST(TimelineTest, ActiveAtQueriesIntervals) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2}, 4.0, 10);   // [7, 10]
+  tl.Observe({3, 4}, 2.0, 8);    // [7, 8]
+  EXPECT_EQ(tl.ActiveAt(7).size(), 2u);
+  EXPECT_EQ(tl.ActiveAt(9).size(), 1u);
+  EXPECT_EQ(tl.ActiveAt(11).size(), 0u);
+}
+
+TEST(TimelineTest, LongestEpisode) {
+  CompanionTimeline tl;
+  tl.Observe({1, 2}, 3.0, 5);
+  tl.Observe({3, 4}, 7.0, 9);
+  CompanionEpisode longest = tl.Longest();
+  EXPECT_EQ(longest.objects, (ObjectSet{3, 4}));
+  EXPECT_EQ(longest.length(), 7);
+  tl.Clear();
+  EXPECT_EQ(tl.Longest().length(), 0);
+}
+
+TEST(TimelineTest, SinkCanBeReplacedAndSurvivesReset) {
+  SnapshotStream stream;
+  for (int t = 0; t < 12; ++t) {
+    stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.3, 0.0},
+                                   {2, 0.6, 0.0}}));
+  }
+  DiscoveryParams params;
+  params.cluster.epsilon = 0.5;
+  params.cluster.mu = 2;
+  params.size_threshold = 3;
+  params.duration_threshold = 4;
+
+  SmartClosedDiscoverer sc(params);
+  int calls_a = 0, calls_b = 0;
+  sc.set_report_sink([&](const ObjectSet&, double, int64_t) { ++calls_a; });
+  sc.ProcessSnapshot(stream[0], nullptr);
+  for (int t = 1; t < 6; ++t) sc.ProcessSnapshot(stream[t], nullptr);
+  EXPECT_GT(calls_a, 0);
+
+  // Replacing the sink reroutes subsequent reports.
+  sc.set_report_sink([&](const ObjectSet&, double, int64_t) { ++calls_b; });
+  int before_a = calls_a;
+  for (int t = 6; t < 12; ++t) sc.ProcessSnapshot(stream[t], nullptr);
+  EXPECT_EQ(calls_a, before_a);
+  EXPECT_GT(calls_b, 0);
+
+  // Reset drops stream state but keeps the sink installed.
+  sc.Reset();
+  int before_b = calls_b;
+  for (const Snapshot& s : stream) sc.ProcessSnapshot(s, nullptr);
+  EXPECT_GT(calls_b, before_b);
+}
+
+TEST(TimelineTest, EndToEndWithDiscoverer) {
+  // A pair of groups: one persists all 14 snapshots, the other dissolves
+  // after 8 and re-forms at 20 for 8 more.
+  SnapshotStream stream;
+  for (int t = 0; t < 28; ++t) {
+    std::vector<std::tuple<ObjectId, double, double>> items;
+    for (ObjectId o = 0; o < 4; ++o) {
+      items.push_back({o, o * 0.4, 0.0});  // group A, always together
+    }
+    bool b_together = t < 8 || t >= 20;
+    for (ObjectId o = 10; o < 14; ++o) {
+      double x = b_together ? (o - 10) * 0.4 : (o - 10) * 50.0;
+      items.push_back({o, x, 100.0});
+    }
+    stream.push_back(MakeSnapshot(items));
+  }
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 0.5;
+  params.cluster.mu = 3;
+  params.size_threshold = 4;
+  params.duration_threshold = 5;
+
+  SmartClosedDiscoverer sc(params);
+  CompanionTimeline tl;
+  tl.Track(&sc);
+  for (const Snapshot& s : stream) sc.ProcessSnapshot(s, nullptr);
+
+  // Group A: one long episode covering (nearly) the whole stream; the
+  // tail shorter than δt after the last re-qualification is not covered.
+  std::vector<CompanionEpisode> a_eps;
+  std::vector<CompanionEpisode> b_eps;
+  for (const CompanionEpisode& e : tl.Episodes()) {
+    if (e.objects == ObjectSet{0, 1, 2, 3}) a_eps.push_back(e);
+    if (e.objects == ObjectSet{10, 11, 12, 13}) b_eps.push_back(e);
+  }
+  ASSERT_EQ(a_eps.size(), 1u);
+  EXPECT_EQ(a_eps[0].begin, 0);
+  EXPECT_GE(a_eps[0].length(), 25);
+
+  // Group B: two separate episodes around the dissolution gap.
+  ASSERT_EQ(b_eps.size(), 2u);
+  EXPECT_EQ(b_eps[0].begin, 0);
+  EXPECT_LE(b_eps[0].end, 8);
+  EXPECT_GE(b_eps[1].begin, 20);
+}
+
+TEST(TimelineTest, TracksEveryAlgorithmIdentically) {
+  SnapshotStream stream;
+  for (int t = 0; t < 20; ++t) {
+    stream.push_back(MakeSnapshot({{0, 0.0, 0.0},
+                                   {1, 0.3, 0.0},
+                                   {2, 0.6, 0.0},
+                                   {3, 0.9, 0.0}}));
+  }
+  DiscoveryParams params;
+  params.cluster.epsilon = 0.5;
+  params.cluster.mu = 2;
+  params.size_threshold = 4;
+  params.duration_threshold = 6;
+
+  std::vector<CompanionEpisode> per_algo[3];
+  int i = 0;
+  for (Algorithm a : {Algorithm::kClusteringIntersection,
+                      Algorithm::kSmartClosed, Algorithm::kBuddy}) {
+    auto d = MakeDiscoverer(a, params);
+    CompanionTimeline tl;
+    tl.Track(d.get());
+    for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+    per_algo[i++] = tl.Episodes();
+  }
+  // SC and BU report on identical δt re-qualification cycles → identical
+  // episodes. CI's candidate ladder re-qualifies the set every snapshot,
+  // so its episode covers SC's with a tail up to δt−1 snapshots longer.
+  ASSERT_EQ(per_algo[1].size(), 1u);
+  ASSERT_EQ(per_algo[2].size(), 1u);
+  EXPECT_EQ(per_algo[1][0].objects, per_algo[2][0].objects);
+  EXPECT_EQ(per_algo[1][0].begin, per_algo[2][0].begin);
+  EXPECT_EQ(per_algo[1][0].end, per_algo[2][0].end);
+
+  ASSERT_EQ(per_algo[0].size(), 1u);
+  EXPECT_LE(per_algo[0][0].begin, per_algo[1][0].begin);
+  EXPECT_GE(per_algo[0][0].end, per_algo[1][0].end);
+  EXPECT_LT(per_algo[0][0].end - per_algo[1][0].end,
+            static_cast<int64_t>(params.duration_threshold));
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,179 @@
+#include "baselines/traclus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/segment.h"
+#include "tests/test_util.h"
+
+namespace tcomp {
+namespace {
+
+Segment Seg(double x1, double y1, double x2, double y2, ObjectId o = 0) {
+  return Segment{{x1, y1}, {x2, y2}, o};
+}
+
+TEST(SegmentDistanceTest, IdenticalSegmentsZero) {
+  SegmentDistanceComponents d =
+      SegmentDistance(Seg(0, 0, 10, 0), Seg(0, 0, 10, 0));
+  EXPECT_DOUBLE_EQ(d.perpendicular, 0.0);
+  EXPECT_DOUBLE_EQ(d.parallel, 0.0);
+  EXPECT_DOUBLE_EQ(d.angular, 0.0);
+}
+
+TEST(SegmentDistanceTest, ParallelOffsetGivesPerpendicular) {
+  SegmentDistanceComponents d =
+      SegmentDistance(Seg(0, 0, 10, 0), Seg(0, 2, 10, 2));
+  EXPECT_DOUBLE_EQ(d.perpendicular, 2.0);  // (4+4)/(2+2)
+  EXPECT_DOUBLE_EQ(d.parallel, 0.0);
+  EXPECT_DOUBLE_EQ(d.angular, 0.0);
+}
+
+TEST(SegmentDistanceTest, CollinearGapGivesParallel) {
+  SegmentDistanceComponents d =
+      SegmentDistance(Seg(0, 0, 10, 0), Seg(13, 0, 15, 0));
+  EXPECT_DOUBLE_EQ(d.perpendicular, 0.0);
+  EXPECT_DOUBLE_EQ(d.parallel, 3.0);  // nearer endpoint overhang
+  EXPECT_DOUBLE_EQ(d.angular, 0.0);
+}
+
+TEST(SegmentDistanceTest, PerpendicularOrientationGivesAngular) {
+  // The shorter segment at 90°: dθ = its full length.
+  SegmentDistanceComponents d =
+      SegmentDistance(Seg(0, 0, 10, 0), Seg(5, 0, 5, 4));
+  EXPECT_DOUBLE_EQ(d.angular, 4.0);
+}
+
+TEST(SegmentDistanceTest, FortyFiveDegreesGivesSinTheta) {
+  SegmentDistanceComponents d =
+      SegmentDistance(Seg(0, 0, 10, 0), Seg(0, 0, 3, 3));
+  double len = std::sqrt(18.0);
+  EXPECT_NEAR(d.angular, len * std::sin(M_PI / 4.0), 1e-9);
+}
+
+TEST(SegmentDistanceTest, SymmetricInArguments) {
+  Segment a = Seg(0, 0, 10, 0);
+  Segment b = Seg(2, 3, 5, 4);
+  SegmentDistanceComponents ab = SegmentDistance(a, b);
+  SegmentDistanceComponents ba = SegmentDistance(b, a);
+  EXPECT_DOUBLE_EQ(ab.perpendicular, ba.perpendicular);
+  EXPECT_DOUBLE_EQ(ab.parallel, ba.parallel);
+  EXPECT_DOUBLE_EQ(ab.angular, ba.angular);
+}
+
+TEST(PartitionTest, StraightLineCollapsesToOneSegment) {
+  std::vector<Point> points;
+  for (int i = 0; i <= 20; ++i) points.push_back({i * 1.0, 0.0});
+  std::vector<size_t> cps = PartitionTrajectory(points);
+  ASSERT_EQ(cps.size(), 2u);
+  EXPECT_EQ(cps.front(), 0u);
+  EXPECT_EQ(cps.back(), 20u);
+}
+
+TEST(PartitionTest, SharpCornerBecomesCharacteristicPoint) {
+  // L-shaped path: out along x, then up along y.
+  std::vector<Point> points;
+  for (int i = 0; i <= 10; ++i) points.push_back({i * 10.0, 0.0});
+  for (int i = 1; i <= 10; ++i) points.push_back({100.0, i * 10.0});
+  std::vector<size_t> cps = PartitionTrajectory(points);
+  ASSERT_GE(cps.size(), 3u);
+  // Some characteristic point must sit at (or next to) the corner.
+  bool corner_found = false;
+  for (size_t idx : cps) {
+    if (idx >= 9 && idx <= 11) corner_found = true;
+  }
+  EXPECT_TRUE(corner_found);
+}
+
+TEST(PartitionTest, DegenerateInputs) {
+  EXPECT_TRUE(PartitionTrajectory({}).empty());
+  EXPECT_EQ(PartitionTrajectory({{1.0, 1.0}}).size(), 1u);
+  std::vector<size_t> two = PartitionTrajectory({{0.0, 0.0}, {1.0, 0.0}});
+  EXPECT_EQ(two, (std::vector<size_t>{0, 1}));
+}
+
+TEST(TraClusTest, FindsSharedCorridor) {
+  // Eight objects traverse the same west→east corridor (small lateral
+  // offsets); four wander far away, each alone.
+  SnapshotStream stream;
+  for (int t = 0; t <= 20; ++t) {
+    std::vector<ObjectPosition> pos;
+    for (ObjectId o = 0; o < 8; ++o) {
+      pos.push_back(
+          ObjectPosition{o, Point{t * 20.0, o * 2.0}});
+    }
+    for (ObjectId o = 8; o < 12; ++o) {
+      // Disperse radially so their headings differ.
+      double angle = 0.5 + o;
+      pos.push_back(ObjectPosition{
+          o, Point{2000.0 + t * 30.0 * std::cos(angle),
+                   2000.0 + t * 30.0 * std::sin(angle)}});
+    }
+    stream.push_back(Snapshot(std::move(pos), 1.0));
+  }
+  TraClusParams params;
+  params.epsilon = 30.0;
+  params.min_lines = 5;
+  params.max_segment_length = 150.0;
+  TraClusStats stats;
+  std::vector<SegmentCluster> clusters = RunTraClus(stream, params, &stats);
+  ASSERT_GE(clusters.size(), 1u);
+  // The corridor cluster contains all eight corridor objects.
+  bool corridor_found = false;
+  for (const SegmentCluster& c : clusters) {
+    if (c.objects == ObjectSet{0, 1, 2, 3, 4, 5, 6, 7}) {
+      corridor_found = true;
+    }
+  }
+  EXPECT_TRUE(corridor_found);
+  EXPECT_GT(stats.segments_total, 0);
+  EXPECT_GT(stats.characteristic_points, 0);
+}
+
+TEST(TraClusTest, DirectionBlindnessMixesOpposingCompanions) {
+  // The paper's critique: two distinct companions moving through the same
+  // corridor in opposite directions at different times. A density cluster
+  // per snapshot separates them, but TraClus (time-free, and with the
+  // angular distance treating θ≥90° by length only — here segments
+  // overlap spatially) merges or at least fails to separate them by time.
+  SnapshotStream stream;
+  for (int t = 0; t <= 20; ++t) {
+    std::vector<ObjectPosition> pos;
+    for (ObjectId o = 0; o < 5; ++o) {
+      pos.push_back(ObjectPosition{o, Point{t * 20.0, o * 2.0}});
+    }
+    for (ObjectId o = 5; o < 10; ++o) {
+      // Same corridor, same direction, 200 m behind: the two groups are
+      // never within clustering range in any snapshot, but their
+      // sub-trajectories overlap spatially over [0, 200].
+      pos.push_back(ObjectPosition{
+          o, Point{t * 20.0 - 200.0, (o - 5) * 2.0}});
+    }
+    stream.push_back(Snapshot(std::move(pos), 1.0));
+  }
+  TraClusParams params;
+  params.epsilon = 30.0;
+  params.min_lines = 5;
+  params.max_segment_length = 150.0;
+  std::vector<SegmentCluster> clusters = RunTraClus(stream, params);
+  // TraClus sees one shared corridor: some cluster mixes objects of both
+  // groups even though they never travel together.
+  bool mixed = false;
+  for (const SegmentCluster& c : clusters) {
+    bool has_a = false, has_b = false;
+    for (ObjectId o : c.objects) {
+      has_a |= (o < 5);
+      has_b |= (o >= 5);
+    }
+    if (has_a && has_b) mixed = true;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(TraClusTest, EmptyStream) {
+  EXPECT_TRUE(RunTraClus({}, TraClusParams{}).empty());
+}
+
+}  // namespace
+}  // namespace tcomp

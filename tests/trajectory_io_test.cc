@@ -1,0 +1,167 @@
+#include "data/trajectory_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic_gen.h"
+
+namespace tcomp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TrajectoryIoTest, CsvRoundTrip) {
+  std::vector<TrajectoryRecord> records = {
+      {1, 0.0, {1.5, 2.5}},
+      {2, 60.0, {-3.25, 4.0}},
+      {1, 120.0, {7.0, 8.0}},
+  };
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteRecordCsv(path, records).ok());
+
+  std::vector<TrajectoryRecord> back;
+  ASSERT_TRUE(ReadRecordCsv(path, &back).ok());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].object, 1u);
+  EXPECT_DOUBLE_EQ(back[0].pos.x, 1.5);
+  EXPECT_DOUBLE_EQ(back[1].pos.x, -3.25);
+  EXPECT_DOUBLE_EQ(back[2].timestamp, 120.0);
+}
+
+TEST(TrajectoryIoTest, ReadMissingFileFails) {
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv("/nonexistent/really/not.csv", &records);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(TrajectoryIoTest, MalformedRowReportsCorruption) {
+  std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2.0,3.0\n";  // only three fields
+  }
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv(path, &records);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(TrajectoryIoTest, SkipsCommentsAndHeaders) {
+  std::string path = TempPath("hdr.csv");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "object_id,timestamp,x,y\n";
+    out << "4,1.0,2.0,3.0\n";
+  }
+  std::vector<TrajectoryRecord> records;
+  ASSERT_TRUE(ReadRecordCsv(path, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].object, 4u);
+}
+
+TEST(TrajectoryIoTest, GeoLifePltParses) {
+  std::string path = TempPath("traj.plt");
+  {
+    std::ofstream out(path);
+    // Six header lines, as in real .plt files.
+    out << "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+        << "0,2,255,My Track,0,0,2,8421376\n0\n";
+    out << "39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59\n";
+    out << "39.906554,116.385625,0,492,39745.2,2008-10-24,02:10:00\n";
+  }
+  std::vector<GpsRecord> records;
+  ASSERT_TRUE(ReadGeoLifePlt(path, /*object=*/17, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].object, 17u);
+  EXPECT_NEAR(records[0].pos.lat, 39.906631, 1e-9);
+  EXPECT_NEAR(records[0].pos.lon, 116.385564, 1e-9);
+  EXPECT_NEAR(records[1].timestamp - records[0].timestamp, 0.1 * 86400.0,
+              1e-3);
+}
+
+TEST(TrajectoryIoTest, TDriveParses) {
+  std::string path = TempPath("taxi.txt");
+  {
+    std::ofstream out(path);
+    out << "1131,2008-02-02 13:30:44,116.35022,39.88902\n";
+    out << "1131,2008-02-02 13:35:44,116.34542,39.88790\n";
+  }
+  std::vector<GpsRecord> records;
+  ASSERT_TRUE(ReadTDriveTxt(path, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].object, 1131u);
+  EXPECT_NEAR(records[0].pos.lon, 116.35022, 1e-9);
+  EXPECT_NEAR(records[0].pos.lat, 39.88902, 1e-9);
+  // Five minutes apart.
+  EXPECT_DOUBLE_EQ(records[1].timestamp - records[0].timestamp, 300.0);
+}
+
+TEST(TrajectoryIoTest, TDriveEpochMath) {
+  // 1970-01-01 00:00:00 is epoch zero; a day later is 86400.
+  std::string path = TempPath("epoch.txt");
+  {
+    std::ofstream out(path);
+    out << "1,1970-01-01 00:00:00,0.0,0.0\n";
+    out << "1,1970-01-02 00:00:01,0.0,0.0\n";
+    out << "1,2000-03-01 12:00:00,0.0,0.0\n";
+  }
+  std::vector<GpsRecord> records;
+  ASSERT_TRUE(ReadTDriveTxt(path, &records).ok());
+  EXPECT_DOUBLE_EQ(records[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(records[1].timestamp, 86401.0);
+  // 2000-03-01 (leap year Feb had 29 days): verified against `date -u`.
+  EXPECT_DOUBLE_EQ(records[2].timestamp, 951912000.0);
+}
+
+TEST(TrajectoryIoTest, TDriveRejectsMalformed) {
+  std::string path = TempPath("bad_taxi.txt");
+  {
+    std::ofstream out(path);
+    out << "1131,2008-13-45 99:99:99,116.0,39.0\n";
+  }
+  std::vector<GpsRecord> records;
+  EXPECT_EQ(ReadTDriveTxt(path, &records).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TrajectoryIoTest, ProjectGpsRecordsUsesFirstAsReference) {
+  std::vector<GpsRecord> gps = {
+      {1, 0.0, {39.90, 116.40}},
+      {1, 60.0, {39.91, 116.40}},
+  };
+  std::vector<TrajectoryRecord> projected = ProjectGpsRecords(gps);
+  ASSERT_EQ(projected.size(), 2u);
+  EXPECT_DOUBLE_EQ(projected[0].pos.x, 0.0);
+  EXPECT_DOUBLE_EQ(projected[0].pos.y, 0.0);
+  EXPECT_NEAR(projected[1].pos.y, 1112.0, 5.0);  // 0.01° lat ≈ 1.1 km
+}
+
+TEST(TrajectoryIoTest, StreamToRecordsFlattens) {
+  Dataset d = MakeTaxiD1(/*num_snapshots=*/3);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(d.stream, /*seconds_per_snapshot=*/300.0);
+  EXPECT_EQ(records.size(), 1500u);
+  EXPECT_DOUBLE_EQ(records[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(records.back().timestamp, 600.0);
+}
+
+TEST(TrajectoryIoTest, GeneratedDatasetRoundTripsThroughCsv) {
+  Dataset d = MakeTaxiD1(/*num_snapshots=*/2);
+  std::vector<TrajectoryRecord> records = StreamToRecords(d.stream, 300.0);
+  std::string path = TempPath("dataset.csv");
+  ASSERT_TRUE(WriteRecordCsv(path, records).ok());
+  std::vector<TrajectoryRecord> back;
+  ASSERT_TRUE(ReadRecordCsv(path, &back).ok());
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].object, records[i].object);
+    EXPECT_NEAR(back[i].pos.x, records[i].pos.x, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

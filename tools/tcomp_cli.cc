@@ -1,0 +1,377 @@
+// tcomp — command-line interface to the traveling-companion library.
+//
+// Subcommands:
+//   generate  write a synthetic dataset as record CSV (+ ground truth)
+//   discover  run companion discovery over a record CSV
+//   help      usage
+//
+// Examples:
+//   tcomp generate --dataset d2 --snapshots 60 --out d2.csv --truth d2.truth
+//   tcomp discover --csv d2.csv --algo bu --epsilon 24 --mu 5
+//       --min-size 10 --min-duration 10 --window-seconds 60
+//       --truth d2.truth --timeline
+//   tcomp discover --csv d2.csv --algo bu ... --save-state s.ckpt
+//   tcomp discover --csv d2_rest.csv --algo bu ... --load-state s.ckpt
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/discoverer.h"
+#include "core/timeline.h"
+#include "data/synthetic_gen.h"
+#include "data/trajectory_io.h"
+#include "eval/export.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "eval/tuning.h"
+#include "stream/inactive_period.h"
+#include "stream/sliding_window.h"
+#include "util/flags.h"
+
+namespace tcomp {
+namespace {
+
+int Usage() {
+  std::printf(
+      "tcomp — traveling companion discovery (ICDE 2012 reproduction)\n"
+      "\n"
+      "  tcomp generate --dataset d1|d2|d3|d4 [--snapshots N]\n"
+      "      --out records.csv [--truth truth.txt] [--seconds-per-snapshot S]\n"
+      "  tcomp discover --csv records.csv [--algo ci|sc|bu]\n"
+      "      --epsilon E --mu M --min-size S --min-duration T\n"
+      "      [--window-seconds W | --window-objects N]\n"
+      "      [--inactive K] [--truth truth.txt] [--timeline]\n"
+      "      [--out-json FILE] [--out-csv FILE]\n"
+      "      [--save-state FILE] [--load-state FILE] [--quiet]\n"
+      "  tcomp suggest --csv records.csv [--k K] [--window-seconds W]\n");
+  return 2;
+}
+
+Status WriteTruth(const std::string& path,
+                  const std::vector<ObjectSet>& truth) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  for (const ObjectSet& group : truth) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      out << (i ? " " : "") << group[i];
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status ReadTruth(const std::string& path, std::vector<ObjectSet>* truth) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ObjectSet group;
+    std::istringstream row(line);
+    ObjectId id;
+    while (row >> id) group.push_back(id);
+    if (!group.empty()) {
+      std::sort(group.begin(), group.end());
+      truth->push_back(std::move(group));
+    }
+  }
+  return Status::OK();
+}
+
+int Generate(const FlagParser& flags) {
+  std::string which = flags.GetString("dataset", "d3");
+  std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return Usage();
+  }
+  int snapshots = flags.GetInt("snapshots", 0);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed", 0));
+
+  Dataset dataset;
+  if (which == "d1") {
+    dataset = MakeTaxiD1(snapshots > 0 ? snapshots : kD1Snapshots,
+                         seed ? seed : 11);
+  } else if (which == "d2") {
+    dataset = MakeMilitaryD2(snapshots > 0 ? snapshots : kD2Snapshots,
+                             seed ? seed : 7);
+  } else if (which == "d3") {
+    dataset = MakeSyntheticD3(snapshots > 0 ? snapshots : 240,
+                              seed ? seed : 42);
+  } else if (which == "d4") {
+    dataset = MakeSyntheticD4(snapshots > 0 ? snapshots : 60,
+                              seed ? seed : 43);
+  } else {
+    std::fprintf(stderr, "generate: unknown --dataset %s\n", which.c_str());
+    return Usage();
+  }
+
+  double spacing = flags.GetDouble("seconds-per-snapshot", 60.0);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(dataset.stream, spacing);
+  Status s = WriteRecordCsv(out_path, records);
+  if (!s.ok()) {
+    std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records (%zu snapshots, %zu objects) to %s\n",
+              records.size(), dataset.stream.size(),
+              dataset.stream.empty() ? 0 : dataset.stream[0].size(),
+              out_path.c_str());
+
+  std::string truth_path = flags.GetString("truth", "");
+  if (!truth_path.empty()) {
+    if (dataset.ground_truth.empty()) {
+      std::fprintf(stderr,
+                   "generate: dataset %s has no ground truth; skipping\n",
+                   which.c_str());
+    } else {
+      Status ts = WriteTruth(truth_path, dataset.ground_truth);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "generate: %s\n", ts.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu ground-truth groups to %s\n",
+                  dataset.ground_truth.size(), truth_path.c_str());
+    }
+  }
+  std::printf("suggested thresholds: --epsilon %.1f --mu %d\n",
+              dataset.default_params.cluster.epsilon,
+              dataset.default_params.cluster.mu);
+  return 0;
+}
+
+int Discover(const FlagParser& flags) {
+  std::string csv = flags.GetString("csv", "");
+  if (csv.empty()) {
+    std::fprintf(stderr, "discover: --csv is required\n");
+    return Usage();
+  }
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv(csv, &records);
+  if (!s.ok()) {
+    std::fprintf(stderr, "discover: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  DiscoveryParams params;
+  params.cluster.epsilon = flags.GetDouble("epsilon", 20.0);
+  params.cluster.mu = flags.GetInt("mu", 4);
+  params.size_threshold = flags.GetInt("min-size", 10);
+  params.duration_threshold = flags.GetDouble("min-duration", 10.0);
+
+  std::string algo_name = flags.GetString("algo", "bu");
+  Algorithm algorithm;
+  if (algo_name == "ci") {
+    algorithm = Algorithm::kClusteringIntersection;
+  } else if (algo_name == "sc") {
+    algorithm = Algorithm::kSmartClosed;
+  } else if (algo_name == "bu") {
+    algorithm = Algorithm::kBuddy;
+  } else {
+    std::fprintf(stderr, "discover: unknown --algo %s\n",
+                 algo_name.c_str());
+    return Usage();
+  }
+  auto discoverer = MakeDiscoverer(algorithm, params);
+
+  std::string load_state = flags.GetString("load-state", "");
+  if (!load_state.empty()) {
+    Status ls = LoadDiscovererFromFile(discoverer.get(), load_state);
+    if (!ls.ok()) {
+      std::fprintf(stderr, "discover: %s\n", ls.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed from %s (%lld snapshots processed so far)\n",
+                load_state.c_str(),
+                static_cast<long long>(discoverer->stats().snapshots));
+  }
+
+  CompanionTimeline timeline;
+  bool want_timeline = flags.GetBool("timeline", false);
+  if (want_timeline) timeline.Track(discoverer.get());
+
+  SlidingWindowOptions wopts;
+  if (flags.Has("window-objects")) {
+    wopts.mode = WindowMode::kEqualWidth;
+    wopts.min_objects =
+        static_cast<size_t>(flags.GetInt("window-objects", 100));
+  } else {
+    wopts.mode = WindowMode::kEqualLength;
+    wopts.window_length = flags.GetDouble("window-seconds", 60.0);
+  }
+  SlidingWindowSnapshotter window(wopts);
+  InactivePeriodFiller filler(flags.GetInt("inactive", 0));
+
+  bool quiet = flags.GetBool("quiet", false);
+  int64_t snapshots = 0;
+  std::vector<Snapshot> ready;
+  auto process = [&](const Snapshot& snap) {
+    std::vector<Companion> newly;
+    discoverer->ProcessSnapshot(filler.Fill(snap), &newly);
+    ++snapshots;
+    if (!quiet) {
+      for (const Companion& c : newly) {
+        std::printf("[snapshot %lld] companion of %zu objects, together "
+                    "%.1f units:",
+                    static_cast<long long>(snapshots), c.objects.size(),
+                    c.duration);
+        for (size_t i = 0; i < std::min<size_t>(8, c.objects.size());
+             ++i) {
+          std::printf(" %u", c.objects[i]);
+        }
+        if (c.objects.size() > 8) std::printf(" ...");
+        std::printf("\n");
+      }
+    }
+  };
+  for (const TrajectoryRecord& r : records) {
+    Status ps = window.Push(r, &ready);
+    if (!ps.ok()) {
+      std::fprintf(stderr, "discover: %s\n", ps.ToString().c_str());
+      return 1;
+    }
+    for (const Snapshot& snap : ready) process(snap);
+    ready.clear();
+  }
+  window.Flush(&ready);
+  for (const Snapshot& snap : ready) process(snap);
+
+  const DiscoveryStats& stats = discoverer->stats();
+  std::printf("\n%s over %lld snapshots: %zu distinct companions, "
+              "%lld intersections, peak candidate size %lld\n",
+              discoverer->name().c_str(),
+              static_cast<long long>(stats.snapshots),
+              discoverer->log().size(),
+              static_cast<long long>(stats.intersections),
+              static_cast<long long>(stats.candidate_objects_peak));
+
+  std::string truth_path = flags.GetString("truth", "");
+  if (!truth_path.empty()) {
+    std::vector<ObjectSet> truth;
+    Status ts = ReadTruth(truth_path, &truth);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "discover: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+    std::vector<ObjectSet> retrieved;
+    for (const Companion& c : discoverer->log().companions()) {
+      retrieved.push_back(c.objects);
+    }
+    EffectivenessResult strict = ScoreCompanions(retrieved, truth);
+    EffectivenessResult coverage =
+        ScoreCompanionsCoverage(retrieved, truth, 0.35);
+    std::printf("vs ground truth (%zu groups): one-to-one precision "
+                "%.1f%% recall %.1f%%; coverage precision %.1f%%\n",
+                truth.size(), 100.0 * strict.precision,
+                100.0 * strict.recall, 100.0 * coverage.precision);
+  }
+
+  if (want_timeline) {
+    std::printf("\ncompanion timeline (%zu distinct sets):\n",
+                timeline.distinct_sets());
+    int shown = 0;
+    for (const CompanionEpisode& e : timeline.Episodes()) {
+      if (shown++ >= 15) {
+        std::printf("  ...\n");
+        break;
+      }
+      std::printf("  %zu objects, snapshots %lld..%lld (%lld long)\n",
+                  e.objects.size(), static_cast<long long>(e.begin),
+                  static_cast<long long>(e.end),
+                  static_cast<long long>(e.length()));
+    }
+  }
+
+  std::string out_json = flags.GetString("out-json", "");
+  if (!out_json.empty()) {
+    Status os = WriteCompanionsJsonFile(discoverer->log().companions(),
+                                        out_json);
+    if (!os.ok()) {
+      std::fprintf(stderr, "discover: %s\n", os.ToString().c_str());
+      return 1;
+    }
+    std::printf("companions written to %s\n", out_json.c_str());
+  }
+  std::string out_csv = flags.GetString("out-csv", "");
+  if (!out_csv.empty()) {
+    Status os = WriteCompanionsCsvFile(discoverer->log().companions(),
+                                       out_csv);
+    if (!os.ok()) {
+      std::fprintf(stderr, "discover: %s\n", os.ToString().c_str());
+      return 1;
+    }
+    std::printf("companions written to %s\n", out_csv.c_str());
+  }
+
+  std::string save_state = flags.GetString("save-state", "");
+  if (!save_state.empty()) {
+    Status ss = SaveDiscovererToFile(*discoverer, save_state);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "discover: %s\n", ss.ToString().c_str());
+      return 1;
+    }
+    std::printf("state saved to %s\n", save_state.c_str());
+  }
+  return 0;
+}
+
+int Suggest(const FlagParser& flags) {
+  std::string csv = flags.GetString("csv", "");
+  if (csv.empty()) {
+    std::fprintf(stderr, "suggest: --csv is required\n");
+    return Usage();
+  }
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv(csv, &records);
+  if (!s.ok()) {
+    std::fprintf(stderr, "suggest: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  SlidingWindowOptions wopts;
+  wopts.window_length = flags.GetDouble("window-seconds", 60.0);
+  SlidingWindowSnapshotter window(wopts);
+  SnapshotStream stream;
+  for (const TrajectoryRecord& r : records) {
+    if (!window.Push(r, &stream).ok()) return 1;
+  }
+  window.Flush(&stream);
+
+  int k = flags.GetInt("k", 4);
+  TuningSuggestion suggestion = SuggestClusterParams(stream, k);
+  std::printf("suggested thresholds from %zu snapshots: --epsilon %.2f "
+              "--mu %d  (k-distance knee; ~%.1f%% of objects beyond it)\n",
+              stream.size(), suggestion.params.epsilon,
+              suggestion.params.mu, 100.0 * suggestion.noise_fraction);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  FlagParser flags;
+  Status s = flags.Parse(argc - 1, argv + 1);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return Usage();
+  }
+  if (command == "generate") return Generate(flags);
+  if (command == "discover") return Discover(flags);
+  if (command == "suggest") return Suggest(flags);
+  if (command == "help" || command == "--help") {
+    Usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tcomp
+
+int main(int argc, char** argv) { return tcomp::Main(argc, argv); }
