@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/flags.cc" "src/CMakeFiles/tcomp_util.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/tcomp_util.dir/util/flags.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/CMakeFiles/tcomp_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tcomp_util.dir/util/logging.cc.o.d"
   "/root/repo/src/util/status.cc" "src/CMakeFiles/tcomp_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tcomp_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

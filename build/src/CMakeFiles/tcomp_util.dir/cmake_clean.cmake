@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tcomp_util.dir/util/logging.cc.o.d"
   "CMakeFiles/tcomp_util.dir/util/status.cc.o"
   "CMakeFiles/tcomp_util.dir/util/status.cc.o.d"
+  "CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o.d"
   "libtcomp_util.a"
   "libtcomp_util.pdb"
 )

@@ -6,6 +6,7 @@
 
 #include "util/logging.h"
 #include "util/sorted_ops.h"
+#include "util/thread_pool.h"
 
 namespace tcomp {
 namespace {
@@ -200,7 +201,22 @@ void BuddySet::Update(const Snapshot& snapshot,
   std::vector<Buddy> born;  // changed buddies, ids assigned at the end
 
   // --- Split phase (Algorithm 3, lines 1–8). ---
-  for (Buddy& b : buddies_) {
+  // Buddies split independently of each other: each reads the shared
+  // last-position table and produces only its own outcome, so the sweep
+  // runs on the thread pool (buddy bi owned by shard bi % num_shards) and
+  // a serial stitch below replays the outcomes in buddy order —
+  // reproducing the exact `born`/`next`/`retired_ids_` sequences and
+  // counter totals of the serial sweep.
+  struct SplitOutcome {
+    std::vector<Buddy> singles;  // split-out singletons, in member order
+    Buddy remainder;
+    bool split_any = false;
+    int64_t distance_ops = 0;
+  };
+  std::vector<SplitOutcome> outcomes(buddies_.size());
+  auto split_one = [&](size_t bi) {
+    const Buddy& b = buddies_[bi];
+    SplitOutcome& out = outcomes[bi];
     // Exact center from current member positions (equivalent to the
     // paper's incremental "add the member shifts to the stored sum").
     Point sum{};
@@ -209,9 +225,8 @@ void BuddySet::Update(const Snapshot& snapshot,
 
     ObjectSet survivors;
     survivors.reserve(b.members.size());
-    bool split_any = false;
     for (ObjectId oid : b.members) {
-      ++local.distance_ops;
+      ++out.distance_ops;
       Point center = sum / count;
       if (count > 1.0 &&
           Distance(last_pos_[oid], center) > radius_threshold_) {
@@ -220,35 +235,47 @@ void BuddySet::Update(const Snapshot& snapshot,
         single.members = {oid};
         single.coord_sum = last_pos_[oid];
         single.radius = 0.0;
-        born.push_back(std::move(single));
+        out.singles.push_back(std::move(single));
         sum = sum - last_pos_[oid];
         count -= 1.0;
-        split_any = true;
-        ++local.splits;
+        out.split_any = true;
       } else {
         survivors.push_back(oid);
       }
     }
 
-    Buddy remainder;
-    remainder.members = std::move(survivors);
-    remainder.coord_sum = sum;
+    out.remainder.members = std::move(survivors);
+    out.remainder.coord_sum = sum;
     Point center = sum / count;
     double radius = 0.0;
-    for (ObjectId oid : remainder.members) {
-      ++local.distance_ops;
+    for (ObjectId oid : out.remainder.members) {
+      ++out.distance_ops;
       radius = std::max(radius, Distance(last_pos_[oid], center));
     }
-    remainder.radius = radius;
-
-    if (split_any) {
-      retired_ids_.push_back(b.id);
-      born.push_back(std::move(remainder));
+    out.remainder.radius = radius;
+  };
+  const int shards = EffectiveShards(threads_, buddies_.size());
+  ParallelForShards(shards, [&](int shard, int num_shards) {
+    for (size_t bi = static_cast<size_t>(shard); bi < buddies_.size();
+         bi += static_cast<size_t>(num_shards)) {
+      split_one(bi);
+    }
+  });
+  for (size_t bi = 0; bi < buddies_.size(); ++bi) {
+    SplitOutcome& out = outcomes[bi];
+    local.distance_ops += out.distance_ops;
+    local.splits += static_cast<int64_t>(out.singles.size());
+    for (Buddy& single : out.singles) born.push_back(std::move(single));
+    if (out.split_any) {
+      retired_ids_.push_back(buddies_[bi].id);
+      born.push_back(std::move(out.remainder));
     } else {
-      remainder.id = b.id;  // membership unchanged: id survives (so far)
-      next.push_back(std::move(remainder));
+      // membership unchanged: id survives (so far)
+      out.remainder.id = buddies_[bi].id;
+      next.push_back(std::move(out.remainder));
     }
   }
+  outcomes.clear();
 
   // Objects never seen before this snapshot become singleton buddies.
   for (size_t i = 0; i < snapshot.size(); ++i) {

@@ -8,6 +8,7 @@
 
 #include "util/logging.h"
 #include "util/sorted_ops.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tcomp {
@@ -26,6 +27,7 @@ BuddyDiscoverer::BuddyDiscoverer(const DiscoveryParams& params)
     : params_(params), buddies_(EffectiveBuddyRadius(params)) {
   // Like SC, BU reports only closed companions (Definition 5 on outputs).
   log_.set_closed_mode(true);
+  buddies_.set_threads(params.cluster.threads);
 }
 
 BuddyId BuddyDiscoverer::LiveBuddyOf(ObjectId oid) const {
@@ -63,11 +65,19 @@ void BuddyDiscoverer::ProcessSnapshot(
 
     // Replace retired buddy tokens in stored candidates by their objects
     // (Definition 7: the index knows every referenced id's membership).
+    // Expansion is per-candidate independent (the index is read-only
+    // here), so candidates are strided over the thread pool.
     const std::vector<BuddyId>& retired = buddies_.retired_ids();
     if (!retired.empty()) {
-      for (AtomSet& r : candidates_) {
-        index_.ExpandRetired(retired, &r);
-      }
+      ParallelForShards(
+          EffectiveShards(params_.cluster.threads, candidates_.size()),
+          [&](int shard, int num_shards) {
+            for (size_t k = static_cast<size_t>(shard);
+                 k < candidates_.size();
+                 k += static_cast<size_t>(num_shards)) {
+              index_.ExpandRetired(retired, &candidates_[k]);
+            }
+          });
     }
   }
   maintain_timer.Stop();
@@ -128,12 +138,26 @@ void BuddyDiscoverer::ProcessSnapshot(
   std::vector<AtomSet> next;
   next.reserve(candidates_.size() + cluster_atoms.size());
 
-  for (AtomSet& r : candidates_) {
-    double duration = r.duration + snapshot.duration();
-    AtomSet working = std::move(r);
+  // Candidates intersect against the clusters independently of each other
+  // (cluster atoms, index, and buddy set are read-only here); only the
+  // outputs — companion reports and surviving candidates — are order
+  // sensitive. So each candidate is processed by one shard into a private
+  // outcome, and the outcomes are replayed serially in candidate order:
+  // the report sequence, the `next` sequence, and the intersections total
+  // are bit-identical to the serial loop.
+  struct CandidateOutcome {
+    // (qualified, product) in the order the serial loop would emit them.
+    std::vector<std::pair<bool, AtomSet>> events;
+    int64_t intersections = 0;
+  };
+  std::vector<CandidateOutcome> outcomes(candidates_.size());
+  auto process_candidate = [&](size_t ci) {
+    CandidateOutcome& outcome = outcomes[ci];
+    double duration = candidates_[ci].duration + snapshot.duration();
+    AtomSet working = std::move(candidates_[ci]);
 
     auto intersect_with = [&](const AtomSet& c) {
-      ++stats_.intersections;
+      ++outcome.intersections;
       AtomIntersection inter =
           IntersectAtomSets(working, c, index_, buddy_of);
       if (!inter.any_overlap) return;  // working set unchanged
@@ -142,11 +166,8 @@ void BuddyDiscoverer::ProcessSnapshot(
       inter.result.duration = duration;
       // Qualified companions are output and leave the candidate set
       // (Definition 4: candidate duration < δt).
-      if (duration >= params_.duration_threshold) {
-        report(inter.result, duration);
-      } else {
-        next.push_back(std::move(inter.result));
-      }
+      outcome.events.emplace_back(duration >= params_.duration_threshold,
+                                  std::move(inter.result));
     };
 
     // Probe the cluster holding the candidate's first object before the
@@ -177,7 +198,26 @@ void BuddyDiscoverer::ProcessSnapshot(
       if (static_cast<int32_t>(k) == first_label) continue;
       intersect_with(cluster_atoms[k]);
     }
+  };
+  ParallelForShards(
+      EffectiveShards(params_.cluster.threads, candidates_.size()),
+      [&](int shard, int num_shards) {
+        for (size_t ci = static_cast<size_t>(shard); ci < candidates_.size();
+             ci += static_cast<size_t>(num_shards)) {
+          process_candidate(ci);
+        }
+      });
+  for (CandidateOutcome& outcome : outcomes) {
+    stats_.intersections += outcome.intersections;
+    for (auto& [qualified, product] : outcome.events) {
+      if (qualified) {
+        report(product, product.duration);
+      } else {
+        next.push_back(std::move(product));
+      }
+    }
   }
+  outcomes.clear();
 
   // New clusters enter as candidates only if closed (Definition 5).
   for (AtomSet& c : cluster_atoms) {
@@ -293,11 +333,19 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
   if (!(in >> tag >> state.next_id >> nbuddies) || tag != "buddyset") {
     return Status::Corruption("expected 'buddyset' section");
   }
+  // Every count below is bounded before the resize it sizes, so a corrupt
+  // checkpoint fails with Corruption instead of a huge allocation.
+  if (nbuddies > kMaxCheckpointCount) {
+    return Status::Corruption("implausible buddy count");
+  }
   state.buddies.resize(nbuddies);
   for (Buddy& b : state.buddies) {
     size_t n = 0;
     if (!(in >> b.id >> b.radius >> b.coord_sum.x >> b.coord_sum.y >> n)) {
       return Status::Corruption("bad buddy record");
+    }
+    if (n > kMaxCheckpointCount) {
+      return Status::Corruption("implausible buddy member count");
     }
     b.members.resize(n);
     for (size_t k = 0; k < n; ++k) {
@@ -309,6 +357,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
   size_t npos = 0;
   if (!(in >> tag >> npos) || tag != "lastpos") {
     return Status::Corruption("expected 'lastpos' section");
+  }
+  if (npos > kMaxCheckpointCount) {
+    return Status::Corruption("implausible lastpos count");
   }
   state.last_positions.resize(npos);
   for (auto& [oid, pos] : state.last_positions) {
@@ -327,6 +378,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
     BuddyId id = 0;
     size_t n = 0;
     if (!(in >> id >> n)) return Status::Corruption("bad index record");
+    if (n > kMaxCheckpointCount) {
+      return Status::Corruption("implausible index member count");
+    }
     ObjectSet members(n);
     for (size_t k = 0; k < n; ++k) {
       if (!(in >> members[k])) {
@@ -340,6 +394,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
   if (!(in >> tag >> ncand) || tag != "candidates") {
     return Status::Corruption("expected 'candidates' section");
   }
+  if (ncand > kMaxCheckpointCount) {
+    return Status::Corruption("implausible candidate count");
+  }
   candidates_.clear();
   candidates_.reserve(ncand);
   for (size_t i = 0; i < ncand; ++i) {
@@ -347,6 +404,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
     size_t nb = 0;
     if (!(in >> r.duration >> r.size >> nb)) {
       return Status::Corruption("bad atom candidate record");
+    }
+    if (nb > kMaxCheckpointCount) {
+      return Status::Corruption("implausible candidate token count");
     }
     r.buddy_ids.resize(nb);
     for (size_t k = 0; k < nb; ++k) {
@@ -356,6 +416,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
     }
     size_t no = 0;
     if (!(in >> no)) return Status::Corruption("bad candidate record");
+    if (no > kMaxCheckpointCount) {
+      return Status::Corruption("implausible candidate object count");
+    }
     r.objects.resize(no);
     for (size_t k = 0; k < no; ++k) {
       if (!(in >> r.objects[k])) {

@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -53,9 +54,33 @@ Status LoadDiscoverer(CompanionDiscoverer* discoverer, std::istream& in) {
 
 Status SaveDiscovererToFile(const CompanionDiscoverer& discoverer,
                             const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return SaveDiscoverer(discoverer, out);
+  // Write-then-rename: a crash mid-write must never destroy the previous
+  // good checkpoint at `path`. The record is written to a sibling .tmp
+  // file and renamed into place only once it is complete; a failed or
+  // interrupted save leaves at worst a stale .tmp behind, which the next
+  // successful save overwrites.
+  const std::string tmp = path + ".tmp";
+  Status s;
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    s = SaveDiscoverer(discoverer, out);
+    if (s.ok()) {
+      out.flush();
+      if (!out) s = Status::IoError("checkpoint write to " + tmp + " failed");
+    }
+  }
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
 }
 
 Status LoadDiscovererFromFile(CompanionDiscoverer* discoverer,

@@ -100,6 +100,9 @@ Status ClusteringIntersectionDiscoverer::LoadState(std::istream& in) {
   if (!(in >> tag >> count) || tag != "candidates") {
     return Status::Corruption("expected 'candidates' section");
   }
+  if (count > kMaxCheckpointCount) {
+    return Status::Corruption("implausible candidate count");
+  }
   candidates_.clear();
   candidates_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -107,6 +110,9 @@ Status ClusteringIntersectionDiscoverer::LoadState(std::istream& in) {
     size_t n = 0;
     if (!(in >> r.duration >> n)) {
       return Status::Corruption("bad candidate record");
+    }
+    if (n > kMaxCheckpointCount) {
+      return Status::Corruption("implausible candidate size");
     }
     r.objects.resize(n);
     for (size_t k = 0; k < n; ++k) {

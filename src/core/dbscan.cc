@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tcomp {
 namespace internal {
@@ -76,10 +77,43 @@ Clustering Dbscan(const Snapshot& snapshot, const DbscanParams& params,
   for (uint32_t i = 0; i < n; ++i) {
     neighbors[i].push_back(i);
   }
-  for (uint32_t i = 0; i < n; ++i) {
-    for (uint32_t j = i + 1; j < n; ++j) {
-      ++ops;
-      if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+  const int shards = EffectiveShards(params.threads, n);
+  if (shards == 1) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        ++ops;
+        if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+          neighbors[i].push_back(j);
+          neighbors[j].push_back(i);
+        }
+      }
+    }
+  } else {
+    // Each worker owns a strided set of rows (row i of the upper triangle
+    // is computed entirely by shard i % num_shards; striding balances the
+    // triangular row lengths). Workers never touch shared state: hits go
+    // into the owned row of `upper`, ops into a per-shard counter. The
+    // serial scatter below then reproduces the exact adjacency the serial
+    // loop builds, and the ops total is the same n(n-1)/2.
+    std::vector<std::vector<uint32_t>> upper(n);
+    std::vector<int64_t> shard_ops(static_cast<size_t>(shards), 0);
+    ParallelForShards(shards, [&](int shard, int num_shards) {
+      int64_t local_ops = 0;
+      for (uint32_t i = static_cast<uint32_t>(shard); i < n;
+           i += static_cast<uint32_t>(num_shards)) {
+        Point pi = snapshot.pos(i);
+        for (uint32_t j = i + 1; j < n; ++j) {
+          ++local_ops;
+          if (SquaredDistance(pi, snapshot.pos(j)) <= eps2) {
+            upper[i].push_back(j);
+          }
+        }
+      }
+      shard_ops[static_cast<size_t>(shard)] = local_ops;
+    });
+    for (int64_t s : shard_ops) ops += s;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j : upper[i]) {
         neighbors[i].push_back(j);
         neighbors[j].push_back(i);
       }
@@ -129,29 +163,46 @@ Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
                    static_cast<int64_t>(std::floor(p.y / eps))};
   };
   for (uint32_t i = 0; i < n; ++i) {
-    grid[cell_of(snapshot.pos(i))].push_back(i);
+    Point p = snapshot.pos(i);
+    // Defense in depth behind the stream-ingest validation: casting
+    // floor(NaN/Inf) to int64_t is undefined behavior, so a non-finite
+    // coordinate must never reach cell_of.
+    TCOMP_CHECK(std::isfinite(p.x) && std::isfinite(p.y))
+        << "non-finite coordinate for object " << snapshot.id(i);
+    grid[cell_of(p)].push_back(i);
   }
 
   int64_t ops = 0;
   std::vector<std::vector<uint32_t>> neighbors(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    CellKey c = cell_of(snapshot.pos(i));
-    for (int64_t dx = -1; dx <= 1; ++dx) {
-      for (int64_t dy = -1; dy <= 1; ++dy) {
-        auto it = grid.find(CellKey{c.cx + dx, c.cy + dy});
-        if (it == grid.end()) continue;
-        for (uint32_t j : it->second) {
-          if (j == i) continue;
-          ++ops;
-          if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
-            neighbors[i].push_back(j);
+  const int shards = EffectiveShards(params.threads, n);
+  std::vector<int64_t> shard_ops(static_cast<size_t>(shards), 0);
+  // Row i of `neighbors` is owned by shard i % num_shards; the grid is
+  // read-only here, so the probe order — and therefore every row and the
+  // per-row op count — is identical to the serial sweep.
+  ParallelForShards(shards, [&](int shard, int num_shards) {
+    int64_t local_ops = 0;
+    for (uint32_t i = static_cast<uint32_t>(shard); i < n;
+         i += static_cast<uint32_t>(num_shards)) {
+      CellKey c = cell_of(snapshot.pos(i));
+      for (int64_t dx = -1; dx <= 1; ++dx) {
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          auto it = grid.find(CellKey{c.cx + dx, c.cy + dy});
+          if (it == grid.end()) continue;
+          for (uint32_t j : it->second) {
+            if (j == i) continue;
+            ++local_ops;
+            if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+              neighbors[i].push_back(j);
+            }
           }
         }
       }
+      neighbors[i].push_back(i);
+      std::sort(neighbors[i].begin(), neighbors[i].end());
     }
-    neighbors[i].push_back(i);
-    std::sort(neighbors[i].begin(), neighbors[i].end());
-  }
+    shard_ops[static_cast<size_t>(shard)] = local_ops;
+  });
+  for (int64_t s : shard_ops) ops += s;
 
   std::vector<bool> core(n, false);
   for (uint32_t i = 0; i < n; ++i) {

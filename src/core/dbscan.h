@@ -13,9 +13,15 @@ namespace tcomp {
 /// distance threshold ε, `mu` the density threshold μ. The ε-neighborhood
 /// N_ε(o) includes o itself (dist(o,o)=0 ≤ ε), so an object is a *core*
 /// object iff at least `mu` objects (itself included) lie within ε.
+///
+/// `threads` parallelizes the neighbor-computation stage across a static
+/// thread pool (util/thread_pool.h). Results — labels, core flags,
+/// clusters, and the distance_ops counter — are bit-identical at every
+/// thread count; 1 (the default) bypasses the pool entirely.
 struct DbscanParams {
   double epsilon = 1.0;
   int mu = 3;
+  int threads = 1;
 };
 
 /// Result of clustering one snapshot.

@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "core/buddy_discovery.h"
 #include "core/clustering_intersection.h"
@@ -55,12 +56,20 @@ Status CompanionDiscoverer::LoadCommon(std::istream& in) {
   if (!(in >> tag >> count) || tag != "log") {
     return Status::Corruption("expected 'log' section");
   }
+  if (count > kMaxCheckpointCount) {
+    return Status::Corruption("implausible companion-log count " +
+                              std::to_string(count));
+  }
   log_.Clear();
   for (size_t i = 0; i < count; ++i) {
     Companion c;
     size_t n = 0;
     if (!(in >> c.snapshot_index >> c.duration >> n)) {
       return Status::Corruption("bad companion record");
+    }
+    if (n > kMaxCheckpointCount) {
+      return Status::Corruption("implausible companion size " +
+                                std::to_string(n));
     }
     c.objects.resize(n);
     for (size_t k = 0; k < n; ++k) {

@@ -70,6 +70,13 @@ struct DiscoveryStats {
   }
 };
 
+/// Upper bound on any element count read from a checkpoint stream
+/// (companion-log entries, members per companion, candidates, buddies,
+/// ...). Counts beyond it cannot come from a real run — LoadState returns
+/// Status::Corruption instead of attempting a multi-GB `resize` from a
+/// corrupt or hostile file.
+inline constexpr uint64_t kMaxCheckpointCount = 1ull << 24;  // 16.7M
+
 /// The companion-discovery algorithms of the paper.
 enum class Algorithm {
   kClusteringIntersection,  // CI — Algorithm 1 (convoy-style baseline)

@@ -35,6 +35,12 @@ Status SlidingWindowSnapshotter::Push(const TrajectoryRecord& record,
   if (!std::isfinite(record.timestamp)) {
     return Status::InvalidArgument("non-finite record timestamp");
   }
+  if (!std::isfinite(record.pos.x) || !std::isfinite(record.pos.y)) {
+    // A NaN/Inf coordinate would poison the window average and, further
+    // downstream, hit undefined behavior in the grid clusterers'
+    // floor-and-cast cell computation. Reject it at the stream boundary.
+    return Status::InvalidArgument("non-finite record position");
+  }
 
   if (options_.mode == WindowMode::kEqualLength) {
     if (!window_started_) {

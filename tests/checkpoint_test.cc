@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "data/group_model.h"
 #include "data/military_gen.h"
@@ -167,6 +170,93 @@ TEST(CheckpointTest, FileRoundTrip) {
   EXPECT_EQ(Reported(*restored), Reported(*bu));
   EXPECT_FALSE(
       LoadDiscovererFromFile(restored.get(), "/no/such/file").ok());
+}
+
+/// A writer that crashed mid-save leaves a partial .tmp sibling; the
+/// checkpoint at `path` must stay loadable, and the next successful save
+/// must replace the junk.
+TEST(CheckpointTest, AtomicSaveSurvivesCrashedWriter) {
+  GroupDataset data = TestStream();
+  auto bu = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  for (size_t t = 0; t < 12; ++t) {
+    bu->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::string path = ::testing::TempDir() + "/crashed.ckpt";
+  ASSERT_TRUE(SaveDiscovererToFile(*bu, path).ok());
+
+  // Simulate a crash: a truncated garbage .tmp next to the good file.
+  {
+    std::ofstream junk(path + ".tmp");
+    junk << "tcomp-checkpoint 1 BU\ncommon 3\nsta";
+  }
+  auto restored = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  ASSERT_TRUE(LoadDiscovererFromFile(restored.get(), path).ok());
+  EXPECT_EQ(Reported(*restored), Reported(*bu));
+
+  // The next save overwrites the junk and renames it away.
+  ASSERT_TRUE(SaveDiscovererToFile(*bu, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  ASSERT_TRUE(LoadDiscovererFromFile(restored.get(), path).ok());
+}
+
+/// A save that cannot even open its temporary must fail without touching
+/// the existing checkpoint.
+TEST(CheckpointTest, FailedSaveLeavesPreviousCheckpointIntact) {
+  GroupDataset data = TestStream();
+  auto bu = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  for (size_t t = 0; t < 12; ++t) {
+    bu->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::string path = ::testing::TempDir() + "/blocked.ckpt";
+  ASSERT_TRUE(SaveDiscovererToFile(*bu, path).ok());
+
+  // A directory squatting on the .tmp name makes the open fail.
+  ASSERT_TRUE(std::filesystem::create_directory(path + ".tmp"));
+  for (size_t t = 12; t < 16; ++t) {
+    bu->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  EXPECT_FALSE(SaveDiscovererToFile(*bu, path).ok());
+
+  // The earlier checkpoint is untouched and still loads.
+  auto restored = MakeDiscoverer(Algorithm::kBuddy, TestParams());
+  EXPECT_TRUE(LoadDiscovererFromFile(restored.get(), path).ok());
+  std::filesystem::remove(path + ".tmp");
+}
+
+/// Implausibly large counts in a tampered checkpoint must be rejected as
+/// corruption instead of fed to `resize` (a multi-GB allocation).
+TEST(CheckpointTest, ImplausibleLogCountRejected) {
+  GroupDataset data = TestStream();
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  for (size_t t = 0; t < 12; ++t) {
+    sc->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDiscoverer(*sc, buffer).ok());
+  std::string text = buffer.str();
+  size_t at = text.find("\nlog ");
+  ASSERT_NE(at, std::string::npos);
+  size_t num = at + 5;
+  size_t end = text.find('\n', num);
+  text.replace(num, end - num, "123456789012");
+
+  std::stringstream tampered(text);
+  auto fresh = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  Status s = LoadDiscoverer(fresh.get(), tampered);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, ImplausibleCompanionSizeRejected) {
+  // Handcrafted checkpoint whose single log entry claims 2^40 members.
+  std::stringstream bad(
+      "tcomp-checkpoint 1 SC\n"
+      "common 3\n"
+      "stats 3 0 0 0 0 1 0 0 0 0 0 0 0 0\n"
+      "log 1\n"
+      "2 7 1099511627776 1 2 3\n"
+      "end\n");
+  auto sc = MakeDiscoverer(Algorithm::kSmartClosed, TestParams());
+  EXPECT_EQ(LoadDiscoverer(sc.get(), bad).code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -6,12 +6,30 @@ CLI="$1"
 DIR="$2"
 cd "$DIR"
 
+# On any failure, dump the CLI logs to stderr so the CTest log alone is
+# enough to diagnose what broke.
+dump_logs_on_failure() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "cli_smoke: FAILED (exit $status); CLI logs follow" >&2
+        for f in gen.log run1.log run2.log suggest.log; do
+            if [ -f "$f" ]; then
+                echo "--- $f ---" >&2
+                cat "$f" >&2
+            else
+                echo "--- $f (not written) ---" >&2
+            fi
+        done
+    fi
+}
+trap dump_logs_on_failure EXIT
+
 "$CLI" generate --dataset d2 --snapshots 40 --out d2.csv --truth d2.truth \
     --seed 7 > gen.log
 grep -q "wrote" gen.log
 
 "$CLI" discover --csv d2.csv --algo bu --epsilon 24 --mu 5 \
-    --min-size 10 --min-duration 10 --window-seconds 60 \
+    --min-size 10 --min-duration 10 --window-seconds 60 --threads 2 \
     --truth d2.truth --timeline --quiet --save-state d2.ckpt \
     --out-json d2.json --out-csv d2_out.csv > run1.log
 grep -q "distinct companions" run1.log

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/buddy_discovery.h"
+#include "core/dbscan.h"
+#include "core/smart_closed.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace tcomp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread-pool mechanics.
+
+TEST(ThreadPoolTest, EveryShardRunsExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  for (int num_shards = 1; num_shards <= 4; ++num_shards) {
+    std::vector<std::atomic<int>> hits(num_shards);
+    for (auto& h : hits) h = 0;
+    pool.RunShards(num_shards, [&](int shard, int total) {
+      EXPECT_EQ(total, num_shards);
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, num_shards);
+      ++hits[shard];
+    });
+    for (int s = 0; s < num_shards; ++s) EXPECT_EQ(hits[s], 1) << s;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRegions) {
+  ThreadPool pool(2);
+  int64_t sum = 0;
+  std::mutex mu;
+  for (int round = 0; round < 100; ++round) {
+    pool.RunShards(3, [&](int shard, int) {
+      std::lock_guard<std::mutex> lock(mu);
+      sum += shard;
+    });
+  }
+  EXPECT_EQ(sum, 100 * (0 + 1 + 2));
+}
+
+TEST(ThreadPoolTest, EffectiveShardsClampsToWorkSize) {
+  EXPECT_EQ(EffectiveShards(4, 100), 4);
+  EXPECT_EQ(EffectiveShards(4, 2), 2);
+  EXPECT_EQ(EffectiveShards(4, 0), 1);
+  EXPECT_EQ(EffectiveShards(1, 100), 1);
+  EXPECT_EQ(EffectiveShards(0, 100), 1);
+  EXPECT_EQ(EffectiveShards(-3, 100), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsInlineWhenSingleThreaded) {
+  // threads <= 1 must run on the calling thread (the pool is bypassed).
+  std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelForShards(1, [&](int shard, int total) {
+    EXPECT_EQ(shard, 0);
+    EXPECT_EQ(total, 1);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPartitionsWholeRange) {
+  for (int threads : {1, 2, 3, 4, 8}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+      std::vector<std::atomic<int>> seen(n);
+      for (auto& s : seen) s = 0;
+      ParallelFor(threads, n, [&](size_t begin, size_t end, int shard) {
+        EXPECT_LE(begin, end);
+        EXPECT_GE(shard, 0);
+        for (size_t i = begin; i < end; ++i) ++seen[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i], 1) << "threads=" << threads << " n=" << n
+                              << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: parallel clustering ≡ serial clustering, bit for bit.
+
+void ExpectSameClustering(const Clustering& a, const Clustering& b,
+                          const char* what) {
+  EXPECT_EQ(a.labels, b.labels) << what;
+  EXPECT_EQ(a.core, b.core) << what;
+  EXPECT_EQ(a.clusters, b.clusters) << what;
+}
+
+class ParallelDbscanTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDbscanTest, DbscanMatchesSerialAtEveryThreadCount) {
+  Pcg32 rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    Snapshot snap = testing_util::ClusteredSnapshot(
+        /*clusters=*/6, /*per_cluster=*/20, /*noise=*/40,
+        /*extent=*/800.0, /*spread=*/6.0, rng);
+    DbscanParams params{/*epsilon=*/15.0, /*mu=*/4};
+
+    int64_t serial_ops = 0;
+    Clustering serial = Dbscan(snap, params, &serial_ops);
+
+    for (int threads : {2, 4, 8}) {
+      DbscanParams p = params;
+      p.threads = threads;
+      int64_t ops = 0;
+      Clustering got = Dbscan(snap, p, &ops);
+      ExpectSameClustering(got, serial, "Dbscan");
+      EXPECT_EQ(ops, serial_ops) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDbscanTest, DbscanGridMatchesSerialAtEveryThreadCount) {
+  Pcg32 rng(GetParam() + 17);
+  for (int round = 0; round < 4; ++round) {
+    Snapshot snap = testing_util::RandomSnapshot(/*n=*/300, /*extent=*/400.0,
+                                                 rng);
+    DbscanParams params{/*epsilon=*/12.0, /*mu=*/3};
+
+    int64_t serial_ops = 0;
+    Clustering serial = DbscanGrid(snap, params, &serial_ops);
+
+    for (int threads : {2, 4, 8}) {
+      DbscanParams p = params;
+      p.threads = threads;
+      int64_t ops = 0;
+      Clustering got = DbscanGrid(snap, p, &ops);
+      ExpectSameClustering(got, serial, "DbscanGrid");
+      EXPECT_EQ(ops, serial_ops) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDbscanTest, GridStillMatchesReferenceWhenParallel) {
+  Pcg32 rng(GetParam() + 41);
+  Snapshot snap = testing_util::ClusteredSnapshot(4, 25, 30, 500.0, 5.0, rng);
+  DbscanParams params{/*epsilon=*/14.0, /*mu=*/4};
+  params.threads = 4;
+  Clustering reference = Dbscan(snap, DbscanParams{14.0, 4});
+  Clustering grid = DbscanGrid(snap, params);
+  ExpectSameClustering(grid, reference, "DbscanGrid vs Dbscan");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDbscanTest,
+                         ::testing::Values(501, 502, 503));
+
+// ---------------------------------------------------------------------------
+// Differential: full discovery runs with threads=4 ≡ threads=1 — identical
+// companion logs (objects, duration, snapshot index, order) and identical
+// cost counters.
+
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 90;
+  options.num_snapshots = 32;
+  options.area_size = 1600.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams BaseParams(int threads) {
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.cluster.threads = threads;
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+  return params;
+}
+
+void ExpectSameRun(const CompanionDiscoverer& serial,
+                   const CompanionDiscoverer& parallel) {
+  const std::vector<Companion>& a = serial.log().companions();
+  const std::vector<Companion>& b = parallel.log().companions();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty()) << "test wants companions";
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objects, b[i].objects) << "companion " << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << "companion " << i;
+    EXPECT_EQ(a[i].snapshot_index, b[i].snapshot_index) << "companion " << i;
+  }
+
+  const DiscoveryStats& s = serial.stats();
+  const DiscoveryStats& p = parallel.stats();
+  EXPECT_EQ(s.snapshots, p.snapshots);
+  EXPECT_EQ(s.intersections, p.intersections);
+  EXPECT_EQ(s.distance_ops, p.distance_ops);
+  EXPECT_EQ(s.candidate_objects_peak, p.candidate_objects_peak);
+  EXPECT_EQ(s.candidate_objects_last, p.candidate_objects_last);
+  EXPECT_EQ(s.companions_reported, p.companions_reported);
+  EXPECT_EQ(s.buddy_pairs_checked, p.buddy_pairs_checked);
+  EXPECT_EQ(s.buddy_pairs_pruned, p.buddy_pairs_pruned);
+  EXPECT_EQ(s.buddies_total, p.buddies_total);
+  EXPECT_EQ(s.buddies_unchanged, p.buddies_unchanged);
+  EXPECT_EQ(s.buddy_member_sum, p.buddy_member_sum);
+}
+
+class ParallelDiscoveryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDiscoveryTest, BuddyDiscoveryIdenticalAcrossThreadCounts) {
+  GroupDataset data = ChurnyStream(GetParam());
+  BuddyDiscoverer serial(BaseParams(1));
+  BuddyDiscoverer parallel(BaseParams(4));
+  // The per-event report sequence (pre-dedup) must match too, not just the
+  // deduplicated log.
+  std::vector<std::pair<ObjectSet, int64_t>> serial_events, parallel_events;
+  serial.set_report_sink([&](const ObjectSet& o, double, int64_t idx) {
+    serial_events.emplace_back(o, idx);
+  });
+  parallel.set_report_sink([&](const ObjectSet& o, double, int64_t idx) {
+    parallel_events.emplace_back(o, idx);
+  });
+  for (const Snapshot& s : data.stream) {
+    serial.ProcessSnapshot(s, nullptr);
+    parallel.ProcessSnapshot(s, nullptr);
+  }
+  ExpectSameRun(serial, parallel);
+  EXPECT_EQ(serial_events, parallel_events);
+}
+
+TEST_P(ParallelDiscoveryTest, SmartClosedIdenticalAcrossThreadCounts) {
+  GroupDataset data = ChurnyStream(GetParam() + 7);
+  SmartClosedDiscoverer serial(BaseParams(1));
+  SmartClosedDiscoverer parallel(BaseParams(4));
+  for (const Snapshot& s : data.stream) {
+    serial.ProcessSnapshot(s, nullptr);
+    parallel.ProcessSnapshot(s, nullptr);
+  }
+  ExpectSameRun(serial, parallel);
+}
+
+TEST_P(ParallelDiscoveryTest, ParallelBuddyStillEqualsSmartClosed) {
+  // The cross-algorithm equivalence (SC ≡ BU) must survive threading.
+  GroupDataset data = ChurnyStream(GetParam() + 13);
+  SmartClosedDiscoverer sc(BaseParams(4));
+  BuddyDiscoverer bu(BaseParams(4));
+  for (const Snapshot& s : data.stream) {
+    sc.ProcessSnapshot(s, nullptr);
+    bu.ProcessSnapshot(s, nullptr);
+  }
+  std::set<ObjectSet> sc_sets, bu_sets;
+  for (const Companion& c : sc.log().companions()) sc_sets.insert(c.objects);
+  for (const Companion& c : bu.log().companions()) bu_sets.insert(c.objects);
+  EXPECT_FALSE(sc_sets.empty());
+  EXPECT_EQ(sc_sets, bu_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDiscoveryTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+}  // namespace
+}  // namespace tcomp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace tcomp {
 namespace {
 
@@ -109,6 +111,29 @@ TEST(SlidingWindowTest, RejectsNonFiniteTimestamp) {
   TrajectoryRecord r = R(1, 0.0, 0.0, 0.0);
   r.timestamp = std::numeric_limits<double>::quiet_NaN();
   EXPECT_FALSE(win.Push(r, &out).ok());
+}
+
+TEST(SlidingWindowTest, RejectsNonFinitePosition) {
+  // A NaN coordinate that reached the grid clusterer would be UB
+  // (floor(NaN) cast to int64_t); the ingest boundary must reject it.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  SlidingWindowSnapshotter win(SlidingWindowOptions{});
+  std::vector<Snapshot> out;
+  for (Point p : {Point{nan, 0.0}, Point{0.0, nan}, Point{inf, 0.0},
+                  Point{0.0, -inf}}) {
+    TrajectoryRecord r = R(1, 0.0, p.x, p.y);
+    Status s = win.Push(r, &out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+        << "(" << p.x << ", " << p.y << ")";
+  }
+  // The rejected records left no trace: a finite record still works and
+  // the snapshot contains only it.
+  ASSERT_TRUE(win.Push(R(2, 1.0, 3.0, 4.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 1u);
+  EXPECT_TRUE(out[0].Contains(2));
 }
 
 TEST(SlidingWindowTest, SnapshotDurationPropagates) {

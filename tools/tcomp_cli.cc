@@ -44,6 +44,8 @@ int Usage() {
       "      --out records.csv [--truth truth.txt] [--seconds-per-snapshot S]\n"
       "  tcomp discover --csv records.csv [--algo ci|sc|bu]\n"
       "      --epsilon E --mu M --min-size S --min-duration T\n"
+      "      [--threads N]  (parallel snapshot clustering; results are\n"
+      "                      identical at every N, 1 = serial, default 1)\n"
       "      [--window-seconds W | --window-objects N]\n"
       "      [--inactive K] [--truth truth.txt] [--timeline]\n"
       "      [--out-json FILE] [--out-csv FILE]\n"
@@ -164,6 +166,12 @@ int Discover(const FlagParser& flags) {
   params.cluster.mu = flags.GetInt("mu", 4);
   params.size_threshold = flags.GetInt("min-size", 10);
   params.duration_threshold = flags.GetDouble("min-duration", 10.0);
+  int threads = flags.GetInt("threads", 1);
+  if (threads < 1) {
+    std::fprintf(stderr, "discover: --threads must be >= 1\n");
+    return Usage();
+  }
+  params.cluster.threads = threads;
 
   std::string algo_name = flags.GetString("algo", "bu");
   Algorithm algorithm;
