@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bu_steps.dir/bench_bu_steps.cc.o"
+  "CMakeFiles/bench_bu_steps.dir/bench_bu_steps.cc.o.d"
+  "bench_bu_steps"
+  "bench_bu_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bu_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

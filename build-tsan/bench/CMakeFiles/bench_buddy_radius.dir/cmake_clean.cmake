@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buddy_radius.dir/bench_buddy_radius.cc.o"
+  "CMakeFiles/bench_buddy_radius.dir/bench_buddy_radius.cc.o.d"
+  "bench_buddy_radius"
+  "bench_buddy_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buddy_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duration_threshold.dir/bench_duration_threshold.cc.o"
+  "CMakeFiles/bench_duration_threshold.dir/bench_duration_threshold.cc.o.d"
+  "bench_duration_threshold"
+  "bench_duration_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duration_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

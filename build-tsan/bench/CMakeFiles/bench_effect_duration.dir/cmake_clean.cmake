@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effect_duration.dir/bench_effect_duration.cc.o"
+  "CMakeFiles/bench_effect_duration.dir/bench_effect_duration.cc.o.d"
+  "bench_effect_duration"
+  "bench_effect_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effect_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

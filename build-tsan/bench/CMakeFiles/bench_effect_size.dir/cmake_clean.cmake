@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effect_size.dir/bench_effect_size.cc.o"
+  "CMakeFiles/bench_effect_size.dir/bench_effect_size.cc.o.d"
+  "bench_effect_size"
+  "bench_effect_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effect_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

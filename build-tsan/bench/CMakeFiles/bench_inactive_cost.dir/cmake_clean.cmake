@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inactive_cost.dir/bench_inactive_cost.cc.o"
+  "CMakeFiles/bench_inactive_cost.dir/bench_inactive_cost.cc.o.d"
+  "bench_inactive_cost"
+  "bench_inactive_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inactive_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inactive_effect.dir/bench_inactive_effect.cc.o"
+  "CMakeFiles/bench_inactive_effect.dir/bench_inactive_effect.cc.o.d"
+  "bench_inactive_effect"
+  "bench_inactive_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inactive_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

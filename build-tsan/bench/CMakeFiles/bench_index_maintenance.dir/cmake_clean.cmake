@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_maintenance.dir/bench_index_maintenance.cc.o"
+  "CMakeFiles/bench_index_maintenance.dir/bench_index_maintenance.cc.o.d"
+  "bench_index_maintenance"
+  "bench_index_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_size_threshold.dir/bench_size_threshold.cc.o"
+  "CMakeFiles/bench_size_threshold.dir/bench_size_threshold.cc.o.d"
+  "bench_size_threshold"
+  "bench_size_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_finder.dir/carpool_finder.cpp.o"
+  "CMakeFiles/carpool_finder.dir/carpool_finder.cpp.o.d"
+  "carpool_finder"
+  "carpool_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_surveillance.dir/convoy_surveillance.cpp.o"
+  "CMakeFiles/convoy_surveillance.dir/convoy_surveillance.cpp.o.d"
+  "convoy_surveillance"
+  "convoy_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network.dir/road_network.cpp.o"
+  "CMakeFiles/road_network.dir/road_network.cpp.o.d"
+  "road_network"
+  "road_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_migration.dir/wildlife_migration.cpp.o"
+  "CMakeFiles/wildlife_migration.dir/wildlife_migration.cpp.o.d"
+  "wildlife_migration"
+  "wildlife_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_baselines.dir/baselines/convoy.cc.o"
+  "CMakeFiles/tcomp_baselines.dir/baselines/convoy.cc.o.d"
+  "CMakeFiles/tcomp_baselines.dir/baselines/segment.cc.o"
+  "CMakeFiles/tcomp_baselines.dir/baselines/segment.cc.o.d"
+  "CMakeFiles/tcomp_baselines.dir/baselines/swarm.cc.o"
+  "CMakeFiles/tcomp_baselines.dir/baselines/swarm.cc.o.d"
+  "CMakeFiles/tcomp_baselines.dir/baselines/traclus.cc.o"
+  "CMakeFiles/tcomp_baselines.dir/baselines/traclus.cc.o.d"
+  "libtcomp_baselines.a"
+  "libtcomp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

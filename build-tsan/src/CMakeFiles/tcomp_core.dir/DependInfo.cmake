@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buddy.cc" "src/CMakeFiles/tcomp_core.dir/core/buddy.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/buddy.cc.o.d"
+  "/root/repo/src/core/buddy_clustering.cc" "src/CMakeFiles/tcomp_core.dir/core/buddy_clustering.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/buddy_clustering.cc.o.d"
+  "/root/repo/src/core/buddy_discovery.cc" "src/CMakeFiles/tcomp_core.dir/core/buddy_discovery.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/buddy_discovery.cc.o.d"
+  "/root/repo/src/core/buddy_index.cc" "src/CMakeFiles/tcomp_core.dir/core/buddy_index.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/buddy_index.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/CMakeFiles/tcomp_core.dir/core/candidate.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/candidate.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/tcomp_core.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/clustering_intersection.cc" "src/CMakeFiles/tcomp_core.dir/core/clustering_intersection.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/clustering_intersection.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/CMakeFiles/tcomp_core.dir/core/dbscan.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/dbscan.cc.o.d"
+  "/root/repo/src/core/discoverer.cc" "src/CMakeFiles/tcomp_core.dir/core/discoverer.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/discoverer.cc.o.d"
+  "/root/repo/src/core/evolution.cc" "src/CMakeFiles/tcomp_core.dir/core/evolution.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/evolution.cc.o.d"
+  "/root/repo/src/core/smart_closed.cc" "src/CMakeFiles/tcomp_core.dir/core/smart_closed.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/smart_closed.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/tcomp_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/CMakeFiles/tcomp_core.dir/core/timeline.cc.o" "gcc" "src/CMakeFiles/tcomp_core.dir/core/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

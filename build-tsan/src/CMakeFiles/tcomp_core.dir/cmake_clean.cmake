@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_core.dir/core/buddy.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/buddy.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/buddy_clustering.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/buddy_clustering.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/buddy_discovery.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/buddy_discovery.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/buddy_index.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/buddy_index.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/candidate.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/candidate.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/checkpoint.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/checkpoint.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/clustering_intersection.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/clustering_intersection.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/dbscan.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/dbscan.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/discoverer.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/discoverer.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/evolution.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/evolution.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/smart_closed.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/smart_closed.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/snapshot.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/snapshot.cc.o.d"
+  "CMakeFiles/tcomp_core.dir/core/timeline.cc.o"
+  "CMakeFiles/tcomp_core.dir/core/timeline.cc.o.d"
+  "libtcomp_core.a"
+  "libtcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/degrade.cc" "src/CMakeFiles/tcomp_data.dir/data/degrade.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/degrade.cc.o.d"
+  "/root/repo/src/data/group_model.cc" "src/CMakeFiles/tcomp_data.dir/data/group_model.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/group_model.cc.o.d"
+  "/root/repo/src/data/military_gen.cc" "src/CMakeFiles/tcomp_data.dir/data/military_gen.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/military_gen.cc.o.d"
+  "/root/repo/src/data/synthetic_gen.cc" "src/CMakeFiles/tcomp_data.dir/data/synthetic_gen.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/synthetic_gen.cc.o.d"
+  "/root/repo/src/data/taxi_gen.cc" "src/CMakeFiles/tcomp_data.dir/data/taxi_gen.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/taxi_gen.cc.o.d"
+  "/root/repo/src/data/trajectory_io.cc" "src/CMakeFiles/tcomp_data.dir/data/trajectory_io.cc.o" "gcc" "src/CMakeFiles/tcomp_data.dir/data/trajectory_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

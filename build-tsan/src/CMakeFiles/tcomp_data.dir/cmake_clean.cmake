@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_data.dir/data/degrade.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/degrade.cc.o.d"
+  "CMakeFiles/tcomp_data.dir/data/group_model.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/group_model.cc.o.d"
+  "CMakeFiles/tcomp_data.dir/data/military_gen.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/military_gen.cc.o.d"
+  "CMakeFiles/tcomp_data.dir/data/synthetic_gen.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/synthetic_gen.cc.o.d"
+  "CMakeFiles/tcomp_data.dir/data/taxi_gen.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/taxi_gen.cc.o.d"
+  "CMakeFiles/tcomp_data.dir/data/trajectory_io.cc.o"
+  "CMakeFiles/tcomp_data.dir/data/trajectory_io.cc.o.d"
+  "libtcomp_data.a"
+  "libtcomp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/export.cc" "src/CMakeFiles/tcomp_eval.dir/eval/export.cc.o" "gcc" "src/CMakeFiles/tcomp_eval.dir/eval/export.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/tcomp_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/tcomp_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/CMakeFiles/tcomp_eval.dir/eval/runner.cc.o" "gcc" "src/CMakeFiles/tcomp_eval.dir/eval/runner.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/tcomp_eval.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/tcomp_eval.dir/eval/table.cc.o.d"
+  "/root/repo/src/eval/tuning.cc" "src/CMakeFiles/tcomp_eval.dir/eval/tuning.cc.o" "gcc" "src/CMakeFiles/tcomp_eval.dir/eval/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

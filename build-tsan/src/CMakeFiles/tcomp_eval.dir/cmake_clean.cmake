@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_eval.dir/eval/export.cc.o"
+  "CMakeFiles/tcomp_eval.dir/eval/export.cc.o.d"
+  "CMakeFiles/tcomp_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/tcomp_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/tcomp_eval.dir/eval/runner.cc.o"
+  "CMakeFiles/tcomp_eval.dir/eval/runner.cc.o.d"
+  "CMakeFiles/tcomp_eval.dir/eval/table.cc.o"
+  "CMakeFiles/tcomp_eval.dir/eval/table.cc.o.d"
+  "CMakeFiles/tcomp_eval.dir/eval/tuning.cc.o"
+  "CMakeFiles/tcomp_eval.dir/eval/tuning.cc.o.d"
+  "libtcomp_eval.a"
+  "libtcomp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

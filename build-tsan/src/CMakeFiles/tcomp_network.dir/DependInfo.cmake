@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/network_dbscan.cc" "src/CMakeFiles/tcomp_network.dir/network/network_dbscan.cc.o" "gcc" "src/CMakeFiles/tcomp_network.dir/network/network_dbscan.cc.o.d"
+  "/root/repo/src/network/network_gen.cc" "src/CMakeFiles/tcomp_network.dir/network/network_gen.cc.o" "gcc" "src/CMakeFiles/tcomp_network.dir/network/network_gen.cc.o.d"
+  "/root/repo/src/network/road_graph.cc" "src/CMakeFiles/tcomp_network.dir/network/road_graph.cc.o" "gcc" "src/CMakeFiles/tcomp_network.dir/network/road_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

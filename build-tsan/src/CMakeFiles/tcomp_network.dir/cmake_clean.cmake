@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_network.dir/network/network_dbscan.cc.o"
+  "CMakeFiles/tcomp_network.dir/network/network_dbscan.cc.o.d"
+  "CMakeFiles/tcomp_network.dir/network/network_gen.cc.o"
+  "CMakeFiles/tcomp_network.dir/network/network_gen.cc.o.d"
+  "CMakeFiles/tcomp_network.dir/network/road_graph.cc.o"
+  "CMakeFiles/tcomp_network.dir/network/road_graph.cc.o.d"
+  "libtcomp_network.a"
+  "libtcomp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

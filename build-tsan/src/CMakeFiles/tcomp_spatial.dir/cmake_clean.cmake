@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_spatial.dir/spatial/quadtree.cc.o"
+  "CMakeFiles/tcomp_spatial.dir/spatial/quadtree.cc.o.d"
+  "CMakeFiles/tcomp_spatial.dir/spatial/rtree.cc.o"
+  "CMakeFiles/tcomp_spatial.dir/spatial/rtree.cc.o.d"
+  "libtcomp_spatial.a"
+  "libtcomp_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

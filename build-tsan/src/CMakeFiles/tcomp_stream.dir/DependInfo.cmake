@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/geo.cc" "src/CMakeFiles/tcomp_stream.dir/stream/geo.cc.o" "gcc" "src/CMakeFiles/tcomp_stream.dir/stream/geo.cc.o.d"
+  "/root/repo/src/stream/inactive_period.cc" "src/CMakeFiles/tcomp_stream.dir/stream/inactive_period.cc.o" "gcc" "src/CMakeFiles/tcomp_stream.dir/stream/inactive_period.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/CMakeFiles/tcomp_stream.dir/stream/sliding_window.cc.o" "gcc" "src/CMakeFiles/tcomp_stream.dir/stream/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_stream.dir/stream/geo.cc.o"
+  "CMakeFiles/tcomp_stream.dir/stream/geo.cc.o.d"
+  "CMakeFiles/tcomp_stream.dir/stream/inactive_period.cc.o"
+  "CMakeFiles/tcomp_stream.dir/stream/inactive_period.cc.o.d"
+  "CMakeFiles/tcomp_stream.dir/stream/sliding_window.cc.o"
+  "CMakeFiles/tcomp_stream.dir/stream/sliding_window.cc.o.d"
+  "libtcomp_stream.a"
+  "libtcomp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

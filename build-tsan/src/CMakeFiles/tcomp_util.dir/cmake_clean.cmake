@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_util.dir/util/flags.cc.o"
+  "CMakeFiles/tcomp_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/tcomp_util.dir/util/logging.cc.o"
+  "CMakeFiles/tcomp_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/tcomp_util.dir/util/status.cc.o"
+  "CMakeFiles/tcomp_util.dir/util/status.cc.o.d"
+  "CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/tcomp_util.dir/util/thread_pool.cc.o.d"
+  "libtcomp_util.a"
+  "libtcomp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bu_equivalence_test.dir/bu_equivalence_test.cc.o"
+  "CMakeFiles/bu_equivalence_test.dir/bu_equivalence_test.cc.o.d"
+  "bu_equivalence_test"
+  "bu_equivalence_test.pdb"
+  "bu_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bu_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

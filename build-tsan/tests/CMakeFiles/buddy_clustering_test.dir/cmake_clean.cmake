@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_clustering_test.dir/buddy_clustering_test.cc.o"
+  "CMakeFiles/buddy_clustering_test.dir/buddy_clustering_test.cc.o.d"
+  "buddy_clustering_test"
+  "buddy_clustering_test.pdb"
+  "buddy_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

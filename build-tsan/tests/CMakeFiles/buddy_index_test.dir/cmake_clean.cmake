@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_index_test.dir/buddy_index_test.cc.o"
+  "CMakeFiles/buddy_index_test.dir/buddy_index_test.cc.o.d"
+  "buddy_index_test"
+  "buddy_index_test.pdb"
+  "buddy_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_test.dir/buddy_test.cc.o"
+  "CMakeFiles/buddy_test.dir/buddy_test.cc.o.d"
+  "buddy_test"
+  "buddy_test.pdb"
+  "buddy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_sc_test.dir/ci_sc_test.cc.o"
+  "CMakeFiles/ci_sc_test.dir/ci_sc_test.cc.o.d"
+  "ci_sc_test"
+  "ci_sc_test.pdb"
+  "ci_sc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_sc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

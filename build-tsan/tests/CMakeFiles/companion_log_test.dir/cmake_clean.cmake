@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/companion_log_test.dir/companion_log_test.cc.o"
+  "CMakeFiles/companion_log_test.dir/companion_log_test.cc.o.d"
+  "companion_log_test"
+  "companion_log_test.pdb"
+  "companion_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/companion_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_test.dir/convoy_test.cc.o"
+  "CMakeFiles/convoy_test.dir/convoy_test.cc.o.d"
+  "convoy_test"
+  "convoy_test.pdb"
+  "convoy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degrade_test.dir/degrade_test.cc.o"
+  "CMakeFiles/degrade_test.dir/degrade_test.cc.o.d"
+  "degrade_test"
+  "degrade_test.pdb"
+  "degrade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degrade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inactive_period_test.dir/inactive_period_test.cc.o"
+  "CMakeFiles/inactive_period_test.dir/inactive_period_test.cc.o.d"
+  "inactive_period_test"
+  "inactive_period_test.pdb"
+  "inactive_period_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inactive_period_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

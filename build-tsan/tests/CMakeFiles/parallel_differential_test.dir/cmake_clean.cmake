@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_differential_test.dir/parallel_differential_test.cc.o"
+  "CMakeFiles/parallel_differential_test.dir/parallel_differential_test.cc.o.d"
+  "parallel_differential_test"
+  "parallel_differential_test.pdb"
+  "parallel_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

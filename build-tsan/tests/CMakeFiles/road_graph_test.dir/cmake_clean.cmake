@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_graph_test.dir/road_graph_test.cc.o"
+  "CMakeFiles/road_graph_test.dir/road_graph_test.cc.o.d"
+  "road_graph_test"
+  "road_graph_test.pdb"
+  "road_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

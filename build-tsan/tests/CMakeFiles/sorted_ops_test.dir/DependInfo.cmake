@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sorted_ops_test.cc" "tests/CMakeFiles/sorted_ops_test.dir/sorted_ops_test.cc.o" "gcc" "tests/CMakeFiles/sorted_ops_test.dir/sorted_ops_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_network.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/tcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

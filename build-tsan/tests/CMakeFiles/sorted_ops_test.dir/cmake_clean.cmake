@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_ops_test.dir/sorted_ops_test.cc.o"
+  "CMakeFiles/sorted_ops_test.dir/sorted_ops_test.cc.o.d"
+  "sorted_ops_test"
+  "sorted_ops_test.pdb"
+  "sorted_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_test.dir/swarm_test.cc.o"
+  "CMakeFiles/swarm_test.dir/swarm_test.cc.o.d"
+  "swarm_test"
+  "swarm_test.pdb"
+  "swarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traclus_test.dir/traclus_test.cc.o"
+  "CMakeFiles/traclus_test.dir/traclus_test.cc.o.d"
+  "traclus_test"
+  "traclus_test.pdb"
+  "traclus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traclus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

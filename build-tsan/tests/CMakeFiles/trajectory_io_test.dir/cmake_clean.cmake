@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_io_test.dir/trajectory_io_test.cc.o"
+  "CMakeFiles/trajectory_io_test.dir/trajectory_io_test.cc.o.d"
+  "trajectory_io_test"
+  "trajectory_io_test.pdb"
+  "trajectory_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

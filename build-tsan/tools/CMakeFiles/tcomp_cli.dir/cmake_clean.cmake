@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcomp_cli.dir/tcomp_cli.cc.o"
+  "CMakeFiles/tcomp_cli.dir/tcomp_cli.cc.o.d"
+  "tcomp"
+  "tcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcomp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
