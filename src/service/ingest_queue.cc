@@ -1,0 +1,111 @@
+#include "service/ingest_queue.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace tcomp {
+
+const char* BackpressureModeName(BackpressureMode mode) {
+  switch (mode) {
+    case BackpressureMode::kBlock:
+      return "block";
+    case BackpressureMode::kShedOldest:
+      return "shed";
+    case BackpressureMode::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+Status ParseBackpressureMode(const std::string& name,
+                             BackpressureMode* mode) {
+  if (name == "block") {
+    *mode = BackpressureMode::kBlock;
+  } else if (name == "shed" || name == "shed-oldest") {
+    *mode = BackpressureMode::kShedOldest;
+  } else if (name == "reject") {
+    *mode = BackpressureMode::kReject;
+  } else {
+    return Status::InvalidArgument("unknown backpressure mode: " + name +
+                                   " (expected block|shed|reject)");
+  }
+  return Status::OK();
+}
+
+IngestQueue::IngestQueue(size_t capacity, BackpressureMode mode)
+    : capacity_(capacity), mode_(mode) {
+  TCOMP_CHECK_GT(capacity, 0u);
+}
+
+Status IngestQueue::Push(const TrajectoryRecord& record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (mode_ == BackpressureMode::kBlock) {
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+  }
+  if (closed_) {
+    return Status::InvalidArgument("ingest queue is closed");
+  }
+  if (items_.size() >= capacity_) {
+    switch (mode_) {
+      case BackpressureMode::kBlock:
+        // Unreachable: the wait above only returns below capacity.
+        break;
+      case BackpressureMode::kShedOldest:
+        items_.pop_front();
+        ++counters_.shed;
+        break;
+      case BackpressureMode::kReject:
+        ++counters_.rejected;
+        return Status::OutOfRange("ingest queue full (capacity " +
+                                  std::to_string(capacity_) + ")");
+    }
+  }
+  items_.push_back(record);
+  ++counters_.pushed;
+  if (static_cast<int64_t>(items_.size()) > counters_.depth_peak) {
+    counters_.depth_peak = static_cast<int64_t>(items_.size());
+  }
+  lock.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+bool IngestQueue::Pop(TrajectoryRecord* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  *out = items_.front();
+  items_.pop_front();
+  ++counters_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+IngestQueueCounters IngestQueue::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace tcomp

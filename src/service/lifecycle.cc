@@ -1,0 +1,57 @@
+#include "service/lifecycle.h"
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tcomp {
+namespace {
+
+// Written from the signal handler: must be a lock-free atomic of a
+// signal-safe width, and nothing else may happen in the handler.
+std::atomic<int> g_shutdown_signal{0};
+
+void HandleShutdownSignal(int signum) {
+  g_shutdown_signal.store(signum, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action;
+  sigemptyset(&action.sa_mask);
+  action.sa_handler = HandleShutdownSignal;
+  // No SA_RESTART: blocking syscalls (poll in the accept/session loops)
+  // return EINTR so those threads re-check the flag promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownSignalReceived() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void ResetShutdownSignalForTest() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+Status RunServiceUntilShutdown(CompanionServer* server,
+                               ServicePipeline* pipeline) {
+  while (!server->stop_requested() && !ShutdownSignalReceived()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Transport first: no new records can arrive while we drain.
+  server->RequestStop();
+  server->Wait();
+  // Then the pipeline: drain queue → flush window → final checkpoint.
+  return pipeline->Stop();
+}
+
+}  // namespace tcomp

@@ -1,0 +1,37 @@
+#ifndef TCOMP_SERVICE_LIFECYCLE_H_
+#define TCOMP_SERVICE_LIFECYCLE_H_
+
+#include "service/pipeline.h"
+#include "service/server.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Installs SIGINT/SIGTERM handlers that only set a flag — every
+/// consequence (stop accepting, drain the queue, close the open snapshot,
+/// write the final checkpoint) runs on ordinary threads, so the shutdown
+/// path is just as async-signal-safe as the steady state. Idempotent.
+void InstallShutdownSignalHandlers();
+
+/// True once SIGINT or SIGTERM has been received.
+bool ShutdownSignalReceived();
+
+/// The signal number received, or 0. (For log messages.)
+int ShutdownSignal();
+
+/// Test hook: clears the flag so one process can exercise several
+/// install/receive cycles.
+void ResetShutdownSignalForTest();
+
+/// Runs the service until a shutdown signal or a client SHUTDOWN, then
+/// performs the graceful sequence: stop accepting and unwind sessions,
+/// drain the ingest queue, flush the reorder buffer and the in-progress
+/// window through the discoverer, and write the final checkpoint. The
+/// server must be Start()ed and the pipeline running. Returns the
+/// pipeline's shutdown status.
+Status RunServiceUntilShutdown(CompanionServer* server,
+                               ServicePipeline* pipeline);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_LIFECYCLE_H_

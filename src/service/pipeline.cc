@@ -1,0 +1,211 @@
+#include "service/pipeline.h"
+
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "util/logging.h"
+
+namespace tcomp {
+
+ServicePipeline::ServicePipeline(const ServicePipelineOptions& options)
+    : options_(options),
+      queue_(options.queue_capacity, options.backpressure),
+      window_(options.window),
+      filler_(options.inactive_fill) {}
+
+ServicePipeline::~ServicePipeline() {
+  Status s = Stop();
+  if (!s.ok()) {
+    TCOMP_LOG_WARNING << "pipeline shutdown: " << s.ToString();
+  }
+}
+
+Status ServicePipeline::Start() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (started_) return Status::InvalidArgument("pipeline already started");
+  discoverer_ = MakeDiscoverer(options_.algorithm, options_.params);
+  if (!options_.checkpoint_path.empty()) {
+    std::ifstream probe(options_.checkpoint_path);
+    if (probe.good()) {
+      TCOMP_RETURN_IF_ERROR(LoadDiscovererFromFile(
+          discoverer_.get(), options_.checkpoint_path));
+      last_checkpoint_snapshot_ = discoverer_->stats().snapshots;
+      resumed_ = true;
+    }
+  }
+  started_ = true;
+  worker_ = std::thread(&ServicePipeline::WorkerLoop, this);
+  return Status::OK();
+}
+
+Status ServicePipeline::Ingest(const TrajectoryRecord& record) {
+  if (!std::isfinite(record.timestamp) || !std::isfinite(record.pos.x) ||
+      !std::isfinite(record.pos.y)) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++records_invalid_;
+    return Status::InvalidArgument("non-finite record field");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!started_ || stopped_) {
+      return Status::InvalidArgument("pipeline is not running");
+    }
+  }
+  // The queue has its own lock; a kBlock stall here must not hold
+  // state_mu_, or the worker could never drain and we would deadlock.
+  Status s = queue_.Push(record);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++records_ingested_;
+  }
+  return s;
+}
+
+void ServicePipeline::PushToWindow(const TrajectoryRecord& record) {
+  // Records were validated at Ingest(); a Push failure here would mean
+  // state corruption, so surface it loudly.
+  Status s = window_.Push(record, &ready_);
+  if (!s.ok()) {
+    TCOMP_LOG_ERROR << "sliding window rejected queued record: "
+                    << s.ToString();
+    return;
+  }
+  ProcessReady();
+}
+
+void ServicePipeline::ProcessReady() {
+  for (const Snapshot& snap : ready_) {
+    discoverer_->ProcessSnapshot(filler_.Fill(snap), nullptr);
+    if (options_.checkpoint_every > 0 &&
+        discoverer_->stats().snapshots - last_checkpoint_snapshot_ >=
+            options_.checkpoint_every) {
+      Status s = CheckpointLocked();
+      if (!s.ok()) {
+        TCOMP_LOG_WARNING << "auto-checkpoint failed: " << s.ToString();
+      }
+    }
+  }
+  ready_.clear();
+}
+
+void ServicePipeline::DrainReorderBuffer(bool everything) {
+  double watermark = max_timestamp_seen_ - options_.allowed_lateness;
+  while (!reorder_.empty() &&
+         (everything || reorder_.top().timestamp <= watermark)) {
+    PushToWindow(reorder_.top());
+    reorder_.pop();
+  }
+}
+
+void ServicePipeline::WorkerLoop() {
+  TrajectoryRecord record;
+  while (queue_.Pop(&record)) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (options_.allowed_lateness <= 0.0) {
+      PushToWindow(record);
+    } else {
+      if (any_timestamp_seen_ &&
+          record.timestamp <
+              max_timestamp_seen_ - options_.allowed_lateness) {
+        // Behind the watermark: its snapshot may already be closed. The
+        // window folds it into the current one (bounded staleness), same
+        // as the batch path; we only account for it here.
+        ++records_late_;
+      }
+      if (!any_timestamp_seen_ ||
+          record.timestamp > max_timestamp_seen_) {
+        max_timestamp_seen_ = record.timestamp;
+        any_timestamp_seen_ = true;
+      }
+      reorder_.push(record);
+      if (static_cast<int64_t>(reorder_.size()) > reorder_held_peak_) {
+        reorder_held_peak_ = static_cast<int64_t>(reorder_.size());
+      }
+      DrainReorderBuffer(/*everything=*/false);
+    }
+    ++records_processed_;
+    progress_cv_.notify_all();
+  }
+}
+
+Status ServicePipeline::Flush() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  if (!started_) return Status::InvalidArgument("pipeline is not running");
+  int64_t target = records_ingested_;
+  progress_cv_.wait(lock, [&] {
+    return records_processed_ >= target || stopped_;
+  });
+  DrainReorderBuffer(/*everything=*/true);
+  window_.Flush(&ready_);
+  ProcessReady();
+  return Status::OK();
+}
+
+Status ServicePipeline::CheckpointLocked() {
+  if (options_.checkpoint_path.empty()) return Status::OK();
+  TCOMP_RETURN_IF_ERROR(
+      SaveDiscovererToFile(*discoverer_, options_.checkpoint_path));
+  ++checkpoints_written_;
+  last_checkpoint_snapshot_ = discoverer_->stats().snapshots;
+  return Status::OK();
+}
+
+Status ServicePipeline::Checkpoint() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (!started_) return Status::InvalidArgument("pipeline is not running");
+  return CheckpointLocked();
+}
+
+Status ServicePipeline::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!started_ || stopped_) return Status::OK();
+  }
+  // Close the queue: producers start failing, the worker drains what is
+  // left and exits. Join *without* state_mu_ (the worker takes it).
+  queue_.Close();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  stopped_ = true;
+  progress_cv_.notify_all();
+  // Everything admitted is now processed; emit the tail.
+  DrainReorderBuffer(/*everything=*/true);
+  window_.Flush(&ready_);
+  ProcessReady();
+  return CheckpointLocked();
+}
+
+bool ServicePipeline::started() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return started_;
+}
+
+std::vector<Companion> ServicePipeline::Companions() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (discoverer_ == nullptr) return {};
+  return discoverer_->log().companions();
+}
+
+ServiceStats ServicePipeline::Stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ServiceStats stats;
+  if (discoverer_ != nullptr) {
+    stats.discovery = discoverer_->stats();
+    stats.companions_distinct =
+        static_cast<int64_t>(discoverer_->log().size());
+  }
+  stats.queue = queue_.Counters();
+  stats.records_ingested = records_ingested_;
+  stats.records_invalid = records_invalid_;
+  stats.records_late = records_late_;
+  stats.reorder_held_peak = reorder_held_peak_;
+  stats.snapshots_emitted = window_.emitted();
+  stats.checkpoints_written = checkpoints_written_;
+  stats.resumed = resumed_;
+  return stats;
+}
+
+}  // namespace tcomp

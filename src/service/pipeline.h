@@ -1,0 +1,168 @@
+#ifndef TCOMP_SERVICE_PIPELINE_H_
+#define TCOMP_SERVICE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/discoverer.h"
+#include "service/ingest_queue.h"
+#include "stream/inactive_period.h"
+#include "stream/record.h"
+#include "stream/sliding_window.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+struct ServicePipelineOptions {
+  Algorithm algorithm = Algorithm::kBuddy;
+  DiscoveryParams params;
+  SlidingWindowOptions window;
+  /// Carry-forward threshold for objects missing from a snapshot
+  /// (stream/inactive_period.h); 0 disables filling.
+  int inactive_fill = 0;
+
+  /// Admission queue between protocol sessions and the worker.
+  size_t queue_capacity = 4096;
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+
+  /// Watermark lateness bound, in stream seconds. 0 keeps arrival order:
+  /// records go straight into the sliding window exactly as the batch
+  /// path feeds them (the differential tests rely on this). > 0 holds
+  /// records in a reorder buffer and releases them in timestamp order
+  /// once the watermark — max timestamp seen minus this bound — passes
+  /// them, so bounded out-of-order arrival cannot close a snapshot early.
+  double allowed_lateness = 0.0;
+
+  /// Checkpoint file. Empty disables checkpointing entirely. If the file
+  /// exists at Start(), the discoverer state is restored from it
+  /// (resume-on-restart).
+  std::string checkpoint_path;
+  /// Auto-checkpoint period in snapshots (0 = only on Stop()).
+  int64_t checkpoint_every = 0;
+};
+
+/// Pipeline-level counters; discovery and queue counters ride along so one
+/// Stats() call captures a consistent picture of every stage.
+struct ServiceStats {
+  DiscoveryStats discovery;
+  IngestQueueCounters queue;
+  int64_t records_ingested = 0;   // accepted by Ingest()
+  int64_t records_invalid = 0;    // rejected before admission (non-finite)
+  int64_t records_late = 0;       // arrived behind the watermark
+  int64_t reorder_held_peak = 0;  // high-watermark reorder-buffer size
+  int64_t snapshots_emitted = 0;  // windows closed by the worker
+  int64_t checkpoints_written = 0;
+  int64_t companions_distinct = 0;  // deduplicated log size
+  bool resumed = false;           // state restored from a checkpoint
+};
+
+/// The long-running companion-discovery daemon core: a bounded ingest
+/// queue feeding the SlidingWindow → CompanionDiscoverer chain on one
+/// dedicated worker thread. Producers call Ingest() from any thread;
+/// queries are served from a consistent view at any time. The clustering
+/// stage inside the discoverer parallelizes over the process-wide
+/// ThreadPool when options.params.cluster.threads > 1, exactly as the
+/// batch path does.
+///
+/// Lifecycle: Start() → {Ingest() | Flush() | queries}* → Stop().
+/// Stop() drains the queue, flushes the reorder buffer and the open
+/// window, writes a final checkpoint, and joins the worker; it is
+/// idempotent and also runs from the destructor as a backstop.
+class ServicePipeline {
+ public:
+  explicit ServicePipeline(const ServicePipelineOptions& options);
+  ~ServicePipeline();
+
+  ServicePipeline(const ServicePipeline&) = delete;
+  ServicePipeline& operator=(const ServicePipeline&) = delete;
+
+  /// Creates the discoverer (restoring checkpoint state if present) and
+  /// starts the worker. Must be called exactly once, before anything else.
+  Status Start();
+
+  /// Validates and admits one record (thread-safe). Backpressure policy
+  /// decides what happens at capacity — kBlock stalls the caller, kReject
+  /// returns OutOfRange, kShedOldest always succeeds.
+  Status Ingest(const TrajectoryRecord& record);
+
+  /// Barrier: waits until every record admitted before the call has been
+  /// processed, then pushes the reorder buffer and the in-progress window
+  /// through the discoverer. Queries after Flush() see all prior ingests.
+  Status Flush();
+
+  /// Writes a checkpoint of the discoverer state now (thread-safe).
+  /// NotFound-free no-op returning OK when checkpointing is disabled.
+  Status Checkpoint();
+
+  /// Graceful shutdown: close queue, drain, flush, final checkpoint.
+  Status Stop();
+
+  bool started() const;
+
+  /// Snapshot of the deduplicated companion log (thread-safe copy).
+  std::vector<Companion> Companions() const;
+  /// Consistent counter snapshot across every stage (thread-safe).
+  ServiceStats Stats() const;
+
+  const ServicePipelineOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  /// Releases ripe reorder-buffer records into the window. Caller holds
+  /// state_mu_. `everything` forces a full drain (flush/stop).
+  void DrainReorderBuffer(bool everything);
+  void PushToWindow(const TrajectoryRecord& record);
+  void ProcessReady();  // feeds ready_ snapshots to the discoverer
+  Status CheckpointLocked();
+
+  const ServicePipelineOptions options_;
+  IngestQueue queue_;
+
+  // state_mu_ guards everything below: the window/discoverer chain, the
+  // reorder buffer, and the pipeline counters. The worker holds it while
+  // processing one record; queries take it for the copy-out.
+  mutable std::mutex state_mu_;
+  std::condition_variable progress_cv_;  // signaled per processed record
+  std::unique_ptr<CompanionDiscoverer> discoverer_;
+  SlidingWindowSnapshotter window_;
+  InactivePeriodFiller filler_;
+  std::vector<Snapshot> ready_;
+  // Min-heap on timestamp (greater-than comparator) for watermarking.
+  struct LaterTimestamp {
+    bool operator()(const TrajectoryRecord& a,
+                    const TrajectoryRecord& b) const {
+      return a.timestamp > b.timestamp;
+    }
+  };
+  std::priority_queue<TrajectoryRecord, std::vector<TrajectoryRecord>,
+                      LaterTimestamp>
+      reorder_;
+  double max_timestamp_seen_ = 0.0;
+  bool any_timestamp_seen_ = false;
+  int64_t records_ingested_ = 0;  // admitted to the queue
+  int64_t records_processed_ = 0;  // consumed by the worker
+  int64_t records_invalid_ = 0;
+  int64_t records_late_ = 0;
+  int64_t reorder_held_peak_ = 0;
+  int64_t checkpoints_written_ = 0;
+  int64_t last_checkpoint_snapshot_ = 0;
+  bool resumed_ = false;
+
+  std::thread worker_;
+  // Serializes Stop() end to end (a protocol SHUTDOWN and the signal path
+  // can race); state_mu_ cannot be held across the worker join.
+  std::mutex stop_mu_;
+  bool started_ = false;   // guarded by state_mu_
+  bool stopped_ = false;   // guarded by state_mu_
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_PIPELINE_H_

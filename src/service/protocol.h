@@ -1,0 +1,107 @@
+#ifndef TCOMP_SERVICE_PROTOCOL_H_
+#define TCOMP_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/pipeline.h"
+#include "stream/record.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// The service speaks a line-delimited ASCII protocol over a byte stream
+/// (TCP or an in-process pair). One request per line, LF-terminated (a
+/// trailing CR is stripped, so telnet/netcat work):
+///
+///   INGEST <object> <timestamp> <x> <y>
+///   QUERY companions | stats | buddies
+///   FLUSH
+///   SHUTDOWN
+///
+/// Responses: single-line replies are `OK <detail>` or
+/// `ERR <CODE> <message>`. Multi-record replies open with `OK <n>`,
+/// carry n payload lines, and close with a lone `.` — a client reads
+/// until the dot without counting. Payload lines for `QUERY companions`
+/// use the exact CSV row format of eval/export.h
+/// (`duration,snapshot_index,size,objects`), so streamed results are
+/// byte-comparable with the batch CLI's --out-csv files.
+
+/// Longest accepted request line (bytes, excluding the LF). Anything
+/// longer is a protocol error; the session discards until the next LF and
+/// keeps serving.
+inline constexpr size_t kMaxRequestLineBytes = 4096;
+
+/// Splits a byte stream into protocol lines with a hard length cap.
+/// Feed() appends raw bytes as they arrive; Next() extracts completed
+/// lines. An overlong line flips the framer into discard mode until its
+/// terminating LF, reporting kOversize exactly once per offending line —
+/// a hostile or corrupt client cannot make the server buffer grow
+/// unboundedly or wedge the session.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes = kMaxRequestLineBytes);
+
+  void Feed(const char* data, size_t n);
+
+  enum class Result {
+    kLine,      // *line holds a complete request line (CR/LF stripped)
+    kNeedMore,  // no complete line buffered; Feed() more bytes
+    kOversize,  // an overlong line was (or is being) discarded
+  };
+  Result Next(std::string* line);
+
+  /// True when the stream ended mid-line (disconnect without a final LF).
+  bool HasPartial() const { return !buffer_.empty() || discarding_; }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;        // inside an overlong line
+  bool oversize_reported_ = false;  // kOversize already returned for it
+};
+
+/// A parsed request.
+struct Request {
+  enum class Type { kIngest, kQuery, kFlush, kShutdown };
+  enum class QueryKind { kCompanions, kStats, kBuddies };
+  Type type = Type::kFlush;
+  QueryKind query = QueryKind::kStats;
+  TrajectoryRecord record;  // kIngest only
+};
+
+/// Parses one request line. Rejects non-ASCII bytes (the protocol is
+/// ASCII; anything else — including valid UTF-8 multibyte sequences — is
+/// a framing error), unknown verbs, wrong arity, and non-finite or
+/// unparsable numeric fields.
+Status ParseRequest(const std::string& line, Request* request);
+
+/// One client's request/response state machine, independent of any
+/// transport: the server pumps socket bytes through it, and tests drive
+/// it directly in-process. Responses always end with '\n' and never
+/// throw; a malformed line yields `ERR ...` and the session stays usable.
+class ProtocolSession {
+ public:
+  explicit ProtocolSession(ServicePipeline* pipeline);
+
+  /// Handles one complete request line; returns the full response (one or
+  /// more '\n'-terminated lines). Sets *shutdown_requested on SHUTDOWN so
+  /// the transport can initiate the graceful server stop (drain + final
+  /// checkpoint happen there); it is never unset.
+  std::string HandleLine(const std::string& line, bool* shutdown_requested);
+
+  /// Response for a line the framer flagged as oversized.
+  std::string OversizeResponse();
+
+  /// Malformed lines seen on this session (parse errors + oversize).
+  int64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  ServicePipeline* pipeline_;
+  int64_t parse_errors_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_PROTOCOL_H_

@@ -1,0 +1,128 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "service/protocol.h"
+#include "util/logging.h"
+
+namespace tcomp {
+
+CompanionServer::CompanionServer(ServicePipeline* pipeline,
+                                 const ServerOptions& options)
+    : pipeline_(pipeline), options_(options) {}
+
+CompanionServer::~CompanionServer() {
+  if (started_) {
+    RequestStop();
+    Wait();
+  }
+}
+
+Status CompanionServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  TCOMP_RETURN_IF_ERROR(ListenSocket::Listen(options_.port, &listener_));
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread(&CompanionServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void CompanionServer::RequestStop() { stop_.store(true); }
+
+void CompanionServer::Wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so sessions_ can no longer grow.
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& t : sessions) t.join();
+}
+
+ServerCounters CompanionServer::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void CompanionServer::AcceptLoop() {
+  while (!stop_.load()) {
+    StreamSocket accepted;
+    Status s = listener_.Accept(options_.accept_poll_ms, &accepted);
+    if (!s.ok()) {
+      TCOMP_LOG_WARNING << "accept: " << s.ToString();
+      break;
+    }
+    if (!accepted.valid()) continue;  // poll timeout; re-check stop flag
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sessions_opened;
+    sessions_.emplace_back(&CompanionServer::ServeConnection, this,
+                           std::move(accepted));
+  }
+  listener_.Close();
+}
+
+void CompanionServer::ServeConnection(StreamSocket sock) {
+  LineFramer framer;
+  ProtocolSession session(pipeline_);
+  char buf[4096];
+  int idle_ms = 0;
+  bool midline_eof = false;
+  bool timed_out = false;
+  // Short poll quanta keep the session responsive to the stop flag while
+  // accumulating toward the configured idle timeout.
+  const int quantum_ms = std::min(200, std::max(1, options_.read_timeout_ms));
+
+  while (!stop_.load()) {
+    size_t n = 0;
+    Status rs = sock.Read(buf, sizeof(buf), quantum_ms, &n);
+    if (rs.code() == StatusCode::kOutOfRange) {  // poll quantum elapsed
+      idle_ms += quantum_ms;
+      if (idle_ms >= options_.read_timeout_ms) {
+        timed_out = true;
+        break;
+      }
+      continue;
+    }
+    if (!rs.ok()) break;       // connection error
+    if (n == 0) {              // orderly EOF
+      midline_eof = framer.HasPartial();
+      break;
+    }
+    idle_ms = 0;
+    framer.Feed(buf, n);
+
+    bool done = false;
+    for (;;) {
+      std::string line;
+      LineFramer::Result r = framer.Next(&line);
+      if (r == LineFramer::Result::kNeedMore) break;
+      std::string response;
+      bool shutdown_requested = false;
+      if (r == LineFramer::Result::kOversize) {
+        response = session.OversizeResponse();
+      } else {
+        response = session.HandleLine(line, &shutdown_requested);
+      }
+      // Respond before acting on SHUTDOWN so the client sees the ack.
+      Status ws = sock.WriteAll(response, options_.write_timeout_ms);
+      if (shutdown_requested) RequestStop();
+      if (!ws.ok() || shutdown_requested) {
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+  }
+  sock.Close();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.sessions_closed;
+  counters_.parse_errors += session.parse_errors();
+  if (midline_eof) ++counters_.midline_disconnects;
+  if (timed_out) ++counters_.read_timeouts;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,86 @@
+#ifndef TCOMP_SERVICE_SERVER_H_
+#define TCOMP_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/pipeline.h"
+#include "service/socket.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+struct ServerOptions {
+  /// Loopback port to listen on; 0 binds an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// A session idle longer than this is disconnected.
+  int read_timeout_ms = 60000;
+  /// Per-response write budget; a client that stops reading is dropped.
+  int write_timeout_ms = 10000;
+  /// Granularity of the accept loop's stop-flag checks.
+  int accept_poll_ms = 100;
+};
+
+/// Aggregated transport accounting (per-session parse errors fold in when
+/// the session ends).
+struct ServerCounters {
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t parse_errors = 0;            // malformed/oversized lines, total
+  int64_t midline_disconnects = 0;     // EOF with a partial line buffered
+  int64_t read_timeouts = 0;           // sessions dropped for idleness
+};
+
+/// Loopback TCP front-end for one ServicePipeline: accepts clients on a
+/// dedicated thread and serves each session on its own thread, pumping
+/// bytes through LineFramer + ProtocolSession. A SHUTDOWN request (or
+/// RequestStop() from the signal path) stops the accept loop and unwinds
+/// every session; the caller then stops the pipeline, keeping the drain /
+/// final-checkpoint sequencing in one place (service/lifecycle.cc).
+class CompanionServer {
+ public:
+  CompanionServer(ServicePipeline* pipeline, const ServerOptions& options);
+  ~CompanionServer();
+
+  CompanionServer(const CompanionServer&) = delete;
+  CompanionServer& operator=(const CompanionServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Call once.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Asynchronous stop trigger; idempotent, callable from any thread.
+  void RequestStop();
+  bool stop_requested() const { return stop_.load(); }
+
+  /// Joins the accept loop and every session thread. Returns only after
+  /// RequestStop() (or a client SHUTDOWN) has been issued.
+  void Wait();
+
+  ServerCounters Counters() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(StreamSocket sock);
+
+  ServicePipeline* pipeline_;
+  const ServerOptions options_;
+  ListenSocket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;             // guards sessions_ and counters_
+  std::vector<std::thread> sessions_;
+  ServerCounters counters_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_SERVER_H_

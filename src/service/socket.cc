@@ -1,0 +1,190 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace tcomp {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::string(strerror(errno)));
+}
+
+/// Waits for `events` on fd. Returns OK with *ready=false on timeout.
+Status PollFd(int fd, short events, int timeout_ms, bool* ready) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signals are handled elsewhere
+      return Errno("poll");
+    }
+    *ready = rc > 0;
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+StreamSocket::~StreamSocket() { Close(); }
+
+StreamSocket::StreamSocket(StreamSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+StreamSocket& StreamSocket::operator=(StreamSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void StreamSocket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status StreamSocket::Connect(uint16_t port, int timeout_ms,
+                             StreamSocket* out) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  StreamSocket sock(fd);
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // Loopback connects complete immediately or fail; a plain blocking
+  // connect with the kernel's timeout is fine (timeout_ms guards reads).
+  (void)timeout_ms;
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    return Errno("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status StreamSocket::Read(char* buf, size_t n, int timeout_ms,
+                          size_t* read_out) {
+  *read_out = 0;
+  if (fd_ < 0) return Status::IoError("read on closed socket");
+  bool ready = false;
+  TCOMP_RETURN_IF_ERROR(PollFd(fd_, POLLIN, timeout_ms, &ready));
+  if (!ready) return Status::OutOfRange("read timeout");
+  for (;;) {
+    ssize_t rc = read(fd_, buf, n);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    *read_out = static_cast<size_t>(rc);
+    return Status::OK();
+  }
+}
+
+Status StreamSocket::WriteAll(const std::string& data, int timeout_ms) {
+  if (fd_ < 0) return Status::IoError("write on closed socket");
+  size_t off = 0;
+  while (off < data.size()) {
+    bool ready = false;
+    TCOMP_RETURN_IF_ERROR(PollFd(fd_, POLLOUT, timeout_ms, &ready));
+    if (!ready) return Status::OutOfRange("write timeout");
+    ssize_t rc = write(fd_, data.data() + off, data.size() - off);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ListenSocket::Listen(uint16_t port, ListenSocket* out) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ListenSocket sock;
+  sock.fd_ = fd;
+
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (listen(fd, 16) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  sock.port_ = ntohs(addr.sin_port);
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status ListenSocket::Accept(int timeout_ms, StreamSocket* accepted) {
+  *accepted = StreamSocket();
+  if (fd_ < 0) return Status::IoError("accept on closed socket");
+  bool ready = false;
+  TCOMP_RETURN_IF_ERROR(PollFd(fd_, POLLIN, timeout_ms, &ready));
+  if (!ready) return Status::OK();  // timeout: *accepted stays invalid
+  for (;;) {
+    int fd = accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    *accepted = StreamSocket(fd);
+    return Status::OK();
+  }
+}
+
+}  // namespace tcomp

@@ -1,0 +1,76 @@
+#ifndef TCOMP_SERVICE_SOCKET_H_
+#define TCOMP_SERVICE_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Thin RAII wrappers over loopback POSIX TCP sockets — the only
+/// transport the service needs, kept deliberately minimal so everything
+/// above it (framing, protocol, sessions) is testable in-process without
+/// a real socket. All operations take millisecond timeouts implemented
+/// with poll(); a timeout is reported as Status::OutOfRange so callers
+/// can distinguish "slow peer" from "broken peer" (IoError).
+class StreamSocket {
+ public:
+  StreamSocket() = default;
+  explicit StreamSocket(int fd) : fd_(fd) {}
+  ~StreamSocket();
+
+  StreamSocket(StreamSocket&& other) noexcept;
+  StreamSocket& operator=(StreamSocket&& other) noexcept;
+  StreamSocket(const StreamSocket&) = delete;
+  StreamSocket& operator=(const StreamSocket&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  static Status Connect(uint16_t port, int timeout_ms, StreamSocket* out);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Reads up to `n` bytes into `buf`. Returns the byte count via *read;
+  /// 0 means orderly EOF. OutOfRange on timeout.
+  Status Read(char* buf, size_t n, int timeout_ms, size_t* read);
+
+  /// Writes all of `data`, waiting up to timeout_ms for each chunk.
+  Status WriteAll(const std::string& data, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+/// port() reports the actual one.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  static Status Listen(uint16_t port, ListenSocket* out);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  void Close();
+
+  /// Waits up to timeout_ms for a connection. On timeout returns OK with
+  /// *accepted invalid — the caller's accept loop can poll its stop flag
+  /// between waits without treating that as an error.
+  Status Accept(int timeout_ms, StreamSocket* accepted);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_SOCKET_H_

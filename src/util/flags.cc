@@ -35,6 +35,13 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
   return Status::OK();
 }
 
+std::vector<std::string> FlagParser::names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
 bool FlagParser::Has(const std::string& name) const {
   return values_.count(name) > 0;
 }

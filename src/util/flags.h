@@ -34,6 +34,11 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every flag name that was passed, sorted ascending — lets a caller
+  /// reject flags it does not understand instead of silently ignoring a
+  /// typo (`--epsilom 24` would otherwise run with the default ε).
+  std::vector<std::string> names() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -7,12 +7,18 @@ DIR="$2"
 cd "$DIR"
 
 # On any failure, dump the CLI logs to stderr so the CTest log alone is
-# enough to diagnose what broke.
+# enough to diagnose what broke. Any background serve process is killed
+# so a failed run cannot leave an orphan listener behind.
 dump_logs_on_failure() {
     status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
     if [ "$status" -ne 0 ]; then
         echo "cli_smoke: FAILED (exit $status); CLI logs follow" >&2
-        for f in gen.log run1.log run2.log suggest.log; do
+        for f in gen.log run1.log run2.log suggest.log \
+                 serve1.log serve2.log feed1.log feed2.log; do
             if [ -f "$f" ]; then
                 echo "--- $f ---" >&2
                 cat "$f" >&2
@@ -23,6 +29,16 @@ dump_logs_on_failure() {
     fi
 }
 trap dump_logs_on_failure EXIT
+
+# Waits (up to ~10s) for a serve process to write its bound port.
+wait_for_port_file() {
+    i=0
+    while [ ! -s "$1" ] && [ "$i" -lt 100 ]; do
+        sleep 0.1
+        i=$((i+1))
+    done
+    test -s "$1"
+}
 
 "$CLI" generate --dataset d2 --snapshots 40 --out d2.csv --truth d2.truth \
     --seed 7 > gen.log
@@ -49,6 +65,53 @@ grep -q "suggested thresholds" suggest.log
     --load-state d2.ckpt --quiet > run2.log
 grep -q "resumed from" run2.log
 
-# Unknown flags/commands fail loudly.
+# Unknown flags/commands fail loudly — by name, in every subcommand.
 if "$CLI" frobnicate > /dev/null 2>&1; then exit 1; fi
+for cmd in "generate --dataset d2 --out x.csv" \
+           "discover --csv d2.csv" \
+           "suggest --csv d2.csv" \
+           "serve" \
+           "feed --csv d2.csv --port 1"; do
+    if $CLI $cmd --no-such-flag > /dev/null 2> flag.err; then exit 1; fi
+    grep -q -- "unknown flag --no-such-flag" flag.err
+done
+
+# Service round trip: serve → feed → query → SIGTERM → resume → compare.
+# The stream is split at a window boundary (t = 1200 = snapshot 20 of 40
+# at 60 s/window); graceful shutdown closes the open window and writes a
+# checkpoint, so the resumed run must reproduce the batch companions
+# byte for byte (d2_out.csv from the discover run above).
+awk -F, '$2 < 1200'  d2.csv > feed_a.csv
+awk -F, '$2 >= 1200' d2.csv > feed_b.csv
+rm -f port.txt serve.ckpt
+
+"$CLI" serve --algo bu --epsilon 24 --mu 5 --min-size 10 \
+    --min-duration 10 --window-seconds 60 --port-file port.txt \
+    --checkpoint serve.ckpt > serve1.log 2>&1 &
+SERVE_PID=$!
+wait_for_port_file port.txt
+PORT=$(cat port.txt)
+
+"$CLI" feed --csv feed_a.csv --port "$PORT" --flush --quiet > feed1.log
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "shut down gracefully" serve1.log
+test -f serve.ckpt
+
+rm -f port.txt
+"$CLI" serve --algo bu --epsilon 24 --mu 5 --min-size 10 \
+    --min-duration 10 --window-seconds 60 --port-file port.txt \
+    --checkpoint serve.ckpt > serve2.log 2>&1 &
+SERVE_PID=$!
+wait_for_port_file port.txt
+PORT=$(cat port.txt)
+
+"$CLI" feed --csv feed_b.csv --port "$PORT" --query companions \
+    --out served.csv --shutdown --quiet > feed2.log
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "resumed from serve.ckpt" serve2.log
+cmp d2_out.csv served.csv
+
 echo "cli smoke OK"

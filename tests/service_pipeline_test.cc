@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "data/group_model.h"
+#include "data/trajectory_io.h"
+#include "eval/export.h"
+#include "service/ingest_queue.h"
+#include "service/pipeline.h"
+#include "stream/sliding_window.h"
+
+namespace tcomp {
+namespace {
+
+constexpr double kSecondsPerSnapshot = 60.0;
+
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 80;
+  options.num_snapshots = 24;
+  options.area_size = 1500.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams BaseParams() {
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 6;
+  return params;
+}
+
+std::string CompanionsCsv(const std::vector<Companion>& companions) {
+  std::ostringstream out;
+  WriteCompanionsCsv(companions, out);
+  return out.str();
+}
+
+/// The reference: the batch discover path (records → window → discoverer
+/// on the caller's thread), exactly as tools/tcomp_cli.cc discover runs.
+std::string BatchCsv(Algorithm algorithm,
+                     const std::vector<TrajectoryRecord>& records) {
+  auto discoverer = MakeDiscoverer(algorithm, BaseParams());
+  SlidingWindowOptions wopts;
+  wopts.window_length = kSecondsPerSnapshot;
+  SlidingWindowSnapshotter window(wopts);
+  std::vector<Snapshot> ready;
+  for (const TrajectoryRecord& r : records) {
+    EXPECT_TRUE(window.Push(r, &ready).ok());
+    for (const Snapshot& s : ready) discoverer->ProcessSnapshot(s, nullptr);
+    ready.clear();
+  }
+  window.Flush(&ready);
+  for (const Snapshot& s : ready) discoverer->ProcessSnapshot(s, nullptr);
+  return CompanionsCsv(discoverer->log().companions());
+}
+
+ServicePipelineOptions PipelineOptions(Algorithm algorithm) {
+  ServicePipelineOptions opts;
+  opts.algorithm = algorithm;
+  opts.params = BaseParams();
+  opts.window.window_length = kSecondsPerSnapshot;
+  // Small on purpose: the feed outruns the discoverer, so kBlock
+  // backpressure really engages during the differential runs.
+  opts.queue_capacity = 64;
+  return opts;
+}
+
+class ServiceDifferentialTest : public ::testing::TestWithParam<Algorithm> {
+};
+
+/// The daemon path (queue → window → discoverer on the worker) must emit
+/// byte-identical companions to the batch path for every algorithm.
+TEST_P(ServiceDifferentialTest, MatchesBatchPath) {
+  GroupDataset data = ChurnyStream(901);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  std::string expected = BatchCsv(GetParam(), records);
+
+  ServicePipeline pipeline(PipelineOptions(GetParam()));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  ASSERT_TRUE(pipeline.Stop().ok());
+
+  EXPECT_EQ(CompanionsCsv(pipeline.Companions()), expected);
+  ServiceStats stats = pipeline.Stats();
+  EXPECT_EQ(stats.records_ingested,
+            static_cast<int64_t>(records.size()));
+  EXPECT_EQ(stats.queue.pushed, stats.queue.popped);
+  EXPECT_EQ(stats.queue.shed, 0);
+  EXPECT_EQ(stats.queue.rejected, 0);
+  EXPECT_LE(stats.queue.depth_peak, 64);
+  EXPECT_GT(stats.discovery.snapshots, 0);
+  EXPECT_FALSE(stats.resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ServiceDifferentialTest,
+                         ::testing::Values(
+                             Algorithm::kClusteringIntersection,
+                             Algorithm::kSmartClosed, Algorithm::kBuddy),
+                         [](const auto& info) {
+                           return AlgorithmName(info.param);
+                         });
+
+/// Flush is a barrier: afterwards every prior ingest is reflected in
+/// queries, including the in-progress window.
+TEST(ServicePipelineTest, FlushMakesAllIngestsVisible) {
+  GroupDataset data = ChurnyStream(902);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  std::string expected = BatchCsv(Algorithm::kBuddy, records);
+
+  ServicePipeline pipeline(PipelineOptions(Algorithm::kBuddy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  ASSERT_TRUE(pipeline.Flush().ok());
+  // No Stop() yet — Flush alone must surface the final window.
+  EXPECT_EQ(CompanionsCsv(pipeline.Companions()), expected);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+/// Stop → restart with the same checkpoint file resumes the stream with
+/// no duplicated or lost companions: feeding the two halves through two
+/// pipeline incarnations equals one uninterrupted run. The split falls on
+/// a window boundary, which is what the graceful-shutdown window flush
+/// guarantees for the live service.
+TEST(ServicePipelineTest, CheckpointResumeMatchesUninterrupted) {
+  GroupDataset data = ChurnyStream(903);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  std::string expected = BatchCsv(Algorithm::kBuddy, records);
+
+  double split_time = 12 * kSecondsPerSnapshot;
+  std::string ckpt = ::testing::TempDir() + "/service_resume.ckpt";
+  std::remove(ckpt.c_str());
+
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.checkpoint_path = ckpt;
+  {
+    ServicePipeline first(opts);
+    ASSERT_TRUE(first.Start().ok());
+    EXPECT_FALSE(first.Stats().resumed);
+    for (const TrajectoryRecord& r : records) {
+      if (r.timestamp < split_time) {
+        ASSERT_TRUE(first.Ingest(r).ok());
+      }
+    }
+    ASSERT_TRUE(first.Stop().ok());
+    EXPECT_GE(first.Stats().checkpoints_written, 1);
+  }
+  {
+    ServicePipeline second(opts);
+    ASSERT_TRUE(second.Start().ok());
+    EXPECT_TRUE(second.Stats().resumed);
+    for (const TrajectoryRecord& r : records) {
+      if (r.timestamp >= split_time) {
+        ASSERT_TRUE(second.Ingest(r).ok());
+      }
+    }
+    ASSERT_TRUE(second.Stop().ok());
+    EXPECT_EQ(CompanionsCsv(second.Companions()), expected);
+  }
+  std::remove(ckpt.c_str());
+}
+
+/// Auto-checkpointing writes every N snapshots without disturbing the
+/// stream results.
+TEST(ServicePipelineTest, AutoCheckpointEveryN) {
+  GroupDataset data = ChurnyStream(904);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  std::string expected = BatchCsv(Algorithm::kSmartClosed, records);
+
+  std::string ckpt = ::testing::TempDir() + "/service_auto.ckpt";
+  std::remove(ckpt.c_str());
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kSmartClosed);
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every = 5;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  ASSERT_TRUE(pipeline.Stop().ok());
+  EXPECT_EQ(CompanionsCsv(pipeline.Companions()), expected);
+  // 24 snapshots / every 5 → at least 4 periodic saves + the final one.
+  EXPECT_GE(pipeline.Stats().checkpoints_written, 5);
+  std::remove(ckpt.c_str());
+}
+
+/// Bounded out-of-order arrival: interleave adjacent snapshots' records
+/// (each even/odd snapshot pair arrives newest-first). With a watermark
+/// lateness covering the jitter, the reorder buffer must reconstruct the
+/// timestamp order and reproduce the in-order results exactly.
+TEST(ServicePipelineTest, WatermarkAbsorbsOutOfOrderArrival) {
+  GroupDataset data = ChurnyStream(905);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  std::string expected = BatchCsv(Algorithm::kBuddy, records);
+
+  // Partition by snapshot, then emit each adjacent pair swapped.
+  std::vector<std::vector<TrajectoryRecord>> by_snapshot;
+  for (const TrajectoryRecord& r : records) {
+    size_t index = static_cast<size_t>(r.timestamp / kSecondsPerSnapshot);
+    if (index >= by_snapshot.size()) by_snapshot.resize(index + 1);
+    by_snapshot[index].push_back(r);
+  }
+  std::vector<TrajectoryRecord> shuffled;
+  for (size_t i = 0; i + 1 < by_snapshot.size(); i += 2) {
+    shuffled.insert(shuffled.end(), by_snapshot[i + 1].begin(),
+                    by_snapshot[i + 1].end());
+    shuffled.insert(shuffled.end(), by_snapshot[i].begin(),
+                    by_snapshot[i].end());
+  }
+  if (by_snapshot.size() % 2 == 1) {
+    shuffled.insert(shuffled.end(), by_snapshot.back().begin(),
+                    by_snapshot.back().end());
+  }
+  ASSERT_EQ(shuffled.size(), records.size());
+
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.allowed_lateness = kSecondsPerSnapshot;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : shuffled) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  ASSERT_TRUE(pipeline.Stop().ok());
+  EXPECT_EQ(CompanionsCsv(pipeline.Companions()), expected);
+  EXPECT_GT(pipeline.Stats().reorder_held_peak, 0);
+}
+
+TEST(ServicePipelineTest, RejectsNonFiniteRecords) {
+  ServicePipeline pipeline(PipelineOptions(Algorithm::kBuddy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  TrajectoryRecord bad;
+  bad.object = 1;
+  bad.timestamp = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(pipeline.Ingest(bad).ok());
+  bad.timestamp = 0.0;
+  bad.pos.x = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(pipeline.Ingest(bad).ok());
+  EXPECT_TRUE(pipeline.Stop().ok());
+  EXPECT_EQ(pipeline.Stats().records_invalid, 2);
+  EXPECT_EQ(pipeline.Stats().records_ingested, 0);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure: a producer that outruns a throttled consumer must see
+// each policy's contract hold with the queue depth never above capacity.
+
+TrajectoryRecord NumberedRecord(int i) {
+  TrajectoryRecord r;
+  r.object = static_cast<ObjectId>(i);
+  r.timestamp = static_cast<double>(i);
+  return r;
+}
+
+TEST(IngestQueueTest, BlockModeIsLosslessUnderOverload) {
+  IngestQueue queue(4, BackpressureMode::kBlock);
+  constexpr int kRecords = 200;
+  std::vector<double> consumed;
+  std::thread consumer([&] {
+    TrajectoryRecord r;
+    while (queue.Pop(&r)) {
+      consumed.push_back(r.timestamp);
+      // Throttle: the producer fills the queue and must block.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(queue.Push(NumberedRecord(i)).ok());
+  }
+  queue.Close();
+  consumer.join();
+
+  ASSERT_EQ(consumed.size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(consumed[i], static_cast<double>(i));  // FIFO, no loss
+  }
+  IngestQueueCounters counters = queue.Counters();
+  EXPECT_EQ(counters.pushed, kRecords);
+  EXPECT_EQ(counters.popped, kRecords);
+  EXPECT_EQ(counters.shed, 0);
+  EXPECT_EQ(counters.rejected, 0);
+  EXPECT_LE(counters.depth_peak, 4);
+}
+
+TEST(IngestQueueTest, ShedOldestKeepsNewestUnderOverload) {
+  IngestQueue queue(4, BackpressureMode::kShedOldest);
+  // No consumer at all: the stalled-pipeline worst case.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.Push(NumberedRecord(i)).ok());
+  }
+  EXPECT_EQ(queue.depth(), 4u);
+  queue.Close();
+  std::vector<double> drained;
+  TrajectoryRecord r;
+  while (queue.Pop(&r)) drained.push_back(r.timestamp);
+  // The *newest* four survive; everything older was shed in order.
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained, (std::vector<double>{96, 97, 98, 99}));
+  IngestQueueCounters counters = queue.Counters();
+  EXPECT_EQ(counters.pushed, 100);
+  EXPECT_EQ(counters.shed, 96);
+  EXPECT_EQ(counters.rejected, 0);
+  EXPECT_LE(counters.depth_peak, 4);
+}
+
+TEST(IngestQueueTest, RejectModeRefusesWhenFullAndRecovers) {
+  IngestQueue queue(4, BackpressureMode::kReject);
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    Status s = queue.Push(NumberedRecord(i));
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(rejected, 96);
+  // Draining makes room again: rejection is transient, not sticky.
+  TrajectoryRecord r;
+  ASSERT_TRUE(queue.Pop(&r));
+  EXPECT_TRUE(queue.Push(NumberedRecord(100)).ok());
+  IngestQueueCounters counters = queue.Counters();
+  EXPECT_EQ(counters.pushed, 5);
+  EXPECT_EQ(counters.rejected, 96);
+  queue.Close();
+}
+
+TEST(IngestQueueTest, PushAfterCloseFailsAndPopDrains) {
+  IngestQueue queue(8, BackpressureMode::kBlock);
+  ASSERT_TRUE(queue.Push(NumberedRecord(0)).ok());
+  ASSERT_TRUE(queue.Push(NumberedRecord(1)).ok());
+  queue.Close();
+  EXPECT_FALSE(queue.Push(NumberedRecord(2)).ok());
+  TrajectoryRecord r;
+  EXPECT_TRUE(queue.Pop(&r));
+  EXPECT_TRUE(queue.Pop(&r));
+  EXPECT_FALSE(queue.Pop(&r));  // closed and drained
+}
+
+/// The pipeline surfaces kReject backpressure to the caller as
+/// OutOfRange — the protocol layer turns that into an ERR the client can
+/// react to — while never letting the queue depth exceed capacity.
+TEST(ServicePipelineTest, RejectBackpressureReachesProducers) {
+  GroupDataset data = ChurnyStream(906);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.queue_capacity = 2;
+  opts.backpressure = BackpressureMode::kReject;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  int64_t rejections = 0;
+  for (const TrajectoryRecord& r : records) {
+    Status s = pipeline.Ingest(r);
+    if (!s.ok()) {
+      ASSERT_EQ(s.code(), StatusCode::kOutOfRange);
+      ++rejections;
+    }
+  }
+  ASSERT_TRUE(pipeline.Stop().ok());
+  ServiceStats stats = pipeline.Stats();
+  EXPECT_EQ(stats.queue.rejected, rejections);
+  EXPECT_LE(stats.queue.depth_peak, 2);
+  EXPECT_EQ(stats.records_ingested + rejections,
+            static_cast<int64_t>(records.size()));
+}
+
+}  // namespace
+}  // namespace tcomp

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/group_model.h"
+#include "data/trajectory_io.h"
+#include "eval/export.h"
+#include "service/pipeline.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/socket.h"
+
+namespace tcomp {
+namespace {
+
+// ---------------------------------------------------------------------
+// LineFramer: byte-stream framing with a hard line cap.
+
+TEST(LineFramerTest, SplitsLinesAcrossFeeds) {
+  LineFramer framer;
+  std::string line;
+  framer.Feed("FLU", 3);
+  EXPECT_EQ(framer.Next(&line), LineFramer::Result::kNeedMore);
+  EXPECT_TRUE(framer.HasPartial());
+  framer.Feed("SH\nQUERY stats\n", 15);
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kLine);
+  EXPECT_EQ(line, "FLUSH");
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kLine);
+  EXPECT_EQ(line, "QUERY stats");
+  EXPECT_EQ(framer.Next(&line), LineFramer::Result::kNeedMore);
+  EXPECT_FALSE(framer.HasPartial());
+}
+
+TEST(LineFramerTest, StripsCarriageReturn) {
+  LineFramer framer;
+  framer.Feed("SHUTDOWN\r\n", 10);
+  std::string line;
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kLine);
+  EXPECT_EQ(line, "SHUTDOWN");
+}
+
+TEST(LineFramerTest, OversizedLineIsDiscardedOnceAndFramingRecovers) {
+  LineFramer framer(16);
+  std::string big(100, 'x');
+  big += "\nFLUSH\n";
+  framer.Feed(big.data(), big.size());
+  std::string line;
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kOversize);
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kLine);
+  EXPECT_EQ(line, "FLUSH");
+}
+
+TEST(LineFramerTest, OversizedLineAcrossManyFeedsReportsOnce) {
+  LineFramer framer(16);
+  std::string chunk(32, 'y');
+  framer.Feed(chunk.data(), chunk.size());
+  std::string line;
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kOversize);
+  // The line keeps streaming in: stay quiet (one error per line) and keep
+  // memory bounded.
+  for (int i = 0; i < 1000; ++i) {
+    framer.Feed(chunk.data(), chunk.size());
+    EXPECT_EQ(framer.Next(&line), LineFramer::Result::kNeedMore);
+  }
+  framer.Feed("\nFLUSH\n", 7);
+  ASSERT_EQ(framer.Next(&line), LineFramer::Result::kLine);
+  EXPECT_EQ(line, "FLUSH");
+}
+
+TEST(LineFramerTest, MidLineEndOfStreamIsDetectable) {
+  LineFramer framer;
+  framer.Feed("INGEST 1 2", 10);  // peer vanished mid-line
+  std::string line;
+  EXPECT_EQ(framer.Next(&line), LineFramer::Result::kNeedMore);
+  EXPECT_TRUE(framer.HasPartial());
+}
+
+// ---------------------------------------------------------------------
+// ParseRequest: every malformed frame is an error, never a crash.
+
+TEST(ParseRequestTest, ParsesValidRequests) {
+  Request r;
+  ASSERT_TRUE(ParseRequest("INGEST 7 120.5 3.25 -4.5", &r).ok());
+  EXPECT_EQ(r.type, Request::Type::kIngest);
+  EXPECT_EQ(r.record.object, 7u);
+  EXPECT_EQ(r.record.timestamp, 120.5);
+  EXPECT_EQ(r.record.pos.x, 3.25);
+  EXPECT_EQ(r.record.pos.y, -4.5);
+
+  ASSERT_TRUE(ParseRequest("QUERY companions", &r).ok());
+  EXPECT_EQ(r.type, Request::Type::kQuery);
+  EXPECT_EQ(r.query, Request::QueryKind::kCompanions);
+  ASSERT_TRUE(ParseRequest("QUERY buddies", &r).ok());
+  EXPECT_EQ(r.query, Request::QueryKind::kBuddies);
+  ASSERT_TRUE(ParseRequest("FLUSH", &r).ok());
+  EXPECT_EQ(r.type, Request::Type::kFlush);
+  ASSERT_TRUE(ParseRequest("SHUTDOWN", &r).ok());
+  EXPECT_EQ(r.type, Request::Type::kShutdown);
+}
+
+TEST(ParseRequestTest, RejectsMalformedFrames) {
+  Request r;
+  // Truncated / overlong INGEST records.
+  EXPECT_FALSE(ParseRequest("INGEST", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 1 2.0 3.0", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 1 2.0 3.0 4.0 5.0", &r).ok());
+  // Non-numeric and non-finite fields.
+  EXPECT_FALSE(ParseRequest("INGEST x 2.0 3.0 4.0", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST -1 2.0 3.0 4.0", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 1 nan 3.0 4.0", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 1 2.0 inf 4.0", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 99999999999 2.0 3.0 4.0", &r).ok());
+  // Unknown verbs and queries, wrong arity.
+  EXPECT_FALSE(ParseRequest("", &r).ok());
+  EXPECT_FALSE(ParseRequest("   ", &r).ok());
+  EXPECT_FALSE(ParseRequest("BOGUS", &r).ok());
+  EXPECT_FALSE(ParseRequest("QUERY", &r).ok());
+  EXPECT_FALSE(ParseRequest("QUERY everything", &r).ok());
+  EXPECT_FALSE(ParseRequest("FLUSH now", &r).ok());
+  EXPECT_FALSE(ParseRequest("SHUTDOWN please", &r).ok());
+  EXPECT_FALSE(ParseRequest("ingest 1 2 3 4", &r).ok());  // case matters
+}
+
+TEST(ParseRequestTest, RejectsNonAsciiBytes) {
+  Request r;
+  // Invalid UTF-8 (lone continuation / overlong lead) and valid UTF-8
+  // multibyte are all equally non-protocol.
+  EXPECT_FALSE(ParseRequest("INGEST 1 2 3 \xff", &r).ok());
+  EXPECT_FALSE(ParseRequest("INGEST 1 2 3 \xc3\xa9", &r).ok());
+  EXPECT_FALSE(ParseRequest(std::string("FLUSH\0", 6), &r).ok());
+  EXPECT_FALSE(ParseRequest("QUERY \x1b[31mstats", &r).ok());
+}
+
+// ---------------------------------------------------------------------
+// ProtocolSession: request/response behaviour against a live pipeline.
+
+ServicePipelineOptions SmallPipelineOptions() {
+  ServicePipelineOptions opts;
+  opts.algorithm = Algorithm::kBuddy;
+  opts.params.cluster.epsilon = 18.0;
+  opts.params.cluster.mu = 2;
+  opts.params.size_threshold = 3;
+  opts.params.duration_threshold = 2;
+  opts.window.window_length = 60.0;
+  return opts;
+}
+
+/// Records for a tight 4-object group crossing three snapshots.
+std::vector<std::string> GroupIngestLines() {
+  std::vector<std::string> lines;
+  for (int snap = 0; snap < 3; ++snap) {
+    for (int obj = 0; obj < 4; ++obj) {
+      std::ostringstream line;
+      line << "INGEST " << obj << ' ' << snap * 60.0 << ' '
+           << 100.0 + snap * 25.0 + obj << ' ' << 200.0 + obj;
+      lines.push_back(line.str());
+    }
+  }
+  return lines;
+}
+
+TEST(ProtocolSessionTest, IngestFlushQueryRoundTrip) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ProtocolSession session(&pipeline);
+  bool shutdown = false;
+
+  for (const std::string& line : GroupIngestLines()) {
+    EXPECT_EQ(session.HandleLine(line, &shutdown), "OK\n");
+  }
+  EXPECT_EQ(session.HandleLine("FLUSH", &shutdown), "OK flushed\n");
+
+  std::string response = session.HandleLine("QUERY companions", &shutdown);
+  // Payload is the batch CSV byte for byte, wrapped in OK <n> ... `.`.
+  std::ostringstream expected;
+  expected << "OK " << pipeline.Companions().size() << "\n";
+  WriteCompanionsCsv(pipeline.Companions(), expected);
+  expected << ".\n";
+  EXPECT_EQ(response, expected.str());
+  EXPECT_GE(pipeline.Companions().size(), 1u);
+
+  std::string stats = session.HandleLine("QUERY stats", &shutdown);
+  EXPECT_EQ(stats.rfind("OK ", 0), 0u);
+  EXPECT_NE(stats.find("records_ingested=12\n"), std::string::npos);
+  EXPECT_NE(stats.find("snapshots=3\n"), std::string::npos);
+  EXPECT_TRUE(stats.size() >= 2 &&
+              stats.compare(stats.size() - 2, 2, ".\n") == 0);
+
+  std::string buddies = session.HandleLine("QUERY buddies", &shutdown);
+  EXPECT_EQ(buddies.rfind("OK ", 0), 0u);
+  EXPECT_NE(buddies.find("buddies_total="), std::string::npos);
+
+  EXPECT_FALSE(shutdown);
+  EXPECT_EQ(session.parse_errors(), 0);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(ProtocolSessionTest, MalformedLinesErrorButNeverWedgeTheSession) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ProtocolSession session(&pipeline);
+  bool shutdown = false;
+
+  const std::vector<std::string> malformed = {
+      "",                             // empty frame
+      "BOGUS 1 2 3",                  // unknown verb
+      "INGEST 1 2.0",                 // truncated record
+      "INGEST 1 nan 3.0 4.0",         // non-finite field
+      "INGEST \xff\xfe 2.0 3.0 4.0",  // non-UTF8 bytes
+      "QUERY everything",             // unknown query
+  };
+  for (const std::string& line : malformed) {
+    std::string response = session.HandleLine(line, &shutdown);
+    EXPECT_EQ(response.rfind("ERR ", 0), 0u) << "line: " << line;
+    EXPECT_EQ(response.find('\n'), response.size() - 1)
+        << "error replies are single-line";
+  }
+  EXPECT_EQ(session.parse_errors(),
+            static_cast<int64_t>(malformed.size()));
+  EXPECT_FALSE(shutdown);
+
+  // The session still serves correct requests afterwards.
+  EXPECT_EQ(session.HandleLine("INGEST 1 0.0 5.0 5.0", &shutdown), "OK\n");
+  EXPECT_EQ(session.HandleLine("FLUSH", &shutdown), "OK flushed\n");
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(ProtocolSessionTest, OversizeAndShutdownHandling) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ProtocolSession session(&pipeline);
+  bool shutdown = false;
+
+  std::string oversize = session.OversizeResponse();
+  EXPECT_EQ(oversize.rfind("ERR ", 0), 0u);
+  EXPECT_EQ(session.parse_errors(), 1);
+
+  std::string response = session.HandleLine("SHUTDOWN", &shutdown);
+  EXPECT_EQ(response, "OK shutting-down\n");
+  EXPECT_TRUE(shutdown);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+// ---------------------------------------------------------------------
+// CompanionServer: the same protocol over a real loopback socket, with
+// multi-client sessions, oversized wire frames, and mid-line disconnects.
+
+class LineClient {
+ public:
+  void Connect(uint16_t port) {
+    ASSERT_TRUE(StreamSocket::Connect(port, 2000, &sock_).ok());
+  }
+  void Send(const std::string& data) {
+    ASSERT_TRUE(sock_.WriteAll(data, 2000).ok());
+  }
+  std::string ReadLine() {
+    std::string line;
+    for (;;) {
+      LineFramer::Result r = framer_.Next(&line);
+      if (r == LineFramer::Result::kLine) return line;
+      EXPECT_NE(r, LineFramer::Result::kOversize);
+      char buf[4096];
+      size_t n = 0;
+      Status s = sock_.Read(buf, sizeof(buf), 5000, &n);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      if (!s.ok() || n == 0) return line;
+      framer_.Feed(buf, n);
+    }
+  }
+  void Close() { sock_.Close(); }
+
+ private:
+  StreamSocket sock_;
+  LineFramer framer_{1 << 20};
+};
+
+TEST(CompanionServerTest, ServesMultipleClientsAndCountsBadFrames) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ServerOptions sopts;
+  sopts.port = 0;  // ephemeral
+  CompanionServer server(&pipeline, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Client 1 ingests a well-formed stream plus an oversized line.
+  LineClient feeder;
+  feeder.Connect(server.port());
+  for (const std::string& line : GroupIngestLines()) {
+    feeder.Send(line + "\n");
+    EXPECT_EQ(feeder.ReadLine(), "OK");
+  }
+  std::string big = "INGEST " + std::string(2 * kMaxRequestLineBytes, '7');
+  feeder.Send(big + "\n");
+  EXPECT_EQ(feeder.ReadLine().rfind("ERR ", 0), 0u);
+  feeder.Send("FLUSH\n");
+  EXPECT_EQ(feeder.ReadLine(), "OK flushed");
+
+  // Client 2 queries concurrently with client 1's open session.
+  LineClient querier;
+  querier.Connect(server.port());
+  querier.Send("QUERY stats\n");
+  std::string header = querier.ReadLine();
+  EXPECT_EQ(header.rfind("OK ", 0), 0u);
+  bool saw_ingested = false;
+  for (;;) {
+    std::string line = querier.ReadLine();
+    if (line == "." || line.empty()) break;
+    if (line == "records_ingested=12") saw_ingested = true;
+  }
+  EXPECT_TRUE(saw_ingested);
+
+  // Client 3 disconnects mid-line; the server must account for it and
+  // keep serving everyone else.
+  LineClient rude;
+  rude.Connect(server.port());
+  rude.Send("INGEST 3 180.0 1");  // no newline
+  rude.Close();
+  // Wait for the rude session to be reaped before shutting down, so the
+  // mid-line accounting below is not racing the stop flag.
+  for (int i = 0; i < 100 && server.Counters().sessions_closed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  querier.Send("SHUTDOWN\n");
+  EXPECT_EQ(querier.ReadLine(), "OK shutting-down");
+  server.Wait();
+  EXPECT_TRUE(pipeline.Stop().ok());
+
+  ServerCounters counters = server.Counters();
+  EXPECT_EQ(counters.sessions_opened, 3);
+  EXPECT_EQ(counters.sessions_closed, 3);
+  EXPECT_EQ(counters.parse_errors, 1);  // the oversized frame
+  EXPECT_EQ(counters.midline_disconnects, 1);
+}
+
+TEST(CompanionServerTest, StopsViaRequestStopWithoutClients) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ServerOptions sopts;
+  sopts.port = 0;
+  CompanionServer server(&pipeline, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  server.RequestStop();
+  server.Wait();
+  EXPECT_TRUE(pipeline.Stop().ok());
+  EXPECT_EQ(server.Counters().sessions_opened, 0);
+}
+
+}  // namespace
+}  // namespace tcomp

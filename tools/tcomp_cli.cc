@@ -14,11 +14,14 @@
 //   tcomp discover --csv d2_rest.csv --algo bu ... --load-state s.ckpt
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/checkpoint.h"
 #include "core/discoverer.h"
@@ -29,6 +32,11 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "eval/tuning.h"
+#include "service/lifecycle.h"
+#include "service/pipeline.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/socket.h"
 #include "stream/inactive_period.h"
 #include "stream/sliding_window.h"
 #include "util/flags.h"
@@ -50,8 +58,40 @@ int Usage() {
       "      [--inactive K] [--truth truth.txt] [--timeline]\n"
       "      [--out-json FILE] [--out-csv FILE]\n"
       "      [--save-state FILE] [--load-state FILE] [--quiet]\n"
-      "  tcomp suggest --csv records.csv [--k K] [--window-seconds W]\n");
+      "  tcomp suggest --csv records.csv [--k K] [--window-seconds W]\n"
+      "  tcomp serve [--port P] [--port-file FILE] [--algo ci|sc|bu]\n"
+      "      --epsilon E --mu M --min-size S --min-duration T [--threads N]\n"
+      "      [--window-seconds W | --window-objects N] [--inactive K]\n"
+      "      [--queue-capacity C] [--backpressure block|shed|reject]\n"
+      "      [--lateness SECONDS] [--checkpoint FILE]\n"
+      "      [--checkpoint-every SNAPSHOTS] [--read-timeout-ms MS]\n"
+      "  tcomp feed --csv records.csv --port P [--rate RECORDS_PER_SEC]\n"
+      "      [--flush] [--query companions|stats|buddies] [--out FILE]\n"
+      "      [--shutdown] [--quiet]\n");
   return 2;
+}
+
+/// Strict flag validation: a flag the subcommand does not understand is
+/// reported by name and fails the run — identically for every subcommand
+/// (a typo like --epsilom must never silently run with defaults).
+bool RejectUnknownFlags(const char* command, const FlagParser& flags,
+                        std::initializer_list<const char*> allowed) {
+  bool ok = true;
+  for (const std::string& name : flags.names()) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (name == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", command,
+                   name.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 Status WriteTruth(const std::string& path,
@@ -86,6 +126,11 @@ Status ReadTruth(const std::string& path, std::vector<ObjectSet>* truth) {
 }
 
 int Generate(const FlagParser& flags) {
+  if (!RejectUnknownFlags("generate", flags,
+                          {"dataset", "out", "truth", "snapshots", "seed",
+                           "seconds-per-snapshot"})) {
+    return Usage();
+  }
   std::string which = flags.GetString("dataset", "d3");
   std::string out_path = flags.GetString("out", "");
   if (out_path.empty()) {
@@ -149,6 +194,14 @@ int Generate(const FlagParser& flags) {
 }
 
 int Discover(const FlagParser& flags) {
+  if (!RejectUnknownFlags(
+          "discover", flags,
+          {"csv", "algo", "epsilon", "mu", "min-size", "min-duration",
+           "threads", "window-seconds", "window-objects", "inactive",
+           "truth", "timeline", "out-json", "out-csv", "save-state",
+           "load-state", "quiet"})) {
+    return Usage();
+  }
   std::string csv = flags.GetString("csv", "");
   if (csv.empty()) {
     std::fprintf(stderr, "discover: --csv is required\n");
@@ -330,6 +383,10 @@ int Discover(const FlagParser& flags) {
 }
 
 int Suggest(const FlagParser& flags) {
+  if (!RejectUnknownFlags("suggest", flags,
+                          {"csv", "k", "window-seconds"})) {
+    return Usage();
+  }
   std::string csv = flags.GetString("csv", "");
   if (csv.empty()) {
     std::fprintf(stderr, "suggest: --csv is required\n");
@@ -359,6 +416,308 @@ int Suggest(const FlagParser& flags) {
   return 0;
 }
 
+/// Shared by serve: parse the discovery/window options exactly as
+/// Discover does, so the daemon and batch paths agree flag for flag.
+bool ParseDiscoveryOptions(const char* command, const FlagParser& flags,
+                           ServicePipelineOptions* opts) {
+  opts->params.cluster.epsilon = flags.GetDouble("epsilon", 20.0);
+  opts->params.cluster.mu = flags.GetInt("mu", 4);
+  opts->params.size_threshold = flags.GetInt("min-size", 10);
+  opts->params.duration_threshold = flags.GetDouble("min-duration", 10.0);
+  int threads = flags.GetInt("threads", 1);
+  if (threads < 1) {
+    std::fprintf(stderr, "%s: --threads must be >= 1\n", command);
+    return false;
+  }
+  opts->params.cluster.threads = threads;
+
+  std::string algo_name = flags.GetString("algo", "bu");
+  if (algo_name == "ci") {
+    opts->algorithm = Algorithm::kClusteringIntersection;
+  } else if (algo_name == "sc") {
+    opts->algorithm = Algorithm::kSmartClosed;
+  } else if (algo_name == "bu") {
+    opts->algorithm = Algorithm::kBuddy;
+  } else {
+    std::fprintf(stderr, "%s: unknown --algo %s\n", command,
+                 algo_name.c_str());
+    return false;
+  }
+
+  if (flags.Has("window-objects")) {
+    opts->window.mode = WindowMode::kEqualWidth;
+    opts->window.min_objects =
+        static_cast<size_t>(flags.GetInt("window-objects", 100));
+  } else {
+    opts->window.mode = WindowMode::kEqualLength;
+    opts->window.window_length = flags.GetDouble("window-seconds", 60.0);
+  }
+  opts->inactive_fill = flags.GetInt("inactive", 0);
+  return true;
+}
+
+int Serve(const FlagParser& flags) {
+  if (!RejectUnknownFlags(
+          "serve", flags,
+          {"port", "port-file", "algo", "epsilon", "mu", "min-size",
+           "min-duration", "threads", "window-seconds", "window-objects",
+           "inactive", "queue-capacity", "backpressure", "lateness",
+           "checkpoint", "checkpoint-every", "read-timeout-ms"})) {
+    return Usage();
+  }
+  ServicePipelineOptions popts;
+  if (!ParseDiscoveryOptions("serve", flags, &popts)) return Usage();
+
+  int capacity = flags.GetInt("queue-capacity", 4096);
+  if (capacity < 1) {
+    std::fprintf(stderr, "serve: --queue-capacity must be >= 1\n");
+    return Usage();
+  }
+  popts.queue_capacity = static_cast<size_t>(capacity);
+  Status ms = ParseBackpressureMode(
+      flags.GetString("backpressure", "block"), &popts.backpressure);
+  if (!ms.ok()) {
+    std::fprintf(stderr, "serve: %s\n", ms.ToString().c_str());
+    return Usage();
+  }
+  popts.allowed_lateness = flags.GetDouble("lateness", 0.0);
+  popts.checkpoint_path = flags.GetString("checkpoint", "");
+  popts.checkpoint_every = flags.GetInt64("checkpoint-every", 0);
+
+  ServicePipeline pipeline(popts);
+  Status ps = pipeline.Start();
+  if (!ps.ok()) {
+    std::fprintf(stderr, "serve: %s\n", ps.ToString().c_str());
+    return 1;
+  }
+  if (pipeline.Stats().resumed) {
+    std::printf("serve: resumed from %s (%lld snapshots processed)\n",
+                popts.checkpoint_path.c_str(),
+                static_cast<long long>(
+                    pipeline.Stats().discovery.snapshots));
+  }
+
+  ServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  sopts.read_timeout_ms = flags.GetInt("read-timeout-ms", 60000);
+  CompanionServer server(&pipeline, sopts);
+  Status ss = server.Start();
+  if (!ss.ok()) {
+    std::fprintf(stderr, "serve: %s\n", ss.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serve: listening on 127.0.0.1:%u (algo %s, backpressure %s, "
+      "queue %d)\n",
+      server.port(), AlgorithmName(popts.algorithm),
+      BackpressureModeName(popts.backpressure), capacity);
+  std::fflush(stdout);
+  std::string port_file = flags.GetString("port-file", "");
+  if (!port_file.empty()) {
+    // Written after listen succeeds: a script can poll for this file and
+    // then connect, whatever port the kernel picked.
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  InstallShutdownSignalHandlers();
+  Status run = RunServiceUntilShutdown(&server, &pipeline);
+  if (ShutdownSignal() != 0) {
+    std::printf("serve: caught signal %d, shut down gracefully\n",
+                ShutdownSignal());
+  }
+  ServiceStats stats = pipeline.Stats();
+  ServerCounters net = server.Counters();
+  std::printf(
+      "serve: processed %lld records into %lld snapshots; %lld distinct "
+      "companions; %lld checkpoints; %lld sessions (%lld protocol "
+      "errors)\n",
+      static_cast<long long>(stats.records_ingested),
+      static_cast<long long>(stats.discovery.snapshots),
+      static_cast<long long>(stats.companions_distinct),
+      static_cast<long long>(stats.checkpoints_written),
+      static_cast<long long>(net.sessions_opened),
+      static_cast<long long>(net.parse_errors));
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve: %s\n", run.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Client-side line transport for feed: framing over a StreamSocket with
+/// a generous response-line cap (companion rows can be long).
+class LineClient {
+ public:
+  Status Connect(uint16_t port) {
+    return StreamSocket::Connect(port, /*timeout_ms=*/5000, &sock_);
+  }
+  Status Send(const std::string& data) {
+    return sock_.WriteAll(data, /*timeout_ms=*/30000);
+  }
+  Status ReadLine(std::string* line) {
+    for (;;) {
+      LineFramer::Result r = framer_.Next(line);
+      if (r == LineFramer::Result::kLine) return Status::OK();
+      if (r == LineFramer::Result::kOversize) {
+        return Status::Corruption("oversized response line");
+      }
+      char buf[4096];
+      size_t n = 0;
+      TCOMP_RETURN_IF_ERROR(
+          sock_.Read(buf, sizeof(buf), /*timeout_ms=*/30000, &n));
+      if (n == 0) return Status::IoError("server closed the connection");
+      framer_.Feed(buf, n);
+    }
+  }
+
+ private:
+  StreamSocket sock_;
+  LineFramer framer_{1 << 20};
+};
+
+int Feed(const FlagParser& flags) {
+  if (!RejectUnknownFlags("feed", flags,
+                          {"csv", "port", "rate", "flush", "query", "out",
+                           "shutdown", "quiet"})) {
+    return Usage();
+  }
+  std::string csv = flags.GetString("csv", "");
+  std::string query = flags.GetString("query", "");
+  bool want_flush = flags.GetBool("flush", false);
+  bool want_shutdown = flags.GetBool("shutdown", false);
+  if (csv.empty() && query.empty() && !want_flush && !want_shutdown) {
+    std::fprintf(stderr,
+                 "feed: nothing to do (need --csv, --query, --flush, "
+                 "or --shutdown)\n");
+    return Usage();
+  }
+  int port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "feed: --port is required\n");
+    return Usage();
+  }
+  double rate = flags.GetDouble("rate", 0.0);
+  bool quiet = flags.GetBool("quiet", false);
+
+  std::vector<TrajectoryRecord> records;
+  if (!csv.empty()) {
+    Status rs = ReadRecordCsv(csv, &records);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "feed: %s\n", rs.ToString().c_str());
+      return 1;
+    }
+  }
+
+  LineClient client;
+  Status cs = client.Connect(static_cast<uint16_t>(port));
+  if (!cs.ok()) {
+    std::fprintf(stderr, "feed: %s\n", cs.ToString().c_str());
+    return 1;
+  }
+
+  auto transact = [&](const std::string& request,
+                      std::string* reply) -> Status {
+    TCOMP_RETURN_IF_ERROR(client.Send(request));
+    return client.ReadLine(reply);
+  };
+
+  int64_t sent = 0;
+  int64_t errors = 0;
+  char line[256];
+  for (const TrajectoryRecord& r : records) {
+    // %.17g round-trips doubles exactly, so the daemon sees bit-identical
+    // values to the batch path reading the same CSV.
+    std::snprintf(line, sizeof(line), "INGEST %u %.17g %.17g %.17g\n",
+                  r.object, r.timestamp, r.pos.x, r.pos.y);
+    std::string reply;
+    Status ts = transact(line, &reply);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "feed: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+    ++sent;
+    if (reply.rfind("OK", 0) != 0) {
+      ++errors;
+      if (!quiet) std::fprintf(stderr, "feed: %s\n", reply.c_str());
+    }
+    if (rate > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(1.0 / rate));
+    }
+  }
+
+  if (want_flush || !query.empty()) {
+    std::string reply;
+    Status fs = transact("FLUSH\n", &reply);
+    if (!fs.ok() || reply.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "feed: flush failed: %s\n",
+                   fs.ok() ? reply.c_str() : fs.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!query.empty()) {
+    std::string reply;
+    Status qs = transact("QUERY " + query + "\n", &reply);
+    if (!qs.ok()) {
+      std::fprintf(stderr, "feed: %s\n", qs.ToString().c_str());
+      return 1;
+    }
+    if (reply.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "feed: %s\n", reply.c_str());
+      return 1;
+    }
+    std::ostringstream payload;
+    for (;;) {
+      std::string body;
+      Status bs = client.ReadLine(&body);
+      if (!bs.ok()) {
+        std::fprintf(stderr, "feed: %s\n", bs.ToString().c_str());
+        return 1;
+      }
+      if (body == ".") break;
+      payload << body << "\n";
+    }
+    std::string out_path = flags.GetString("out", "");
+    if (out_path.empty()) {
+      std::fputs(payload.str().c_str(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      out << payload.str();
+      if (!out) {
+        std::fprintf(stderr, "feed: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      if (!quiet) {
+        std::printf("feed: %s written to %s\n", query.c_str(),
+                    out_path.c_str());
+      }
+    }
+  }
+
+  if (want_shutdown) {
+    std::string reply;
+    Status ds = transact("SHUTDOWN\n", &reply);
+    if (!ds.ok() || reply.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "feed: shutdown failed: %s\n",
+                   ds.ok() ? reply.c_str() : ds.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!quiet && !records.empty()) {
+    std::printf("feed: sent %lld records (%lld rejected)\n",
+                static_cast<long long>(sent),
+                static_cast<long long>(errors));
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -371,6 +730,8 @@ int Main(int argc, const char* const* argv) {
   if (command == "generate") return Generate(flags);
   if (command == "discover") return Discover(flags);
   if (command == "suggest") return Suggest(flags);
+  if (command == "serve") return Serve(flags);
+  if (command == "feed") return Feed(flags);
   if (command == "help" || command == "--help") {
     Usage();
     return 0;
