@@ -132,11 +132,26 @@ void ServicePipeline::WorkerLoop() {
 
 Status ServicePipeline::Flush() {
   std::unique_lock<std::mutex> lock(state_mu_);
-  if (!started_) return Status::InvalidArgument("pipeline is not running");
+  if (!started_ || stopped_) {
+    return Status::InvalidArgument("pipeline is not running");
+  }
   int64_t target = records_ingested_;
+  // Records shed under kShedOldest leave the queue without ever reaching
+  // the worker, so they count toward the barrier; waiting on processed
+  // alone would never terminate once anything was shed. The queue is
+  // FIFO for both pops and sheds, so processed + shed >= target means
+  // every record admitted before this call has left the queue one way or
+  // the other. (Queue-empty always satisfies the condition, and the
+  // worker signals after every pop, so the wait cannot miss its wakeup.)
   progress_cv_.wait(lock, [&] {
-    return records_processed_ >= target || stopped_;
+    return stopped_ ||
+           records_processed_ + queue_.Counters().shed >= target;
   });
+  if (stopped_) {
+    // A concurrent Stop() already drained the tail and wrote the final
+    // checkpoint; re-running the drain here would process it twice.
+    return Status::InvalidArgument("pipeline is not running");
+  }
   DrainReorderBuffer(/*everything=*/true);
   window_.Flush(&ready_);
   ProcessReady();

@@ -1,6 +1,8 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "service/protocol.h"
@@ -34,12 +36,12 @@ void CompanionServer::Wait() {
   if (!started_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
   // The accept loop has exited, so sessions_ can no longer grow.
-  std::vector<std::thread> sessions;
+  std::vector<std::unique_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);
     sessions.swap(sessions_);
   }
-  for (std::thread& t : sessions) t.join();
+  for (auto& session : sessions) session->thread.join();
 }
 
 ServerCounters CompanionServer::Counters() const {
@@ -47,24 +49,64 @@ ServerCounters CompanionServer::Counters() const {
   return counters_;
 }
 
+size_t CompanionServer::SessionHandles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void CompanionServer::ReapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& session : sessions_) {
+      if (session->done.load()) finished.push_back(std::move(session));
+    }
+    sessions_.erase(
+        std::remove(sessions_.begin(), sessions_.end(), nullptr),
+        sessions_.end());
+  }
+  // `done` was each thread's final store, so these joins return at once.
+  for (auto& session : finished) session->thread.join();
+}
+
 void CompanionServer::AcceptLoop() {
+  int backoff_ms = 0;
   while (!stop_.load()) {
+    ReapFinishedSessions();
     StreamSocket accepted;
     Status s = listener_.Accept(options_.accept_poll_ms, &accepted);
+    if (s.code() == StatusCode::kOutOfRange) {
+      // Transient resource exhaustion (EMFILE et al.): keep the listener
+      // alive and retry with backoff — reaping above frees fds as
+      // sessions finish. Exiting here would leave a daemon that can never
+      // accept again.
+      backoff_ms = std::min(backoff_ms == 0 ? 10 : backoff_ms * 2, 1000);
+      TCOMP_LOG_WARNING << "accept (retrying in " << backoff_ms
+                        << "ms): " << s.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      continue;
+    }
     if (!s.ok()) {
-      TCOMP_LOG_WARNING << "accept: " << s.ToString();
+      // The listener itself is broken. A break alone would strand the
+      // daemon alive-but-unreachable; request a full stop so
+      // RunServiceUntilShutdown proceeds to drain and checkpoint.
+      TCOMP_LOG_ERROR << "accept failed, stopping server: " << s.ToString();
+      RequestStop();
       break;
     }
+    backoff_ms = 0;
     if (!accepted.valid()) continue;  // poll timeout; re-check stop flag
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.sessions_opened;
-    sessions_.emplace_back(&CompanionServer::ServeConnection, this,
-                           std::move(accepted));
+    sessions_.emplace_back(new Session);
+    Session* session = sessions_.back().get();
+    session->thread = std::thread(&CompanionServer::ServeConnection, this,
+                                  session, std::move(accepted));
   }
   listener_.Close();
 }
 
-void CompanionServer::ServeConnection(StreamSocket sock) {
+void CompanionServer::ServeConnection(Session* self, StreamSocket sock) {
   LineFramer framer;
   ProtocolSession session(pipeline_);
   char buf[4096];
@@ -118,11 +160,15 @@ void CompanionServer::ServeConnection(StreamSocket sock) {
   }
   sock.Close();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.sessions_closed;
-  counters_.parse_errors += session.parse_errors();
-  if (midline_eof) ++counters_.midline_disconnects;
-  if (timed_out) ++counters_.read_timeouts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sessions_closed;
+    counters_.parse_errors += session.parse_errors();
+    if (midline_eof) ++counters_.midline_disconnects;
+    if (timed_out) ++counters_.read_timeouts;
+  }
+  // Last store: after this the accept loop may join and destroy *self.
+  self->done.store(true);
 }
 
 }  // namespace tcomp

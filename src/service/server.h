@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -64,9 +65,25 @@ class CompanionServer {
 
   ServerCounters Counters() const;
 
+  /// Session thread handles not yet reaped (includes live sessions).
+  /// Exposed so tests can assert finished sessions are actually reaped.
+  size_t SessionHandles() const;
+
  private:
+  /// One connection's thread plus its completion flag. Heap-allocated so
+  /// the handle stays put while sessions_ grows and shrinks around it;
+  /// `done` is the thread's last store, after which the accept loop may
+  /// join and destroy it.
+  struct Session {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
-  void ServeConnection(StreamSocket sock);
+  void ServeConnection(Session* self, StreamSocket sock);
+  /// Joins and discards every session whose thread has finished, so a
+  /// long-running daemon does not accumulate dead thread handles.
+  void ReapFinishedSessions();
 
   ServicePipeline* pipeline_;
   const ServerOptions options_;
@@ -77,7 +94,7 @@ class CompanionServer {
   std::thread accept_thread_;
 
   mutable std::mutex mu_;             // guards sessions_ and counters_
-  std::vector<std::thread> sessions_;
+  std::vector<std::unique_ptr<Session>> sessions_;
   ServerCounters counters_;
 };
 

@@ -178,6 +178,17 @@ Status ListenSocket::Accept(int timeout_ms, StreamSocket* accepted) {
     int fd = accept(fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      // The pending connection died before we got to it: nothing to
+      // serve, nothing wrong with the listener. Report it like a poll
+      // timeout so the caller simply re-polls.
+      if (errno == ECONNABORTED || errno == EPROTO) return Status::OK();
+      // Resource exhaustion is transient — sessions closing will free
+      // fds/buffers — and must not kill the listener. OutOfRange is the
+      // transport's "retry later" code (see socket.h).
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        return Status::OutOfRange("accept: " + std::string(strerror(errno)));
+      }
       return Errno("accept");
     }
     int one = 1;

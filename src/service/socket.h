@@ -61,9 +61,13 @@ class ListenSocket {
   uint16_t port() const { return port_; }
   void Close();
 
-  /// Waits up to timeout_ms for a connection. On timeout returns OK with
-  /// *accepted invalid — the caller's accept loop can poll its stop flag
-  /// between waits without treating that as an error.
+  /// Waits up to timeout_ms for a connection. On timeout — and when the
+  /// pending connection was aborted by the peer before we accepted it —
+  /// returns OK with *accepted invalid, so the caller's accept loop can
+  /// poll its stop flag between waits without treating that as an error.
+  /// Transient resource exhaustion (EMFILE and friends) is reported as
+  /// OutOfRange: the listener is still healthy, retry after backing off.
+  /// Anything else (IoError) means the listener itself is broken.
   Status Accept(int timeout_ms, StreamSocket* accepted);
 
  private:

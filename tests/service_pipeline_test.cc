@@ -362,6 +362,72 @@ TEST(IngestQueueTest, PushAfterCloseFailsAndPopDrains) {
   EXPECT_FALSE(queue.Pop(&r));  // closed and drained
 }
 
+/// Flush must terminate under kShedOldest even though shed records are
+/// never processed: the barrier counts a record as settled when it leaves
+/// the queue, whether the worker popped it or the policy dropped it.
+/// (Regression: waiting on processed-count alone deadlocked forever after
+/// the first shed, wedging protocol FLUSH and SIGTERM shutdown.)
+TEST(ServicePipelineTest, FlushCompletesUnderShedOverload) {
+  GroupDataset data = ChurnyStream(907);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  // Capacity 1 with a full-speed feed: every snapshot the worker clusters
+  // (80 objects, 24 closures) the producer floods the queue and sheds.
+  opts.queue_capacity = 1;
+  opts.backpressure = BackpressureMode::kShedOldest;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());  // shed mode always admits
+  }
+  ASSERT_TRUE(pipeline.Flush().ok());
+  ServiceStats stats = pipeline.Stats();
+  EXPECT_GT(stats.queue.shed, 0);
+  // The barrier implies the queue fully drained: everything pushed was
+  // either popped or shed.
+  EXPECT_EQ(stats.queue.pushed, stats.queue.popped + stats.queue.shed);
+  EXPECT_EQ(stats.records_ingested, static_cast<int64_t>(records.size()));
+  ASSERT_TRUE(pipeline.Stop().ok());
+}
+
+/// After Stop(), Flush reports not-running instead of re-draining the
+/// tail that Stop already flushed and checkpointed.
+TEST(ServicePipelineTest, FlushAfterStopIsRejected) {
+  ServicePipeline pipeline(PipelineOptions(Algorithm::kBuddy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Ingest(NumberedRecord(0)).ok());
+  ASSERT_TRUE(pipeline.Stop().ok());
+  Status s = pipeline.Flush();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+/// A Flush racing a concurrent Stop must always return — ok if it beat
+/// the stop, not-running if the stop won — never hang the caller (a
+/// wedged session thread would in turn wedge server Wait() at shutdown).
+TEST(ServicePipelineTest, FlushRacingStopTerminates) {
+  GroupDataset data = ChurnyStream(908);
+  std::vector<TrajectoryRecord> records =
+      StreamToRecords(data.stream, kSecondsPerSnapshot);
+  ServicePipeline pipeline(PipelineOptions(Algorithm::kBuddy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  std::atomic<bool> flusher_exited{false};
+  std::thread flusher([&] {
+    while (pipeline.Flush().ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    flusher_exited.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(pipeline.Stop().ok());
+  flusher.join();
+  EXPECT_TRUE(flusher_exited.load());
+}
+
 /// The pipeline surfaces kReject backpressure to the caller as
 /// OutOfRange — the protocol layer turns that into an ERR the client can
 /// react to — while never letting the queue depth exceed capacity.

@@ -338,6 +338,40 @@ TEST(CompanionServerTest, ServesMultipleClientsAndCountsBadFrames) {
   EXPECT_EQ(counters.midline_disconnects, 1);
 }
 
+/// A long-running daemon must not accumulate dead session threads: once
+/// a client disconnects, the accept loop joins and discards its handle
+/// while the server keeps serving.
+TEST(CompanionServerTest, FinishedSessionsAreReapedWhileRunning) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ServerOptions sopts;
+  sopts.port = 0;
+  CompanionServer server(&pipeline, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 5;
+  for (int i = 0; i < kClients; ++i) {
+    LineClient client;
+    client.Connect(server.port());
+    client.Send("FLUSH\n");
+    EXPECT_EQ(client.ReadLine(), "OK flushed");
+    client.Close();
+  }
+  // The accept loop reaps on every poll iteration; all five handles must
+  // disappear without any shutdown being requested.
+  for (int i = 0; i < 250 && server.SessionHandles() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.SessionHandles(), 0u);
+  ServerCounters counters = server.Counters();
+  EXPECT_EQ(counters.sessions_opened, kClients);
+  EXPECT_EQ(counters.sessions_closed, kClients);
+
+  server.RequestStop();
+  server.Wait();
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
 TEST(CompanionServerTest, StopsViaRequestStopWithoutClients) {
   ServicePipeline pipeline(SmallPipelineOptions());
   ASSERT_TRUE(pipeline.Start().ok());
