@@ -298,6 +298,7 @@ Status BuddyDiscoverer::SaveState(std::ostream& out) const {
   // Index entries, id-sorted for a deterministic file.
   std::vector<BuddyId> ids;
   ids.reserve(index_.entries().size());
+  // tcomp-lint: allow(unordered-iter): only collects keys; sorted below
   for (const auto& [id, members] : index_.entries()) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   out << "index " << ids.size() << '\n';

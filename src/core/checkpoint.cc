@@ -73,11 +73,13 @@ Status SaveDiscovererToFile(const CompanionDiscoverer& discoverer,
     }
   }
   if (!s.ok()) {
-    std::remove(tmp.c_str());
+    // Best-effort cleanup: the write failure is the error worth reporting;
+    // a stale .tmp is harmless and overwritten by the next save.
+    (void)std::remove(tmp.c_str());
     return s;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+    (void)std::remove(tmp.c_str());  // best-effort, rename is the error
     return Status::IoError("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();

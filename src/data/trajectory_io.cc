@@ -18,10 +18,28 @@ std::vector<std::string> SplitCsv(const std::string& line) {
   return fields;
 }
 
+/// Strict full-field parse: the whole field (modulo surrounding
+/// whitespace, so "\r"-terminated Windows lines still load) must be
+/// numeric. A prefix parse ("12abc" → 12) would silently corrupt a
+/// dataset instead of failing the load.
 bool ParseDouble(const std::string& s, double* out) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return false;
+  size_t end_idx = s.find_last_not_of(" \t\r");
   char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  return end != s.c_str() && end != nullptr;
+  *out = std::strtod(s.c_str() + begin, &end);
+  return end == s.c_str() + end_idx + 1;
+}
+
+/// A getline loop ends on EOF *or* on a hard read error; only the former
+/// is a complete file. Treating badbit as EOF silently truncates the
+/// dataset and reports OK — the exact failure the Status discipline
+/// exists to prevent.
+Status CheckStreamEnd(const std::istream& in, const std::string& path) {
+  if (in.bad()) {
+    return Status::IoError("read error before end of " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -50,7 +68,7 @@ Status ReadRecordCsv(const std::string& path,
     records->push_back(TrajectoryRecord{
         static_cast<ObjectId>(oid), ts, Point{x, y}});
   }
-  return Status::OK();
+  return CheckStreamEnd(in, path);
 }
 
 Status WriteRecordCsv(const std::string& path,
@@ -94,7 +112,7 @@ Status ReadGeoLifePlt(const std::string& path, ObjectId object,
     records->push_back(
         GpsRecord{object, days * 86400.0, LatLon{lat, lon}});
   }
-  return Status::OK();
+  return CheckStreamEnd(in, path);
 }
 
 namespace {
@@ -150,7 +168,7 @@ Status ReadTDriveTxt(const std::string& path,
     records->push_back(GpsRecord{static_cast<ObjectId>(id), ts,
                                  LatLon{lat, lon}});
   }
-  return Status::OK();
+  return CheckStreamEnd(in, path);
 }
 
 std::vector<TrajectoryRecord> ProjectGpsRecords(

@@ -48,6 +48,7 @@ Clustering NetworkDbscan(const Snapshot& snapshot, const RoadGraph& graph,
     for (const auto& [node, d] : graph.NodesWithin(pos[i], eps)) {
       node_dist[node] = d;
     }
+    // tcomp-lint: allow(unordered-iter): neighbors[i] is SortUnique'd below
     for (const auto& [node, d] : node_dist) {
       for (EdgeId eid : graph.EdgesAt(node)) {
         auto it = by_edge.find(eid);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -98,7 +99,7 @@ void CompanionServer::AcceptLoop() {
     if (!accepted.valid()) continue;  // poll timeout; re-check stop flag
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.sessions_opened;
-    sessions_.emplace_back(new Session);
+    sessions_.push_back(std::make_unique<Session>());
     Session* session = sessions_.back().get();
     session->thread = std::thread(&CompanionServer::ServeConnection, this,
                                   session, std::move(accepted));

@@ -21,6 +21,7 @@ void SlidingWindowSnapshotter::EmitWindow(std::vector<Snapshot>* out) {
   if (window_.empty()) return;
   std::vector<ObjectPosition> positions;
   positions.reserve(window_.size());
+  // tcomp-lint: allow(unordered-iter): Snapshot's ctor sorts by object id
   for (const auto& [oid, accum] : window_) {
     positions.push_back(ObjectPosition{
         oid, accum.sum / static_cast<double>(accum.count)});

@@ -1,8 +1,61 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace tcomp {
+namespace {
+
+/// Trims leading/trailing ASCII whitespace (strtol skips leading space
+/// itself, but trailing "\r" from Windows-edited scripts must not make a
+/// value malformed).
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseInt64Text(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ParseDoubleText(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of range: '" + text + "'");
+  }
+  return v;
+}
+
+StatusOr<bool> ParseBoolText(const std::string& text) {
+  std::string t = Trim(text);
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  return Status::InvalidArgument("not a boolean: '" + text + "'");
+}
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -53,28 +106,86 @@ std::string FlagParser::GetString(const std::string& name,
 }
 
 int FlagParser::GetInt(const std::string& name, int default_value) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+  int out = default_value;
+  (void)GetStrict(name, default_value, &out);  // lenient: default on error
+  return out;
 }
 
 int64_t FlagParser::GetInt64(const std::string& name,
                              int64_t default_value) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? default_value
-                             : std::atoll(it->second.c_str());
+  int64_t out = default_value;
+  (void)GetStrict(name, default_value, &out);  // lenient: default on error
+  return out;
 }
 
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+  double out = default_value;
+  (void)GetStrict(name, default_value, &out);  // lenient: default on error
+  return out;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  bool out = default_value;
+  (void)GetStrict(name, default_value, &out);  // lenient: default on error
+  return out;
+}
+
+Status FlagParser::GetStrict(const std::string& name, int default_value,
+                             int* out) const {
+  *out = default_value;
+  int64_t wide = default_value;
+  TCOMP_RETURN_IF_ERROR(GetStrict(name, static_cast<int64_t>(default_value),
+                                  &wide));
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    return Status::OutOfRange("--" + name + ": value out of int range: " +
+                              std::to_string(wide));
+  }
+  *out = static_cast<int>(wide);
+  return Status::OK();
+}
+
+Status FlagParser::GetStrict(const std::string& name, int64_t default_value,
+                             int64_t* out) const {
+  *out = default_value;
   auto it = values_.find(name);
-  if (it == values_.end()) return default_value;
-  const std::string& v = it->second;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (it == values_.end()) return Status::OK();
+  StatusOr<int64_t> parsed = ParseInt64Text(it->second);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  "--" + name + ": " + parsed.status().message());
+  }
+  *out = parsed.value();
+  return Status::OK();
+}
+
+Status FlagParser::GetStrict(const std::string& name, double default_value,
+                             double* out) const {
+  *out = default_value;
+  auto it = values_.find(name);
+  if (it == values_.end()) return Status::OK();
+  StatusOr<double> parsed = ParseDoubleText(it->second);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  "--" + name + ": " + parsed.status().message());
+  }
+  *out = parsed.value();
+  return Status::OK();
+}
+
+Status FlagParser::GetStrict(const std::string& name, bool default_value,
+                             bool* out) const {
+  *out = default_value;
+  auto it = values_.find(name);
+  if (it == values_.end()) return Status::OK();
+  StatusOr<bool> parsed = ParseBoolText(it->second);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  "--" + name + ": " + parsed.status().message());
+  }
+  *out = parsed.value();
+  return Status::OK();
 }
 
 }  // namespace tcomp

@@ -1,6 +1,7 @@
 #ifndef TCOMP_UTIL_FLAGS_H_
 #define TCOMP_UTIL_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -8,6 +9,15 @@
 #include "util/status.h"
 
 namespace tcomp {
+
+/// Strict full-string numeric parsing. The entire token (modulo leading
+/// and trailing ASCII whitespace) must parse and fit the result type;
+/// trailing garbage ("12abc"), overflow, and empty input are errors, not
+/// best-effort prefixes — atoi-style silent truncation has burned this
+/// codebase's determinism claims before, so nothing here uses it.
+StatusOr<int64_t> ParseInt64Text(const std::string& text);
+StatusOr<double> ParseDoubleText(const std::string& text);
+StatusOr<bool> ParseBoolText(const std::string& text);
 
 /// Minimal command-line flag parser for the bench and example binaries.
 /// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
@@ -18,6 +28,11 @@ namespace tcomp {
 ///   Status s = flags.Parse(argc, argv);
 ///   int n = flags.GetInt("objects", 1000);
 ///   bool full = flags.GetBool("full", false);
+///
+/// The two-argument getters are lenient: a missing *or malformed* value
+/// yields the default. User-facing surfaces (the CLI) must use the strict
+/// Status-returning getters instead, so `--mu abc` fails loudly rather
+/// than running with a default.
 class FlagParser {
  public:
   /// Parses argv. Returns InvalidArgument on malformed input (e.g. `--=x`).
@@ -31,6 +46,19 @@ class FlagParser {
   int64_t GetInt64(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Strict getters: `*out` receives the default when the flag is absent;
+  /// a present-but-malformed value is an InvalidArgument error naming the
+  /// flag. GetStrict(name, int) additionally rejects values outside int
+  /// range.
+  Status GetStrict(const std::string& name, int default_value,
+                   int* out) const;
+  Status GetStrict(const std::string& name, int64_t default_value,
+                   int64_t* out) const;
+  Status GetStrict(const std::string& name, double default_value,
+                   double* out) const;
+  Status GetStrict(const std::string& name, bool default_value,
+                   bool* out) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

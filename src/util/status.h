@@ -2,6 +2,7 @@
 #define TCOMP_UTIL_STATUS_H_
 
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace tcomp {
@@ -26,7 +27,13 @@ enum class StatusCode {
 /// Example:
 ///   Status s = ReadTrajectoryCsv(path, &records);
 ///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status return is a
+/// compile error (-Werror=unused-result is always on, see the top-level
+/// CMakeLists). A call site that genuinely cannot act on the error must
+/// acknowledge it explicitly with a reason, e.g.
+///   (void)pipeline.Stop();  // destructor: already logged by Stop()
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -72,14 +79,30 @@ class Status {
   } while (false)
 
 /// Value-or-error result. Minimal: exactly what the IO and config paths
-/// need, nothing more.
+/// need, nothing more. [[nodiscard]] like Status: a dropped StatusOr is a
+/// dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs an error result. `status` must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
   /// Constructs a success result holding `value`.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Converting copy/move from a StatusOr of a compatible value type
+  /// (e.g. StatusOr<std::string> from StatusOr<const char*>).
+  template <typename U,
+            typename = std::enable_if_t<std::is_constructible_v<T, U>>>
+  StatusOr(const StatusOr<U>& other)  // NOLINT
+      : status_(other.status()) {
+    if (other.ok()) value_ = T(other.value());
+  }
+  template <typename U,
+            typename = std::enable_if_t<std::is_constructible_v<T, U>>>
+  StatusOr(StatusOr<U>&& other)  // NOLINT
+      : status_(other.status()) {
+    if (other.ok()) value_ = T(std::move(other).value());
+  }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }

@@ -4,7 +4,7 @@
 set -e
 CLI="$1"
 DIR="$2"
-cd "$DIR"
+cd "$DIR" || exit 1
 
 # On any failure, dump the CLI logs to stderr so the CTest log alone is
 # enough to diagnose what broke. Any background serve process is killed
@@ -72,7 +72,8 @@ for cmd in "generate --dataset d2 --out x.csv" \
            "suggest --csv d2.csv" \
            "serve" \
            "feed --csv d2.csv --port 1"; do
-    if $CLI $cmd --no-such-flag > /dev/null 2> flag.err; then exit 1; fi
+    # shellcheck disable=SC2086  # $cmd is a command line, split on purpose
+    if "$CLI" $cmd --no-such-flag > /dev/null 2> flag.err; then exit 1; fi
     grep -q -- "unknown flag --no-such-flag" flag.err
 done
 

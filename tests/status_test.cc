@@ -1,0 +1,140 @@
+// Unit tests for util/status.h: Status construction/accessors and
+// StatusOr value, move, and converting-construction semantics. StatusOr is
+// the error channel for every IO and config path, so its move behavior
+// (no silent copies, no value slicing through conversions) is load-bearing.
+
+#include "util/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcomp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad epsilon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad epsilon");
+  EXPECT_NE(s.ToString().find("bad epsilon"), std::string::npos);
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Wrapper(int x) {
+  TCOMP_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Wrapper(1).ok());
+  Status s = Wrapper(-1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("no such flag"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "no such flag");
+}
+
+TEST(StatusOrTest, ImplicitFromValueAndStatus) {
+  // Both implicit conversions compile in return position — the pattern
+  // every parser in the codebase relies on.
+  auto parse = [](bool good) -> StatusOr<std::string> {
+    if (good) return std::string("value");
+    return Status::InvalidArgument("bad");
+  };
+  EXPECT_TRUE(parse(true).ok());
+  EXPECT_FALSE(parse(false).ok());
+}
+
+TEST(StatusOrTest, RvalueValueMovesOut) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+  // The moved-from holder must be empty (moved, not copied).
+  EXPECT_TRUE(result.value().empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(StatusOrTest, MoveOnlyValueType) {
+  // StatusOr must work with move-only types end to end.
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, MutableValueReference) {
+  StatusOr<std::string> result(std::string("abc"));
+  result.value() += "def";
+  EXPECT_EQ(result.value(), "abcdef");
+}
+
+TEST(StatusOrTest, ConvertingCopyFromCompatibleType) {
+  StatusOr<const char*> narrow("hello");
+  StatusOr<std::string> wide(narrow);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.value(), "hello");
+}
+
+TEST(StatusOrTest, ConvertingCopyPropagatesError) {
+  StatusOr<const char*> narrow(Status::IoError("disk gone"));
+  StatusOr<std::string> wide(narrow);
+  EXPECT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(wide.status().message(), "disk gone");
+}
+
+TEST(StatusOrTest, ConvertingMoveFromCompatibleType) {
+  StatusOr<std::unique_ptr<int>> inner(std::make_unique<int>(9));
+  // unique_ptr<int> → shared_ptr<int> is a move-only conversion: this
+  // compiles only if the converting constructor really moves.
+  StatusOr<std::shared_ptr<int>> outer(std::move(inner));
+  ASSERT_TRUE(outer.ok());
+  ASSERT_NE(outer.value(), nullptr);
+  EXPECT_EQ(*outer.value(), 9);
+}
+
+TEST(StatusOrTest, NodiscardEnforcedAtCompileTime) {
+  // Compile-time property, asserted here as documentation: Status and
+  // StatusOr carry [[nodiscard]], so `FailIfNegative(-1);` as a bare
+  // statement does not compile (-Werror=unused-result is always on).
+  // Runtime check: an explicitly acknowledged drop still works.
+  (void)FailIfNegative(-1);  // regression guard for the (void) idiom
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcomp

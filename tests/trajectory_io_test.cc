@@ -38,6 +38,45 @@ TEST(TrajectoryIoTest, ReadMissingFileFails) {
   EXPECT_EQ(s.code(), StatusCode::kIoError);
 }
 
+TEST(TrajectoryIoTest, RejectsTrailingGarbageInNumericField) {
+  // Regression: ParseDouble used to accept any numeric *prefix*, so
+  // "7.5oops" silently loaded as 7.5 — a corrupt dataset read back OK.
+  std::string path = TempPath("trailing_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,7.5oops,2.0\n";
+  }
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv(path, &records);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST(TrajectoryIoTest, RejectsDoubleDecimalField) {
+  // "1.2.3" is a strtod prefix parse ("1.2"); it must be Corruption.
+  std::string path = TempPath("double_decimal.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,1.2.3,2.0\n";
+  }
+  std::vector<TrajectoryRecord> records;
+  Status s = ReadRecordCsv(path, &records);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST(TrajectoryIoTest, AcceptsWindowsLineEndings) {
+  // The strict full-field parse must still tolerate "\r"-terminated rows.
+  std::string path = TempPath("crlf.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,1.5,2.5\r\n2,60.0,3.0,4.0\r\n";
+  }
+  std::vector<TrajectoryRecord> records;
+  ASSERT_TRUE(ReadRecordCsv(path, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].pos.y, 2.5);
+  EXPECT_DOUBLE_EQ(records[1].timestamp, 60.0);
+}
+
 TEST(TrajectoryIoTest, MalformedRowReportsCorruption) {
   std::string path = TempPath("bad.csv");
   {

@@ -94,6 +94,20 @@ bool RejectUnknownFlags(const char* command, const FlagParser& flags,
   return ok;
 }
 
+/// Reads a flag through the strict parser; a malformed value is reported
+/// by name and fails the subcommand — same contract as unknown-flag
+/// rejection (`--mu abc` must never silently run with the default).
+template <typename T>
+bool ReadFlag(const char* command, const FlagParser& flags,
+              const char* name, T default_value, T* out) {
+  Status s = flags.GetStrict(name, default_value, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", command, s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 Status WriteTruth(const std::string& path,
                   const std::vector<ObjectSet>& truth) {
   std::ofstream out(path);
@@ -122,6 +136,10 @@ Status ReadTruth(const std::string& path, std::vector<ObjectSet>* truth) {
       truth->push_back(std::move(group));
     }
   }
+  if (in.bad()) {
+    // A hard read error also ends the getline loop; only EOF is success.
+    return Status::IoError("read error before end of " + path);
+  }
   return Status::OK();
 }
 
@@ -137,8 +155,13 @@ int Generate(const FlagParser& flags) {
     std::fprintf(stderr, "generate: --out is required\n");
     return Usage();
   }
-  int snapshots = flags.GetInt("snapshots", 0);
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed", 0));
+  int snapshots = 0;
+  int64_t seed_raw = 0;
+  if (!ReadFlag("generate", flags, "snapshots", 0, &snapshots) ||
+      !ReadFlag("generate", flags, "seed", int64_t{0}, &seed_raw)) {
+    return Usage();
+  }
+  uint64_t seed = static_cast<uint64_t>(seed_raw);
 
   Dataset dataset;
   if (which == "d1") {
@@ -158,7 +181,10 @@ int Generate(const FlagParser& flags) {
     return Usage();
   }
 
-  double spacing = flags.GetDouble("seconds-per-snapshot", 60.0);
+  double spacing = 60.0;
+  if (!ReadFlag("generate", flags, "seconds-per-snapshot", 60.0, &spacing)) {
+    return Usage();
+  }
   std::vector<TrajectoryRecord> records =
       StreamToRecords(dataset.stream, spacing);
   Status s = WriteRecordCsv(out_path, records);
@@ -215,11 +241,17 @@ int Discover(const FlagParser& flags) {
   }
 
   DiscoveryParams params;
-  params.cluster.epsilon = flags.GetDouble("epsilon", 20.0);
-  params.cluster.mu = flags.GetInt("mu", 4);
-  params.size_threshold = flags.GetInt("min-size", 10);
-  params.duration_threshold = flags.GetDouble("min-duration", 10.0);
-  int threads = flags.GetInt("threads", 1);
+  int threads = 1;
+  if (!ReadFlag("discover", flags, "epsilon", 20.0,
+                &params.cluster.epsilon) ||
+      !ReadFlag("discover", flags, "mu", 4, &params.cluster.mu) ||
+      !ReadFlag("discover", flags, "min-size", 10,
+                &params.size_threshold) ||
+      !ReadFlag("discover", flags, "min-duration", 10.0,
+                &params.duration_threshold) ||
+      !ReadFlag("discover", flags, "threads", 1, &threads)) {
+    return Usage();
+  }
   if (threads < 1) {
     std::fprintf(stderr, "discover: --threads must be >= 1\n");
     return Usage();
@@ -254,22 +286,32 @@ int Discover(const FlagParser& flags) {
   }
 
   CompanionTimeline timeline;
-  bool want_timeline = flags.GetBool("timeline", false);
+  bool want_timeline = false;
+  bool quiet = false;
+  int window_objects = 100;
+  double window_seconds = 60.0;
+  int inactive = 0;
+  if (!ReadFlag("discover", flags, "timeline", false, &want_timeline) ||
+      !ReadFlag("discover", flags, "quiet", false, &quiet) ||
+      !ReadFlag("discover", flags, "window-objects", 100,
+                &window_objects) ||
+      !ReadFlag("discover", flags, "window-seconds", 60.0,
+                &window_seconds) ||
+      !ReadFlag("discover", flags, "inactive", 0, &inactive)) {
+    return Usage();
+  }
   if (want_timeline) timeline.Track(discoverer.get());
 
   SlidingWindowOptions wopts;
   if (flags.Has("window-objects")) {
     wopts.mode = WindowMode::kEqualWidth;
-    wopts.min_objects =
-        static_cast<size_t>(flags.GetInt("window-objects", 100));
+    wopts.min_objects = static_cast<size_t>(window_objects);
   } else {
     wopts.mode = WindowMode::kEqualLength;
-    wopts.window_length = flags.GetDouble("window-seconds", 60.0);
+    wopts.window_length = window_seconds;
   }
   SlidingWindowSnapshotter window(wopts);
-  InactivePeriodFiller filler(flags.GetInt("inactive", 0));
-
-  bool quiet = flags.GetBool("quiet", false);
+  InactivePeriodFiller filler(inactive);
   int64_t snapshots = 0;
   std::vector<Snapshot> ready;
   auto process = [&](const Snapshot& snap) {
@@ -399,15 +441,22 @@ int Suggest(const FlagParser& flags) {
     return 1;
   }
   SlidingWindowOptions wopts;
-  wopts.window_length = flags.GetDouble("window-seconds", 60.0);
+  int k = 4;
+  if (!ReadFlag("suggest", flags, "window-seconds", 60.0,
+                &wopts.window_length) ||
+      !ReadFlag("suggest", flags, "k", 4, &k)) {
+    return Usage();
+  }
   SlidingWindowSnapshotter window(wopts);
   SnapshotStream stream;
   for (const TrajectoryRecord& r : records) {
-    if (!window.Push(r, &stream).ok()) return 1;
+    Status ps = window.Push(r, &stream);
+    if (!ps.ok()) {
+      std::fprintf(stderr, "suggest: %s\n", ps.ToString().c_str());
+      return 1;
+    }
   }
   window.Flush(&stream);
-
-  int k = flags.GetInt("k", 4);
   TuningSuggestion suggestion = SuggestClusterParams(stream, k);
   std::printf("suggested thresholds from %zu snapshots: --epsilon %.2f "
               "--mu %d  (k-distance knee; ~%.1f%% of objects beyond it)\n",
@@ -420,11 +469,17 @@ int Suggest(const FlagParser& flags) {
 /// Discover does, so the daemon and batch paths agree flag for flag.
 bool ParseDiscoveryOptions(const char* command, const FlagParser& flags,
                            ServicePipelineOptions* opts) {
-  opts->params.cluster.epsilon = flags.GetDouble("epsilon", 20.0);
-  opts->params.cluster.mu = flags.GetInt("mu", 4);
-  opts->params.size_threshold = flags.GetInt("min-size", 10);
-  opts->params.duration_threshold = flags.GetDouble("min-duration", 10.0);
-  int threads = flags.GetInt("threads", 1);
+  int threads = 1;
+  if (!ReadFlag(command, flags, "epsilon", 20.0,
+                &opts->params.cluster.epsilon) ||
+      !ReadFlag(command, flags, "mu", 4, &opts->params.cluster.mu) ||
+      !ReadFlag(command, flags, "min-size", 10,
+                &opts->params.size_threshold) ||
+      !ReadFlag(command, flags, "min-duration", 10.0,
+                &opts->params.duration_threshold) ||
+      !ReadFlag(command, flags, "threads", 1, &threads)) {
+    return false;
+  }
   if (threads < 1) {
     std::fprintf(stderr, "%s: --threads must be >= 1\n", command);
     return false;
@@ -444,15 +499,20 @@ bool ParseDiscoveryOptions(const char* command, const FlagParser& flags,
     return false;
   }
 
+  int window_objects = 100;
+  double window_seconds = 60.0;
+  if (!ReadFlag(command, flags, "window-objects", 100, &window_objects) ||
+      !ReadFlag(command, flags, "window-seconds", 60.0, &window_seconds) ||
+      !ReadFlag(command, flags, "inactive", 0, &opts->inactive_fill)) {
+    return false;
+  }
   if (flags.Has("window-objects")) {
     opts->window.mode = WindowMode::kEqualWidth;
-    opts->window.min_objects =
-        static_cast<size_t>(flags.GetInt("window-objects", 100));
+    opts->window.min_objects = static_cast<size_t>(window_objects);
   } else {
     opts->window.mode = WindowMode::kEqualLength;
-    opts->window.window_length = flags.GetDouble("window-seconds", 60.0);
+    opts->window.window_length = window_seconds;
   }
-  opts->inactive_fill = flags.GetInt("inactive", 0);
   return true;
 }
 
@@ -468,7 +528,10 @@ int Serve(const FlagParser& flags) {
   ServicePipelineOptions popts;
   if (!ParseDiscoveryOptions("serve", flags, &popts)) return Usage();
 
-  int capacity = flags.GetInt("queue-capacity", 4096);
+  int capacity = 4096;
+  if (!ReadFlag("serve", flags, "queue-capacity", 4096, &capacity)) {
+    return Usage();
+  }
   if (capacity < 1) {
     std::fprintf(stderr, "serve: --queue-capacity must be >= 1\n");
     return Usage();
@@ -480,9 +543,13 @@ int Serve(const FlagParser& flags) {
     std::fprintf(stderr, "serve: %s\n", ms.ToString().c_str());
     return Usage();
   }
-  popts.allowed_lateness = flags.GetDouble("lateness", 0.0);
+  if (!ReadFlag("serve", flags, "lateness", 0.0,
+                &popts.allowed_lateness) ||
+      !ReadFlag("serve", flags, "checkpoint-every", int64_t{0},
+                &popts.checkpoint_every)) {
+    return Usage();
+  }
   popts.checkpoint_path = flags.GetString("checkpoint", "");
-  popts.checkpoint_every = flags.GetInt64("checkpoint-every", 0);
 
   ServicePipeline pipeline(popts);
   Status ps = pipeline.Start();
@@ -498,8 +565,17 @@ int Serve(const FlagParser& flags) {
   }
 
   ServerOptions sopts;
-  sopts.port = static_cast<uint16_t>(flags.GetInt("port", 0));
-  sopts.read_timeout_ms = flags.GetInt("read-timeout-ms", 60000);
+  int serve_port = 0;
+  if (!ReadFlag("serve", flags, "port", 0, &serve_port) ||
+      !ReadFlag("serve", flags, "read-timeout-ms", 60000,
+                &sopts.read_timeout_ms)) {
+    return Usage();
+  }
+  if (serve_port < 0 || serve_port > 65535) {
+    std::fprintf(stderr, "serve: --port must be in [0, 65535]\n");
+    return Usage();
+  }
+  sopts.port = static_cast<uint16_t>(serve_port);
   CompanionServer server(&pipeline, sopts);
   Status ss = server.Start();
   if (!ss.ok()) {
@@ -518,6 +594,7 @@ int Serve(const FlagParser& flags) {
     // then connect, whatever port the kernel picked.
     std::ofstream out(port_file);
     out << server.port() << "\n";
+    out.flush();  // the error check below must see write failures, too
     if (!out) {
       std::fprintf(stderr, "serve: cannot write %s\n", port_file.c_str());
       return 1;
@@ -588,21 +665,28 @@ int Feed(const FlagParser& flags) {
   }
   std::string csv = flags.GetString("csv", "");
   std::string query = flags.GetString("query", "");
-  bool want_flush = flags.GetBool("flush", false);
-  bool want_shutdown = flags.GetBool("shutdown", false);
+  bool want_flush = false;
+  bool want_shutdown = false;
+  bool quiet = false;
+  int port = 0;
+  double rate = 0.0;
+  if (!ReadFlag("feed", flags, "flush", false, &want_flush) ||
+      !ReadFlag("feed", flags, "shutdown", false, &want_shutdown) ||
+      !ReadFlag("feed", flags, "quiet", false, &quiet) ||
+      !ReadFlag("feed", flags, "port", 0, &port) ||
+      !ReadFlag("feed", flags, "rate", 0.0, &rate)) {
+    return Usage();
+  }
   if (csv.empty() && query.empty() && !want_flush && !want_shutdown) {
     std::fprintf(stderr,
                  "feed: nothing to do (need --csv, --query, --flush, "
                  "or --shutdown)\n");
     return Usage();
   }
-  int port = flags.GetInt("port", 0);
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "feed: --port is required\n");
     return Usage();
   }
-  double rate = flags.GetDouble("rate", 0.0);
-  bool quiet = flags.GetBool("quiet", false);
 
   std::vector<TrajectoryRecord> records;
   if (!csv.empty()) {
@@ -689,6 +773,7 @@ int Feed(const FlagParser& flags) {
     } else {
       std::ofstream out(out_path);
       out << payload.str();
+      out.flush();  // surface buffered write failures before reporting OK
       if (!out) {
         std::fprintf(stderr, "feed: cannot write %s\n", out_path.c_str());
         return 1;

@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""tcomp_lint — project-invariant lint for the tcomp codebase.
+
+Enforces the invariants clang-tidy cannot express, all of which protect
+the repo's two load-bearing guarantees: no exceptions escape the library
+(every fallible path returns Status), and discovery output is
+bit-identical across runs, thread counts, and daemon-vs-batch execution.
+
+Rules (all scoped to library code, src/ and tools/, unless noted):
+
+  no-throw            `throw` is forbidden in library code; fallible paths
+                      return Status/StatusOr. (Scope: src/)
+  no-crt-rand         rand()/srand()/drand48() and the <random> engines are
+                      forbidden everywhere; all randomness goes through the
+                      deterministic, platform-stable Pcg32 in util/random.h.
+                      (Scope: src/, tools/, bench/, examples/, tests/)
+  unordered-iter      Range-for over a std::unordered_{map,set,...} is
+                      hash-order iteration: if it feeds an output file,
+                      checkpoint, or any ordering-sensitive path, results
+                      stop being reproducible. Every such loop must either
+                      be rewritten over a sorted copy or carry an explicit
+                      allowlist annotation asserting order-insensitivity:
+                          // tcomp-lint: allow(unordered-iter): <why safe>
+                      (Scope: src/, tools/)
+  no-naked-new        `new`/`delete` expressions are forbidden; use
+                      std::make_unique/std::vector. `= delete` declarations
+                      are fine. (Scope: src/, tools/)
+
+Any rule can be suppressed on a specific line (or the line above it) with
+    // tcomp-lint: allow(<rule>): <reason>
+The reason is mandatory — an allowlist entry is a reviewed claim, not an
+escape hatch.
+
+Usage: tools/tcomp_lint.py [REPO_ROOT]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+# Directories scanned per rule. Library scope is src/ + tools/; the
+# randomness rule also covers tests and benches because a nondeterministic
+# test input invalidates the differential suites.
+LIB_DIRS = ("src", "tools")
+ALL_DIRS = ("src", "tools", "bench", "examples", "tests")
+
+ALLOW_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*:\s*\S")
+ALLOW_NO_REASON_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*(?!:)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*[&*]?\s*"
+    r"(\w+)\s*[;={(,)]"
+)
+# Accessors known (by project convention) to expose an unordered container;
+# regex type resolution cannot see through them.
+UNORDERED_ACCESSORS = ("entries",)
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+CPP_EXTS = (".cc", ".h")
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment/string contents with spaces, preserving offsets and
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def is_allowed(raw_lines, lineno, rule, findings, path):
+    """True if `lineno` (1-based) or the line above carries an allow()
+    annotation for `rule`. An annotation without a reason is itself a
+    finding."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines):
+            line = raw_lines[ln - 1]
+            m = ALLOW_RE.search(line)
+            if m and m.group(1) == rule:
+                return True
+            m = ALLOW_NO_REASON_RE.search(line)
+            if m and m.group(1) == rule:
+                findings.append(
+                    (path, ln, "allow-without-reason",
+                     "allow(%s) annotation needs a ': <reason>'" % rule))
+                return True  # suppressed, but the missing reason is flagged
+    return False
+
+
+def extract_range_fors(code):
+    """Yields (line_offset, range_expression) for every range-based for.
+    Handles nested parens inside the range expression."""
+    for m in re.finditer(r"\bfor\s*\(", code):
+        start = m.end()  # just past '('
+        depth = 1
+        i = start
+        colon = -1
+        while i < len(code) and depth > 0:
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == ";" and depth == 1:
+                colon = -1
+                break  # classic three-clause for
+            elif c == ":" and depth == 1 and colon < 0:
+                # skip '::'
+                if code[i + 1: i + 2] == ":" or code[i - 1: i] == ":":
+                    i += 1
+                    continue
+                colon = i
+            i += 1
+        if colon >= 0 and depth == 0:
+            yield m.start(), code[colon + 1: i - 1]
+
+
+def range_expr_unordered(range_expr, unordered_vars):
+    """Returns a description of the unordered container iterated by
+    `range_expr`, or None. Subscripted expressions (`map[key]`) iterate the
+    mapped *value*, not the map, and are skipped; calls are only matched
+    against the known unordered accessors."""
+    expr = range_expr.strip()
+    if "[" in expr:
+        return None
+    if "(" in expr:
+        for acc in UNORDERED_ACCESSORS:
+            if re.search(r"\.\s*%s\s*\(\s*\)\s*$" % acc, expr):
+                return "'%s()' (unordered by convention)" % acc
+        return None
+    if "unordered_map" in expr or "unordered_set" in expr:
+        return "an unordered container"
+    hits = set(IDENT_RE.findall(expr)) & unordered_vars
+    if hits:
+        return "'%s'" % sorted(hits)[0]
+    return None
+
+
+def check_file(path, rel, findings):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code = strip_comments_and_strings(text)
+    top = rel.split(os.sep, 1)[0]
+
+    # Member containers are declared in the paired header; fold those
+    # declarations in so `for (... : window_)` in the .cc is seen.
+    paired_decls = ""
+    if path.endswith(".cc"):
+        header = path[:-3] + ".h"
+        if os.path.exists(header):
+            with open(header, encoding="utf-8") as f:
+                paired_decls = strip_comments_and_strings(f.read())
+
+    def report(rule, lineno, message):
+        if not is_allowed(raw_lines, lineno, rule, findings, rel):
+            findings.append((rel, lineno, rule, message))
+
+    # --- no-throw (src/ only: tests may exercise gtest internals) ---
+    if top == "src":
+        for m in re.finditer(r"\bthrow\b", code):
+            report("no-throw", line_of(code, m.start()),
+                   "library code must return Status, not throw")
+
+    # --- no-crt-rand (everywhere) ---
+    for m in re.finditer(
+            r"\b(?:std\s*::\s*)?(?:(rand|srand|drand48|lrand48)\s*\(|"
+            r"(random_device|mt19937(?:_64)?|default_random_engine|"
+            r"minstd_rand0?)\b)",
+            code):
+        report("no-crt-rand", line_of(code, m.start()),
+               "'%s' is nondeterministic or platform-varying; use "
+               "tcomp::Pcg32 (util/random.h)"
+               % (m.group(1) or m.group(2)))
+
+    if top in LIB_DIRS:
+        # --- unordered-iter ---
+        unordered_vars = set(UNORDERED_DECL_RE.findall(code))
+        unordered_vars |= set(UNORDERED_DECL_RE.findall(paired_decls))
+        for offset, range_expr in extract_range_fors(code):
+            lineno = line_of(code, offset)
+            hit = range_expr_unordered(range_expr, unordered_vars)
+            if hit:
+                report("unordered-iter", lineno,
+                       "range-for over %s iterates in hash order; sort "
+                       "first or annotate why order cannot reach an "
+                       "output/ordering path" % hit)
+
+        # --- no-naked-new ---
+        for m in re.finditer(r"\bnew\b", code):
+            report("no-naked-new", line_of(code, m.start()),
+                   "naked 'new'; use std::make_unique or a container")
+        for m in re.finditer(r"\bdelete\b(?!\s*\[)", code):
+            # permit `= delete` declarations
+            before = code[:m.start()].rstrip()
+            if before.endswith("="):
+                continue
+            report("no-naked-new", line_of(code, m.start()),
+                   "naked 'delete'; owning pointers must be smart pointers")
+        for m in re.finditer(r"\bdelete\s*\[", code):
+            report("no-naked-new", line_of(code, m.start()),
+                   "naked 'delete[]'; use std::vector or std::unique_ptr[]")
+
+
+SELF_TEST_CASES = [
+    # (snippet, rule expected to fire; None = must stay clean)
+    ("void F() { throw 1; }", "no-throw"),
+    ("// a comment may say throw freely\nint x;", None),
+    ("const char* s = \"don't throw\";", None),
+    ("int R() { return rand() % 6; }", "no-crt-rand"),
+    ("#include <random>\nstd::mt19937 gen(42);", "no-crt-rand"),
+    ("std::unordered_map<int, int> m;\n"
+     "void F() { for (const auto& [k, v] : m) {} }", "unordered-iter"),
+    ("std::unordered_map<int, int> m;\n"
+     "// tcomp-lint: allow(unordered-iter): feeds an order-free sum\n"
+     "void F() { for (const auto& [k, v] : m) {} }", None),
+    ("std::unordered_map<int, std::vector<int>> m;\n"
+     "void F() { for (int v : m[3]) {} }", None),  # element, not the map
+    ("std::vector<int> v;\nvoid F() { for (int x : v) {} }", None),
+    ("int* p = new int(3);", "no-naked-new"),
+    ("void F(int* p) { delete p; }", "no-naked-new"),
+    ("struct S { S(const S&) = delete; };", None),
+]
+
+
+def self_test():
+    import tempfile
+    failures = 0
+    for i, (snippet, expected) in enumerate(SELF_TEST_CASES):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.mkdir(os.path.join(tmp, "src"))
+            path = os.path.join(tmp, "src", "case.cc")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(snippet + "\n")
+            findings = []
+            check_file(path, os.path.join("src", "case.cc"), findings)
+            rules = {rule for (_, _, rule, _) in findings}
+            ok = (expected in rules) if expected else not rules
+            if not ok:
+                failures += 1
+                print("self-test case %d FAILED: expected %s, got %s\n%s"
+                      % (i, expected or "clean", sorted(rules) or "clean",
+                         snippet), file=sys.stderr)
+    if failures:
+        print("tcomp_lint --self-test: %d failure(s)" % failures,
+              file=sys.stderr)
+        return 1
+    print("tcomp_lint --self-test: OK (%d cases)" % len(SELF_TEST_CASES))
+    return 0
+
+
+def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("tcomp_lint: no src/ under %s" % root, file=sys.stderr)
+        return 2
+
+    findings = []
+    scanned = 0
+    for top in ALL_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(CPP_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                check_file(path, rel, findings)
+                scanned += 1
+
+    for rel, lineno, rule, message in sorted(findings):
+        print("%s:%d: [%s] %s" % (rel, lineno, rule, message))
+    if findings:
+        print("tcomp_lint: %d finding(s) in %d files scanned"
+              % (len(findings), scanned), file=sys.stderr)
+        return 1
+    print("tcomp_lint: OK (%d files scanned)" % scanned)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
