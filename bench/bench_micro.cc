@@ -8,7 +8,9 @@
 #include "core/buddy_clustering.h"
 #include "core/dbscan.h"
 #include "tests/test_util.h"
+#include "util/dense_bitset.h"
 #include "util/random.h"
+#include "util/set_signature.h"
 #include "util/sorted_ops.h"
 
 namespace tcomp {
@@ -90,6 +92,64 @@ void BM_SortedIntersect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SortedIntersect)->Range(16, 4096);
+
+// Dense-id counterpart of BM_SortedIntersect: the word-parallel bitset
+// probe against the sorted-merge path over the same sets. The bitset is
+// built once per candidate in the real I-step loop, so SetSparse/
+// ClearSparse cost is measured separately below.
+void BM_DenseBitsetIntersect(benchmark::State& state) {
+  const uint32_t universe = 4 * static_cast<uint32_t>(state.range(0));
+  Pcg32 rng(3);
+  std::vector<ObjectId> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.NextBounded(universe));
+    b.push_back(rng.NextBounded(universe));
+  }
+  SortUnique(&a);
+  SortUnique(&b);
+  DenseBitset members(universe);
+  members.SetSparse(a);
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    IntersectInto(b, members, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_DenseBitsetIntersect)->Range(16, 4096);
+
+void BM_DenseBitsetSetClearSparse(benchmark::State& state) {
+  const uint32_t universe = 4 * static_cast<uint32_t>(state.range(0));
+  Pcg32 rng(5);
+  std::vector<ObjectId> a;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.NextBounded(universe));
+  }
+  SortUnique(&a);
+  DenseBitset members(universe);
+  for (auto _ : state) {
+    members.SetSparse(a);
+    members.ClearSparse(a);
+    benchmark::DoNotOptimize(members.universe());
+  }
+}
+BENCHMARK(BM_DenseBitsetSetClearSparse)->Range(16, 4096);
+
+void BM_SignaturePrefilter(benchmark::State& state) {
+  Pcg32 rng(9);
+  std::vector<ObjectId> outer, inner;
+  for (int i = 0; i < state.range(0); ++i) {
+    outer.push_back(rng.NextBounded(100000));
+    inner.push_back(rng.NextBounded(100000));
+  }
+  SortUnique(&outer);
+  SortUnique(&inner);
+  const SetSignature outer_sig = SetSignature::Of(outer);
+  const SetSignature inner_sig = SetSignature::Of(inner);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inner_sig.MaybeSubsetOf(outer_sig));
+  }
+}
+BENCHMARK(BM_SignaturePrefilter)->Range(16, 4096);
 
 void BM_BuddyInitialize(benchmark::State& state) {
   Snapshot s = MakeClusteredSnapshot(static_cast<int>(state.range(0)));

@@ -1,0 +1,399 @@
+// Perf-trajectory harness: measures the word-parallel set-algebra kernels
+// against the pure sorted-merge path and emits one JSON record on stdout
+// (tools/bench_json.py wraps this into BENCH_PR4.json). Two layers:
+//
+//   micro — the I-step inner loop in isolation: one candidate probed
+//     against k clusters, merge vs. bitset; and the companion-log
+//     closedness scan with and without the signature prefilter.
+//   e2e  — full CI/SC/BU discovery over a group-model stream with the
+//     kernels toggled on vs. off: snapshots/sec and the intersection
+//     counters (which must match exactly — the kernels are a pure
+//     optimization).
+//
+// Flags: --quick (small smoke workload), --objects N, --snapshots N,
+//        --iters N (micro repetitions).
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <functional>
+
+#include "core/discoverer.h"
+#include "core/smart_closed.h"
+#include "data/group_model.h"
+#include "util/dense_bitset.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/set_signature.h"
+#include "util/sorted_ops.h"
+#include "util/timer.h"
+
+namespace tcomp {
+namespace {
+
+struct HarnessConfig {
+  int objects = 800;
+  int snapshots = 96;
+  int micro_iters = 2000;
+  int e2e_reps = 3;
+};
+
+/// Same trajectories, object ids spread out by `stride`: the universe is
+/// ~stride× the population, so BitsetProfitable rejects every snapshot
+/// and the discoverers must fall back to the merge path. The sparse e2e
+/// entries document that the kernel gating costs nothing there.
+SnapshotStream SparsifyIds(const SnapshotStream& stream, ObjectId stride) {
+  SnapshotStream out;
+  out.reserve(stream.size());
+  for (const Snapshot& s : stream) {
+    std::vector<ObjectPosition> pos;
+    pos.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      pos.push_back(ObjectPosition{s.id(i) * stride, s.pos(i)});
+    }
+    out.push_back(Snapshot(std::move(pos), s.duration()));
+  }
+  return out;
+}
+
+ObjectSet RandomSortedSet(Pcg32& rng, uint32_t universe, size_t size) {
+  ObjectSet out;
+  out.reserve(size);
+  for (size_t i = 0; i < size; ++i) out.push_back(rng.NextBounded(universe));
+  SortUnique(&out);
+  return out;
+}
+
+/// One candidate probed against `clusters` — the exact shape of the CI/SC
+/// I-step inner loop. Returns ns per candidate×cluster intersection.
+struct MicroResult {
+  double merge_ns = 0.0;
+  double bitset_ns = 0.0;
+  uint64_t checksum_merge = 0;   // defeats dead-code elimination and
+  uint64_t checksum_bitset = 0;  // doubles as an equivalence check
+};
+
+MicroResult BenchIntersection(int iters) {
+  constexpr uint32_t kUniverse = 8192;
+  constexpr int kClusters = 32;
+  Pcg32 rng(42);
+  ObjectSet candidate = RandomSortedSet(rng, kUniverse, 1024);
+  std::vector<ObjectSet> clusters;
+  for (int i = 0; i < kClusters; ++i) {
+    clusters.push_back(RandomSortedSet(rng, kUniverse, 256));
+  }
+
+  MicroResult r;
+  ObjectSet inter;
+  Timer merge;
+  merge.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const ObjectSet& c : clusters) {
+      SortedIntersect(candidate, c, &inter);
+      r.checksum_merge += inter.size();
+    }
+  }
+  merge.Stop();
+
+  DenseBitset members(kUniverse);
+  Timer bitset;
+  bitset.Start();
+  for (int it = 0; it < iters; ++it) {
+    members.SetSparse(candidate);
+    for (const ObjectSet& c : clusters) {
+      IntersectInto(c, members, &inter);
+      r.checksum_bitset += inter.size();
+    }
+    members.ClearSparse(candidate);
+  }
+  bitset.Stop();
+
+  const double ops = static_cast<double>(iters) * kClusters;
+  r.merge_ns = merge.Seconds() * 1e9 / ops;
+  r.bitset_ns = bitset.Seconds() * 1e9 / ops;
+  return r;
+}
+
+/// CompanionLog::Report-style closedness scan: each query checked for
+/// subset against every stored companion, with and without the
+/// signature/bounds prefilter. Returns ns per query×companion check.
+struct ScanResult {
+  double plain_ns = 0.0;
+  double prefilter_ns = 0.0;
+  uint64_t checksum_plain = 0;
+  uint64_t checksum_prefilter = 0;
+};
+
+ScanResult BenchClosednessScan(int iters) {
+  constexpr uint32_t kUniverse = 4096;
+  constexpr int kStored = 512;
+  constexpr int kQueries = 64;
+  Pcg32 rng(43);
+  std::vector<ObjectSet> stored;
+  std::vector<SetSignature> signatures;
+  for (int i = 0; i < kStored; ++i) {
+    stored.push_back(RandomSortedSet(rng, kUniverse, 24 + rng.NextBounded(16)));
+    signatures.push_back(SetSignature::Of(stored.back()));
+  }
+  std::vector<ObjectSet> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    if (i % 4 == 0) {
+      // True subset of a stored companion: the case the scan must accept.
+      const ObjectSet& base = stored[rng.NextBounded(kStored)];
+      ObjectSet q;
+      for (ObjectId o : base) {
+        if (rng.NextBernoulli(0.7)) q.push_back(o);
+      }
+      queries.push_back(std::move(q));
+    } else {
+      queries.push_back(RandomSortedSet(rng, kUniverse, 16 + rng.NextBounded(16)));
+    }
+  }
+
+  ScanResult r;
+  Timer plain;
+  plain.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const ObjectSet& q : queries) {
+      for (const ObjectSet& s : stored) {
+        if (SortedIsSubset(q, s)) ++r.checksum_plain;
+      }
+    }
+  }
+  plain.Stop();
+
+  Timer pre;
+  pre.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const ObjectSet& q : queries) {
+      const SetSignature qsig = SetSignature::Of(q);
+      for (int i = 0; i < kStored; ++i) {
+        if (qsig.MaybeSubsetOf(signatures[i]) && SortedIsSubset(q, stored[i])) {
+          ++r.checksum_prefilter;
+        }
+      }
+    }
+  }
+  pre.Stop();
+
+  const double ops = static_cast<double>(iters) * kQueries * kStored;
+  r.plain_ns = plain.Seconds() * 1e9 / ops;
+  r.prefilter_ns = pre.Seconds() * 1e9 / ops;
+  return r;
+}
+
+struct E2eResult {
+  std::string algorithm;
+  double on_seconds = 0.0;   // best-of-reps full ProcessSnapshot loop
+  double off_seconds = 0.0;
+  double on_istep_seconds = 0.0;   // I-step (candidate intersection) stage
+  double off_istep_seconds = 0.0;  // only — where the kernels apply
+  double shared_seconds = 0.0;     // best (total - istep) across both modes
+  int64_t on_intersections = 0;
+  int64_t off_intersections = 0;
+  size_t companions = 0;
+  bool identical_counters = false;
+};
+
+/// Best-of-`reps` runs per kernel mode. Clustering dominates the total at
+/// realistic populations (DBSCAN is O(n²) while the smart I-steps are
+/// near-linear — that asymmetry is the paper's point), so the per-stage
+/// intersect time the discoverers already track is the low-noise signal
+/// for the kernel comparison; totals are reported for context. Every
+/// kernel-sensitive operation (intersections, closedness scans, companion
+/// reports) runs inside the timed I-step, so the remaining stages do
+/// bit-identical work in both modes — the normalized totals rebuild each
+/// mode's wall time from the single best shared-stage measurement plus
+/// that mode's own I-step, removing run-to-run noise the toggle cannot
+/// cause.
+using DiscovererFactory = std::function<std::unique_ptr<CompanionDiscoverer>()>;
+
+E2eResult BenchEndToEnd(const std::string& name, const DiscovererFactory& make,
+                        const SnapshotStream& stream, int reps) {
+  E2eResult r;
+  r.algorithm = name;
+  // The modes alternate within each rep (paired measurement): machine
+  // drift that spans seconds — frequency scaling, a noisy neighbor —
+  // then hits both modes alike instead of biasing whichever ran last.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (bool kernels : {true, false}) {
+      SetBitsetKernelsEnabled(kernels);
+      std::unique_ptr<CompanionDiscoverer> d = make();
+      Timer t;
+      t.Start();
+      for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+      t.Stop();
+      const double istep = d->stats().intersect_seconds;
+      double& best_total = kernels ? r.on_seconds : r.off_seconds;
+      double& best_istep = kernels ? r.on_istep_seconds : r.off_istep_seconds;
+      if (rep == 0 || t.Seconds() < best_total) best_total = t.Seconds();
+      if (rep == 0 || istep < best_istep) best_istep = istep;
+      const double shared = t.Seconds() - istep;
+      if (r.shared_seconds == 0.0 || shared < r.shared_seconds) {
+        r.shared_seconds = shared;
+      }
+      if (rep == 0) {
+        if (kernels) {
+          r.on_intersections = d->stats().intersections;
+          r.companions = d->log().companions().size();
+        } else {
+          r.off_intersections = d->stats().intersections;
+        }
+      }
+    }
+  }
+  SetBitsetKernelsEnabled(true);
+  r.identical_counters = r.on_intersections == r.off_intersections;
+  return r;
+}
+
+double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  HarnessConfig config;
+  if (flags.GetBool("quick", false)) {
+    config.objects = 240;
+    config.snapshots = 24;
+    config.micro_iters = 100;
+    config.e2e_reps = 1;
+  }
+  config.objects = flags.GetInt("objects", config.objects);
+  config.snapshots = flags.GetInt("snapshots", config.snapshots);
+  config.micro_iters = flags.GetInt("iters", config.micro_iters);
+  config.e2e_reps = flags.GetInt("reps", config.e2e_reps);
+
+  MicroResult micro = BenchIntersection(config.micro_iters);
+  ScanResult scan = BenchClosednessScan(config.micro_iters / 10 + 1);
+
+  GroupModelOptions options;
+  options.num_objects = config.objects;
+  options.num_snapshots = config.snapshots;
+  // Group density comparable to the differential-test stream (90 objects
+  // on a 1600-unit square) at any population.
+  options.area_size = 170.0 * std::sqrt(static_cast<double>(config.objects));
+  // Larger groups than the differential-test stream: dense candidate and
+  // cluster sets are the regime the bitset kernels target.
+  options.min_group_size = flags.GetInt("group-min", 16);
+  options.max_group_size = flags.GetInt("group-max", 32);
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = 404;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+
+  std::vector<E2eResult> e2e;
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    e2e.push_back(BenchEndToEnd(
+        AlgorithmName(algorithm),
+        [&] { return MakeDiscoverer(algorithm, params); }, data.stream,
+        config.e2e_reps));
+  }
+  // SC over grid DBSCAN: with near-linear clustering (the production
+  // choice at scale) the candidate-intersection and closedness stages set
+  // the pace, which is where the kernels and the signature prefilter act.
+  e2e.push_back(BenchEndToEnd(
+      "SC_grid",
+      [&]() -> std::unique_ptr<CompanionDiscoverer> {
+        return std::make_unique<SmartClosedDiscoverer>(
+            params, [&](const Snapshot& s) {
+              return DbscanGrid(s, params.cluster);
+            });
+      },
+      data.stream, config.e2e_reps));
+  // Sparse-id regression guard: ids spread ~10^5 apart force the merge
+  // fallback, so speedup ≈ 1.0 is the pass condition (the gate itself
+  // must cost nothing).
+  SnapshotStream sparse = SparsifyIds(data.stream, 120'001);
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed}) {
+    std::string name = std::string(AlgorithmName(algorithm)) + "_sparse";
+    e2e.push_back(BenchEndToEnd(
+        name, [&] { return MakeDiscoverer(algorithm, params); },
+        sparse, config.e2e_reps));
+  }
+
+  std::ostream& out = std::cout;
+  out << "{\n";
+  out << "  \"config\": {\"objects\": " << config.objects
+      << ", \"snapshots\": " << config.snapshots
+      << ", \"micro_iters\": " << config.micro_iters
+      << ", \"e2e_reps\": " << config.e2e_reps << "},\n";
+  out << "  \"micro\": {\n";
+  out << "    \"intersect_merge_ns\": " << micro.merge_ns << ",\n";
+  out << "    \"intersect_bitset_ns\": " << micro.bitset_ns << ",\n";
+  out << "    \"intersect_speedup\": "
+      << SafeRatio(micro.merge_ns, micro.bitset_ns) << ",\n";
+  out << "    \"intersect_checksums_match\": "
+      << (micro.checksum_merge == micro.checksum_bitset ? "true" : "false")
+      << ",\n";
+  out << "    \"closedness_plain_ns\": " << scan.plain_ns << ",\n";
+  out << "    \"closedness_prefilter_ns\": " << scan.prefilter_ns << ",\n";
+  out << "    \"closedness_speedup\": "
+      << SafeRatio(scan.plain_ns, scan.prefilter_ns) << ",\n";
+  out << "    \"closedness_checksums_match\": "
+      << (scan.checksum_plain == scan.checksum_prefilter ? "true" : "false")
+      << "\n  },\n";
+  out << "  \"e2e\": [\n";
+  for (size_t i = 0; i < e2e.size(); ++i) {
+    const E2eResult& r = e2e[i];
+    const double norm_on = r.shared_seconds + r.on_istep_seconds;
+    const double norm_off = r.shared_seconds + r.off_istep_seconds;
+    out << "    {\"algorithm\": \"" << r.algorithm << "\""
+        << ", \"kernels_on_seconds\": " << r.on_seconds
+        << ", \"kernels_off_seconds\": " << r.off_seconds
+        << ", \"kernels_on_snapshots_per_sec\": "
+        << SafeRatio(config.snapshots, r.on_seconds)
+        << ", \"kernels_off_snapshots_per_sec\": "
+        << SafeRatio(config.snapshots, r.off_seconds)
+        << ", \"total_speedup\": " << SafeRatio(r.off_seconds, r.on_seconds)
+        << ", \"istep_on_seconds\": " << r.on_istep_seconds
+        << ", \"istep_off_seconds\": " << r.off_istep_seconds
+        << ", \"istep_speedup\": "
+        << SafeRatio(r.off_istep_seconds, r.on_istep_seconds)
+        << ", \"norm_on_seconds\": " << norm_on
+        << ", \"norm_off_seconds\": " << norm_off
+        << ", \"norm_on_snapshots_per_sec\": "
+        << SafeRatio(config.snapshots, norm_on)
+        << ", \"norm_off_snapshots_per_sec\": "
+        << SafeRatio(config.snapshots, norm_off)
+        << ", \"norm_speedup\": " << SafeRatio(norm_off, norm_on)
+        << ", \"intersections\": " << r.on_intersections
+        << ", \"companions\": " << r.companions
+        << ", \"identical_counters\": "
+        << (r.identical_counters ? "true" : "false") << "}"
+        << (i + 1 < e2e.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  // Smoke contract: the kernels must not have changed any counted work.
+  bool ok = micro.checksum_merge == micro.checksum_bitset &&
+            scan.checksum_plain == scan.checksum_prefilter;
+  for (const E2eResult& r : e2e) ok = ok && r.identical_counters;
+  if (!ok) {
+    std::cerr << "FAIL: kernel and merge paths disagree\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcomp
+
+int main(int argc, char** argv) { return tcomp::Main(argc, argv); }

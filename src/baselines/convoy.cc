@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "util/dense_bitset.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
 
@@ -52,14 +53,38 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
       }
     };
 
+    // Word-parallel fast path, as in the CI discoverer: cluster-side
+    // bitsets built lazily on first probe and shared by every candidate,
+    // so each candidate×cluster intersection walks only the candidate's
+    // objects when the snapshot's id universe is dense.
+    const Snapshot& snap = stream[t];
+    const uint64_t universe =
+        snap.empty() ? 0 : uint64_t{snap.ids().back()} + 1;
+    const bool use_bitset = BitsetKernelsEnabled() && !candidates.empty() &&
+                            BitsetProfitable(universe, snap.size());
+    std::vector<DenseBitset> cluster_bits(
+        use_bitset ? clustering.clusters.size() : 0);
+    ObjectSet inter;  // reused across pairs; moved out only when kept
+
     for (const Cand& v : candidates) {
       bool continued_whole = false;
-      for (const ObjectSet& c : clustering.clusters) {
+      for (size_t k = 0; k < clustering.clusters.size(); ++k) {
+        const ObjectSet& c = clustering.clusters[k];
         ++local.intersections;
-        ObjectSet inter = SortedIntersect(v.objects, c);
+        if (use_bitset) {
+          DenseBitset& bits = cluster_bits[k];
+          if (bits.universe() == 0) {  // first probe of this cluster
+            bits.Resize(universe);
+            bits.SetSparse(c);
+          }
+          IntersectInto(v.objects, bits, &inter);
+        } else {
+          SortedIntersect(v.objects, c, &inter);
+        }
         if (inter.size() < m) continue;
         if (inter.size() == v.objects.size()) continued_whole = true;
         add(std::move(inter), v.begin);
+        inter = ObjectSet();
       }
       // The set broke apart this snapshot: its interval is maximal in
       // time — report it (subset products keep running with the same

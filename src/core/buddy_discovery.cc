@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/dense_bitset.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
 #include "util/thread_pool.h"
@@ -13,6 +14,17 @@
 
 namespace tcomp {
 namespace {
+
+/// Caps the total per-snapshot memory spent on cluster bitsets (each
+/// cluster gets its own universe-sized bitset during the I-step).
+constexpr uint64_t kMaxClusterBitsetBytes = uint64_t{32} << 20;  // 32 MiB
+
+/// Clusters with fewer loose objects than this answer membership probes
+/// faster by binary search than a bitset build would amortize. Buddy
+/// compression usually leaves only a handful of loose objects per cluster,
+/// so the bar is low: every candidate probes every cluster, and the build
+/// is a short memset plus one word-OR per loose object.
+constexpr size_t kMinLooseObjectsForBitset = 4;
 
 double EffectiveBuddyRadius(const DiscoveryParams& params) {
   if (params.buddy_radius > 0.0) return params.buddy_radius;
@@ -127,6 +139,37 @@ void BuddyDiscoverer::ProcessSnapshot(
     SortUnique(&atoms.buddy_ids);
     for (BuddyId b : atoms.buddy_ids) EnsureIndexed(b);
     // `objects` is already sorted (cluster is sorted) and unique.
+    // The cluster's expanded set is the raw cluster itself; its signature
+    // feeds the O(1) disjointness prefilter in IntersectAtomSets and the
+    // closedness prefilter below. Unlike the membership bitsets, Bloom
+    // signatures work at any id density, so this is gated only on the
+    // kill switch.
+    if (BitsetKernelsEnabled()) {
+      atoms.signature = SetSignature::Of(cluster);
+      atoms.signature_valid = true;
+    }
+  }
+
+  // Per-cluster membership bitsets over the loose objects: every candidate
+  // probes every cluster, so the build cost amortizes into O(1) membership
+  // tests inside IntersectAtomSets. Built only for dense id universes and
+  // for clusters whose loose-object list is big enough to beat binary
+  // search; cluster atoms are read-only during the parallel I-step, so the
+  // shards share them safely. Empty-universe bitsets signal "use merges".
+  const uint64_t universe =
+      snapshot.empty() ? 0 : uint64_t{snapshot.ids().back()} + 1;
+  const bool use_bitset =
+      BitsetKernelsEnabled() && BitsetProfitable(universe, snapshot.size()) &&
+      cluster_atoms.size() * (universe / 8 + 1) <= kMaxClusterBitsetBytes;
+  std::vector<DenseBitset> cluster_bits(cluster_atoms.size());
+  if (use_bitset) {
+    for (size_t ci = 0; ci < cluster_atoms.size(); ++ci) {
+      if (cluster_atoms[ci].objects.size() < kMinLooseObjectsForBitset) {
+        continue;
+      }
+      cluster_bits[ci].Resize(universe);
+      cluster_bits[ci].SetSparse(cluster_atoms[ci].objects);
+    }
   }
 
   auto buddy_of = [this](ObjectId oid) { return LiveBuddyOf(oid); };
@@ -156,10 +199,11 @@ void BuddyDiscoverer::ProcessSnapshot(
     double duration = candidates_[ci].duration + snapshot.duration();
     AtomSet working = std::move(candidates_[ci]);
 
-    auto intersect_with = [&](const AtomSet& c) {
+    auto intersect_with = [&](const AtomSet& c, const DenseBitset& c_bits) {
       ++outcome.intersections;
-      AtomIntersection inter =
-          IntersectAtomSets(working, c, index_, buddy_of);
+      AtomIntersection inter = IntersectAtomSets(
+          working, c, index_, buddy_of,
+          c_bits.universe() > 0 ? &c_bits : nullptr);
       if (!inter.any_overlap) return;  // working set unchanged
       working = std::move(inter.remaining);
       if (inter.result.size < min_size) return;
@@ -191,12 +235,13 @@ void BuddyDiscoverer::ProcessSnapshot(
       }
     }
     if (first_label >= 0) {
-      intersect_with(cluster_atoms[static_cast<size_t>(first_label)]);
+      const size_t f = static_cast<size_t>(first_label);
+      intersect_with(cluster_atoms[f], cluster_bits[f]);
     }
     for (size_t k = 0; k < cluster_atoms.size(); ++k) {
       if (working.size < min_size) break;  // smart early stop (Lemma 1)
       if (static_cast<int32_t>(k) == first_label) continue;
-      intersect_with(cluster_atoms[k]);
+      intersect_with(cluster_atoms[k], cluster_bits[k]);
     }
   };
   ParallelForShards(
@@ -225,7 +270,13 @@ void BuddyDiscoverer::ProcessSnapshot(
     double duration = snapshot.duration();
     bool closed = true;
     for (const AtomSet& r : next) {
-      if (r.duration >= duration && AtomSetIsSubset(c, r, index_, buddy_of)) {
+      // Signature prefilter: c ⊆ r is impossible unless c's Bloom bits
+      // and id range sit inside r's. Skips most of the quadratic scan;
+      // never false-rejects, so the exact check still decides.
+      if (r.duration >= duration &&
+          (!c.signature_valid || !r.signature_valid ||
+           c.signature.MaybeSubsetOf(r.signature)) &&
+          AtomSetIsSubset(c, r, index_, buddy_of)) {
         closed = false;
         break;
       }
@@ -414,6 +465,9 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
       if (!(in >> r.buddy_ids[k])) {
         return Status::Corruption("bad candidate buddy token");
       }
+      if (!index_.Contains(r.buddy_ids[k])) {
+        return Status::Corruption("candidate references unindexed buddy");
+      }
     }
     size_t no = 0;
     if (!(in >> no)) return Status::Corruption("bad candidate record");
@@ -426,6 +480,10 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
         return Status::Corruption("bad candidate object");
       }
     }
+    // Signatures are derived state, not persisted; rebuild from the index
+    // (loaded above) so the prefilters resume immediately.
+    r.signature = index_.ComposeSignature(r);
+    r.signature_valid = true;
     candidates_.push_back(std::move(r));
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/dense_bitset.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
 
@@ -15,6 +16,7 @@ void BuddyIndex::Register(BuddyId id, const ObjectSet& members) {
   } else {
     members_.emplace(id, members);
   }
+  signatures_[id] = SetSignature::Of(members);
   stored_objects_ += static_cast<int64_t>(members.size());
 }
 
@@ -22,6 +24,19 @@ const ObjectSet& BuddyIndex::MembersOf(BuddyId id) const {
   auto it = members_.find(id);
   TCOMP_CHECK(it != members_.end()) << "buddy " << id << " not indexed";
   return it->second;
+}
+
+const SetSignature& BuddyIndex::SignatureOf(BuddyId id) const {
+  auto it = signatures_.find(id);
+  TCOMP_CHECK(it != signatures_.end()) << "buddy " << id << " not indexed";
+  return it->second;
+}
+
+SetSignature BuddyIndex::ComposeSignature(const AtomSet& set) const {
+  SetSignature s;
+  for (BuddyId b : set.buddy_ids) s.MergeUnion(SignatureOf(b));
+  for (ObjectId o : set.objects) s.AddId(o);
+  return s;
 }
 
 ObjectSet BuddyIndex::Expand(const AtomSet& set) const {
@@ -62,6 +77,7 @@ void BuddyIndex::PruneExcept(const std::vector<BuddyId>& referenced) {
     if (!std::binary_search(referenced.begin(), referenced.end(),
                             it->first)) {
       stored_objects_ -= static_cast<int64_t>(it->second.size());
+      signatures_.erase(it->first);
       it = members_.erase(it);
     } else {
       ++it;
@@ -71,13 +87,34 @@ void BuddyIndex::PruneExcept(const std::vector<BuddyId>& referenced) {
 
 void BuddyIndex::Clear() {
   members_.clear();
+  signatures_.clear();
   stored_objects_ = 0;
 }
 
 AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
                                    const BuddyIndex& index,
-                                   const BuddyOfFn& buddy_of) {
+                                   const BuddyOfFn& buddy_of,
+                                   const DenseBitset* c_object_bits) {
   AtomIntersection out;
+  TCOMP_DCHECK(c_object_bits == nullptr ||
+               c_object_bits->Count() == c.objects.size());
+
+  const bool kernels = BitsetKernelsEnabled();
+  // O(1) disjointness prefilter: a zero Bloom-AND or non-overlapping id
+  // ranges proves the expanded sets share nothing, which is exactly the
+  // any_overlap=false answer the merge probes below would reach.
+  if (kernels && r.signature_valid && c.signature_valid &&
+      !r.signature.MaybeIntersects(c.signature)) {
+    return out;
+  }
+
+  // Membership of an object in the cluster's loose-object list: one bit
+  // probe when the caller supplied the cluster's bitset, else a binary
+  // search. Both answer the same question; only the cost differs.
+  auto in_c_objects = [&](ObjectId o) {
+    return c_object_bits != nullptr ? c_object_bits->Test(o)
+                                    : SortedContains(c.objects, o);
+  };
 
   // Allocation-free disjointness probe first: most candidate×cluster
   // pairs share nothing, and the full path below allocates several
@@ -85,7 +122,9 @@ AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
   bool overlap = SortedIntersects(r.buddy_ids, c.buddy_ids);
   if (!overlap && !c.objects.empty()) {
     for (BuddyId b : r.buddy_ids) {
-      if (SortedIntersects(index.MembersOf(b), c.objects)) {
+      const ObjectSet& members = index.MembersOf(b);
+      if (c_object_bits != nullptr ? IntersectsWith(members, *c_object_bits)
+                                   : SortedIntersects(members, c.objects)) {
         overlap = true;
         break;
       }
@@ -95,7 +134,7 @@ AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
     for (ObjectId o : r.objects) {
       BuddyId bo = buddy_of(o);
       if ((bo != kNoLiveBuddy && SortedContains(c.buddy_ids, bo)) ||
-          SortedContains(c.objects, o)) {
+          in_c_objects(o)) {
         overlap = true;
         break;
       }
@@ -112,19 +151,29 @@ AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
 
   // Unmatched candidate buddies may straddle the cluster boundary: the
   // cluster then lists the inside members as loose objects.
+  ObjectSet matched;  // reused across tokens
   for (BuddyId b : r.buddy_ids) {
     if (std::binary_search(shared.begin(), shared.end(), b)) continue;
     const ObjectSet& members = index.MembersOf(b);
-    ObjectSet matched = SortedIntersect(members, c.objects);
+    if (c_object_bits != nullptr) {
+      IntersectInto(members, *c_object_bits, &matched);
+    } else {
+      SortedIntersect(members, c.objects, &matched);
+    }
     if (matched.empty()) {
       out.remaining.buddy_ids.push_back(b);
       out.remaining.size += members.size();
       continue;
     }
     // Partially matched: the token dissolves — matched members join the
-    // result, the rest stay in the candidate as loose objects.
+    // result, the rest stay in the candidate as loose objects. Given
+    // o ∈ members, o ∈ matched ⟺ o ∈ c.objects, so the bitset answers
+    // this split too.
     for (ObjectId o : members) {
-      if (std::binary_search(matched.begin(), matched.end(), o)) {
+      bool hit = c_object_bits != nullptr
+                     ? c_object_bits->Test(o)
+                     : std::binary_search(matched.begin(), matched.end(), o);
+      if (hit) {
         out.result.objects.push_back(o);
       } else {
         out.remaining.objects.push_back(o);
@@ -136,10 +185,10 @@ AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
   // among the cluster's loose objects, or unmatched.
   for (ObjectId o : r.objects) {
     BuddyId bo = buddy_of(o);
-    bool matched =
+    bool is_matched =
         (bo != kNoLiveBuddy && SortedContains(c.buddy_ids, bo)) ||
-        SortedContains(c.objects, o);
-    if (matched) {
+        in_c_objects(o);
+    if (is_matched) {
       out.result.objects.push_back(o);
     } else {
       out.remaining.objects.push_back(o);
@@ -150,6 +199,14 @@ AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
   SortUnique(&out.remaining.objects);
   out.result.size = result_size + out.result.objects.size();
   out.remaining.size += out.remaining.objects.size();
+  // Fresh atom sets get fresh signatures so the prefilter keeps working
+  // down the candidate's lifetime; O(atom_count), no expansion.
+  if (kernels) {
+    out.result.signature = index.ComposeSignature(out.result);
+    out.result.signature_valid = true;
+    out.remaining.signature = index.ComposeSignature(out.remaining);
+    out.remaining.signature_valid = true;
+  }
   return out;
 }
 

@@ -8,6 +8,8 @@
 
 #include "core/buddy.h"
 #include "core/types.h"
+#include "util/dense_bitset.h"
+#include "util/set_signature.h"
 
 namespace tcomp {
 
@@ -23,6 +25,15 @@ struct AtomSet {
   /// Total object count (buddy members + loose objects); kept cached
   /// because the discovery loop tests it constantly against δs.
   size_t size = 0;
+
+  /// Bloom/bounds signature of the *expanded* object set, meaningful only
+  /// while `signature_valid`. The kernel layer maintains it (composed from
+  /// cached per-buddy signatures, so no expansion happens) to answer the
+  /// disjointness and subset prefilters in O(1). The expanded set is
+  /// invariant for a live candidate — buddy retirement trades tokens for
+  /// the same objects — so validity survives ExpandRetired.
+  SetSignature signature;
+  bool signature_valid = false;
 
   /// Storage cost in atoms — what the buddy index actually keeps in
   /// memory: one token per buddy plus the loose objects.
@@ -40,6 +51,14 @@ class BuddyIndex {
 
   /// Membership of `id`. The id must be registered.
   const ObjectSet& MembersOf(BuddyId id) const;
+
+  /// Signature of `id`'s member set, cached at Register time. The id must
+  /// be registered.
+  const SetSignature& SignatureOf(BuddyId id) const;
+
+  /// Signature of `set`'s expanded object set, composed from the cached
+  /// per-buddy signatures in O(atom_count) without expanding anything.
+  SetSignature ComposeSignature(const AtomSet& set) const;
 
   bool Contains(BuddyId id) const { return members_.count(id) > 0; }
 
@@ -68,6 +87,7 @@ class BuddyIndex {
 
  private:
   std::unordered_map<BuddyId, ObjectSet> members_;
+  std::unordered_map<BuddyId, SetSignature> signatures_;
   int64_t stored_objects_ = 0;
 };
 
@@ -97,9 +117,16 @@ struct AtomIntersection {
 /// match in O(1) per token without touching their members — the shortcut
 /// that makes BU's per-intersection cost low. `index` must know every
 /// buddy id appearing in `r` and `c`.
+///
+/// `c_object_bits`, when non-null, must hold exactly `c.objects` as a
+/// DenseBitset; the kernel then answers every loose-object membership
+/// probe with one bit test instead of a binary search. The caller builds
+/// it once per cluster per snapshot (each cluster is probed by every
+/// candidate), and results are identical with or without it.
 AtomIntersection IntersectAtomSets(const AtomSet& r, const AtomSet& c,
                                    const BuddyIndex& index,
-                                   const BuddyOfFn& buddy_of);
+                                   const BuddyOfFn& buddy_of,
+                                   const DenseBitset* c_object_bits = nullptr);
 
 /// True if the object set denoted by `inner` is a subset of the one
 /// denoted by `outer` (used for the closed-candidate check without

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/dense_bitset.h"
 #include "util/sorted_ops.h"
 
 namespace tcomp {
@@ -17,11 +18,18 @@ bool CompanionLog::Report(const ObjectSet& objects, double duration,
     }
     return false;
   }
+  const SetSignature signature = SetSignature::Of(objects);
+  // The O(1) signature prefilter rejects most pairs before the element
+  // merge. It can only skip work, never change an answer
+  // (differential-tested), but it honors the kernel kill switch so that
+  // "kernels off" is the pure baseline for perf attribution.
+  const bool prefilter = BitsetKernelsEnabled();
   if (closed_mode_) {
     // Drop if dominated by a logged superset (Definition 5 on outputs).
     for (const auto& [set, pos] : index_) {
       if (set.size() >= objects.size() &&
           companions_[pos].duration >= duration &&
+          (!prefilter || signature.MaybeSubsetOf(signatures_[pos])) &&
           SortedIsSubset(objects, set)) {
         return false;
       }
@@ -30,6 +38,7 @@ bool CompanionLog::Report(const ObjectSet& objects, double duration,
     for (auto eit = index_.begin(); eit != index_.end();) {
       if (eit->first.size() <= objects.size() &&
           companions_[eit->second].duration <= duration &&
+          (!prefilter || signatures_[eit->second].MaybeSubsetOf(signature)) &&
           SortedIsSubset(eit->first, objects)) {
         companions_[eit->second].objects.clear();  // tombstone
         eit = index_.erase(eit);
@@ -41,6 +50,7 @@ bool CompanionLog::Report(const ObjectSet& objects, double duration,
   }
   index_.emplace(objects, companions_.size());
   companions_.push_back(Companion{objects, duration, snapshot_index});
+  signatures_.push_back(signature);
   dirty_ = true;
   return true;
 }
@@ -48,6 +58,7 @@ bool CompanionLog::Report(const ObjectSet& objects, double duration,
 void CompanionLog::RestoreEntry(Companion companion) {
   TCOMP_DCHECK(index_.find(companion.objects) == index_.end());
   index_.emplace(companion.objects, companions_.size());
+  signatures_.push_back(SetSignature::Of(companion.objects));
   companions_.push_back(std::move(companion));
   dirty_ = true;
 }
@@ -67,14 +78,19 @@ const std::vector<Companion>& CompanionLog::companions() const {
 void CompanionLog::Clear() {
   companions_.clear();
   materialized_.clear();
+  signatures_.clear();
   index_.clear();
   dirty_ = false;
 }
 
 bool IsClosedAgainst(const ObjectSet& objects, double duration,
                      const std::vector<Candidate>& against) {
+  const SetSignature signature = SetSignature::Of(objects);
+  const bool prefilter = BitsetKernelsEnabled();
   for (const Candidate& r : against) {
+    TCOMP_DCHECK(r.signature == SetSignature::Of(r.objects));
     if (r.duration >= duration && r.objects.size() >= objects.size() &&
+        (!prefilter || signature.MaybeSubsetOf(r.signature)) &&
         SortedIsSubset(objects, r.objects)) {
       return false;
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/set_signature.h"
 
 namespace tcomp {
 
@@ -13,8 +14,19 @@ namespace tcomp {
 /// stayed density-connected for `duration` time units so far, with size
 /// already ≥ δs (smaller groups are dropped immediately).
 struct Candidate {
+  Candidate() = default;
+  /// The constructor derives `signature` from `objects` so the O(1)
+  /// closedness prefilter can never observe a stale signature. Callers
+  /// that fill `objects` after construction (checkpoint restore) must
+  /// reassign `signature` themselves.
+  Candidate(ObjectSet objects_in, double duration_in)
+      : objects(std::move(objects_in)),
+        duration(duration_in),
+        signature(SetSignature::Of(objects)) {}
+
   ObjectSet objects;       // sorted ascending
   double duration = 0.0;   // accumulated snapshot durations
+  SetSignature signature;  // O(1) subset prefilter over `objects`
 };
 
 /// A qualified traveling companion (paper Definition 3).
@@ -68,6 +80,9 @@ class CompanionLog {
   mutable std::vector<Companion> materialized_;
   mutable bool dirty_ = false;
   std::vector<Companion> companions_;
+  // Subset prefilters, parallel to `companions_` (tombstoned entries keep
+  // a stale signature but are unreachable through `index_`).
+  std::vector<SetSignature> signatures_;
   std::map<ObjectSet, size_t> index_;  // objects -> position in companions_
 };
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "util/dense_bitset.h"
 #include "util/sorted_ops.h"
 #include "util/timer.h"
 
@@ -33,21 +34,48 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
     ReportCompanion(objects, duration, newly_qualified);
   };
 
+  // Word-parallel fast path: with a dense id universe each cluster's
+  // membership lives in a bitset, built on the cluster's first probe and
+  // then shared by every candidate, so a candidate×cluster intersection
+  // walks only the candidate's objects — O(|r|) bit probes instead of the
+  // merge's O(|r| + |c|) element walk — with no per-candidate setup. The
+  // products are identical to the merge path (differential-tested); only
+  // the cost changes. Candidate ids beyond the snapshot's id range can't
+  // match any cluster, so the bitset probes skip them.
+  const uint64_t universe =
+      snapshot.empty() ? 0 : uint64_t{snapshot.ids().back()} + 1;
+  const bool use_bitset = BitsetKernelsEnabled() && !candidates_.empty() &&
+                          BitsetProfitable(universe, snapshot.size());
+  std::vector<DenseBitset> cluster_bits(
+      use_bitset ? clustering.clusters.size() : 0);
+  ObjectSet inter;  // reused across pairs; moved out only when kept
+
   // Lines 4–11: intersect every candidate with every cluster. A result
   // whose duration reaches δt is *output* as a companion and leaves the
   // candidate set — Definition 4 requires candidates to have duration
   // < δt (this is also what lets larger δt shrink the working set,
   // Fig. 17).
   for (const Candidate& r : candidates_) {
-    for (const ObjectSet& c : clustering.clusters) {
+    for (size_t k = 0; k < clustering.clusters.size(); ++k) {
+      const ObjectSet& c = clustering.clusters[k];
       ++stats_.intersections;
-      ObjectSet inter = SortedIntersect(r.objects, c);
+      if (use_bitset) {
+        DenseBitset& bits = cluster_bits[k];
+        if (bits.universe() == 0) {  // first probe of this cluster
+          bits.Resize(universe);
+          bits.SetSparse(c);
+        }
+        IntersectInto(r.objects, bits, &inter);
+      } else {
+        SortedIntersect(r.objects, c, &inter);
+      }
       if (inter.size() < min_size) continue;
       double duration = r.duration + snapshot.duration();
       if (duration >= params_.duration_threshold) {
         report(inter, duration);
       } else {
         next.push_back(Candidate{std::move(inter), duration});
+        inter = ObjectSet();
       }
     }
   }
@@ -120,6 +148,7 @@ Status ClusteringIntersectionDiscoverer::LoadState(std::istream& in) {
         return Status::Corruption("bad candidate member");
       }
     }
+    r.signature = SetSignature::Of(r.objects);
     candidates_.push_back(std::move(r));
   }
   return Status::OK();

@@ -29,7 +29,7 @@ std::vector<EvolutionEvent> AnalyzeEvolution(
       const CompanionEpisode& b = episodes[j];
       if (b.begin <= a.begin) continue;
       if (b.begin > a.end + options.max_gap) continue;
-      size_t shared = SortedIntersect(a.objects, b.objects).size();
+      size_t shared = SortedIntersectSize(a.objects, b.objects);
       size_t smaller = std::min(a.objects.size(), b.objects.size());
       if (smaller == 0) continue;
       if (static_cast<double>(shared) <

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "util/dense_bitset.h"
 #include "util/sorted_ops.h"
 #include "util/timer.h"
 
@@ -44,15 +45,42 @@ void SmartClosedDiscoverer::ProcessSnapshot(
     ReportCompanion(objects, duration, newly_qualified);
   };
 
+  // Word-parallel fast path: clusters are fixed for the whole snapshot
+  // while the candidate's working set shrinks (Lemma 1), so the bitsets
+  // live on the *cluster* side — built lazily on a cluster's first probe
+  // and shared by every candidate after that. Each later probe walks only
+  // the candidate's remaining objects, O(|remaining|) instead of the
+  // merge's O(|remaining| + |c|), with no per-candidate setup (the
+  // Lemma-1 early stop means most candidates probe one or two clusters,
+  // too few to amortize anything per-candidate). Products match the merge
+  // path bit for bit (differential-tested).
+  const uint64_t universe =
+      snapshot.empty() ? 0 : uint64_t{snapshot.ids().back()} + 1;
+  const bool use_bitset = BitsetKernelsEnabled() && !candidates_.empty() &&
+                          BitsetProfitable(universe, snapshot.size());
+  std::vector<DenseBitset> cluster_bits(
+      use_bitset ? clustering.clusters.size() : 0);
+  ObjectSet inter;  // reused across pairs; moved out only when kept
+
   for (const Candidate& r : candidates_) {
     // Working copy; matched objects are removed after each intersection
     // (smart intersection, Lemma 1).
     ObjectSet remaining = r.objects;
     double duration = r.duration + snapshot.duration();
 
-    auto intersect_with = [&](const ObjectSet& c) {
+    auto intersect_with = [&](size_t k) {
+      const ObjectSet& c = clustering.clusters[k];
       ++stats_.intersections;
-      ObjectSet inter = SortedIntersect(remaining, c);
+      if (use_bitset) {
+        DenseBitset& bits = cluster_bits[k];
+        if (bits.universe() == 0) {  // first probe of this cluster
+          bits.Resize(universe);
+          bits.SetSparse(c);
+        }
+        IntersectInto(remaining, bits, &inter);
+      } else {
+        SortedIntersect(remaining, c, &inter);
+      }
       if (inter.empty()) return;
       SortedSubtractInPlace(&remaining, inter);
       if (inter.size() < min_size) return;
@@ -62,6 +90,7 @@ void SmartClosedDiscoverer::ProcessSnapshot(
         report(inter, duration);
       } else {
         next.push_back(Candidate{std::move(inter), duration});
+        inter = ObjectSet();
       }
     };
 
@@ -70,19 +99,19 @@ void SmartClosedDiscoverer::ProcessSnapshot(
     // the Lemma-1 early stop fires immediately. Products are independent
     // of scan order (hard clustering), so only cost changes.
     int32_t first_label = -1;
-    if (!remaining.empty()) {
-      size_t idx = snapshot.IndexOf(remaining.front());
+    if (!r.objects.empty()) {
+      size_t idx = snapshot.IndexOf(r.objects.front());
       if (idx != Snapshot::kNpos) first_label = clustering.labels[idx];
     }
     if (first_label >= 0) {
-      intersect_with(clustering.clusters[static_cast<size_t>(first_label)]);
+      intersect_with(static_cast<size_t>(first_label));
     }
     for (size_t k = 0; k < clustering.clusters.size(); ++k) {
       // Line 6: once fewer than δs objects remain, no further cluster can
       // produce a qualifying result — stop early.
       if (remaining.size() < min_size) break;
       if (static_cast<int32_t>(k) == first_label) continue;
-      intersect_with(clustering.clusters[k]);
+      intersect_with(k);
     }
   }
 
@@ -155,6 +184,7 @@ Status SmartClosedDiscoverer::LoadState(std::istream& in) {
         return Status::Corruption("bad candidate member");
       }
     }
+    r.signature = SetSignature::Of(r.objects);
     candidates_.push_back(std::move(r));
   }
   return Status::OK();

@@ -8,7 +8,7 @@ namespace tcomp {
 
 double Jaccard(const ObjectSet& a, const ObjectSet& b) {
   if (a.empty() && b.empty()) return 1.0;
-  size_t inter = SortedIntersect(a, b).size();
+  size_t inter = SortedIntersectSize(a, b);
   size_t uni = a.size() + b.size() - inter;
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);

@@ -1,0 +1,90 @@
+#ifndef TCOMP_UTIL_SET_SIGNATURE_H_
+#define TCOMP_UTIL_SET_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcomp {
+
+/// O(1) subset prefilter for sorted id sets.
+///
+/// A signature folds a set into one 64-bit Bloom word (bit `id mod 64`
+/// per member) plus its min/max id. `A ⊆ B` requires every Bloom bit of
+/// A to be set in B and A's id range to sit inside B's, so
+/// MaybeSubsetOf() rejects most non-subset pairs without touching a
+/// single element; a `true` answer still needs the exact merge check
+/// (SortedIsSubset). Closedness scans — IsClosedAgainst, the
+/// CompanionLog's closed-mode superset/eviction passes — are quadratic
+/// in candidate count and dominated by failed subset checks, which is
+/// exactly what this filters.
+struct SetSignature {
+  uint64_t bloom = 0;
+  /// min > max is the empty-set sentinel (empty ⊆ everything).
+  uint32_t min_id = 1;
+  uint32_t max_id = 0;
+
+  /// Builds the signature of a sorted, duplicate-free id vector.
+  static SetSignature Of(const std::vector<uint32_t>& sorted_ids) {
+    SetSignature s;
+    if (sorted_ids.empty()) return s;
+    for (uint32_t id : sorted_ids) s.bloom |= uint64_t{1} << (id & 63);
+    s.min_id = sorted_ids.front();
+    s.max_id = sorted_ids.back();
+    return s;
+  }
+
+  bool empty() const { return min_id > max_id; }
+
+  /// False only if the underlying set can NOT be a subset of `outer`'s.
+  /// Never false-rejects: if A ⊆ B then MaybeSubsetOf returns true.
+  bool MaybeSubsetOf(const SetSignature& outer) const {
+    if (empty()) return true;
+    return (bloom & ~outer.bloom) == 0 && min_id >= outer.min_id &&
+           max_id <= outer.max_id;
+  }
+
+  /// False only if the two underlying sets are PROVABLY disjoint: a
+  /// shared element would contribute a shared Bloom bit and force the id
+  /// ranges to overlap. Never false-rejects: if A ∩ B ≠ ∅, returns true.
+  /// BU's atom intersection uses this to dismiss the typical
+  /// nothing-in-common candidate×cluster pair in O(1).
+  bool MaybeIntersects(const SetSignature& other) const {
+    if (empty() || other.empty()) return false;
+    return (bloom & other.bloom) != 0 && min_id <= other.max_id &&
+           other.min_id <= max_id;
+  }
+
+  /// Folds one more member id into the signature.
+  void AddId(uint32_t id) {
+    bloom |= uint64_t{1} << (id & 63);
+    if (empty()) {
+      min_id = id;
+      max_id = id;
+      return;
+    }
+    if (id < min_id) min_id = id;
+    if (id > max_id) max_id = id;
+  }
+
+  /// Becomes the signature of the union of both underlying sets — how an
+  /// atom set's signature is composed from cached per-buddy signatures.
+  void MergeUnion(const SetSignature& other) {
+    if (other.empty()) return;
+    if (empty()) {
+      *this = other;
+      return;
+    }
+    bloom |= other.bloom;
+    if (other.min_id < min_id) min_id = other.min_id;
+    if (other.max_id > max_id) max_id = other.max_id;
+  }
+
+  friend bool operator==(const SetSignature& a, const SetSignature& b) {
+    return a.bloom == b.bloom && a.min_id == b.min_id &&
+           a.max_id == b.max_id;
+  }
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_SET_SIGNATURE_H_

@@ -22,28 +22,70 @@ bool IsSortedUnique(const std::vector<T>& v) {
   return true;
 }
 
+/// Intersection of two sorted unique vectors into a reusable output
+/// buffer (cleared first; must not alias `a` or `b`). The inner discovery
+/// loops call this with a scratch vector so the common "intersection too
+/// small, discard" case allocates nothing.
+template <typename T>
+void SortedIntersect(const std::vector<T>& a, const std::vector<T>& b,
+                     std::vector<T>* out) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
 /// Returns the intersection of two sorted unique vectors.
 template <typename T>
 std::vector<T> SortedIntersect(const std::vector<T>& a,
                                const std::vector<T>& b) {
-  TCOMP_DCHECK(IsSortedUnique(a));
-  TCOMP_DCHECK(IsSortedUnique(b));
   std::vector<T> out;
   out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  SortedIntersect(a, b, &out);
   return out;
+}
+
+/// |a ∩ b| without materializing the intersection.
+template <typename T>
+size_t SortedIntersectSize(const std::vector<T>& a, const std::vector<T>& b) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  size_t n = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+/// Union of two sorted unique vectors into a reusable output buffer
+/// (cleared first; must not alias `a` or `b`).
+template <typename T>
+void SortedUnion(const std::vector<T>& a, const std::vector<T>& b,
+                 std::vector<T>* out) {
+  TCOMP_DCHECK(IsSortedUnique(a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  out->clear();
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
 }
 
 /// Returns the union of two sorted unique vectors.
 template <typename T>
 std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
-  TCOMP_DCHECK(IsSortedUnique(a));
-  TCOMP_DCHECK(IsSortedUnique(b));
   std::vector<T> out;
   out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
+  SortedUnion(a, b, &out);
   return out;
 }
 
@@ -60,17 +102,35 @@ std::vector<T> SortedDifference(const std::vector<T>& a,
   return out;
 }
 
-/// Removes, in place, every element of sorted `b` from sorted `a`.
+/// Removes, in place, every element of sorted `b` from sorted `a`:
+/// single compaction pass, no allocation.
 template <typename T>
 void SortedSubtractInPlace(std::vector<T>* a, const std::vector<T>& b) {
-  *a = SortedDifference(*a, b);
+  TCOMP_DCHECK(IsSortedUnique(*a));
+  TCOMP_DCHECK(IsSortedUnique(b));
+  if (a->empty() || b.empty()) return;
+  auto ib = b.begin();
+  auto write = a->begin();
+  for (auto read = a->begin(); read != a->end(); ++read) {
+    while (ib != b.end() && *ib < *read) ++ib;
+    if (ib != b.end() && !(*read < *ib)) continue;  // *read == *ib: drop
+    if (write != read) *write = std::move(*read);
+    ++write;
+  }
+  a->erase(write, a->end());
 }
 
-/// True if sorted unique `a` is a subset of sorted unique `b`.
+/// True if sorted unique `a` is a subset of sorted unique `b`. The size
+/// and range comparisons reject most non-subset pairs in O(1) before the
+/// element walk.
 template <typename T>
 bool SortedIsSubset(const std::vector<T>& a, const std::vector<T>& b) {
   TCOMP_DCHECK(IsSortedUnique(a));
   TCOMP_DCHECK(IsSortedUnique(b));
+  if (a.empty()) return true;
+  if (a.size() > b.size() || a.front() < b.front() || b.back() < a.back()) {
+    return false;
+  }
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 

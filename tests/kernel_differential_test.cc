@@ -1,0 +1,238 @@
+/// Differential proof that the word-parallel bitset kernels are a pure
+/// optimization: with SetBitsetKernelsEnabled() toggled on vs. off, CI,
+/// SC, BU, and the convoy baseline must produce byte-identical state —
+/// same companions in the same order, same candidate sets, same
+/// intersection counters. Only wall-clock timings may differ, so those
+/// three fields of the serialized "stats" line are zeroed before
+/// comparison.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/convoy.h"
+#include "core/discoverer.h"
+#include "data/group_model.h"
+#include "util/dense_bitset.h"
+
+namespace tcomp {
+namespace {
+
+/// Restores the process-wide kernel toggle no matter how a test exits, so
+/// a failing assertion can't leak "kernels off" into later tests.
+class KernelToggleGuard {
+ public:
+  KernelToggleGuard() : saved_(BitsetKernelsEnabled()) {}
+  ~KernelToggleGuard() { SetBitsetKernelsEnabled(saved_); }
+  KernelToggleGuard(const KernelToggleGuard&) = delete;
+  KernelToggleGuard& operator=(const KernelToggleGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 90;
+  options.num_snapshots = 32;
+  options.area_size = 1600.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams BaseParams() {
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+  return params;
+}
+
+/// Spreads the dense generator ids across a huge sparse universe. With
+/// ids this sparse BitsetProfitable() rejects the bitset path, so this
+/// stream exercises the merge fallback under the kernels-on toggle.
+SnapshotStream SparsifyIds(const SnapshotStream& stream, ObjectId stride) {
+  SnapshotStream out;
+  out.reserve(stream.size());
+  for (const Snapshot& s : stream) {
+    std::vector<ObjectPosition> pos;
+    pos.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      pos.push_back(ObjectPosition{s.id(i) * stride, s.pos(i)});
+    }
+    out.push_back(Snapshot(std::move(pos), s.duration()));
+  }
+  return out;
+}
+
+/// Serialized discoverer state with the three wall-clock fields (the last
+/// tokens of the "stats" line) zeroed; everything else must match bit for
+/// bit between kernel modes.
+std::string NormalizedState(const CompanionDiscoverer& d) {
+  std::ostringstream raw;
+  Status st = d.SaveState(raw);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::istringstream in(raw.str());
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("stats ", 0) == 0) {
+      std::istringstream fields(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (fields >> tok) tokens.push_back(tok);
+      EXPECT_GE(tokens.size(), 4u);
+      for (size_t i = tokens.size() - 3; i < tokens.size(); ++i) {
+        tokens[i].assign(1, '0');  // plain `= "0"` trips GCC 12's -Wrestrict
+      }
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << tokens[i];
+      }
+      out << '\n';
+    } else {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+struct RunResult {
+  std::string state;
+  int64_t intersections = 0;
+  int64_t companions_reported = 0;
+  size_t log_size = 0;
+};
+
+RunResult RunDiscoverer(Algorithm algorithm, const SnapshotStream& stream,
+              const DiscoveryParams& params, bool kernels) {
+  SetBitsetKernelsEnabled(kernels);
+  std::unique_ptr<CompanionDiscoverer> d = MakeDiscoverer(algorithm, params);
+  for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+  RunResult r;
+  r.state = NormalizedState(*d);
+  r.intersections = d->stats().intersections;
+  r.companions_reported = d->stats().companions_reported;
+  r.log_size = d->log().companions().size();
+  return r;
+}
+
+class KernelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelDifferentialTest, DiscoverersByteIdenticalAcrossKernelModes) {
+  KernelToggleGuard guard;
+  GroupDataset data = ChurnyStream(GetParam());
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    RunResult on = RunDiscoverer(algorithm, data.stream, params, true);
+    RunResult off = RunDiscoverer(algorithm, data.stream, params, false);
+    EXPECT_GT(on.log_size, 0u) << "test wants companions";
+    EXPECT_EQ(on.state, off.state) << AlgorithmName(algorithm);
+    EXPECT_EQ(on.intersections, off.intersections) << AlgorithmName(algorithm);
+    EXPECT_EQ(on.companions_reported, off.companions_reported)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST_P(KernelDifferentialTest, SparseIdStreamsByteIdentical) {
+  KernelToggleGuard guard;
+  // Stride pushes the id universe to ~10^7 for 90 objects — far below the
+  // 1-member-per-word density bound, so kernels-on must take the merge
+  // fallback and still match exactly.
+  SnapshotStream sparse =
+      SparsifyIds(ChurnyStream(GetParam()).stream, 120'001);
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    RunResult on = RunDiscoverer(algorithm, sparse, params, true);
+    RunResult off = RunDiscoverer(algorithm, sparse, params, false);
+    EXPECT_GT(on.log_size, 0u) << "test wants companions";
+    EXPECT_EQ(on.state, off.state) << AlgorithmName(algorithm);
+    EXPECT_EQ(on.intersections, off.intersections) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_P(KernelDifferentialTest, ConvoyBaselineIdenticalAcrossKernelModes) {
+  KernelToggleGuard guard;
+  GroupDataset data = ChurnyStream(GetParam());
+  ConvoyParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.min_objects = 5;
+  params.min_lifetime = 7;
+
+  SetBitsetKernelsEnabled(true);
+  ConvoyStats stats_on;
+  std::vector<Convoy> on = DiscoverConvoys(data.stream, params, &stats_on);
+  SetBitsetKernelsEnabled(false);
+  ConvoyStats stats_off;
+  std::vector<Convoy> off = DiscoverConvoys(data.stream, params, &stats_off);
+
+  EXPECT_FALSE(on.empty()) << "test wants convoys";
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].objects, off[i].objects) << "convoy " << i;
+    EXPECT_EQ(on[i].begin, off[i].begin) << "convoy " << i;
+    EXPECT_EQ(on[i].end, off[i].end) << "convoy " << i;
+  }
+  EXPECT_EQ(stats_on.intersections, stats_off.intersections);
+  EXPECT_EQ(stats_on.peak_candidates, stats_off.peak_candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelDifferentialTest,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+/// Checkpoints written under one kernel mode must load and continue
+/// identically under the other: the signature/bitset layer is derived
+/// state, never serialized.
+TEST(KernelCheckpointTest, StateRoundTripsAcrossKernelModes) {
+  KernelToggleGuard guard;
+  GroupDataset data = ChurnyStream(406);
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    // Run the first half with kernels on, checkpoint...
+    SetBitsetKernelsEnabled(true);
+    std::unique_ptr<CompanionDiscoverer> first =
+        MakeDiscoverer(algorithm, params);
+    const size_t half = data.stream.size() / 2;
+    for (size_t t = 0; t < half; ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+    std::stringstream checkpoint;
+    ASSERT_TRUE(first->SaveState(checkpoint).ok());
+
+    // ...finish in the same process with kernels on...
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    // ...and finish from the checkpoint with kernels off.
+    SetBitsetKernelsEnabled(false);
+    std::unique_ptr<CompanionDiscoverer> resumed =
+        MakeDiscoverer(algorithm, params);
+    ASSERT_TRUE(resumed->LoadState(checkpoint).ok());
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      resumed->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    EXPECT_EQ(NormalizedState(*first), NormalizedState(*resumed))
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

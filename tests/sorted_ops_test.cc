@@ -43,6 +43,36 @@ TEST(SortedOpsTest, SubtractInPlace) {
   EXPECT_EQ(a, (IntVec{2, 4}));
 }
 
+TEST(SortedOpsTest, SubtractInPlaceNeverReallocates) {
+  IntVec a{1, 2, 3, 4, 5, 6, 7, 8};
+  const int* storage = a.data();
+  SortedSubtractInPlace(&a, IntVec{2, 4, 6, 100});
+  EXPECT_EQ(a, (IntVec{1, 3, 5, 7, 8}));
+  EXPECT_EQ(a.data(), storage);
+  SortedSubtractInPlace(&a, IntVec{1, 3, 5, 7, 8});
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), storage);  // erase keeps capacity
+  SortedSubtractInPlace(&a, IntVec{1});  // empty lhs: no-op
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SortedOpsTest, IntersectSizeBasic) {
+  EXPECT_EQ(SortedIntersectSize(IntVec{1, 3, 5}, IntVec{2, 3, 5, 7}), 2u);
+  EXPECT_EQ(SortedIntersectSize(IntVec{}, IntVec{1, 2}), 0u);
+  EXPECT_EQ(SortedIntersectSize(IntVec{1, 2}, IntVec{3, 4}), 0u);
+  EXPECT_EQ(SortedIntersectSize(IntVec{7}, IntVec{7}), 1u);
+}
+
+TEST(SortedOpsTest, ReusableOutputOverloadsClearFirst) {
+  IntVec out{99, 98, 97};  // stale contents must be discarded
+  SortedIntersect(IntVec{1, 3, 5}, IntVec{3, 5, 7}, &out);
+  EXPECT_EQ(out, (IntVec{3, 5}));
+  SortedUnion(IntVec{1, 3}, IntVec{2}, &out);
+  EXPECT_EQ(out, (IntVec{1, 2, 3}));
+  SortedIntersect(IntVec{}, IntVec{1}, &out);
+  EXPECT_EQ(out, IntVec{});
+}
+
 TEST(SortedOpsTest, SubsetChecks) {
   EXPECT_TRUE(SortedIsSubset(IntVec{}, IntVec{1}));
   EXPECT_TRUE(SortedIsSubset(IntVec{2, 4}, IntVec{1, 2, 3, 4}));
@@ -92,6 +122,17 @@ TEST_P(SortedOpsPropertyTest, MatchesNaiveReference) {
     EXPECT_EQ(SortedDifference(a, b), diff_ref);
     EXPECT_EQ(SortedIntersects(a, b), !inter_ref.empty());
     EXPECT_EQ(SortedIsSubset(a, b), diff_ref.empty());
+    EXPECT_EQ(SortedIntersectSize(a, b), inter_ref.size());
+
+    IntVec scratch;
+    SortedIntersect(a, b, &scratch);
+    EXPECT_EQ(scratch, inter_ref);
+    SortedUnion(a, b, &scratch);
+    EXPECT_EQ(scratch, union_ref);
+
+    IntVec mut = a;
+    SortedSubtractInPlace(&mut, b);
+    EXPECT_EQ(mut, diff_ref);
   }
 }
 

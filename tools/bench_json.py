@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run the perf-trajectory harness and record its JSON output.
+
+Wraps the bench_perf_json binary: runs it with the chosen workload,
+validates the result (checksums and counters must agree between the
+kernel and merge paths), annotates it with the toolchain/commit the
+numbers were taken on, and writes it to the output file (by default
+BENCH_PR4.json at the repo root — the perf-trajectory record for the
+word-parallel kernel PR).
+
+Usage:
+    tools/bench_json.py --build-dir build            # full workload
+    tools/bench_json.py --build-dir build --quick    # CI smoke workload
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+
+
+def run_harness(binary, extra_args):
+    cmd = [str(binary)] + extra_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{' '.join(cmd)} exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def git_commit(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo_root), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main():
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--out", default=str(repo_root / "BENCH_PR4.json"),
+                        help="output JSON path")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke workload (CI lane)")
+    parser.add_argument("--reps", type=int, default=9,
+                        help="end-to-end repetitions per kernel mode")
+    parser.add_argument("--objects", type=int, default=None,
+                        help="override the e2e stream population")
+    parser.add_argument("--snapshots", type=int, default=None,
+                        help="override the e2e stream length")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.build_dir) / "bench" / "bench_perf_json"
+    if not binary.exists():
+        raise SystemExit(
+            f"{binary} not found — build first: cmake --build {args.build_dir}")
+
+    harness_args = ["--reps", str(args.reps)]
+    if args.quick:
+        harness_args.append("--quick")
+    if args.objects is not None:
+        harness_args += ["--objects", str(args.objects)]
+    if args.snapshots is not None:
+        harness_args += ["--snapshots", str(args.snapshots)]
+    result = run_harness(binary, harness_args)
+
+    micro = result["micro"]
+    if not (micro["intersect_checksums_match"]
+            and micro["closedness_checksums_match"]):
+        raise SystemExit("micro checksums disagree: kernels are not a "
+                         "pure optimization — refusing to record")
+    for entry in result["e2e"]:
+        if not entry["identical_counters"]:
+            raise SystemExit(f"{entry['algorithm']}: intersection counters "
+                             "differ across kernel modes — refusing to record")
+
+    result["provenance"] = {
+        "commit": git_commit(repo_root),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"wrote {out_path}")
+    print(f"  micro: intersect {micro['intersect_speedup']:.1f}x, "
+          f"closedness {micro['closedness_speedup']:.1f}x")
+    for entry in result["e2e"]:
+        print(f"  e2e {entry['algorithm']}: "
+              f"istep {entry['istep_speedup']:.2f}x, "
+              f"normalized {entry['norm_speedup']:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
