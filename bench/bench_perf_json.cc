@@ -23,8 +23,11 @@
 #include <functional>
 
 #include "core/discoverer.h"
+#include "core/discovery_metrics.h"
 #include "core/smart_closed.h"
 #include "data/group_model.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "util/dense_bitset.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -253,6 +256,30 @@ E2eResult BenchEndToEnd(const std::string& name, const DiscovererFactory& make,
 
 double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
 
+/// One instrumented pass per algorithm with the obs stage sink attached:
+/// the BENCH JSON carries the full per-stage latency histogram snapshot
+/// (registry JSON), so a perf regression can be localized to a stage
+/// straight from the recorded file. Runs after the timed comparisons —
+/// instrumentation overhead (nanoseconds per stage) never touches them.
+std::string StageMetricsJson(const DiscoveryParams& params,
+                             const SnapshotStream& stream) {
+  MetricsRegistry registry;
+  MetricsStageSink sink(&registry);
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    std::unique_ptr<CompanionDiscoverer> d = MakeDiscoverer(algorithm, params);
+    d->set_stage_sink(&sink);
+    for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+    if (algorithm == Algorithm::kBuddy) {
+      ExportDiscoveryMetrics(d->stats(),
+                             static_cast<int64_t>(d->log().size()),
+                             &registry);
+    }
+  }
+  return registry.JsonText();
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags;
   Status s = flags.Parse(argc, argv);
@@ -380,7 +407,11 @@ int Main(int argc, char** argv) {
         << (r.identical_counters ? "true" : "false") << "}"
         << (i + 1 < e2e.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  // Registry JSON is itself a complete object ending in '\n'; embed it as
+  // the final member.
+  out << "  \"stage_metrics\": " << StageMetricsJson(params, data.stream);
+  out << "}\n";
 
   // Smoke contract: the kernels must not have changed any counted work.
   bool ok = micro.checksum_merge == micro.checksum_bitset &&

@@ -6,6 +6,7 @@
 #include "util/dense_bitset.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
+#include "util/timer.h"
 
 namespace tcomp {
 namespace {
@@ -20,7 +21,8 @@ struct Cand {
 
 std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
                                     const ConvoyParams& params,
-                                    ConvoyStats* stats) {
+                                    ConvoyStats* stats,
+                                    StageTimerSink* stage_sink) {
   TCOMP_CHECK_GT(params.min_objects, 0);
   TCOMP_CHECK_GT(params.min_lifetime, 0);
   const size_t m = static_cast<size_t>(params.min_objects);
@@ -36,8 +38,16 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
   };
 
   for (size_t t = 0; t < stream.size(); ++t) {
+    Timer cluster_timer;
+    cluster_timer.Start();
     Clustering clustering =
         Dbscan(stream[t], params.cluster, &local.distance_ops);
+    cluster_timer.Stop();
+    if (stage_sink != nullptr) {
+      stage_sink->RecordStage(Stage::kCluster, cluster_timer.Seconds());
+    }
+    Timer intersect_timer;
+    intersect_timer.Start();
     const int32_t now = static_cast<int32_t>(t);
 
     // Products, deduplicated by object set keeping the earliest begin
@@ -92,9 +102,14 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
       if (!continued_whole) emit(v);
     }
 
+    intersect_timer.Stop();
+
     // Fresh clusters open new chains unless dominated by a running one
     // (a subset of a running candidate has been co-clustered for that
-    // candidate's whole interval already).
+    // candidate's whole interval already). The dominance scan is the
+    // convoy analogue of the closure check, so it reports as kClosure.
+    Timer closure_timer;
+    closure_timer.Start();
     for (const ObjectSet& c : clustering.clusters) {
       if (c.size() < m) continue;
       bool dominated = false;
@@ -105,6 +120,11 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
         }
       }
       if (!dominated) add(c, now);
+    }
+    closure_timer.Stop();
+    if (stage_sink != nullptr) {
+      stage_sink->RecordStage(Stage::kIntersect, intersect_timer.Seconds());
+      stage_sink->RecordStage(Stage::kClosure, closure_timer.Seconds());
     }
 
     candidates.clear();

@@ -7,6 +7,7 @@
 #include "core/dbscan.h"
 #include "core/snapshot.h"
 #include "core/types.h"
+#include "obs/stage_timer.h"
 
 namespace tcomp {
 
@@ -47,9 +48,15 @@ struct ConvoyStats {
 /// This is the whole-dataset algorithm the paper's CI baseline adapts to
 /// streams; unlike CI it reports exact lifetimes [begin, end] but cannot
 /// emit anything until a convoy *ends*.
+///
+/// `stage_sink`, if non-null, receives per-snapshot cluster / intersect /
+/// closure durations under the same stage names the incremental
+/// discoverers report, so convoy-baseline runs slot into the same
+/// dashboards. Timing only; products are unaffected.
 std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
                                     const ConvoyParams& params,
-                                    ConvoyStats* stats = nullptr);
+                                    ConvoyStats* stats = nullptr,
+                                    StageTimerSink* stage_sink = nullptr);
 
 }  // namespace tcomp
 

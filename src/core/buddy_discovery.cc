@@ -94,6 +94,7 @@ void BuddyDiscoverer::ProcessSnapshot(
   }
   maintain_timer.Stop();
   stats_.maintain_seconds += maintain_timer.Seconds();
+  RecordStage(Stage::kMaintain, maintain_timer.Seconds());
 
   // --- C-step: buddy-based clustering (Algorithm 4). ---
   Timer cluster_timer;
@@ -103,6 +104,7 @@ void BuddyDiscoverer::ProcessSnapshot(
       BuddyBasedClustering(snapshot, buddies_, params_.cluster, &cstats);
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
+  RecordStage(Stage::kCluster, cluster_timer.Seconds());
   stats_.buddy_pairs_checked += cstats.pairs_checked;
   stats_.buddy_pairs_pruned += cstats.pairs_pruned;
   stats_.distance_ops += cstats.distance_ops;
@@ -265,6 +267,11 @@ void BuddyDiscoverer::ProcessSnapshot(
   outcomes.clear();
 
   // New clusters enter as candidates only if closed (Definition 5).
+  // Closure runs inside the I-step timer (stats_.intersect_seconds keeps
+  // covering the whole I-step); the nested timer splits it out for the
+  // stage sink.
+  Timer closure_timer;
+  closure_timer.Start();
   for (AtomSet& c : cluster_atoms) {
     if (c.size < min_size) continue;
     double duration = snapshot.duration();
@@ -289,6 +296,7 @@ void BuddyDiscoverer::ProcessSnapshot(
       next.push_back(std::move(c));
     }
   }
+  closure_timer.Stop();
 
   candidates_ = std::move(next);
 
@@ -303,6 +311,9 @@ void BuddyDiscoverer::ProcessSnapshot(
 
   intersect_timer.Stop();
   stats_.intersect_seconds += intersect_timer.Seconds();
+  RecordStage(Stage::kIntersect,
+              intersect_timer.Seconds() - closure_timer.Seconds());
+  RecordStage(Stage::kClosure, closure_timer.Seconds());
 
   // Space cost: atoms stored in candidates plus the index's single copy of
   // each referenced buddy's member list.

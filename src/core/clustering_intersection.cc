@@ -23,6 +23,7 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
       Dbscan(snapshot, params_.cluster, &stats_.distance_ops);
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
+  RecordStage(Stage::kCluster, cluster_timer.Seconds());
 
   Timer intersect_timer;
   intersect_timer.Start();
@@ -94,6 +95,9 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
   candidates_ = std::move(next);
   intersect_timer.Stop();
   stats_.intersect_seconds += intersect_timer.Seconds();
+  // CI has no closure check (new clusters are admitted unconditionally),
+  // so kClosure records no samples for this algorithm.
+  RecordStage(Stage::kIntersect, intersect_timer.Seconds());
 
   stats_.candidate_objects_last = TotalCandidateObjects(candidates_);
   stats_.candidate_objects_peak =

@@ -11,6 +11,7 @@
 #include "core/candidate.h"
 #include "core/dbscan.h"
 #include "core/snapshot.h"
+#include "obs/stage_timer.h"
 #include "util/status.h"
 
 namespace tcomp {
@@ -117,6 +118,14 @@ class CompanionDiscoverer {
 
   void set_report_sink(ReportSink sink) { report_sink_ = std::move(sink); }
 
+  /// Observability hook: per-snapshot stage durations (maintain, cluster,
+  /// intersect, closure) are reported here in addition to the cumulative
+  /// DiscoveryStats seconds. Null (the default) disables reporting. The
+  /// sink must outlive the discoverer and only ever receives timing
+  /// values — it cannot influence products (the differential suites pin
+  /// byte-identical output with and without a sink attached).
+  void set_stage_sink(StageTimerSink* sink) { stage_sink_ = sink; }
+
   virtual Algorithm algorithm() const = 0;
   std::string name() const { return AlgorithmName(algorithm()); }
 
@@ -152,9 +161,16 @@ class CompanionDiscoverer {
     }
   }
 
+  /// Forwards one stage duration to the sink, if any. Timing only — never
+  /// read back, never branching on the value.
+  void RecordStage(Stage stage, double seconds) {
+    if (stage_sink_ != nullptr) stage_sink_->RecordStage(stage, seconds);
+  }
+
   CompanionLog log_;
   DiscoveryStats stats_;
   ReportSink report_sink_;
+  StageTimerSink* stage_sink_ = nullptr;
   int64_t snapshot_index_ = 0;
 };
 

@@ -1,0 +1,23 @@
+#ifndef TCOMP_CORE_DISCOVERY_METRICS_H_
+#define TCOMP_CORE_DISCOVERY_METRICS_H_
+
+#include <cstdint>
+
+#include "core/discoverer.h"
+#include "obs/metrics.h"
+
+namespace tcomp {
+
+/// Publishes a DiscoveryStats snapshot into `registry` under stable
+/// `tcomp_*` names (see DESIGN.md for the metric → paper-figure mapping).
+/// Idempotent: series are registered on first call and overwritten on
+/// every call, so callers sync at exposition time (QUERY metrics, the
+/// batch --stats-json dump) rather than on the hot path. The counter
+/// sources are monotonic, so Set() preserves counter semantics.
+void ExportDiscoveryMetrics(const DiscoveryStats& stats,
+                            int64_t companions_distinct,
+                            MetricsRegistry* registry);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_DISCOVERY_METRICS_H_

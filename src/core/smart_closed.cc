@@ -34,6 +34,7 @@ void SmartClosedDiscoverer::ProcessSnapshot(
                               &stats_.distance_ops);
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
+  RecordStage(Stage::kCluster, cluster_timer.Seconds());
 
   Timer intersect_timer;
   intersect_timer.Start();
@@ -116,6 +117,11 @@ void SmartClosedDiscoverer::ProcessSnapshot(
   }
 
   // Lines 14–15: new clusters are stored only if closed (Definition 5).
+  // The closure scan is timed separately for the stage sink; it runs
+  // inside the I-step timer, so stats_.intersect_seconds keeps its
+  // historical meaning (whole I-step) while the sink sees the split.
+  Timer closure_timer;
+  closure_timer.Start();
   for (const ObjectSet& c : clustering.clusters) {
     if (c.size() < min_size) continue;
     double duration = snapshot.duration();
@@ -126,10 +132,14 @@ void SmartClosedDiscoverer::ProcessSnapshot(
       next.push_back(Candidate{c, duration});
     }
   }
+  closure_timer.Stop();
 
   candidates_ = std::move(next);
   intersect_timer.Stop();
   stats_.intersect_seconds += intersect_timer.Seconds();
+  RecordStage(Stage::kIntersect,
+              intersect_timer.Seconds() - closure_timer.Seconds());
+  RecordStage(Stage::kClosure, closure_timer.Seconds());
 
   stats_.candidate_objects_last = TotalCandidateObjects(candidates_);
   stats_.candidate_objects_peak =

@@ -1,0 +1,244 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace tcomp {
+namespace {
+
+/// Index of the finite bucket covering `us` microseconds: 0 for values
+/// below 1 µs, otherwise floor(log2(us)) + 1 — i.e. the bit width of the
+/// integer microsecond value.
+int BucketIndex(uint64_t us) {
+  int width = 0;
+  while (us != 0) {
+    us >>= 1;
+    ++width;
+  }
+  return width;
+}
+
+/// Formats a double with a fixed, locale-independent printf format so the
+/// exposition bytes do not depend on stream state or platform defaults.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// JSON has no literal for infinity; 1e999 overflows to +inf in every
+/// consumer we care about (Python, jq) while staying a valid number token.
+std::string JsonDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  return FormatDouble(v);
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative clock glitches
+  double us = seconds * 1e6;
+  int bucket;
+  if (us >= static_cast<double>(uint64_t{1} << (kBucketCount - 1))) {
+    bucket = kBucketCount;  // overflow slot
+  } else {
+    bucket = BucketIndex(static_cast<uint64_t>(us));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  for (int i = 0; i <= kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based: ceil(q·count), with a small
+  // backoff so 0.95 × 100 (inexact in binary) still lands on rank 95 —
+  // the tests pin exact hand-computed answers.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count) - 1e-9));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return BucketUpperBoundSeconds(i);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
+                                                    Kind kind,
+                                                    const std::string& help) {
+  Family& fam = families_[name];
+  if (fam.series.empty()) {
+    fam.kind = kind;
+    fam.help = help;
+  }
+  return &fam;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& family,
+                                           const std::string& labels,
+                                           const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(family, Kind::kCounter, help);
+  Series& s = fam->series[labels];
+  if (s.counter == nullptr) s.counter = std::make_unique<MetricCounter>();
+  return s.counter.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& family,
+                                       const std::string& labels,
+                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(family, Kind::kGauge, help);
+  Series& s = fam->series[labels];
+  if (s.gauge == nullptr) s.gauge = std::make_unique<MetricGauge>();
+  return s.gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& family,
+                                                const std::string& labels,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(family, Kind::kHistogram, help);
+  Series& s = fam->series[labels];
+  if (s.histogram == nullptr) {
+    s.histogram = std::make_unique<LatencyHistogram>();
+  }
+  return s.histogram.get();
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, fam] : families_) {
+    out << "# HELP " << name << ' ' << fam.help << '\n';
+    out << "# TYPE " << name << ' '
+        << KindName(static_cast<int>(fam.kind)) << '\n';
+    for (const auto& [labels, series] : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          out << name;
+          if (!labels.empty()) out << '{' << labels << '}';
+          out << ' ' << series.counter->Value() << '\n';
+          break;
+        case Kind::kGauge:
+          out << name;
+          if (!labels.empty()) out << '{' << labels << '}';
+          out << ' ' << series.gauge->Value() << '\n';
+          break;
+        case Kind::kHistogram: {
+          LatencyHistogram::Snapshot snap = series.histogram->Snap();
+          std::string prefix = labels.empty() ? "" : labels + ",";
+          uint64_t cumulative = 0;
+          for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+            cumulative += snap.buckets[i];
+            out << name << "_bucket{" << prefix << "le=\""
+                << FormatDouble(
+                       LatencyHistogram::BucketUpperBoundSeconds(i))
+                << "\"} " << cumulative << '\n';
+          }
+          cumulative += snap.buckets[LatencyHistogram::kBucketCount];
+          out << name << "_bucket{" << prefix << "le=\"+Inf\"} "
+              << cumulative << '\n';
+          out << name << "_sum";
+          if (!labels.empty()) out << '{' << labels << '}';
+          out << ' ' << FormatDouble(snap.sum_seconds) << '\n';
+          out << name << "_count";
+          if (!labels.empty()) out << '{' << labels << '}';
+          out << ' ' << snap.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  auto series_name = [](const std::string& name, const std::string& labels) {
+    std::string full = name;
+    if (!labels.empty()) {
+      full += '{';
+      for (char c : labels) {
+        if (c == '"') full += '\\';
+        full += c;
+      }
+      full += '}';
+    }
+    return full;
+  };
+  out << "{\n";
+  for (int pass = 0; pass < 3; ++pass) {
+    Kind want = static_cast<Kind>(pass);
+    out << "  \"" << KindName(pass) << 's' << "\": {";
+    bool first = true;
+    for (const auto& [name, fam] : families_) {
+      if (fam.kind != want) continue;
+      for (const auto& [labels, series] : fam.series) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << series_name(name, labels) << "\": ";
+        switch (fam.kind) {
+          case Kind::kCounter:
+            out << series.counter->Value();
+            break;
+          case Kind::kGauge:
+            out << series.gauge->Value();
+            break;
+          case Kind::kHistogram: {
+            LatencyHistogram::Snapshot snap = series.histogram->Snap();
+            out << "{\"count\": " << snap.count
+                << ", \"sum_seconds\": " << JsonDouble(snap.sum_seconds)
+                << ", \"p50\": " << JsonDouble(snap.p50())
+                << ", \"p95\": " << JsonDouble(snap.p95())
+                << ", \"p99\": " << JsonDouble(snap.p99())
+                << ", \"buckets\": [";
+            for (int i = 0; i <= LatencyHistogram::kBucketCount; ++i) {
+              if (i > 0) out << ", ";
+              out << snap.buckets[i];
+            }
+            out << "]}";
+            break;
+          }
+        }
+      }
+    }
+    out << (first ? "}" : "\n  }") << (pass + 1 < 3 ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tcomp

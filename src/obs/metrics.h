@@ -1,0 +1,151 @@
+#ifndef TCOMP_OBS_METRICS_H_
+#define TCOMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tcomp {
+
+/// Monotonic event counter. Value operations are lock-free relaxed
+/// atomics — cheap enough for the ingest hot path — and the counter is
+/// owned by a MetricsRegistry, so its address is stable for the
+/// registry's lifetime and can be cached by instrumented code.
+class MetricCounter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Overwrites the value. Used by code that keeps its authoritative
+  /// counters elsewhere (e.g. under a pipeline mutex) and syncs them into
+  /// the registry at exposition time; such counters stay monotonic
+  /// because their source is.
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, peak sizes, ...).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log2-bucket latency histogram. Recording is a handful of relaxed
+/// atomic adds — no allocation, no lock, no floating-point accumulation
+/// shared across threads — so it is safe in the worker hot loop and for
+/// concurrent recorders.
+///
+/// Buckets are powers of two in *microseconds*: bucket 0 counts samples
+/// below 1 µs, bucket i (i ≥ 1) counts samples in [2^(i-1), 2^i) µs, and
+/// one overflow bucket catches everything at or above 2^(kBucketCount-1)
+/// µs (≈ 67 s). Bucket boundaries are compile-time constants, so two
+/// histograms always expose byte-identical bucket label sets.
+class LatencyHistogram {
+ public:
+  /// Finite buckets; upper bound of bucket i is 2^i µs. The last finite
+  /// bound is 2^(kBucketCount-1) µs ≈ 67.1 s, wide enough for any stage
+  /// this codebase times.
+  static constexpr int kBucketCount = 27;
+
+  /// Upper bound of finite bucket `i`, in seconds.
+  static double BucketUpperBoundSeconds(int i) {
+    return static_cast<double>(uint64_t{1} << i) * 1e-6;
+  }
+
+  void Record(double seconds);
+
+  /// Point-in-time copy with derived quantiles. Concurrent recorders make
+  /// the copy approximate (counts may be mid-update), but every read is a
+  /// valid atomic load, so the snapshot is always well-formed.
+  struct Snapshot {
+    uint64_t buckets[kBucketCount + 1] = {};  // last slot = overflow
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+    /// Upper bound (seconds) of the bucket holding the q-quantile sample;
+    /// +inf when it lands in the overflow bucket, 0 when count == 0.
+    /// Deterministic for a given bucket content — no interpolation.
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount + 1] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// Process-local metric registry: owns counters, gauges, and histograms
+/// and renders them as deterministic, name-sorted Prometheus-style text
+/// or JSON. Registration takes a mutex and may allocate; it is meant for
+/// setup time (instrumented code caches the returned pointer and then
+/// records lock-free). Registering the same family+labels again returns
+/// the existing instrument.
+///
+/// Exposition determinism: families iterate in name order and series in
+/// label order (both std::map), histogram bucket lines in ascending `le`
+/// order, and all numeric formatting goes through fixed printf formats —
+/// two registries with the same instruments produce byte-identical
+/// name/label text, which the golden test pins.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// `labels` is the pre-rendered label body without braces, e.g.
+  /// `stage="cluster"`, or empty for an unlabeled series. `help` is kept
+  /// from the first registration of a family.
+  MetricCounter* GetCounter(const std::string& family,
+                            const std::string& labels,
+                            const std::string& help);
+  MetricGauge* GetGauge(const std::string& family, const std::string& labels,
+                        const std::string& help);
+  LatencyHistogram* GetHistogram(const std::string& family,
+                                 const std::string& labels,
+                                 const std::string& help);
+
+  /// Prometheus-style text: `# HELP` / `# TYPE` per family, then one line
+  /// per series (histograms expand to `_bucket{...,le="..."}`, `_sum`,
+  /// `_count`). Name-sorted and byte-deterministic in names/labels.
+  std::string ExpositionText() const;
+
+  /// The same content as a single JSON object with `counters`, `gauges`,
+  /// and `histograms` keys (histograms carry count/sum/p50/p95/p99 and
+  /// the full bucket array). Name-sorted.
+  std::string JsonText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Series> series;  // key: label body
+  };
+
+  Family* GetFamily(const std::string& name, Kind kind,
+                    const std::string& help);
+
+  mutable std::mutex mu_;  // guards the maps; instrument values are atomic
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_OBS_METRICS_H_

@@ -1,0 +1,46 @@
+#include "obs/stage_timer.h"
+
+#include <string>
+
+namespace tcomp {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIngestAdmission:
+      return "ingest_admission";
+    case Stage::kReorderHold:
+      return "reorder_hold";
+    case Stage::kSnapshotClose:
+      return "snapshot_close";
+    case Stage::kMaintain:
+      return "maintain";
+    case Stage::kCluster:
+      return "cluster";
+    case Stage::kIntersect:
+      return "intersect";
+    case Stage::kClosure:
+      return "closure";
+    case Stage::kCheckpointWrite:
+      return "checkpoint_write";
+  }
+  return "unknown";
+}
+
+MetricsStageSink::MetricsStageSink(MetricsRegistry* registry) {
+  for (int i = 0; i < kStageCount; ++i) {
+    std::string labels = "stage=\"";
+    labels += StageName(static_cast<Stage>(i));
+    labels += '"';
+    histograms_[i] = registry->GetHistogram(
+        "tcomp_stage_seconds", labels,
+        "Per-snapshot wall time of each pipeline stage, in seconds");
+  }
+}
+
+void MetricsStageSink::RecordStage(Stage stage, double seconds) {
+  histograms_[static_cast<int>(stage)]->Record(seconds);
+  last_seconds_[static_cast<int>(stage)].store(seconds,
+                                               std::memory_order_relaxed);
+}
+
+}  // namespace tcomp

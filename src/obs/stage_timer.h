@@ -1,0 +1,72 @@
+#ifndef TCOMP_OBS_STAGE_TIMER_H_
+#define TCOMP_OBS_STAGE_TIMER_H_
+
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace tcomp {
+
+/// The pipeline stages the paper's evaluation measures (Section VII,
+/// Figs. 14–19). Every discoverer — CI, SC, BU — and the convoy baseline
+/// report the same stage names, so dashboards and the slow-snapshot log
+/// read identically whichever algorithm is serving. A stage an algorithm
+/// does not have (CI has no closure check, only BU maintains buddies)
+/// simply records no samples; the series still exists, with count 0.
+enum class Stage {
+  kIngestAdmission,  // Ingest(): admission-queue push (incl. kBlock stall)
+  kReorderHold,      // watermark reorder buffer: arrival → release
+  kSnapshotClose,    // window close → discoverer done (whole snapshot)
+  kMaintain,         // M-step: buddy split/merge maintenance (BU)
+  kCluster,          // C-step: density clustering
+  kIntersect,        // I-step: candidate × cluster intersections
+  kClosure,          // closedness checks on new clusters (SC, BU, convoy)
+  kCheckpointWrite,  // checkpoint serialization + file write
+};
+inline constexpr int kStageCount = 8;
+
+/// Stable lowercase identifier used as the `stage` label value.
+const char* StageName(Stage stage);
+
+/// Where instrumented code reports per-snapshot stage durations. The
+/// interface is deliberately minimal so core algorithms depend only on
+/// this header, not on any metrics backend; a null sink (the default in
+/// CompanionDiscoverer) makes instrumentation a pointer test.
+class StageTimerSink {
+ public:
+  virtual ~StageTimerSink() = default;
+  virtual void RecordStage(Stage stage, double seconds) = 0;
+};
+
+/// StageTimerSink backed by a MetricsRegistry: one
+/// `tcomp_stage_seconds{stage="..."}` histogram per stage, all registered
+/// at construction so every consumer exposes the identical series set and
+/// the hot path is a few relaxed atomic adds. Also keeps the most recent
+/// value per stage (atomic doubles) so the pipeline can assemble a
+/// per-snapshot breakdown for the slow-snapshot warning without touching
+/// the histograms again.
+class MetricsStageSink : public StageTimerSink {
+ public:
+  explicit MetricsStageSink(MetricsRegistry* registry);
+
+  void RecordStage(Stage stage, double seconds) override;
+
+  LatencyHistogram* histogram(Stage stage) const {
+    return histograms_[static_cast<int>(stage)];
+  }
+  /// Seconds from the most recent RecordStage() for `stage` (0 before the
+  /// first sample). Monitoring-grade: reads are atomic but a concurrent
+  /// recorder may land between two reads of different stages.
+  double last_seconds(Stage stage) const {
+    return last_seconds_[static_cast<int>(stage)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  LatencyHistogram* histograms_[kStageCount];
+  std::atomic<double> last_seconds_[kStageCount] = {};
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_OBS_STAGE_TIMER_H_

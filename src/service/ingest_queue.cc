@@ -105,7 +105,9 @@ size_t IngestQueue::depth() const {
 
 IngestQueueCounters IngestQueue::Counters() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  IngestQueueCounters counters = counters_;
+  counters.depth = static_cast<int64_t>(items_.size());
+  return counters;
 }
 
 }  // namespace tcomp

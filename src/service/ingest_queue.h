@@ -33,11 +33,16 @@ const char* BackpressureModeName(BackpressureMode mode);
 Status ParseBackpressureMode(const std::string& name, BackpressureMode* mode);
 
 /// Occupancy and loss counters, readable at any time via Counters().
+/// `depth` is sampled in the same critical section as the counters, so
+/// one Counters() call always satisfies pushed == popped + shed + depth
+/// exactly — reading depth() separately could tear against a concurrent
+/// push or pop.
 struct IngestQueueCounters {
   int64_t pushed = 0;    // records accepted into the queue
   int64_t popped = 0;    // records handed to consumers
   int64_t shed = 0;      // records dropped by kShedOldest
   int64_t rejected = 0;  // pushes refused by kReject
+  int64_t depth = 0;     // queue occupancy at sampling time
   int64_t depth_peak = 0;  // high-watermark queue depth
 };
 

@@ -1,11 +1,14 @@
 #include "service/pipeline.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "core/discovery_metrics.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace tcomp {
 
@@ -13,7 +16,8 @@ ServicePipeline::ServicePipeline(const ServicePipelineOptions& options)
     : options_(options),
       queue_(options.queue_capacity, options.backpressure),
       window_(options.window),
-      filler_(options.inactive_fill) {}
+      filler_(options.inactive_fill),
+      stage_sink_(&metrics_) {}
 
 ServicePipeline::~ServicePipeline() {
   Status s = Stop();
@@ -35,6 +39,9 @@ Status ServicePipeline::Start() {
       resumed_ = true;
     }
   }
+  // Stage reporting is timing-only: the serve-vs-batch differential runs
+  // with the sink attached and stays byte-identical to the batch path.
+  discoverer_->set_stage_sink(&stage_sink_);
   started_ = true;
   worker_ = std::thread(&ServicePipeline::WorkerLoop, this);
   return Status::OK();
@@ -55,7 +62,13 @@ Status ServicePipeline::Ingest(const TrajectoryRecord& record) {
   }
   // The queue has its own lock; a kBlock stall here must not hold
   // state_mu_, or the worker could never drain and we would deadlock.
+  // Admission latency includes any such stall — that is the signal: under
+  // kBlock it is the backpressure the producer actually experienced.
+  Timer admission_timer;
+  admission_timer.Start();
   Status s = queue_.Push(record);
+  admission_timer.Stop();
+  stage_sink_.RecordStage(Stage::kIngestAdmission, admission_timer.Seconds());
   if (s.ok()) {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++records_ingested_;
@@ -77,7 +90,30 @@ void ServicePipeline::PushToWindow(const TrajectoryRecord& record) {
 
 void ServicePipeline::ProcessReady() {
   for (const Snapshot& snap : ready_) {
+    Timer close_timer;
+    close_timer.Start();
     discoverer_->ProcessSnapshot(filler_.Fill(snap), nullptr);
+    close_timer.Stop();
+    stage_sink_.RecordStage(Stage::kSnapshotClose, close_timer.Seconds());
+    double wall_ms = close_timer.Seconds() * 1e3;
+    if (options_.slow_snapshot_ms > 0.0 &&
+        wall_ms > options_.slow_snapshot_ms) {
+      // One structured line per slow snapshot: the whole-close wall time
+      // plus the per-stage breakdown the discoverer just reported. The
+      // stages are nested inside the close, so they need not sum to it
+      // (fill, window bookkeeping, and report handling make the rest).
+      char line[256];
+      std::snprintf(
+          line, sizeof(line),
+          "slow snapshot: index=%lld wall_ms=%.3f maintain_ms=%.3f "
+          "cluster_ms=%.3f intersect_ms=%.3f closure_ms=%.3f objects=%zu",
+          static_cast<long long>(discoverer_->stats().snapshots),
+          wall_ms, stage_sink_.last_seconds(Stage::kMaintain) * 1e3,
+          stage_sink_.last_seconds(Stage::kCluster) * 1e3,
+          stage_sink_.last_seconds(Stage::kIntersect) * 1e3,
+          stage_sink_.last_seconds(Stage::kClosure) * 1e3, snap.size());
+      TCOMP_LOG_WARNING << line;
+    }
     if (options_.checkpoint_every > 0 &&
         discoverer_->stats().snapshots - last_checkpoint_snapshot_ >=
             options_.checkpoint_every) {
@@ -93,8 +129,13 @@ void ServicePipeline::ProcessReady() {
 void ServicePipeline::DrainReorderBuffer(bool everything) {
   double watermark = max_timestamp_seen_ - options_.allowed_lateness;
   while (!reorder_.empty() &&
-         (everything || reorder_.top().timestamp <= watermark)) {
-    PushToWindow(reorder_.top());
+         (everything || reorder_.top().record.timestamp <= watermark)) {
+    stage_sink_.RecordStage(
+        Stage::kReorderHold,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      reorder_.top().arrival)
+            .count());
+    PushToWindow(reorder_.top().record);
     reorder_.pop();
   }
 }
@@ -104,14 +145,19 @@ void ServicePipeline::WorkerLoop() {
   while (queue_.Pop(&record)) {
     std::lock_guard<std::mutex> lock(state_mu_);
     if (options_.allowed_lateness <= 0.0) {
+      // Lateness disabled: arrival order is stream order by contract, so
+      // nothing is ever "late" and records_late_ stays 0.
       PushToWindow(record);
     } else {
       if (any_timestamp_seen_ &&
-          record.timestamp <
+          record.timestamp <=
               max_timestamp_seen_ - options_.allowed_lateness) {
-        // Behind the watermark: its snapshot may already be closed. The
-        // window folds it into the current one (bounded staleness), same
-        // as the batch path; we only account for it here.
+        // At or behind the watermark: its snapshot may already be closed.
+        // `<=` matches DrainReorderBuffer's release rule — a record with
+        // timestamp exactly at the watermark is immediately releasable,
+        // i.e. the lateness bound no longer protects it, so it counts as
+        // late. (It is still processed: the window folds it into the
+        // current snapshot — bounded staleness, same as the batch path.)
         ++records_late_;
       }
       if (!any_timestamp_seen_ ||
@@ -119,7 +165,7 @@ void ServicePipeline::WorkerLoop() {
         max_timestamp_seen_ = record.timestamp;
         any_timestamp_seen_ = true;
       }
-      reorder_.push(record);
+      reorder_.push(HeldRecord{record, std::chrono::steady_clock::now()});
       if (static_cast<int64_t>(reorder_.size()) > reorder_held_peak_) {
         reorder_held_peak_ = static_cast<int64_t>(reorder_.size());
       }
@@ -160,8 +206,12 @@ Status ServicePipeline::Flush() {
 
 Status ServicePipeline::CheckpointLocked() {
   if (options_.checkpoint_path.empty()) return Status::OK();
-  TCOMP_RETURN_IF_ERROR(
-      SaveDiscovererToFile(*discoverer_, options_.checkpoint_path));
+  Timer write_timer;
+  write_timer.Start();
+  Status s = SaveDiscovererToFile(*discoverer_, options_.checkpoint_path);
+  write_timer.Stop();
+  stage_sink_.RecordStage(Stage::kCheckpointWrite, write_timer.Seconds());
+  TCOMP_RETURN_IF_ERROR(s);
   ++checkpoints_written_;
   last_checkpoint_snapshot_ = discoverer_->stats().snapshots;
   return Status::OK();
@@ -205,6 +255,19 @@ std::vector<Companion> ServicePipeline::Companions() const {
 }
 
 ServiceStats ServicePipeline::Stats() const {
+  // Consistent cut, by fixed lock order: state_mu_ first, then the
+  // queue's internal mutex inside Counters() — the same nesting Flush()
+  // uses, so the order can never invert and deadlock. Holding state_mu_
+  // freezes every pipeline counter (the worker bumps them only under
+  // state_mu_) while Counters() samples pushed/popped/shed/depth in one
+  // critical section of the queue mutex. Queue counters can still advance
+  // relative to the frozen pipeline counters, but only in the direction
+  // that preserves the ServiceStats invariants: a concurrent Push() grows
+  // pushed before records_ingested_ is bumped (pushed >= ingested), and a
+  // concurrent Pop() grows popped before the worker can take state_mu_ to
+  // bump records_processed_ (popped >= processed, by at most the one
+  // in-flight record). The depth sampled inside Counters() makes
+  // pushed == popped + shed + depth exact, not torn.
   std::lock_guard<std::mutex> lock(state_mu_);
   ServiceStats stats;
   if (discoverer_ != nullptr) {
@@ -214,6 +277,7 @@ ServiceStats ServicePipeline::Stats() const {
   }
   stats.queue = queue_.Counters();
   stats.records_ingested = records_ingested_;
+  stats.records_processed = records_processed_;
   stats.records_invalid = records_invalid_;
   stats.records_late = records_late_;
   stats.reorder_held_peak = reorder_held_peak_;
@@ -221,6 +285,56 @@ ServiceStats ServicePipeline::Stats() const {
   stats.checkpoints_written = checkpoints_written_;
   stats.resumed = resumed_;
   return stats;
+}
+
+std::string ServicePipeline::MetricsText() const {
+  // Counter series are synced from the authoritative Stats() snapshot at
+  // exposition time (their sources are monotonic, so Set() keeps counter
+  // semantics); stage histograms record live and are read as-is. Every
+  // series is (re-)registered on each call, so a single call exposes the
+  // complete, deterministic name set — even before any data has flowed.
+  ServiceStats stats = Stats();
+  ExportDiscoveryMetrics(stats.discovery, stats.companions_distinct,
+                         &metrics_);
+  auto counter = [&](const char* name, const char* help, int64_t value) {
+    metrics_.GetCounter(name, "", help)
+        ->Set(static_cast<uint64_t>(value < 0 ? 0 : value));
+  };
+  auto gauge = [&](const char* name, const char* help, int64_t value) {
+    metrics_.GetGauge(name, "", help)->Set(value);
+  };
+  counter("tcomp_records_ingested_total", "Records accepted by Ingest()",
+          stats.records_ingested);
+  counter("tcomp_records_processed_total",
+          "Records consumed by the pipeline worker", stats.records_processed);
+  counter("tcomp_records_invalid_total",
+          "Records rejected before admission (non-finite fields)",
+          stats.records_invalid);
+  counter("tcomp_records_late_total",
+          "Records at or behind the watermark on arrival",
+          stats.records_late);
+  counter("tcomp_queue_pushed_total", "Records admitted to the ingest queue",
+          stats.queue.pushed);
+  counter("tcomp_queue_popped_total",
+          "Records handed from the queue to the worker", stats.queue.popped);
+  counter("tcomp_queue_shed_total",
+          "Records dropped by shed-oldest backpressure", stats.queue.shed);
+  counter("tcomp_queue_rejected_total",
+          "Pushes refused by reject backpressure", stats.queue.rejected);
+  counter("tcomp_snapshots_emitted_total",
+          "Snapshots closed by the sliding window", stats.snapshots_emitted);
+  counter("tcomp_checkpoints_written_total", "Checkpoint files written",
+          stats.checkpoints_written);
+  gauge("tcomp_queue_depth", "Ingest queue depth at sampling time",
+        stats.queue.depth);
+  gauge("tcomp_queue_depth_peak", "High-watermark ingest queue depth",
+        stats.queue.depth_peak);
+  gauge("tcomp_reorder_held_peak",
+        "High-watermark reorder-buffer size (records held)",
+        stats.reorder_held_peak);
+  gauge("tcomp_resumed", "1 if state was restored from a checkpoint",
+        stats.resumed ? 1 : 0);
+  return metrics_.ExpositionText();
 }
 
 }  // namespace tcomp

@@ -1,6 +1,7 @@
 #ifndef TCOMP_SERVICE_PIPELINE_H_
 #define TCOMP_SERVICE_PIPELINE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -12,6 +13,8 @@
 
 #include "core/candidate.h"
 #include "core/discoverer.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "service/ingest_queue.h"
 #include "stream/inactive_period.h"
 #include "stream/record.h"
@@ -46,14 +49,26 @@ struct ServicePipelineOptions {
   std::string checkpoint_path;
   /// Auto-checkpoint period in snapshots (0 = only on Stop()).
   int64_t checkpoint_every = 0;
+
+  /// Slow-snapshot log threshold in wall milliseconds: a snapshot whose
+  /// close (window → discoverer) exceeds it emits one structured WARNING
+  /// line with the per-stage breakdown. 0 disables the log. Logging only —
+  /// never affects processing or results.
+  double slow_snapshot_ms = 0.0;
 };
 
 /// Pipeline-level counters; discovery and queue counters ride along so one
 /// Stats() call captures a consistent picture of every stage.
+///
+/// Consistency contract (see Stats() for the locking that provides it):
+///   queue.pushed == queue.popped + queue.shed + queue.depth
+///   queue.popped >= records_processed            (≤ 1 record in flight)
+///   queue.pushed >= records_ingested             (bump follows the push)
 struct ServiceStats {
   DiscoveryStats discovery;
   IngestQueueCounters queue;
   int64_t records_ingested = 0;   // accepted by Ingest()
+  int64_t records_processed = 0;  // consumed by the worker
   int64_t records_invalid = 0;    // rejected before admission (non-finite)
   int64_t records_late = 0;       // arrived behind the watermark
   int64_t reorder_held_peak = 0;  // high-watermark reorder-buffer size
@@ -111,6 +126,15 @@ class ServicePipeline {
   /// Consistent counter snapshot across every stage (thread-safe).
   ServiceStats Stats() const;
 
+  /// Deterministic, name-sorted Prometheus-style exposition of every
+  /// pipeline metric: stage latency histograms, queue/record counters,
+  /// and the discovery counters. Names and labels are byte-identical
+  /// across runs; only timing-valued series differ. Thread-safe.
+  std::string MetricsText() const;
+  /// The registry behind MetricsText(); stage histograms and counters can
+  /// be inspected directly (tests, embedding applications).
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   const ServicePipelineOptions& options() const { return options_; }
 
  private:
@@ -134,15 +158,21 @@ class ServicePipeline {
   SlidingWindowSnapshotter window_;
   InactivePeriodFiller filler_;
   std::vector<Snapshot> ready_;
+  // Reorder-buffer entry: the record plus its arrival instant, so the
+  // release path can report how long the watermark held it back. The
+  // arrival time never participates in ordering — products are identical
+  // with or without it.
+  struct HeldRecord {
+    TrajectoryRecord record;
+    std::chrono::steady_clock::time_point arrival;
+  };
   // Min-heap on timestamp (greater-than comparator) for watermarking.
   struct LaterTimestamp {
-    bool operator()(const TrajectoryRecord& a,
-                    const TrajectoryRecord& b) const {
-      return a.timestamp > b.timestamp;
+    bool operator()(const HeldRecord& a, const HeldRecord& b) const {
+      return a.record.timestamp > b.record.timestamp;
     }
   };
-  std::priority_queue<TrajectoryRecord, std::vector<TrajectoryRecord>,
-                      LaterTimestamp>
+  std::priority_queue<HeldRecord, std::vector<HeldRecord>, LaterTimestamp>
       reorder_;
   double max_timestamp_seen_ = 0.0;
   bool any_timestamp_seen_ = false;
@@ -154,6 +184,16 @@ class ServicePipeline {
   int64_t checkpoints_written_ = 0;
   int64_t last_checkpoint_snapshot_ = 0;
   bool resumed_ = false;
+
+  // Observability. The registry's instruments are internally atomic:
+  // recording does not take state_mu_, and exposition (MetricsText) takes
+  // state_mu_ only to sync the authoritative pipeline counters in. The
+  // stage sink is wired into the discoverer at Start() and shared with
+  // the pipeline's own stages (admission, reorder hold, snapshot close,
+  // checkpoint write). Mutable: publishing counters is observation, not
+  // state mutation.
+  mutable MetricsRegistry metrics_;
+  MetricsStageSink stage_sink_;
 
   std::thread worker_;
   // Serializes Stop() end to end (a protocol SHUTDOWN and the signal path

@@ -170,7 +170,7 @@ Status ParseRequest(const std::string& line, Request* request) {
   if (verb == "QUERY") {
     if (tokens.size() != 2) {
       return Status::InvalidArgument(
-          "QUERY expects: QUERY companions|stats|buddies");
+          "QUERY expects: QUERY companions|stats|buddies|metrics");
     }
     request->type = Request::Type::kQuery;
     if (tokens[1] == "companions") {
@@ -179,6 +179,8 @@ Status ParseRequest(const std::string& line, Request* request) {
       request->query = Request::QueryKind::kStats;
     } else if (tokens[1] == "buddies") {
       request->query = Request::QueryKind::kBuddies;
+    } else if (tokens[1] == "metrics") {
+      request->query = Request::QueryKind::kMetrics;
     } else {
       return Status::InvalidArgument("unknown query: " + tokens[1]);
     }
@@ -250,6 +252,7 @@ std::string ProtocolSession::HandleLine(const std::string& line,
       ServiceStats stats = pipeline_->Stats();
       std::ostringstream body;
       body << "records_ingested=" << stats.records_ingested << '\n'
+           << "records_processed=" << stats.records_processed << '\n'
            << "records_invalid=" << stats.records_invalid << '\n'
            << "records_late=" << stats.records_late << '\n'
            << "reorder_held_peak=" << stats.reorder_held_peak << '\n'
@@ -257,6 +260,7 @@ std::string ProtocolSession::HandleLine(const std::string& line,
            << "queue_popped=" << stats.queue.popped << '\n'
            << "queue_shed=" << stats.queue.shed << '\n'
            << "queue_rejected=" << stats.queue.rejected << '\n'
+           << "queue_depth=" << stats.queue.depth << '\n'
            << "queue_depth_peak=" << stats.queue.depth_peak << '\n'
            << "snapshots=" << stats.discovery.snapshots << '\n'
            << "snapshots_emitted=" << stats.snapshots_emitted << '\n'
@@ -288,6 +292,16 @@ std::string ProtocolSession::HandleLine(const std::string& line,
                     d.average_buddy_size());
       body << avg;
       std::string text = body.str();
+      size_t lines = 0;
+      for (char c : text) lines += (c == '\n');
+      out << "OK " << lines << '\n' << text;
+      break;
+    }
+    case Request::QueryKind::kMetrics: {
+      // Exposition text is '\n'-terminated per line and never contains a
+      // bare "." line (every line starts with '#' or a metric name), so
+      // the dot terminator frames it unambiguously.
+      std::string text = pipeline_->MetricsText();
       size_t lines = 0;
       for (char c : text) lines += (c == '\n');
       out << "OK " << lines << '\n' << text;

@@ -16,7 +16,7 @@ namespace tcomp {
 /// trailing CR is stripped, so telnet/netcat work):
 ///
 ///   INGEST <object> <timestamp> <x> <y>
-///   QUERY companions | stats | buddies
+///   QUERY companions | stats | buddies | metrics
 ///   FLUSH
 ///   SHUTDOWN
 ///
@@ -26,7 +26,10 @@ namespace tcomp {
 /// until the dot without counting. Payload lines for `QUERY companions`
 /// use the exact CSV row format of eval/export.h
 /// (`duration,snapshot_index,size,objects`), so streamed results are
-/// byte-comparable with the batch CLI's --out-csv files.
+/// byte-comparable with the batch CLI's --out-csv files. `QUERY metrics`
+/// returns the pipeline's Prometheus-style exposition text
+/// (ServicePipeline::MetricsText): name-sorted, deterministic in names
+/// and labels, scrapeable with `feed --query "QUERY metrics"` or netcat.
 
 /// Longest accepted request line (bytes, excluding the LF). Anything
 /// longer is a protocol error; the session discards until the next LF and
@@ -65,7 +68,7 @@ class LineFramer {
 /// A parsed request.
 struct Request {
   enum class Type { kIngest, kQuery, kFlush, kShutdown };
-  enum class QueryKind { kCompanions, kStats, kBuddies };
+  enum class QueryKind { kCompanions, kStats, kBuddies, kMetrics };
   Type type = Type::kFlush;
   QueryKind query = QueryKind::kStats;
   TrajectoryRecord record;  // kIngest only

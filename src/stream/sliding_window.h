@@ -40,6 +40,17 @@ struct SlidingWindowOptions {
 ///    current window rather than dropped — a bounded-staleness choice
 ///    matching the paper's tolerance discussion.
 ///
+/// Empty-window contract: a window with no reports NEVER produces a
+/// snapshot and never advances emitted(), wherever it occurs — a
+/// mid-stream gap (the while loop skips over it), a trailing gap before
+/// Flush(), or a Flush() with nothing buffered (including a second
+/// Flush() in a row). Emitting zero-object snapshots would feed the
+/// discoverers degenerate clustering inputs and make `snapshots_emitted`
+/// depend on wall-clock gaps rather than data. Because the rule is the
+/// same mid-stream and at end-of-stream, a batch run and a serve run over
+/// the same records always agree on emitted() — the serve-vs-batch
+/// differential test pins this.
+///
 /// Usage:
 ///   SlidingWindowSnapshotter win(options);
 ///   std::vector<Snapshot> ready;

@@ -47,13 +47,19 @@ grep -q "wrote" gen.log
 "$CLI" discover --csv d2.csv --algo bu --epsilon 24 --mu 5 \
     --min-size 10 --min-duration 10 --window-seconds 60 --threads 2 \
     --truth d2.truth --timeline --quiet --save-state d2.ckpt \
-    --out-json d2.json --out-csv d2_out.csv > run1.log
+    --out-json d2.json --out-csv d2_out.csv \
+    --stats-json d2_stats.json > run1.log
 grep -q "distinct companions" run1.log
 grep -q "recall" run1.log
 grep -q "companion timeline" run1.log
 test -f d2.ckpt
 grep -q '"companions"' d2.json
 head -1 d2_out.csv | grep -q "duration,snapshot_index,size,objects"
+# The stage-metrics dump holds all three sections and a populated
+# snapshot_close histogram (one sample per processed snapshot).
+grep -q '"histograms"' d2_stats.json
+grep -q '"counters"' d2_stats.json
+grep -q 'stage=\\"snapshot_close\\"' d2_stats.json
 
 # Parameter suggestion lands near the generator's scale.
 "$CLI" suggest --csv d2.csv --window-seconds 60 > suggest.log
@@ -107,6 +113,17 @@ rm -f port.txt
 SERVE_PID=$!
 wait_for_port_file port.txt
 PORT=$(cat port.txt)
+
+# Metrics scrape round trip: two scrapes must expose the same name/label
+# sequence (values move between scrapes, the series set must not).
+"$CLI" feed --port "$PORT" --query metrics --out metrics1.txt --quiet
+"$CLI" feed --port "$PORT" --query metrics --out metrics2.txt --quiet
+grep -q "tcomp_stage_seconds_bucket" metrics1.txt
+grep -q "tcomp_records_ingested_total" metrics1.txt
+grep -q "tcomp_snapshots_processed_total" metrics1.txt
+sed 's/ [^ ]*$//' metrics1.txt > metrics1.names
+sed 's/ [^ ]*$//' metrics2.txt > metrics2.names
+cmp metrics1.names metrics2.names
 
 "$CLI" feed --csv feed_b.csv --port "$PORT" --query companions \
     --out served.csv --shutdown --quiet > feed2.log

@@ -14,6 +14,8 @@
 #include "baselines/convoy.h"
 #include "core/discoverer.h"
 #include "data/group_model.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "util/dense_bitset.h"
 
 namespace tcomp {
@@ -114,6 +116,12 @@ RunResult RunDiscoverer(Algorithm algorithm, const SnapshotStream& stream,
               const DiscoveryParams& params, bool kernels) {
   SetBitsetKernelsEnabled(kernels);
   std::unique_ptr<CompanionDiscoverer> d = MakeDiscoverer(algorithm, params);
+  // Stage timing rides along on the kernels-on side only: the comparison
+  // then also proves the observability sink never perturbs results (the
+  // two sides differ in instrumentation, yet must stay byte-identical).
+  MetricsRegistry registry;
+  MetricsStageSink sink(&registry);
+  if (kernels) d->set_stage_sink(&sink);
   for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
   RunResult r;
   r.state = NormalizedState(*d);
@@ -172,9 +180,13 @@ TEST_P(KernelDifferentialTest, ConvoyBaselineIdenticalAcrossKernelModes) {
   params.min_objects = 5;
   params.min_lifetime = 7;
 
+  // Instrumented on one side only — see RunDiscoverer.
+  MetricsRegistry registry;
+  MetricsStageSink sink(&registry);
   SetBitsetKernelsEnabled(true);
   ConvoyStats stats_on;
-  std::vector<Convoy> on = DiscoverConvoys(data.stream, params, &stats_on);
+  std::vector<Convoy> on =
+      DiscoverConvoys(data.stream, params, &stats_on, &sink);
   SetBitsetKernelsEnabled(false);
   ConvoyStats stats_off;
   std::vector<Convoy> off = DiscoverConvoys(data.stream, params, &stats_off);

@@ -456,5 +456,179 @@ TEST(ServicePipelineTest, RejectBackpressureReachesProducers) {
             static_cast<int64_t>(records.size()));
 }
 
+// ---------------------------------------------------------------------
+// Stats() consistency: every snapshot a reader takes mid-run must be a
+// consistent cut, never a torn mix of pre- and post-increment counters.
+// The invariants below are exactly the contract documented on
+// ServiceStats; TSan additionally checks the locking (tsan label).
+
+TrajectoryRecord TimedRecord(ObjectId id, double t) {
+  TrajectoryRecord r;
+  r.object = id;
+  r.timestamp = t;
+  r.pos.x = static_cast<double>(id % 100);
+  r.pos.y = t;
+  return r;
+}
+
+void HammerStatsWhileIngesting(BackpressureMode mode) {
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.queue_capacity = 8;  // small: the worker lags, depth is often > 0
+  opts.backpressure = mode;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ServiceStats s = pipeline.Stats();
+      // Exact: depth is sampled in the same critical section as the
+      // queue counters, so the flow equation balances at every read.
+      EXPECT_EQ(s.queue.pushed, s.queue.popped + s.queue.shed +
+                                    s.queue.depth);
+      // The single worker has at most one record popped but not yet
+      // counted as processed.
+      EXPECT_GE(s.queue.popped, s.records_processed);
+      EXPECT_LE(s.queue.popped, s.records_processed + 1);
+      // A record is counted ingested only after its push succeeded.
+      EXPECT_GE(s.queue.pushed, s.records_ingested);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // A concurrent Flush barrier stresses the same locks from a third
+  // angle (it nests state_mu_ → queue-mu exactly like Stats does).
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_TRUE(pipeline.Flush().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        TrajectoryRecord r =
+            TimedRecord(static_cast<ObjectId>(p * kPerProducer + i),
+                        static_cast<double>(i));
+        EXPECT_TRUE(pipeline.Ingest(r).ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  flusher.join();
+  EXPECT_GT(reads.load(), 0);
+  ASSERT_TRUE(pipeline.Stop().ok());
+
+  ServiceStats fin = pipeline.Stats();
+  EXPECT_EQ(fin.records_ingested, kProducers * kPerProducer);
+  EXPECT_EQ(fin.queue.depth, 0);  // Stop drains the queue
+  EXPECT_EQ(fin.queue.pushed, fin.queue.popped + fin.queue.shed);
+  EXPECT_EQ(fin.records_processed, fin.queue.popped);
+  if (mode == BackpressureMode::kBlock) {
+    EXPECT_EQ(fin.queue.shed, 0);  // lossless by contract
+  }
+}
+
+TEST(ServicePipelineTest, StatsCutIsConsistentUnderBlockBackpressure) {
+  HammerStatsWhileIngesting(BackpressureMode::kBlock);
+}
+
+TEST(ServicePipelineTest, StatsCutIsConsistentUnderShedBackpressure) {
+  HammerStatsWhileIngesting(BackpressureMode::kShedOldest);
+}
+
+// ---------------------------------------------------------------------
+// Watermark edge accounting: the release rule (DrainReorderBuffer) and
+// the late-record rule (WorkerLoop) must agree on the boundary. A record
+// with timestamp exactly at the watermark is releasable, hence late.
+
+TEST(ServicePipelineTest, RecordExactlyAtWatermarkCountsLate) {
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.allowed_lateness = 10.0;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(1, 0.0)).ok());    // first: never late
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(2, 100.0)).ok());  // watermark → 90
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(3, 90.0)).ok());   // == watermark
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(4, 90.5)).ok());   // inside bound
+  ASSERT_TRUE(pipeline.Flush().ok());
+  EXPECT_EQ(pipeline.Stats().records_late, 1);
+  ASSERT_TRUE(pipeline.Stop().ok());
+  // Every record was still processed (late ≠ dropped: bounded staleness).
+  EXPECT_EQ(pipeline.Stats().records_processed, 4);
+}
+
+TEST(ServicePipelineTest, ZeroLatenessNeverCountsLate) {
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.allowed_lateness = 0.0;  // reorder buffer disabled
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(1, 10.0)).ok());
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(2, 0.0)).ok());  // out of order
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(3, 5.0)).ok());
+  ASSERT_TRUE(pipeline.Flush().ok());
+  ServiceStats stats = pipeline.Stats();
+  EXPECT_EQ(stats.records_late, 0);
+  EXPECT_EQ(stats.reorder_held_peak, 0);
+  EXPECT_EQ(stats.records_processed, 3);
+  ASSERT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(ServicePipelineTest, NegativeFirstTimestampIsNotSpuriouslyLate) {
+  ServicePipelineOptions opts = PipelineOptions(Algorithm::kBuddy);
+  opts.allowed_lateness = 5.0;
+  ServicePipeline pipeline(opts);
+  ASSERT_TRUE(pipeline.Start().ok());
+  // Guarding on "any timestamp seen" matters: with max_timestamp_seen_
+  // defaulting to 0, a negative-epoch stream would otherwise count its
+  // entire prefix as late.
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(1, -100.0)).ok());
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(2, -98.0)).ok());
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(3, -99.0)).ok());  // within bound
+  ASSERT_TRUE(pipeline.Flush().ok());
+  EXPECT_EQ(pipeline.Stats().records_late, 0);
+  // Now cross the boundary: max is -98, watermark is -103.
+  ASSERT_TRUE(pipeline.Ingest(TimedRecord(4, -103.0)).ok());
+  ASSERT_TRUE(pipeline.Flush().ok());
+  EXPECT_EQ(pipeline.Stats().records_late, 1);
+  ASSERT_TRUE(pipeline.Stop().ok());
+}
+
+/// Serve and batch must agree on snapshots_emitted even when the stream
+/// ends in a long gap: empty trailing windows exist in neither path (the
+/// empty-window contract documented on SlidingWindowSnapshotter).
+TEST(ServicePipelineTest, TrailingGapEmitsSameSnapshotCountAsBatch) {
+  std::vector<TrajectoryRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(TimedRecord(static_cast<ObjectId>(i),
+                                  static_cast<double>(i * 10)));
+  }
+  // One straggler far past the end: the gap spans many whole windows.
+  records.push_back(TimedRecord(99, 600.0));
+
+  SlidingWindowOptions wopts;
+  wopts.window_length = kSecondsPerSnapshot;
+  SlidingWindowSnapshotter window(wopts);
+  std::vector<Snapshot> ready;
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(window.Push(r, &ready).ok());
+  }
+  window.Flush(&ready);
+  EXPECT_EQ(window.emitted(), 2);  // [0,60) and the straggler's window
+
+  ServicePipeline pipeline(PipelineOptions(Algorithm::kBuddy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (const TrajectoryRecord& r : records) {
+    ASSERT_TRUE(pipeline.Ingest(r).ok());
+  }
+  ASSERT_TRUE(pipeline.Stop().ok());
+  EXPECT_EQ(pipeline.Stats().snapshots_emitted, window.emitted());
+}
+
 }  // namespace
 }  // namespace tcomp

@@ -199,6 +199,112 @@ TEST(ProtocolSessionTest, IngestFlushQueryRoundTrip) {
   EXPECT_TRUE(pipeline.Stop().ok());
 }
 
+/// Strips the value (everything after the last space) from a metric
+/// line, keeping the name+labels part that must be run-invariant.
+std::string NameAndLabels(const std::string& line) {
+  size_t space = line.rfind(' ');
+  return space == std::string::npos ? line : line.substr(0, space);
+}
+
+std::vector<std::string> MetricNameSequence(const std::string& payload) {
+  std::vector<std::string> names;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == ".") continue;
+    if (line.rfind("OK ", 0) == 0) continue;
+    if (line.rfind("# HELP", 0) == 0 || line.rfind("# TYPE", 0) == 0) {
+      names.push_back(line);  // comment lines carry no values
+      continue;
+    }
+    names.push_back(NameAndLabels(line));
+  }
+  return names;
+}
+
+TEST(ProtocolSessionTest, QueryMetricsReturnsFramedExposition) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ProtocolSession session(&pipeline);
+  bool shutdown = false;
+  for (const std::string& line : GroupIngestLines()) {
+    ASSERT_EQ(session.HandleLine(line, &shutdown), "OK\n");
+  }
+  ASSERT_EQ(session.HandleLine("FLUSH", &shutdown), "OK flushed\n");
+
+  std::string response = session.HandleLine("QUERY metrics", &shutdown);
+  ASSERT_EQ(response.rfind("OK ", 0), 0u);
+  ASSERT_TRUE(response.size() >= 2 &&
+              response.compare(response.size() - 2, 2, ".\n") == 0);
+  // The line count in the OK header matches the payload exactly.
+  size_t header_end = response.find('\n');
+  long long advertised = std::stoll(response.substr(3, header_end - 3));
+  std::string payload =
+      response.substr(header_end + 1, response.size() - header_end - 3);
+  long long lines = 0;
+  for (char c : payload) lines += (c == '\n');
+  EXPECT_EQ(advertised, lines);
+  // Core series are present, including the per-stage histograms and the
+  // counters synced from the pipeline.
+  EXPECT_NE(payload.find("tcomp_records_ingested_total 12"),
+            std::string::npos);
+  EXPECT_NE(payload.find("tcomp_stage_seconds_bucket{stage=\"cluster\""),
+            std::string::npos);
+  EXPECT_NE(payload.find("tcomp_snapshots_processed_total"),
+            std::string::npos);
+  // No payload line is a bare "." — the frame terminator stays unique.
+  EXPECT_EQ(payload.find("\n.\n"), std::string::npos);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+/// Two independent pipelines fed the same stream expose the same
+/// name/label sequence — values may differ (timings), names never do.
+TEST(ProtocolSessionTest, QueryMetricsNamesAreDeterministicAcrossRuns) {
+  std::vector<std::string> runs[2];
+  for (int run = 0; run < 2; ++run) {
+    ServicePipeline pipeline(SmallPipelineOptions());
+    ASSERT_TRUE(pipeline.Start().ok());
+    ProtocolSession session(&pipeline);
+    bool shutdown = false;
+    for (const std::string& line : GroupIngestLines()) {
+      ASSERT_EQ(session.HandleLine(line, &shutdown), "OK\n");
+    }
+    ASSERT_EQ(session.HandleLine("FLUSH", &shutdown), "OK flushed\n");
+    runs[run] =
+        MetricNameSequence(session.HandleLine("QUERY metrics", &shutdown));
+    EXPECT_TRUE(pipeline.Stop().ok());
+  }
+  ASSERT_FALSE(runs[0].empty());
+  EXPECT_EQ(runs[0], runs[1]);
+  // Name-sorted at the family level: scrape output order is stable for
+  // diffing. Histogram families expand to _bucket/_sum/_count lines, so
+  // fold those suffixes back to the family name before comparing.
+  auto family_of = [](const std::string& line) {
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        std::string base = name.substr(0, name.size() - len);
+        // Only strip when the base really is a histogram family (all of
+        // ours end in _seconds); plain counters like *_total keep theirs.
+        if (base.size() >= 8 &&
+            base.compare(base.size() - 8, 8, "_seconds") == 0) {
+          return base;
+        }
+      }
+    }
+    return name;
+  };
+  std::string prev_family;
+  for (const std::string& line : runs[0]) {
+    if (line.rfind("# ", 0) == 0) continue;
+    std::string family = family_of(line);
+    EXPECT_LE(prev_family, family) << "families out of order at " << line;
+    prev_family = family;
+  }
+}
+
 TEST(ProtocolSessionTest, MalformedLinesErrorButNeverWedgeTheSession) {
   ServicePipeline pipeline(SmallPipelineOptions());
   ASSERT_TRUE(pipeline.Start().ok());

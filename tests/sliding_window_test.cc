@@ -136,6 +136,69 @@ TEST(SlidingWindowTest, RejectsNonFinitePosition) {
   EXPECT_TRUE(out[0].Contains(2));
 }
 
+// ---------------------------------------------------------------------
+// Empty-window contract (see the class comment): empty windows never
+// become snapshots and never advance emitted(), at end-of-stream exactly
+// as mid-stream. These pin the stream-end edge the serve-vs-batch
+// differential relies on.
+
+TEST(SlidingWindowTest, TrailingGapEmitsNoEmptyWindows) {
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 0.0, 0.0, 0.0), &out).ok());
+  // The straggler is 6 windows ahead: exactly one snapshot (window 0)
+  // closes; the 5 empty windows in between leave no trace.
+  ASSERT_TRUE(win.Push(R(1, 65.0, 1.0, 1.0), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(win.emitted(), 1);
+  // Flush emits only the straggler's (non-empty) window — the trailing
+  // stretch from 65.0 to the window edge does not round up to more.
+  win.Flush(&out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(win.emitted(), 2);
+  EXPECT_EQ(out[1].size(), 1u);
+}
+
+TEST(SlidingWindowTest, FlushWithNothingBufferedEmitsNothing) {
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  // Flush before any record: no snapshot, no count.
+  win.Flush(&out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(win.emitted(), 0);
+  ASSERT_TRUE(win.Push(R(1, 0.0, 0.0, 0.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(win.emitted(), 1);
+  // A second Flush right after: the window is already drained, so this
+  // must be a no-op, not a duplicate or empty snapshot.
+  win.Flush(&out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(win.emitted(), 1);
+}
+
+TEST(SlidingWindowTest, StreamResumesCleanlyAfterFlush) {
+  // Flush re-anchors the window: a record pushed afterwards starts a
+  // fresh window at its own span, exactly like a first record would.
+  SlidingWindowOptions options;
+  options.window_length = 10.0;
+  SlidingWindowSnapshotter win(options);
+  std::vector<Snapshot> out;
+  ASSERT_TRUE(win.Push(R(1, 3.0, 0.0, 0.0), &out).ok());
+  win.Flush(&out);
+  ASSERT_TRUE(win.Push(R(2, 103.0, 0.0, 0.0), &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // the gap across the flush emits nothing
+  win.Flush(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].size(), 1u);
+  EXPECT_TRUE(out[1].Contains(2));
+  EXPECT_EQ(win.emitted(), 2);
+}
+
 TEST(SlidingWindowTest, SnapshotDurationPropagates) {
   SlidingWindowOptions options;
   options.window_length = 10.0;

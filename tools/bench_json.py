@@ -81,6 +81,17 @@ def main():
             raise SystemExit(f"{entry['algorithm']}: intersection counters "
                              "differ across kernel modes — refusing to record")
 
+    stage_metrics = result.get("stage_metrics", {})
+    histograms = stage_metrics.get("histograms", {})
+    if not histograms:
+        raise SystemExit("harness emitted no stage histograms — the obs "
+                         "instrumentation is wired out; refusing to record")
+    for name, snap in histograms.items():
+        if snap["count"] > 0 and sum(snap["buckets"]) != snap["count"]:
+            raise SystemExit(f"{name}: bucket counts do not sum to count "
+                             "— torn histogram snapshot in a single-threaded "
+                             "run; refusing to record")
+
     result["provenance"] = {
         "commit": git_commit(repo_root),
         "machine": platform.machine(),

@@ -25,6 +25,7 @@
 
 #include "core/checkpoint.h"
 #include "core/discoverer.h"
+#include "core/discovery_metrics.h"
 #include "core/timeline.h"
 #include "data/synthetic_gen.h"
 #include "data/trajectory_io.h"
@@ -32,6 +33,8 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "eval/tuning.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "service/lifecycle.h"
 #include "service/pipeline.h"
 #include "service/protocol.h"
@@ -40,6 +43,7 @@
 #include "stream/inactive_period.h"
 #include "stream/sliding_window.h"
 #include "util/flags.h"
+#include "util/timer.h"
 
 namespace tcomp {
 namespace {
@@ -57,6 +61,9 @@ int Usage() {
       "      [--window-seconds W | --window-objects N]\n"
       "      [--inactive K] [--truth truth.txt] [--timeline]\n"
       "      [--out-json FILE] [--out-csv FILE]\n"
+      "      [--stats-json FILE]  (per-stage latency histograms + counters)\n"
+      "      [--slow-snapshot-ms MS]  (warn with stage breakdown when a\n"
+      "                                snapshot exceeds MS; 0 = off)\n"
       "      [--save-state FILE] [--load-state FILE] [--quiet]\n"
       "  tcomp suggest --csv records.csv [--k K] [--window-seconds W]\n"
       "  tcomp serve [--port P] [--port-file FILE] [--algo ci|sc|bu]\n"
@@ -65,9 +72,10 @@ int Usage() {
       "      [--queue-capacity C] [--backpressure block|shed|reject]\n"
       "      [--lateness SECONDS] [--checkpoint FILE]\n"
       "      [--checkpoint-every SNAPSHOTS] [--read-timeout-ms MS]\n"
+      "      [--slow-snapshot-ms MS]\n"
       "  tcomp feed --csv records.csv --port P [--rate RECORDS_PER_SEC]\n"
-      "      [--flush] [--query companions|stats|buddies] [--out FILE]\n"
-      "      [--shutdown] [--quiet]\n");
+      "      [--flush] [--query companions|stats|buddies|metrics]\n"
+      "      [--out FILE] [--shutdown] [--quiet]\n");
   return 2;
 }
 
@@ -224,8 +232,8 @@ int Discover(const FlagParser& flags) {
           "discover", flags,
           {"csv", "algo", "epsilon", "mu", "min-size", "min-duration",
            "threads", "window-seconds", "window-objects", "inactive",
-           "truth", "timeline", "out-json", "out-csv", "save-state",
-           "load-state", "quiet"})) {
+           "truth", "timeline", "out-json", "out-csv", "stats-json",
+           "slow-snapshot-ms", "save-state", "load-state", "quiet"})) {
     return Usage();
   }
   std::string csv = flags.GetString("csv", "");
@@ -302,6 +310,20 @@ int Discover(const FlagParser& flags) {
   }
   if (want_timeline) timeline.Track(discoverer.get());
 
+  // Observability mirrors the daemon path: the stage sink is always
+  // attached (timing only — products are differential-tested to be
+  // byte-identical with it on), --stats-json dumps the registry at the
+  // end, and --slow-snapshot-ms mirrors the serve-side warning log.
+  double slow_snapshot_ms = 0.0;
+  if (!ReadFlag("discover", flags, "slow-snapshot-ms", 0.0,
+                &slow_snapshot_ms)) {
+    return Usage();
+  }
+  std::string stats_json = flags.GetString("stats-json", "");
+  MetricsRegistry registry;
+  MetricsStageSink stage_sink(&registry);
+  discoverer->set_stage_sink(&stage_sink);
+
   SlidingWindowOptions wopts;
   if (flags.Has("window-objects")) {
     wopts.mode = WindowMode::kEqualWidth;
@@ -316,8 +338,25 @@ int Discover(const FlagParser& flags) {
   std::vector<Snapshot> ready;
   auto process = [&](const Snapshot& snap) {
     std::vector<Companion> newly;
+    Timer close_timer;
+    close_timer.Start();
     discoverer->ProcessSnapshot(filler.Fill(snap), &newly);
+    close_timer.Stop();
+    stage_sink.RecordStage(Stage::kSnapshotClose, close_timer.Seconds());
     ++snapshots;
+    double wall_ms = close_timer.Seconds() * 1e3;
+    if (slow_snapshot_ms > 0.0 && wall_ms > slow_snapshot_ms) {
+      std::fprintf(
+          stderr,
+          "discover: slow snapshot: index=%lld wall_ms=%.3f "
+          "maintain_ms=%.3f cluster_ms=%.3f intersect_ms=%.3f "
+          "closure_ms=%.3f objects=%zu\n",
+          static_cast<long long>(snapshots), wall_ms,
+          stage_sink.last_seconds(Stage::kMaintain) * 1e3,
+          stage_sink.last_seconds(Stage::kCluster) * 1e3,
+          stage_sink.last_seconds(Stage::kIntersect) * 1e3,
+          stage_sink.last_seconds(Stage::kClosure) * 1e3, snap.size());
+    }
     if (!quiet) {
       for (const Companion& c : newly) {
         std::printf("[snapshot %lld] companion of %zu objects, together "
@@ -410,6 +449,21 @@ int Discover(const FlagParser& flags) {
       return 1;
     }
     std::printf("companions written to %s\n", out_csv.c_str());
+  }
+
+  if (!stats_json.empty()) {
+    ExportDiscoveryMetrics(discoverer->stats(),
+                           static_cast<int64_t>(discoverer->log().size()),
+                           &registry);
+    std::ofstream out(stats_json);
+    out << registry.JsonText();
+    out.flush();  // the error check must see buffered write failures
+    if (!out) {
+      std::fprintf(stderr, "discover: cannot write %s\n",
+                   stats_json.c_str());
+      return 1;
+    }
+    std::printf("stage metrics written to %s\n", stats_json.c_str());
   }
 
   std::string save_state = flags.GetString("save-state", "");
@@ -522,7 +576,8 @@ int Serve(const FlagParser& flags) {
           {"port", "port-file", "algo", "epsilon", "mu", "min-size",
            "min-duration", "threads", "window-seconds", "window-objects",
            "inactive", "queue-capacity", "backpressure", "lateness",
-           "checkpoint", "checkpoint-every", "read-timeout-ms"})) {
+           "checkpoint", "checkpoint-every", "read-timeout-ms",
+           "slow-snapshot-ms"})) {
     return Usage();
   }
   ServicePipelineOptions popts;
@@ -546,7 +601,9 @@ int Serve(const FlagParser& flags) {
   if (!ReadFlag("serve", flags, "lateness", 0.0,
                 &popts.allowed_lateness) ||
       !ReadFlag("serve", flags, "checkpoint-every", int64_t{0},
-                &popts.checkpoint_every)) {
+                &popts.checkpoint_every) ||
+      !ReadFlag("serve", flags, "slow-snapshot-ms", 0.0,
+                &popts.slow_snapshot_ms)) {
     return Usage();
   }
   popts.checkpoint_path = flags.GetString("checkpoint", "");
