@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/incremental_cluster.h"
 #include "util/dense_bitset.h"
 #include "util/logging.h"
 #include "util/sorted_ops.h"
@@ -37,11 +38,17 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
     }
   };
 
+  // Fresh per call, so repeated DiscoverConvoys() runs are deterministic;
+  // the incremental state only spans this stream. Products are identical
+  // to per-snapshot Dbscan (and to this function before the clusterer
+  // existed) by the layer's byte-identity guarantee.
+  IncrementalClusterer clusterer(params.cluster);
+
   for (size_t t = 0; t < stream.size(); ++t) {
     Timer cluster_timer;
     cluster_timer.Start();
     Clustering clustering =
-        Dbscan(stream[t], params.cluster, &local.distance_ops);
+        clusterer.Cluster(stream[t], &local.distance_ops, nullptr);
     cluster_timer.Stop();
     if (stage_sink != nullptr) {
       stage_sink->RecordStage(Stage::kCluster, cluster_timer.Seconds());

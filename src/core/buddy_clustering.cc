@@ -108,6 +108,11 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
           for (uint32_t j : it->second) {
             if (j <= i) continue;
             double d = Distance(blist[i].center(), blist[j].center());
+            // The Lemma-3 prune subtracts disk radii from the center
+            // distance, which has no squared form; it only discards pairs
+            // provably beyond ε — membership is still decided by WithinEps
+            // downstream.
+            // tcomp-lint: allow(sqrt-eps): lemma bound needs the true root
             if (d - blist[i].radius - blist[j].radius > eps) continue;
             adjacent[i].push_back(j);
             adjacent[j].push_back(static_cast<uint32_t>(i));
@@ -148,7 +153,7 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
           for (uint32_t other : list) {
             if (other == idx) continue;
             ++shard_ops;
-            if (SquaredDistance(p, snapshot.pos(other)) <= eps2) {
+            if (WithinEps(p, snapshot.pos(other), eps2)) {
               ++count;
               if (count >= mu) return true;
             }
@@ -188,8 +193,7 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
       for (size_t c = a + 1; c < mem.size(); ++c) {
         if (!core[mem[c]]) continue;
         ++local.distance_ops;
-        if (SquaredDistance(snapshot.pos(mem[a]), snapshot.pos(mem[c])) <=
-            eps2) {
+        if (WithinEps(snapshot.pos(mem[a]), snapshot.pos(mem[c]), eps2)) {
           sets.Union(mem[a], mem[c]);
         }
       }
@@ -207,7 +211,7 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
         if (shortcut_done) break;
         for (uint32_t c : members[j]) {
           ++local.distance_ops;
-          if (SquaredDistance(snapshot.pos(a), snapshot.pos(c)) > eps2) {
+          if (!WithinEps(snapshot.pos(a), snapshot.pos(c), eps2)) {
             continue;
           }
           if (both_dcb) {
@@ -243,7 +247,7 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
         if (other == i || !core[other]) continue;
         if (other >= best) continue;  // only lower indices can improve
         ++local.distance_ops;
-        if (SquaredDistance(p, snapshot.pos(other)) <= eps2) best = other;
+        if (WithinEps(p, snapshot.pos(other), eps2)) best = other;
       }
     };
     consider(members[b]);

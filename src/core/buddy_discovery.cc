@@ -492,9 +492,17 @@ Status BuddyDiscoverer::LoadState(std::istream& in) {
       }
     }
     // Signatures are derived state, not persisted; rebuild from the index
-    // (loaded above) so the prefilters resume immediately.
-    r.signature = index_.ComposeSignature(r);
-    r.signature_valid = true;
+    // (loaded above) so the prefilters resume immediately — but only in
+    // the mode the process is running in *now*, not the mode at save
+    // time. An uninterrupted kernels-off run never composes signatures
+    // (ProcessSnapshot gates on BitsetKernelsEnabled()), so a resumed
+    // kernels-off run must not either: a candidate resurrected with
+    // signature_valid=true would diverge from it the moment the switch
+    // is toggled back on mid-stream.
+    if (BitsetKernelsEnabled()) {
+      r.signature = index_.ComposeSignature(r);
+      r.signature_valid = true;
+    }
     candidates_.push_back(std::move(r));
   }
   return Status::OK();

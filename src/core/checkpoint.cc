@@ -9,7 +9,11 @@ namespace tcomp {
 namespace {
 
 constexpr char kMagic[] = "tcomp-checkpoint";
-constexpr int kVersion = 1;
+// Version 2: the stats line gained the cluster_reuse / cluster_dirty /
+// cluster_full_rebuilds counters, and CI/SC records carry the incremental
+// clusterer's anchor state. Version-1 checkpoints are rejected (the
+// counters cannot be reconstructed after the fact).
+constexpr int kVersion = 2;
 
 }  // namespace
 

@@ -13,14 +13,18 @@ namespace tcomp {
 
 ClusteringIntersectionDiscoverer::ClusteringIntersectionDiscoverer(
     const DiscoveryParams& params)
-    : params_(params) {}
+    : params_(params), clusterer_(params.cluster) {}
 
 void ClusteringIntersectionDiscoverer::ProcessSnapshot(
     const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
   Timer cluster_timer;
   cluster_timer.Start();
+  ClusterDeltaStats cluster_delta;
   Clustering clustering =
-      Dbscan(snapshot, params_.cluster, &stats_.distance_ops);
+      clusterer_.Cluster(snapshot, &stats_.distance_ops, &cluster_delta);
+  stats_.cluster_reuse += cluster_delta.reuse;
+  stats_.cluster_dirty += cluster_delta.dirty;
+  stats_.cluster_full_rebuilds += cluster_delta.full_rebuilds;
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
   RecordStage(Stage::kCluster, cluster_timer.Seconds());
@@ -108,6 +112,7 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
 
 void ClusteringIntersectionDiscoverer::Reset() {
   candidates_.clear();
+  clusterer_.Reset();
   log_.Clear();
   stats_ = DiscoveryStats{};
   snapshot_index_ = 0;
@@ -122,6 +127,7 @@ Status ClusteringIntersectionDiscoverer::SaveState(std::ostream& out) const {
     for (ObjectId o : r.objects) out << ' ' << o;
     out << '\n';
   }
+  clusterer_.SaveState(out);
   return Status::OK();
 }
 
@@ -155,7 +161,7 @@ Status ClusteringIntersectionDiscoverer::LoadState(std::istream& in) {
     r.signature = SetSignature::Of(r.objects);
     candidates_.push_back(std::move(r));
   }
-  return Status::OK();
+  return clusterer_.LoadState(in);
 }
 
 }  // namespace tcomp

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/discoverer.h"
+#include "core/incremental_cluster.h"
 
 namespace tcomp {
 
@@ -34,6 +35,9 @@ class ClusteringIntersectionDiscoverer : public CompanionDiscoverer {
  private:
   DiscoveryParams params_;
   std::vector<Candidate> candidates_;
+  /// Snapshot-to-snapshot clustering state; exact (byte-identical to
+  /// Dbscan) and process-gated by SetIncrementalClusteringEnabled().
+  IncrementalClusterer clusterer_;
 };
 
 }  // namespace tcomp

@@ -1,6 +1,7 @@
 #include "core/dbscan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
@@ -8,6 +9,27 @@
 #include "util/thread_pool.h"
 
 namespace tcomp {
+
+namespace {
+std::atomic<bool> g_incremental_clustering_enabled{true};
+}  // namespace
+
+void SetIncrementalClusteringEnabled(bool enabled) {
+  g_incremental_clustering_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool IncrementalClusteringEnabled() {
+  return g_incremental_clustering_enabled.load(std::memory_order_relaxed);
+}
+
+double GridCellWidth(double eps, double max_abs_coord) {
+  // 2⁻⁴⁰ is ~8000x the relative rounding of a double division, so the pad
+  // dominates every floor(x / cell) error while widening cells by less
+  // than one part in 10¹¹ for realistic |coord|/eps ratios.
+  constexpr double kPad = 0x1p-40;
+  return eps * (1.0 + kPad) + max_abs_coord * kPad;
+}
+
 namespace internal {
 
 Clustering BuildClusteringFromCores(
@@ -82,7 +104,7 @@ Clustering Dbscan(const Snapshot& snapshot, const DbscanParams& params,
     for (uint32_t i = 0; i < n; ++i) {
       for (uint32_t j = i + 1; j < n; ++j) {
         ++ops;
-        if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+        if (WithinEps(snapshot.pos(i), snapshot.pos(j), eps2)) {
           neighbors[i].push_back(j);
           neighbors[j].push_back(i);
         }
@@ -104,7 +126,7 @@ Clustering Dbscan(const Snapshot& snapshot, const DbscanParams& params,
         Point pi = snapshot.pos(i);
         for (uint32_t j = i + 1; j < n; ++j) {
           ++local_ops;
-          if (SquaredDistance(pi, snapshot.pos(j)) <= eps2) {
+          if (WithinEps(pi, snapshot.pos(j), eps2)) {
             upper[i].push_back(j);
           }
         }
@@ -156,12 +178,7 @@ Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
   const double eps2 = eps * eps;
   TCOMP_CHECK_GT(eps, 0.0);
 
-  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
-  grid.reserve(n);
-  auto cell_of = [eps](Point p) {
-    return CellKey{static_cast<int64_t>(std::floor(p.x / eps)),
-                   static_cast<int64_t>(std::floor(p.y / eps))};
-  };
+  double max_abs = 0.0;
   for (uint32_t i = 0; i < n; ++i) {
     Point p = snapshot.pos(i);
     // Defense in depth behind the stream-ingest validation: casting
@@ -169,7 +186,23 @@ Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
     // coordinate must never reach cell_of.
     TCOMP_CHECK(std::isfinite(p.x) && std::isfinite(p.y))
         << "non-finite coordinate for object " << snapshot.id(i);
-    grid[cell_of(p)].push_back(i);
+    max_abs = std::max({max_abs, std::fabs(p.x), std::fabs(p.y)});
+  }
+  // Padded cell width: with cells of exactly eps, the rounding of
+  // floor(x / eps) at large |x| can put a pair at distance exactly eps
+  // two cells apart, and the 3×3 scan would miss it (the flat backend
+  // would not — an eps-boundary disagreement). GridCellWidth pads the
+  // width so adjacent-cell coverage is guaranteed; membership is still
+  // decided exactly by WithinEps below.
+  const double cell_width = GridCellWidth(eps, max_abs);
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
+  grid.reserve(n);
+  auto cell_of = [cell_width](Point p) {
+    return CellKey{static_cast<int64_t>(std::floor(p.x / cell_width)),
+                   static_cast<int64_t>(std::floor(p.y / cell_width))};
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    grid[cell_of(snapshot.pos(i))].push_back(i);
   }
 
   int64_t ops = 0;
@@ -191,7 +224,7 @@ Clustering DbscanGrid(const Snapshot& snapshot, const DbscanParams& params,
           for (uint32_t j : it->second) {
             if (j == i) continue;
             ++local_ops;
-            if (SquaredDistance(snapshot.pos(i), snapshot.pos(j)) <= eps2) {
+            if (WithinEps(snapshot.pos(i), snapshot.pos(j), eps2)) {
               neighbors[i].push_back(j);
             }
           }

@@ -24,6 +24,39 @@ struct DbscanParams {
   int threads = 1;
 };
 
+/// The single ε-neighborhood convention every clustering backend shares:
+/// objects at *exactly* ε apart are neighbors (closed ball, `<= eps²`),
+/// matching Definition 1's dist(o, o') ≤ ε. Flat DBSCAN, the grid
+/// backend, the R-tree/quad-tree backends, and the buddy-based clustering
+/// all answer eps-membership through this one predicate so a boundary
+/// point can never be a neighbor in one backend and noise in another.
+/// `eps2` is ε² (square once at the call site, compare many times).
+inline bool WithinEps(Point a, Point b, double eps2) {
+  return SquaredDistance(a, b) <= eps2;
+}
+
+/// Cell width for an ε-bucketed uniform grid whose 3×3 neighborhood scan
+/// is guaranteed to cover every pair within `eps`, even at the edge of
+/// floating-point resolution. A naive `floor(x / eps)` bucketing can put
+/// two coordinates exactly `eps` apart two cells apart once |x| grows to
+/// ~eps·2^52 (the division's rounding error reaches a whole cell), and a
+/// pair at distance exactly eps that straddles a cell border is then
+/// missed by the scan. Padding the width by max|coord|·2⁻⁴⁰ (plus a
+/// relative ε pad) keeps |floor(x₁/c) − floor(x₂/c)| ≤ 1 whenever
+/// |x₁ − x₂| ≤ eps, at the cost of a slightly denser grid.
+double GridCellWidth(double eps, double max_abs_coord);
+
+/// Process-wide kill switch for the incremental snapshot-to-snapshot
+/// clustering layer (core/incremental_cluster.h), mirroring the bitset
+/// kernel switch in util/dense_bitset.h. Defaults to enabled. Turning it
+/// off makes every discoverer re-cluster each snapshot from scratch;
+/// cluster products are identical either way (the incremental layer is
+/// exact by construction) — only the distance-evaluation cost changes.
+/// Relaxed atomics: toggling is a test/ops affordance, not a
+/// synchronization point.
+void SetIncrementalClusteringEnabled(bool enabled);
+bool IncrementalClusteringEnabled();
+
 /// Result of clustering one snapshot.
 ///
 /// The labeling is deterministic: clusters are numbered by their smallest

@@ -19,8 +19,10 @@ void CompanionDiscoverer::SaveCommon(std::ostream& out) const {
       << s.candidate_objects_last << ' ' << s.companions_reported << ' '
       << s.buddy_pairs_checked << ' ' << s.buddy_pairs_pruned << ' '
       << s.buddies_total << ' ' << s.buddies_unchanged << ' '
-      << s.buddy_member_sum << ' ' << s.maintain_seconds << ' '
-      << s.cluster_seconds << ' ' << s.intersect_seconds << '\n';
+      << s.buddy_member_sum << ' ' << s.cluster_reuse << ' '
+      << s.cluster_dirty << ' ' << s.cluster_full_rebuilds << ' '
+      << s.maintain_seconds << ' ' << s.cluster_seconds << ' '
+      << s.intersect_seconds << '\n';
   const std::vector<Companion>& companions = log_.companions();
   out << "log " << companions.size() << '\n';
   for (const Companion& c : companions) {
@@ -47,8 +49,9 @@ Status CompanionDiscoverer::LoadCommon(std::istream& in) {
         s.candidate_objects_peak >> s.candidate_objects_last >>
         s.companions_reported >> s.buddy_pairs_checked >>
         s.buddy_pairs_pruned >> s.buddies_total >> s.buddies_unchanged >>
-        s.buddy_member_sum >> s.maintain_seconds >> s.cluster_seconds >>
-        s.intersect_seconds)) {
+        s.buddy_member_sum >> s.cluster_reuse >> s.cluster_dirty >>
+        s.cluster_full_rebuilds >> s.maintain_seconds >>
+        s.cluster_seconds >> s.intersect_seconds)) {
     return Status::Corruption("bad stats record");
   }
   stats_ = s;

@@ -54,6 +54,15 @@ struct DiscoveryStats {
   int64_t buddies_unchanged = 0;     // Σ per-snapshot unchanged buddies
   int64_t buddy_member_sum = 0;      // Σ per-snapshot Σ|b| (avg size calc)
 
+  // Incremental clustering layer (core/incremental_cluster.h); zero for
+  // algorithms that re-cluster from scratch (BU) and when the layer is
+  // disabled. `cluster_reuse / (cluster_reuse + cluster_dirty)` is the
+  // fraction of object-snapshots whose neighborhood state was carried
+  // over — the coherence the layer exploits.
+  int64_t cluster_reuse = 0;          // Σ per-snapshot stable objects
+  int64_t cluster_dirty = 0;          // Σ per-snapshot reprobed objects
+  int64_t cluster_full_rebuilds = 0;  // snapshots that fell back to full
+
   /// Per-stage wall time in seconds: M-step (buddy maintenance), C-step
   /// (clustering), I-step (candidate intersection). Fig. 19.
   double maintain_seconds = 0.0;

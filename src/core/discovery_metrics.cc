@@ -34,6 +34,17 @@ void ExportDiscoveryMetrics(const DiscoveryStats& stats,
   counter("tcomp_buddies_unchanged_total",
           "Sum of per-snapshot unchanged buddies (BU only)",
           stats.buddies_unchanged);
+  counter("tcomp_cluster_reuse_total",
+          "Object-snapshots whose neighborhood state the incremental "
+          "clustering layer carried over",
+          stats.cluster_reuse);
+  counter("tcomp_cluster_dirty_total",
+          "Object-snapshots re-probed by the incremental clustering layer",
+          stats.cluster_dirty);
+  counter("tcomp_cluster_full_rebuilds_total",
+          "Snapshots where incremental clustering fell back to a full "
+          "re-probe",
+          stats.cluster_full_rebuilds);
   gauge("tcomp_candidate_objects_peak",
         "Peak stored candidate-set size in objects (Figs. 15b-17b)",
         stats.candidate_objects_peak);

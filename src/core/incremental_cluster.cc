@@ -1,0 +1,394 @@
+#include "core/incremental_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tcomp {
+namespace {
+
+/// Mirrors kMaxCheckpointCount (core/discoverer.h): counts beyond this
+/// cannot come from a real run, so LoadState refuses them instead of
+/// attempting a huge resize from a corrupt stream.
+constexpr uint64_t kMaxStateCount = 1ull << 24;
+
+void InsertSorted(std::vector<ObjectId>& list, ObjectId id) {
+  list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+}
+
+void EraseSorted(std::vector<ObjectId>& list, ObjectId id) {
+  auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it != list.end() && *it == id) list.erase(it);
+}
+
+/// Serializes a double so the round trip is bit-exact regardless of the
+/// stream's precision settings (checkpoints may be written through
+/// streams that never called setprecision). Parsing uses strtod because
+/// libstdc++'s istream hexfloat extraction is unreliable.
+void WriteHexDouble(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out << buf;
+}
+
+bool ParseHexDouble(const std::string& token, double* out) {
+  const char* s = token.c_str();
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+IncrementalClusterer::IncrementalClusterer(const DbscanParams& params)
+    : params_(params) {
+  TCOMP_CHECK_GT(params.epsilon, 0.0);
+  const double delta = 0.5 * params.epsilon;  // Lemma-style slack Δ = ε/2
+  delta2_ = delta * delta;
+  // rₑ = ε + 2Δ = 2ε, padded by 1e-9 relative so double rounding in the
+  // triangle-inequality bound can never exclude a true ε-pair.
+  re_pad_ = 2.0 * params.epsilon * (1.0 + 1e-9);
+  re_pad2_ = re_pad_ * re_pad_;
+}
+
+void IncrementalClusterer::Reset() {
+  has_state_ = false;
+  ids_.clear();
+  anchors_.clear();
+  lists_.clear();
+}
+
+namespace {
+
+/// Strict-weak order on (cx, cy) only: equal_range over an index sorted
+/// by (cx, cy, idx) partitions correctly under it, and including idx in
+/// the sort keeps the within-cell order a total (hence reproducible)
+/// order even though no output depends on it.
+template <typename Entry>
+bool CellPosLess(const Entry& a, const Entry& b) {
+  if (a.cx != b.cx) return a.cx < b.cx;
+  return a.cy < b.cy;
+}
+
+}  // namespace
+
+double IncrementalClusterer::BuildCellIndex() {
+  double max_abs = 0.0;
+  for (const Point& a : anchors_) {
+    TCOMP_CHECK(std::isfinite(a.x) && std::isfinite(a.y))
+        << "non-finite anchor coordinate";
+    max_abs = std::max({max_abs, std::fabs(a.x), std::fabs(a.y)});
+  }
+  const double cell = GridCellWidth(re_pad_, max_abs);
+  cell_index_.clear();
+  cell_index_.reserve(anchors_.size());
+  for (size_t i = 0; i < anchors_.size(); ++i) {
+    const Point a = anchors_[i];
+    cell_index_.push_back(
+        CellEntry{static_cast<int64_t>(std::floor(a.x / cell)),
+                  static_cast<int64_t>(std::floor(a.y / cell)),
+                  static_cast<uint32_t>(i)});
+  }
+  std::sort(cell_index_.begin(), cell_index_.end(),
+            [](const CellEntry& a, const CellEntry& b) {
+              if (a.cx != b.cx) return a.cx < b.cx;
+              if (a.cy != b.cy) return a.cy < b.cy;
+              return a.idx < b.idx;
+            });
+  return cell;
+}
+
+void IncrementalClusterer::RefreshIndexLookup() {
+  const size_t n = ids_.size();
+  dense_lookup_ = false;
+  if (n == 0) return;
+  // ids_ is ascending, so back() is the maximum. Beyond 4n the table's
+  // O(max_id) fill/footprint stops paying for itself; binary search then.
+  const uint64_t max_id = ids_.back();
+  if (max_id <= 4 * static_cast<uint64_t>(n) + 1024) {
+    if (index_of_.size() <= max_id) index_of_.resize(max_id + 1);
+    for (uint32_t i = 0; i < n; ++i) index_of_[ids_[i]] = i;
+    dense_lookup_ = true;
+  }
+}
+
+uint32_t IncrementalClusterer::IndexOfId(ObjectId id) const {
+  if (dense_lookup_) return index_of_[id];
+  return static_cast<uint32_t>(
+      std::lower_bound(ids_.begin(), ids_.end(), id) - ids_.begin());
+}
+
+void IncrementalClusterer::RebuildFromScratch(const Snapshot& snapshot,
+                                              int64_t* ops) {
+  ids_ = snapshot.ids();
+  anchors_ = snapshot.points();
+  has_state_ = true;
+  RebuildListsFromAnchors(ops);
+}
+
+void IncrementalClusterer::RebuildListsFromAnchors(int64_t* ops) {
+  const size_t n = ids_.size();
+  lists_.assign(n, {});
+
+  const double cell = BuildCellIndex();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Point a = anchors_[i];
+    const int64_t cx = static_cast<int64_t>(std::floor(a.x / cell));
+    const int64_t cy = static_cast<int64_t>(std::floor(a.y / cell));
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto range = std::equal_range(cell_index_.begin(), cell_index_.end(),
+                                      CellEntry{cx + dx, cy + dy, 0},
+                                      CellPosLess<CellEntry>);
+        for (auto it = range.first; it != range.second; ++it) {
+          const uint32_t h = it->idx;
+          if (h <= i) continue;  // the 3×3 scan is symmetric: pair once
+          if (ops != nullptr) ++*ops;
+          if (WithinEps(a, anchors_[h], re_pad2_)) {
+            lists_[i].push_back(ids_[h]);
+            lists_[h].push_back(ids_[i]);
+          }
+        }
+      }
+    }
+  }
+  // Probe order is cell order, not id order; restore the sorted invariant.
+  for (std::vector<ObjectId>& list : lists_) {
+    std::sort(list.begin(), list.end());
+  }
+}
+
+Clustering IncrementalClusterer::FinishExact(const Snapshot& snapshot,
+                                             int64_t* ops) {
+  const size_t n = snapshot.size();
+  const double eps2 = params_.epsilon * params_.epsilon;
+  // ids_ == snapshot.ids() here (both the rebuild and the repair path end
+  // by adopting the snapshot's id set), so the scratch table resolves
+  // list entries without a per-edge binary search.
+  RefreshIndexLookup();
+  std::vector<std::vector<uint32_t>> neighbors(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Mirror pushes from earlier rows are all < i, the lists_ walk below
+    // only appends indices > i in ascending id order, so every neighbor
+    // row comes out ascending without a sort.
+    neighbors[i].push_back(i);
+    const ObjectId self = ids_[i];
+    const Point pi = snapshot.pos(i);
+    for (ObjectId u : lists_[i]) {
+      if (u <= self) continue;  // symmetric lists: filter each pair once
+      const size_t j = IndexOfId(u);
+      ++*ops;
+      if (WithinEps(pi, snapshot.pos(j), eps2)) {
+        neighbors[i].push_back(static_cast<uint32_t>(j));
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+  std::vector<bool> core(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    core[i] = neighbors[i].size() >= static_cast<size_t>(params_.mu);
+  }
+  return internal::BuildClusteringFromCores(snapshot, core, neighbors);
+}
+
+Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
+                                         int64_t* distance_ops,
+                                         ClusterDeltaStats* delta) {
+  if (!IncrementalClusteringEnabled()) {
+    // Kill switch: drop carried state (a later re-enable must re-probe
+    // from scratch, exactly like an uninterrupted toggled run) and
+    // delegate to the reference implementation, threads and all.
+    Reset();
+    return Dbscan(snapshot, params_, distance_ops);
+  }
+
+  const size_t n = snapshot.size();
+  int64_t ops = 0;
+  bool fell_back = false;
+  size_t reprobed = 0;
+
+  if (!has_state_) {
+    fell_back = true;
+    RebuildFromScratch(snapshot, &ops);
+  } else {
+    const std::vector<IdMergeItem> merged =
+        MergeIdSequences(ids_, snapshot.ids());
+    std::vector<bool> dirty(n, false);
+    size_t appeared = 0;
+    size_t moved = 0;
+    size_t disappeared = 0;
+    for (const IdMergeItem& m : merged) {
+      if (m.index_b == Snapshot::kNpos) {
+        ++disappeared;
+        continue;
+      }
+      if (m.index_a == Snapshot::kNpos) {
+        dirty[m.index_b] = true;
+        ++appeared;
+        continue;
+      }
+      // Stability predicate: still within Δ of the anchor? This is a
+      // real distance evaluation, so it counts toward distance_ops.
+      ++ops;
+      if (!WithinEps(snapshot.pos(m.index_b), anchors_[m.index_a], delta2_)) {
+        dirty[m.index_b] = true;
+        ++moved;
+      }
+    }
+
+    // Fallback trigger: when more than 30% of the population churned, the
+    // symmetric list surgery costs more than it saves — re-probe in full.
+    // (The other trigger, no carried state, was handled above.)
+    const size_t churn = appeared + moved + disappeared;
+    if (churn * 10 > n * 3) {
+      fell_back = true;
+      RebuildFromScratch(snapshot, &ops);
+    } else {
+      reprobed = appeared + moved;
+
+      // 1. Symmetric edge removal for everything that left or moved.
+      //    (Dirty-set closure: a stable object adjacent to a mover keeps
+      //    its anchor, but its list is repaired right here — the mover
+      //    deletes the stale edge and re-adds it below if still in
+      //    range, so "adjacency to a mover" never needs its own flag.)
+      RefreshIndexLookup();  // resolves old ids_ (pre re-index below)
+      for (const IdMergeItem& m : merged) {
+        const bool gone = m.index_b == Snapshot::kNpos;
+        if (!gone && (m.index_a == Snapshot::kNpos || !dirty[m.index_b])) {
+          continue;  // arrival (no old edges) or stable survivor
+        }
+        std::vector<ObjectId>& own = lists_[m.index_a];
+        for (ObjectId u : own) EraseSorted(lists_[IndexOfId(u)], m.id);
+        own.clear();
+      }
+
+      // 2. Re-index the carried state to the new snapshot's index space;
+      //    movers and arrivals re-anchor to their current position.
+      std::vector<Point> new_anchors(n);
+      std::vector<std::vector<ObjectId>> new_lists(n);
+      for (const IdMergeItem& m : merged) {
+        if (m.index_b == Snapshot::kNpos) continue;
+        if (m.index_a != Snapshot::kNpos && !dirty[m.index_b]) {
+          new_anchors[m.index_b] = anchors_[m.index_a];
+          new_lists[m.index_b] = std::move(lists_[m.index_a]);
+        } else {
+          new_anchors[m.index_b] = snapshot.pos(m.index_b);
+        }
+      }
+      ids_ = snapshot.ids();
+      anchors_ = std::move(new_anchors);
+      lists_ = std::move(new_lists);
+
+      // 3. Probe only the dirty anchors against the rₑ-grid. A pair of
+      //    two dirty objects is seen from both probes; the h-side guard
+      //    keeps exactly one evaluation per pair.
+      const double cell = BuildCellIndex();
+      for (uint32_t d = 0; d < n; ++d) {
+        if (!dirty[d]) continue;
+        const Point a = anchors_[d];
+        const int64_t cx = static_cast<int64_t>(std::floor(a.x / cell));
+        const int64_t cy = static_cast<int64_t>(std::floor(a.y / cell));
+        for (int64_t dx = -1; dx <= 1; ++dx) {
+          for (int64_t dy = -1; dy <= 1; ++dy) {
+            auto range = std::equal_range(cell_index_.begin(),
+                                          cell_index_.end(),
+                                          CellEntry{cx + dx, cy + dy, 0},
+                                          CellPosLess<CellEntry>);
+            for (auto it = range.first; it != range.second; ++it) {
+              const uint32_t h = it->idx;
+              if (h == d) continue;
+              if (dirty[h] && h < d) continue;  // evaluated at the h probe
+              ++ops;
+              if (WithinEps(a, anchors_[h], re_pad2_)) {
+                InsertSorted(lists_[d], ids_[h]);
+                InsertSorted(lists_[h], ids_[d]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (delta != nullptr) {
+    if (fell_back) {
+      delta->dirty += static_cast<int64_t>(n);
+      ++delta->full_rebuilds;
+    } else {
+      delta->reuse += static_cast<int64_t>(n - reprobed);
+      delta->dirty += static_cast<int64_t>(reprobed);
+    }
+  }
+  Clustering result = FinishExact(snapshot, &ops);
+  if (distance_ops != nullptr) *distance_ops += ops;
+  return result;
+}
+
+void IncrementalClusterer::SaveState(std::ostream& out) const {
+  out << "clusterer " << (has_state_ ? 1 : 0) << ' ' << ids_.size() << '\n';
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    out << ids_[i] << ' ';
+    WriteHexDouble(out, anchors_[i].x);
+    out << ' ';
+    WriteHexDouble(out, anchors_[i].y);
+    out << '\n';
+  }
+}
+
+Status IncrementalClusterer::LoadState(std::istream& in) {
+  std::string tag;
+  int has = 0;
+  uint64_t count = 0;
+  if (!(in >> tag >> has >> count) || tag != "clusterer") {
+    return Status::Corruption("expected 'clusterer' section");
+  }
+  if (has != 0 && has != 1) {
+    return Status::Corruption("bad clusterer state flag");
+  }
+  if (count > kMaxStateCount || (has == 0 && count != 0)) {
+    return Status::Corruption("implausible clusterer state count");
+  }
+  Reset();
+  std::vector<ObjectId> ids(count);
+  std::vector<Point> anchors(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string x_token;
+    std::string y_token;
+    if (!(in >> ids[i] >> x_token >> y_token)) {
+      return Status::Corruption("bad clusterer anchor record");
+    }
+    if (i > 0 && ids[i] <= ids[i - 1]) {
+      return Status::Corruption("clusterer anchor ids out of order");
+    }
+    if (!ParseHexDouble(x_token, &anchors[i].x) ||
+        !ParseHexDouble(y_token, &anchors[i].y) ||
+        !std::isfinite(anchors[i].x) || !std::isfinite(anchors[i].y)) {
+      return Status::Corruption("bad clusterer anchor coordinate");
+    }
+  }
+  if (has == 0) return Status::OK();
+  if (!IncrementalClusteringEnabled()) {
+    // Honor the *current* kill-switch mode, not the mode at save time: an
+    // uninterrupted run with the layer off would have dropped this state
+    // (Cluster() resets before delegating), so a resumed run must too.
+    return Status::OK();
+  }
+  ids_ = std::move(ids);
+  anchors_ = std::move(anchors);
+  has_state_ = true;
+  // The neighbor lists are a pure function of the anchors; rebuilding
+  // them here (uncounted — the uninterrupted run never paid for this)
+  // reproduces the carried graph bit-for-bit.
+  RebuildListsFromAnchors(nullptr);
+  return Status::OK();
+}
+
+}  // namespace tcomp

@@ -1,0 +1,139 @@
+#ifndef TCOMP_CORE_INCREMENTAL_CLUSTER_H_
+#define TCOMP_CORE_INCREMENTAL_CLUSTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Per-run counters for the incremental layer; accumulated into
+/// DiscoveryStats by the discoverers that embed a clusterer.
+struct ClusterDeltaStats {
+  /// Objects whose carried neighborhood state was reused as-is.
+  int64_t reuse = 0;
+  /// Objects re-probed against the spatial grid (movers, arrivals, plus
+  /// every object of a fallback snapshot).
+  int64_t dirty = 0;
+  /// Snapshots where the stability test could not bound the churn and the
+  /// whole snapshot was re-clustered from scratch.
+  int64_t full_rebuilds = 0;
+};
+
+/// Exact snapshot-to-snapshot density clustering (ROADMAP item 4,
+/// following the evolutionary-clustering direction in PAPERS.md): instead
+/// of re-running DBSCAN from scratch each snapshot, the clusterer carries
+/// a *candidate-neighbor graph* across snapshots and only repairs the
+/// parts the stream actually changed.
+///
+/// The invariant (details in DESIGN.md):
+///
+///  - every object has an **anchor** — its position the last time it was
+///    probed — and a sorted, symmetric list of the objects whose anchors
+///    lie within the extended radius rₑ = 2ε (= ε + 2·Δ with slack
+///    Δ = ε/2, padded for floating point);
+///  - an object is **stable** while it stays within Δ of its anchor;
+///    otherwise (moved beyond Δ, appeared, or anchor unknown) it is
+///    **dirty** and is re-probed: its anchor snaps to the current
+///    position and its list is rebuilt from an rₑ-grid;
+///  - by the triangle inequality, two objects within ε of each other are
+///    within Δ + ε + Δ = rₑ of their anchors, so the carried lists are a
+///    superset of the true ε-neighbor pairs. The exact ε-graph is then
+///    recovered by filtering every listed pair through the shared
+///    WithinEps predicate on *current* positions.
+///
+/// The final labeling runs through the same BuildClusteringFromCores
+/// finishing step as every other backend, so the output is byte-identical
+/// to full DBSCAN on every snapshot — including label numbering, border
+/// attachment, and noise — by construction, not by luck. When stability
+/// cannot be proven cheaply (no carried state, or churn above the
+/// fallback threshold) the snapshot is conservatively re-probed in full.
+///
+/// The layer is process-gated by SetIncrementalClusteringEnabled(); when
+/// off, Cluster() drops its carried state and delegates to the reference
+/// Dbscan() (ops accounting then matches the pre-incremental behavior
+/// exactly). The clusterer is deliberately serial: its products and its
+/// distance_ops are independent of DbscanParams::threads.
+///
+/// Not thread-safe; one instance per stream, like the discoverers.
+class IncrementalClusterer {
+ public:
+  explicit IncrementalClusterer(const DbscanParams& params);
+
+  /// Clusters `snapshot`, reusing carried state where the stability
+  /// predicate allows. `distance_ops` (if non-null) is incremented by the
+  /// number of distance evaluations; `delta` (if non-null) accumulates
+  /// the reuse/dirty/fallback counters.
+  Clustering Cluster(const Snapshot& snapshot, int64_t* distance_ops,
+                     ClusterDeltaStats* delta);
+
+  /// Drops all carried state; the next Cluster() call re-probes in full.
+  void Reset();
+
+  /// Checkpointing: the carried state is part of a discoverer's stream
+  /// state — resuming from a checkpoint must replay exactly like the
+  /// uninterrupted run, ops counters included. Anchors are serialized as
+  /// hex floats (bit-exact round trip); the neighbor lists are a pure
+  /// function of the anchors and are rebuilt on load (uncounted — the
+  /// uninterrupted run never paid for them either).
+  void SaveState(std::ostream& out) const;
+  Status LoadState(std::istream& in);
+
+  bool has_state() const { return has_state_; }
+
+ private:
+  /// Re-anchors every object of `snapshot` and rebuilds the neighbor
+  /// lists from an rₑ-grid. Counts one distance op per candidate pair
+  /// tested when `ops` is non-null.
+  void RebuildFromScratch(const Snapshot& snapshot, int64_t* ops);
+
+  /// Rebuilds lists_ from ids_/anchors_ alone (the lists are a pure
+  /// function of the anchors). Shared by the rebuild and load paths.
+  void RebuildListsFromAnchors(int64_t* ops);
+
+  /// The exact ε-filter + core/label finishing step over carried lists.
+  Clustering FinishExact(const Snapshot& snapshot, int64_t* ops);
+
+  /// Refreshes the id → index scratch table from ids_. Queries through
+  /// IndexOfId are only ever made for ids present in ids_, so stale
+  /// entries for departed ids never need clearing.
+  void RefreshIndexLookup();
+  uint32_t IndexOfId(ObjectId id) const;
+
+  /// Rebuilds cell_index_ (the rₑ-grid as a sorted flat array — cheaper
+  /// than a node-based hash map rebuilt every snapshot) and returns the
+  /// cell width used.
+  double BuildCellIndex();
+
+  DbscanParams params_;
+  double delta2_;    // (ε/2)², the stability slack, squared
+  double re_pad_;    // 2ε padded for FP: probe radius for anchor lists
+  double re_pad2_;   // re_pad_²
+
+  bool has_state_ = false;
+  std::vector<ObjectId> ids_;                  // ascending; == last snapshot
+  std::vector<Point> anchors_;                 // parallel to ids_
+  std::vector<std::vector<ObjectId>> lists_;   // sorted, symmetric, no self
+
+  // Reused scratch (capacity persists across snapshots). cell_index_ is
+  // the anchor grid sorted by (cx, cy, idx); index_of_ is the dense
+  // id → index table, valid only when dense_lookup_ is set (sparse id
+  // spaces fall back to binary search over ids_).
+  struct CellEntry {
+    int64_t cx;
+    int64_t cy;
+    uint32_t idx;
+  };
+  std::vector<CellEntry> cell_index_;
+  std::vector<uint32_t> index_of_;
+  bool dense_lookup_ = false;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_CORE_INCREMENTAL_CLUSTER_H_

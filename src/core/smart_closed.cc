@@ -12,7 +12,7 @@
 namespace tcomp {
 
 SmartClosedDiscoverer::SmartClosedDiscoverer(const DiscoveryParams& params)
-    : params_(params) {
+    : params_(params), clusterer_(params.cluster) {
   // SC reports only closed companions (Definition 5 applied to outputs);
   // emitting the redundant non-closed ones is CI's failure mode.
   log_.set_closed_mode(true);
@@ -20,7 +20,9 @@ SmartClosedDiscoverer::SmartClosedDiscoverer(const DiscoveryParams& params)
 
 SmartClosedDiscoverer::SmartClosedDiscoverer(const DiscoveryParams& params,
                                              ClusteringFn clustering)
-    : params_(params), clustering_fn_(std::move(clustering)) {
+    : params_(params),
+      clustering_fn_(std::move(clustering)),
+      clusterer_(params.cluster) {
   log_.set_closed_mode(true);
 }
 
@@ -28,10 +30,17 @@ void SmartClosedDiscoverer::ProcessSnapshot(
     const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
   Timer cluster_timer;
   cluster_timer.Start();
-  Clustering clustering =
-      clustering_fn_ ? clustering_fn_(snapshot)
-                     : Dbscan(snapshot, params_.cluster,
-                              &stats_.distance_ops);
+  Clustering clustering;
+  if (clustering_fn_) {
+    clustering = clustering_fn_(snapshot);
+  } else {
+    ClusterDeltaStats cluster_delta;
+    clustering =
+        clusterer_.Cluster(snapshot, &stats_.distance_ops, &cluster_delta);
+    stats_.cluster_reuse += cluster_delta.reuse;
+    stats_.cluster_dirty += cluster_delta.dirty;
+    stats_.cluster_full_rebuilds += cluster_delta.full_rebuilds;
+  }
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
   RecordStage(Stage::kCluster, cluster_timer.Seconds());
@@ -150,6 +159,7 @@ void SmartClosedDiscoverer::ProcessSnapshot(
 
 void SmartClosedDiscoverer::Reset() {
   candidates_.clear();
+  clusterer_.Reset();
   log_.Clear();
   stats_ = DiscoveryStats{};
   snapshot_index_ = 0;
@@ -164,6 +174,7 @@ Status SmartClosedDiscoverer::SaveState(std::ostream& out) const {
     for (ObjectId o : r.objects) out << ' ' << o;
     out << '\n';
   }
+  clusterer_.SaveState(out);
   return Status::OK();
 }
 
@@ -197,7 +208,7 @@ Status SmartClosedDiscoverer::LoadState(std::istream& in) {
     r.signature = SetSignature::Of(r.objects);
     candidates_.push_back(std::move(r));
   }
-  return Status::OK();
+  return clusterer_.LoadState(in);
 }
 
 }  // namespace tcomp

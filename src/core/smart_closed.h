@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/discoverer.h"
+#include "core/incremental_cluster.h"
 
 namespace tcomp {
 
@@ -51,6 +52,10 @@ class SmartClosedDiscoverer : public CompanionDiscoverer {
   DiscoveryParams params_;
   ClusteringFn clustering_fn_;  // empty = built-in DBSCAN
   std::vector<Candidate> candidates_;
+  /// Built-in clustering path only (unused when clustering_fn_ is set —
+  /// a custom metric has no anchor/triangle-inequality structure to
+  /// exploit). Exact and gated by SetIncrementalClusteringEnabled().
+  IncrementalClusterer clusterer_;
 };
 
 }  // namespace tcomp

@@ -30,6 +30,30 @@ size_t Snapshot::IndexOf(ObjectId id) const {
   return static_cast<size_t>(it - ids_.begin());
 }
 
+std::vector<IdMergeItem> MergeIdSequences(const std::vector<ObjectId>& a,
+                                          const std::vector<ObjectId>& b) {
+  std::vector<IdMergeItem> merged;
+  merged.reserve(std::max(a.size(), b.size()));
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    IdMergeItem item;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      item.id = a[i];
+      item.index_a = i++;
+    } else if (i >= a.size() || b[j] < a[i]) {
+      item.id = b[j];
+      item.index_b = j++;
+    } else {
+      item.id = a[i];
+      item.index_a = i++;
+      item.index_b = j++;
+    }
+    merged.push_back(item);
+  }
+  return merged;
+}
+
 int64_t TotalRecords(const SnapshotStream& stream) {
   int64_t n = 0;
   for (const Snapshot& s : stream) n += static_cast<int64_t>(s.size());

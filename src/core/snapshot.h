@@ -54,6 +54,23 @@ class Snapshot {
   double duration_ = 1.0;
 };
 
+/// One row of a two-way ordered merge over object-id sequences: the id
+/// plus its index in each input (Snapshot::kNpos when absent). Exactly one
+/// row per distinct id, ids ascending.
+struct IdMergeItem {
+  ObjectId id = 0;
+  size_t index_a = Snapshot::kNpos;
+  size_t index_b = Snapshot::kNpos;
+};
+
+/// Linear-time ordered merge of two ascending id sequences (the invariant
+/// Snapshot maintains). The workhorse for snapshot diffing: consecutive
+/// snapshots share most ids, and the merge classifies each id as
+/// present-in-both / only-in-a / only-in-b in one pass. Used by the
+/// incremental clusterer and the R-tree maintenance path.
+std::vector<IdMergeItem> MergeIdSequences(const std::vector<ObjectId>& a,
+                                          const std::vector<ObjectId>& b);
+
 /// A fully materialized stream: the snapshot sequence the discoverers
 /// consume. Produced by dataset generators or by the sliding window.
 using SnapshotStream = std::vector<Snapshot>;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dbscan.h"
 #include "util/logging.h"
 
 namespace tcomp {
@@ -168,7 +169,7 @@ std::vector<ObjectId> QuadTree::Search(Point center, double radius) const {
     const Node& node = nodes_[static_cast<size_t>(f.n)];
     if (node.leaf) {
       for (const Item& item : node.items) {
-        if (SquaredDistance(item.pos, center) <= r2) {
+        if (WithinEps(item.pos, center, r2)) {
           out.push_back(item.id);
         }
       }

@@ -296,7 +296,7 @@ std::vector<ObjectId> RTree::Search(Point center, double radius) const {
     if (node.leaf) {
       for (const Entry& e : node.entries) {
         Point p{e.rect.min_x, e.rect.min_y};
-        if (SquaredDistance(p, center) <= r2) out.push_back(e.id);
+        if (WithinEps(p, center, r2)) out.push_back(e.id);
       }
     } else {
       for (const Entry& e : node.entries) {
@@ -421,19 +421,17 @@ Clustering DbscanRtree(const Snapshot& snapshot, const DbscanParams& params,
   } else {
     // Incremental maintenance: delete+reinsert every moved object —
     // the per-snapshot update pattern the paper cites as too costly.
-    for (size_t i = 0; i < previous->size(); ++i) {
-      ObjectId oid = previous->id(i);
-      size_t idx = snapshot.IndexOf(oid);
-      if (idx == Snapshot::kNpos) {
-        tree->Delete(oid, previous->pos(i));
-      } else if (snapshot.pos(idx).x != previous->pos(i).x ||
-                 snapshot.pos(idx).y != previous->pos(i).y) {
-        tree->Update(oid, previous->pos(i), snapshot.pos(idx));
-      }
-    }
-    for (size_t i = 0; i < snapshot.size(); ++i) {
-      if (!previous->Contains(snapshot.id(i))) {
-        tree->Insert(snapshot.id(i), snapshot.pos(i));
+    // One linear merge instead of a binary search per object.
+    for (const IdMergeItem& m :
+         MergeIdSequences(previous->ids(), snapshot.ids())) {
+      if (m.index_b == Snapshot::kNpos) {
+        tree->Delete(m.id, previous->pos(m.index_a));
+      } else if (m.index_a == Snapshot::kNpos) {
+        tree->Insert(m.id, snapshot.pos(m.index_b));
+      } else if (snapshot.pos(m.index_b).x != previous->pos(m.index_a).x ||
+                 snapshot.pos(m.index_b).y != previous->pos(m.index_a).y) {
+        tree->Update(m.id, previous->pos(m.index_a),
+                     snapshot.pos(m.index_b));
       }
     }
   }

@@ -1,0 +1,610 @@
+/// Differential proof that the incremental clustering layer is exact:
+/// IncrementalClusterer must produce byte-identical clusterings to full
+/// per-snapshot DBSCAN on every stream we can throw at it — smooth
+/// motion, dropout/reappearance, whole-cluster teleports, stale
+/// (out-of-order) position reverts, kill-switch toggles mid-stream, and
+/// mid-stream checkpoint kill+resume — across thread counts and kernel
+/// modes. Also pins the shared eps-boundary convention (satellite: flat,
+/// grid, and incremental backends must agree on pairs at exactly ε,
+/// including pairs straddling grid cell borders at large coordinates).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baselines/convoy.h"
+#include "core/clustering_intersection.h"
+#include "core/dbscan.h"
+#include "core/discoverer.h"
+#include "core/incremental_cluster.h"
+#include "core/snapshot.h"
+#include "data/group_model.h"
+#include "tests/test_util.h"
+#include "util/dense_bitset.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::IncrementalClusteringGuard;
+using testing_util::MakeSnapshot;
+
+/// RAII pin for the bitset-kernel switch (mirrors the guard in
+/// kernel_differential_test).
+class KernelGuard {
+ public:
+  explicit KernelGuard(bool enabled) : previous_(BitsetKernelsEnabled()) {
+    SetBitsetKernelsEnabled(enabled);
+  }
+  ~KernelGuard() { SetBitsetKernelsEnabled(previous_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Fast, churny stream (same shape as kernel_differential_test): objects
+/// move far beyond the stability slack every snapshot, so this exercises
+/// the fallback path of the incremental layer.
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 90;
+  options.num_snapshots = 32;
+  options.area_size = 1600.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+/// Low-speed variant: per-snapshot movement stays well under the
+/// clusterer's Δ = ε/2 = 9 slack, so carried state is actually reusable
+/// (the default group streams move too fast for that).
+GroupDataset CoherentStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 120;
+  options.num_snapshots = 40;
+  options.area_size = 1800.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.group_speed = 1.0;
+  options.free_speed = 1.5;
+  options.member_jitter = 0.8;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DbscanParams ClusterParams() {
+  DbscanParams params;
+  params.epsilon = 18.0;
+  params.mu = 3;
+  return params;
+}
+
+DiscoveryParams BaseParams() {
+  DiscoveryParams params;
+  params.cluster = ClusterParams();
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+  return params;
+}
+
+void ExpectSameClustering(const Clustering& want, const Clustering& got,
+                          size_t t) {
+  EXPECT_EQ(want.labels, got.labels) << "labels diverge at snapshot " << t;
+  EXPECT_EQ(want.core, got.core) << "core flags diverge at snapshot " << t;
+  ASSERT_EQ(want.clusters.size(), got.clusters.size())
+      << "cluster count diverges at snapshot " << t;
+  for (size_t k = 0; k < want.clusters.size(); ++k) {
+    EXPECT_EQ(want.clusters[k], got.clusters[k])
+        << "cluster " << k << " diverges at snapshot " << t;
+  }
+}
+
+/// Feeds `stream` through an IncrementalClusterer and asserts every
+/// snapshot's clustering is identical to full Dbscan. Returns the
+/// accumulated delta counters.
+ClusterDeltaStats ExpectIncrementalMatchesFull(const SnapshotStream& stream,
+                                               const DbscanParams& params) {
+  IncrementalClusterer clusterer(params);
+  ClusterDeltaStats delta;
+  int64_t inc_ops = 0;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    Clustering got = clusterer.Cluster(stream[t], &inc_ops, &delta);
+    Clustering want = Dbscan(stream[t], params);
+    ExpectSameClustering(want, got, t);
+  }
+  // Every object-snapshot is accounted exactly once, as reused or dirty.
+  EXPECT_EQ(delta.reuse + delta.dirty, TotalRecords(stream));
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// Clusterer-level differential coverage.
+
+class IncrementalClusterTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalClusterTest, MatchesFullDbscanOnChurnyStream) {
+  IncrementalClusteringGuard incremental_on(true);
+  ExpectIncrementalMatchesFull(ChurnyStream(GetParam()).stream,
+                               ClusterParams());
+}
+
+TEST_P(IncrementalClusterTest, MatchesFullDbscanOnCoherentStream) {
+  IncrementalClusteringGuard incremental_on(true);
+  GroupDataset data = CoherentStream(GetParam());
+  ClusterDeltaStats delta =
+      ExpectIncrementalMatchesFull(data.stream, ClusterParams());
+  // The whole point of the layer: on low-speed streams most
+  // object-snapshots must be carried over, not re-probed.
+  EXPECT_GT(delta.reuse, delta.dirty)
+      << "coherent stream should mostly reuse carried state";
+  EXPECT_LT(delta.full_rebuilds,
+            static_cast<int64_t>(data.stream.size()) / 4);
+}
+
+TEST_P(IncrementalClusterTest, DropoutAndReappearance) {
+  IncrementalClusteringGuard incremental_on(true);
+  GroupDataset data = CoherentStream(GetParam());
+  // Objects blink out for a window of snapshots and come back — having
+  // kept moving while dark. Deterministic per (id, t) so the stream is
+  // reproducible.
+  SnapshotStream stream;
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    const Snapshot& s = data.stream[t];
+    std::vector<ObjectPosition> kept;
+    for (size_t i = 0; i < s.size(); ++i) {
+      uint64_t h = (static_cast<uint64_t>(s.id(i)) * 2654435761u +
+                    static_cast<uint64_t>(t) * 40503u) %
+                   11;
+      if (t >= 8 && t < 14 && h < 3) continue;  // dark window
+      kept.push_back(ObjectPosition{s.id(i), s.pos(i)});
+    }
+    stream.push_back(Snapshot(std::move(kept), s.duration()));
+  }
+  ExpectIncrementalMatchesFull(stream, ClusterParams());
+}
+
+TEST_P(IncrementalClusterTest, WholeClusterTeleport) {
+  IncrementalClusteringGuard incremental_on(true);
+  GroupDataset data = CoherentStream(GetParam());
+  // At t=12 a third of the population teleports far away (GPS re-fix,
+  // ferry hop); at t=20 *everything* shifts, which must trip the churn
+  // fallback and still match full DBSCAN.
+  SnapshotStream stream;
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    const Snapshot& s = data.stream[t];
+    std::vector<ObjectPosition> moved;
+    for (size_t i = 0; i < s.size(); ++i) {
+      Point p = s.pos(i);
+      if (t >= 12 && s.id(i) % 3 == 0) {
+        p.x += 5e6;
+        p.y += 5e6;
+      }
+      if (t >= 20) {
+        p.x -= 3e6;
+        p.y += 2e6;
+      }
+      moved.push_back(ObjectPosition{s.id(i), p});
+    }
+    stream.push_back(Snapshot(std::move(moved), s.duration()));
+  }
+  IncrementalClusterer clusterer(ClusterParams());
+  ClusterDeltaStats delta;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    Clustering got = clusterer.Cluster(stream[t], nullptr, &delta);
+    ExpectSameClustering(Dbscan(stream[t], ClusterParams()), got, t);
+  }
+  // t=0 (no state), the partial teleport, and the all-hands shift each
+  // force a full re-probe.
+  EXPECT_GE(delta.full_rebuilds, 3);
+}
+
+TEST_P(IncrementalClusterTest, StalePositionReverts) {
+  IncrementalClusteringGuard incremental_on(true);
+  GroupDataset data = CoherentStream(GetParam());
+  // Out-of-order arrival as seen below the sliding window: a subset of
+  // objects report stale positions on odd snapshots (the previous
+  // snapshot's fix), so their tracks jump back and forth instead of
+  // progressing monotonically.
+  SnapshotStream stream;
+  stream.push_back(data.stream[0]);
+  for (size_t t = 1; t < data.stream.size(); ++t) {
+    const Snapshot& s = data.stream[t];
+    const Snapshot& prev = data.stream[t - 1];
+    std::vector<ObjectPosition> pos;
+    for (size_t i = 0; i < s.size(); ++i) {
+      Point p = s.pos(i);
+      if (t % 2 == 1 && s.id(i) % 4 == 0) {
+        size_t back = prev.IndexOf(s.id(i));
+        if (back != Snapshot::kNpos) p = prev.pos(back);
+      }
+      pos.push_back(ObjectPosition{s.id(i), p});
+    }
+    stream.push_back(Snapshot(std::move(pos), s.duration()));
+  }
+  ExpectIncrementalMatchesFull(stream, ClusterParams());
+}
+
+TEST_P(IncrementalClusterTest, KillSwitchToggleMidStream) {
+  IncrementalClusteringGuard guard(true);
+  GroupDataset data = CoherentStream(GetParam());
+  DbscanParams params = ClusterParams();
+  IncrementalClusterer clusterer(params);
+  ClusterDeltaStats delta;
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    // Off for a window mid-stream; re-enabling must re-probe from
+    // scratch, never resurrect pre-toggle state.
+    SetIncrementalClusteringEnabled(t < 10 || t >= 18);
+    Clustering got = clusterer.Cluster(data.stream[t], nullptr, &delta);
+    ExpectSameClustering(Dbscan(data.stream[t], params), got, t);
+    if (t >= 10 && t < 18) {
+      EXPECT_FALSE(clusterer.has_state()) << "switch off must drop state";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalClusterTest,
+                         ::testing::Values(701, 702, 703));
+
+// ---------------------------------------------------------------------------
+// Eps-boundary agreement (the shared WithinEps convention, satellite 1).
+
+/// Builds a snapshot of triples A=(b,b), B=(b+ε,b), C=(b,b+ε) for each
+/// base b: A–B and A–C are at *exactly* ε (the bases are chosen so b+ε is
+/// exactly representable), B–C is at ε·√2. With mu=2 each triple must
+/// come out as one all-core cluster — iff both exact-ε pairs count as
+/// neighbors, the closed-ball convention every backend now shares.
+Snapshot ExactEpsTriples(const std::vector<double>& bases, double eps) {
+  std::vector<ObjectPosition> positions;
+  ObjectId next = 0;
+  for (double base : bases) {
+    positions.push_back(ObjectPosition{next++, Point{base, base}});
+    positions.push_back(ObjectPosition{next++, Point{base + eps, base}});
+    positions.push_back(ObjectPosition{next++, Point{base, base + eps}});
+  }
+  return Snapshot(std::move(positions), 1.0);
+}
+
+void ExpectTriplesAgreeAcrossBackends(const std::vector<double>& bases) {
+  const double eps = 18.0;
+  DbscanParams params;
+  params.epsilon = eps;
+  params.mu = 2;  // a single exact-ε pair is already core+core
+  Snapshot snapshot = ExactEpsTriples(bases, eps);
+
+  Clustering flat = Dbscan(snapshot, params);
+  Clustering grid = DbscanGrid(snapshot, params);
+  ExpectSameClustering(flat, grid, 0);
+
+  IncrementalClusteringGuard incremental_on(true);
+  IncrementalClusterer clusterer(params);
+  ExpectSameClustering(flat, clusterer.Cluster(snapshot, nullptr, nullptr),
+                       0);
+
+  // Every triple is exactly one cluster: both exact-ε pairs are
+  // neighbors, and triples never bleed into each other.
+  ASSERT_EQ(flat.clusters.size(), bases.size());
+  for (const ObjectSet& c : flat.clusters) EXPECT_EQ(c.size(), 3u);
+  for (size_t i = 0; i < flat.core.size(); ++i) {
+    EXPECT_TRUE(flat.core[i]) << "object " << i << " must be core";
+  }
+}
+
+TEST(EpsBoundaryTest, ExactEpsOnCellBordersAgreesAcrossBackends) {
+  // Bases are multiples of ε, so the pair coordinates sit exactly on grid
+  // cell borders. Triples are spaced far apart so they cannot merge.
+  ExpectTriplesAgreeAcrossBackends({0.0, 5 * 18.0, 1048576.0});
+}
+
+TEST(EpsBoundaryTest, ExactEpsAtLargeMagnitudesAgreesAcrossBackends) {
+  // Large-coordinate regime, where a naive floor(x/eps) bucketing once
+  // risked splitting an exact-ε pair two cells apart. 6·2⁴⁰ has ulp 2⁻¹⁰
+  // and 9·2⁴⁹ has ulp 1, so base+ε stays exactly representable and the
+  // pair distance is exactly ε.
+  ExpectTriplesAgreeAcrossBackends(
+      {6.0 * 1099511627776.0 /* 2^40 */, 9.0 * 562949953421312.0 /* 2^49 */});
+}
+
+TEST(EpsBoundaryTest, ExactEpsPairsUnderStreamMotion) {
+  // A pair oscillating across the exact-ε boundary while carried state is
+  // live: the gap alternates ε (neighbors) and just-over-ε (noise), but
+  // the motion stays under the stability slack, so the carried list is
+  // reused and the exact filter alone must flip the result each snapshot.
+  IncrementalClusteringGuard incremental_on(true);
+  const double eps = 4.0;
+  DbscanParams params;
+  params.epsilon = eps;
+  params.mu = 2;
+  IncrementalClusterer clusterer(params);
+  for (int t = 0; t < 10; ++t) {
+    const double gap = (t % 2 == 0) ? eps : eps + 0.0625;
+    Snapshot s = MakeSnapshot({{1, 0.0, 0.0}, {2, gap, 0.0}});
+    Clustering got = clusterer.Cluster(s, nullptr, nullptr);
+    ExpectSameClustering(Dbscan(s, params), got, static_cast<size_t>(t));
+    if (t % 2 == 0) {
+      EXPECT_EQ(got.clusters.size(), 1u) << "exact eps must be neighbors";
+    } else {
+      EXPECT_TRUE(got.clusters.empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Discoverer-level: incremental mode vs full re-clustering, across kernel
+// modes and thread counts, products must be identical.
+
+/// Serialized state reduced to *products*: the clusterer's carried-state
+/// section is dropped (it legitimately differs between modes) and the
+/// mode-dependent stats fields — distance_ops, the cluster_* counters,
+/// and the wall-clock fields — are zeroed.
+std::string ProductState(const CompanionDiscoverer& d) {
+  std::ostringstream raw;
+  Status st = d.SaveState(raw);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::istringstream in(raw.str());
+  std::ostringstream out;
+  std::string line;
+  uint64_t skip_anchor_lines = 0;
+  while (std::getline(in, line)) {
+    if (skip_anchor_lines > 0) {
+      --skip_anchor_lines;
+      continue;
+    }
+    if (line.rfind("clusterer ", 0) == 0) {
+      std::istringstream fields(line);
+      std::string tag;
+      int has = 0;
+      uint64_t count = 0;
+      fields >> tag >> has >> count;
+      skip_anchor_lines = count;
+      continue;
+    }
+    if (line.rfind("stats ", 0) == 0) {
+      std::istringstream fields(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (fields >> tok) tokens.push_back(tok);
+      // Layout: "stats" + 11 counters + reuse/dirty/rebuilds + 3 timings.
+      EXPECT_EQ(tokens.size(), 18u);
+      if (tokens.size() == 18u) {
+        const size_t kModeDependent[] = {3, 12, 13, 14, 15, 16, 17};
+        for (size_t i : kModeDependent) {
+          tokens[i].assign(1, '0');  // `= "0"` trips GCC 12's -Wrestrict
+        }
+      }
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << tokens[i];
+      }
+      out << '\n';
+      continue;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+std::string RunDiscovererProducts(Algorithm algorithm,
+                                  const SnapshotStream& stream,
+                                  const DiscoveryParams& params,
+                                  bool incremental) {
+  IncrementalClusteringGuard mode(incremental);
+  std::unique_ptr<CompanionDiscoverer> d = MakeDiscoverer(algorithm, params);
+  for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+  return ProductState(*d);
+}
+
+class IncrementalDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, int>> {};
+
+TEST_P(IncrementalDifferentialTest, DiscovererProductsIdenticalToFull) {
+  const auto [seed, kernels, threads] = GetParam();
+  KernelGuard kernel_mode(kernels);
+  DiscoveryParams params = BaseParams();
+  params.cluster.threads = threads;
+  // Both stream regimes: churny exercises the fallback path, coherent the
+  // carried-state path.
+  const SnapshotStream streams[] = {ChurnyStream(seed).stream,
+                                    CoherentStream(seed + 5).stream};
+  for (const SnapshotStream& stream : streams) {
+    for (Algorithm algorithm :
+         {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+          Algorithm::kBuddy}) {
+      std::string incremental =
+          RunDiscovererProducts(algorithm, stream, params, true);
+      std::string full =
+          RunDiscovererProducts(algorithm, stream, params, false);
+      EXPECT_EQ(incremental, full)
+          << AlgorithmName(algorithm) << " kernels=" << kernels
+          << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, IncrementalDifferentialTest,
+    ::testing::Combine(::testing::Values(711, 712),
+                       ::testing::Bool(),          // bitset kernels
+                       ::testing::Values(1, 4)));  // clustering threads
+
+TEST(IncrementalDifferentialTest, ConvoyBaselineIdenticalToFull) {
+  GroupDataset data = CoherentStream(713);
+  ConvoyParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.min_objects = 5;
+  params.min_lifetime = 7;
+
+  std::vector<Convoy> incremental;
+  std::vector<Convoy> full;
+  {
+    IncrementalClusteringGuard mode(true);
+    incremental = DiscoverConvoys(data.stream, params);
+  }
+  {
+    IncrementalClusteringGuard mode(false);
+    full = DiscoverConvoys(data.stream, params);
+  }
+  EXPECT_FALSE(full.empty()) << "test stream should contain convoys";
+  ASSERT_EQ(incremental.size(), full.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(incremental[i].objects, full[i].objects) << "convoy " << i;
+    EXPECT_EQ(incremental[i].begin, full[i].begin) << "convoy " << i;
+    EXPECT_EQ(incremental[i].end, full[i].end) << "convoy " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream checkpoint kill+resume with carried clusterer state.
+
+/// Full serialized state with only the three wall-clock fields zeroed:
+/// unlike ProductState this *keeps* distance_ops, the cluster counters,
+/// and the carried anchors — a resumed run must replay bit-for-bit.
+std::string ReplayState(const CompanionDiscoverer& d) {
+  std::ostringstream raw;
+  Status st = d.SaveState(raw);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::istringstream in(raw.str());
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("stats ", 0) == 0) {
+      std::istringstream fields(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (fields >> tok) tokens.push_back(tok);
+      EXPECT_GE(tokens.size(), 4u);
+      for (size_t i = tokens.size() - 3; i < tokens.size(); ++i) {
+        tokens[i].assign(1, '0');
+      }
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << tokens[i];
+      }
+      out << '\n';
+    } else {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+TEST(IncrementalCheckpointTest, MidStreamKillResumeReplaysExactly) {
+  IncrementalClusteringGuard incremental_on(true);
+  GroupDataset data = CoherentStream(721);
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed}) {
+    std::unique_ptr<CompanionDiscoverer> first =
+        MakeDiscoverer(algorithm, params);
+    const size_t half = data.stream.size() / 2;
+    for (size_t t = 0; t < half; ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+    // Default-precision stream on purpose: anchors must survive the round
+    // trip bit-exactly without the caller opting into setprecision(17).
+    std::stringstream checkpoint;
+    ASSERT_TRUE(first->SaveState(checkpoint).ok());
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    std::unique_ptr<CompanionDiscoverer> resumed =
+        MakeDiscoverer(algorithm, params);
+    ASSERT_TRUE(resumed->LoadState(checkpoint).ok());
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      resumed->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    // Not just same products: same distance_ops, same reuse/dirty
+    // counters, same carried anchors — the resumed run is byte-for-byte
+    // the run that never stopped.
+    EXPECT_EQ(ReplayState(*first), ReplayState(*resumed))
+        << AlgorithmName(algorithm);
+    EXPECT_GT(first->stats().cluster_reuse, 0)
+        << "stream should exercise carried state, not just fallbacks";
+  }
+}
+
+TEST(IncrementalCheckpointTest, LoadHonorsCurrentKillSwitchMode) {
+  // Saved with the layer on, resumed with it off: the carried state must
+  // be dropped, exactly as an uninterrupted run toggled at the same point
+  // would have dropped it — and the post-resume runs must match.
+  GroupDataset data = CoherentStream(722);
+  DiscoveryParams params = BaseParams();
+  const size_t half = data.stream.size() / 2;
+
+  IncrementalClusteringGuard outer(true);
+  std::unique_ptr<CompanionDiscoverer> saver =
+      MakeDiscoverer(Algorithm::kSmartClosed, params);
+  for (size_t t = 0; t < half; ++t) {
+    saver->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver->SaveState(checkpoint).ok());
+
+  // Uninterrupted twin: layer switched off at the half-way point.
+  SetIncrementalClusteringEnabled(false);
+  for (size_t t = half; t < data.stream.size(); ++t) {
+    saver->ProcessSnapshot(data.stream[t], nullptr);
+  }
+
+  // Killed-and-resumed twin, also with the layer off from the half.
+  std::unique_ptr<CompanionDiscoverer> resumed =
+      MakeDiscoverer(Algorithm::kSmartClosed, params);
+  ASSERT_TRUE(resumed->LoadState(checkpoint).ok());
+  for (size_t t = half; t < data.stream.size(); ++t) {
+    resumed->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  EXPECT_EQ(ReplayState(*saver), ReplayState(*resumed));
+}
+
+TEST(IncrementalCheckpointTest, RejectsCorruptClustererState) {
+  IncrementalClusteringGuard incremental_on(true);
+  DiscoveryParams params = BaseParams();
+  GroupDataset data = CoherentStream(723);
+  ClusteringIntersectionDiscoverer d(params);
+  for (size_t t = 0; t < 4; ++t) d.ProcessSnapshot(data.stream[t], nullptr);
+  std::ostringstream saved;
+  ASSERT_TRUE(d.SaveState(saved).ok());
+  const std::string good = saved.str();
+  ASSERT_NE(good.find("clusterer 1 "), std::string::npos);
+
+  const std::string bad_cases[] = {
+      // Section tag destroyed.
+      [&] {
+        std::string s = good;
+        s.replace(s.find("clusterer"), 9, "clustererX");
+        return s;
+      }(),
+      // Implausible anchor count (and truncated records).
+      [&] {
+        size_t at = good.find("clusterer 1 ");
+        return good.substr(0, at) + "clusterer 1 999999999\n";
+      }(),
+      // Anchor coordinate that is not a parsable hex float.
+      [&] {
+        std::string s = good;
+        size_t at = s.find("0x", s.find("clusterer 1 "));
+        s.replace(at, 2, "zz");
+        return s;
+      }(),
+  };
+  for (const std::string& bad : bad_cases) {
+    ClusteringIntersectionDiscoverer fresh(params);
+    std::istringstream in(bad);
+    Status st = fresh.LoadState(in);
+    EXPECT_FALSE(st.ok()) << "corrupt state must be rejected";
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

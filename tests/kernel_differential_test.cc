@@ -246,5 +246,55 @@ TEST(KernelCheckpointTest, StateRoundTripsAcrossKernelModes) {
   }
 }
 
+/// Regression for the BuddyIndex signature cache at checkpoint load: the
+/// rebuild must honor the *current* kernel mode, not the mode at save
+/// time. The timeline that catches a stale load-time-composed signature:
+/// save under kernels-on, resume under kernels-off (no signatures may be
+/// composed here), then re-enable kernels mid-stream — from that point on
+/// the Bloom prefilter is live again and any signature minted during the
+/// off window would prune differently than the uninterrupted twin run
+/// with the exact same toggle timeline.
+TEST(KernelCheckpointTest, ResumedSignaturesHonorCurrentKernelMode) {
+  KernelToggleGuard guard;
+  GroupDataset data = ChurnyStream(407);
+  DiscoveryParams params = BaseParams();
+  const size_t half = data.stream.size() / 2;
+  const size_t three_quarters = data.stream.size() * 3 / 4;
+
+  // Uninterrupted twin: kernels on → off at half → on again at 3/4.
+  SetBitsetKernelsEnabled(true);
+  std::unique_ptr<CompanionDiscoverer> first =
+      MakeDiscoverer(Algorithm::kBuddy, params);
+  for (size_t t = 0; t < half; ++t) {
+    first->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  std::stringstream checkpoint;
+  ASSERT_TRUE(first->SaveState(checkpoint).ok());
+  SetBitsetKernelsEnabled(false);
+  for (size_t t = half; t < three_quarters; ++t) {
+    first->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  SetBitsetKernelsEnabled(true);
+  for (size_t t = three_quarters; t < data.stream.size(); ++t) {
+    first->ProcessSnapshot(data.stream[t], nullptr);
+  }
+
+  // Killed-and-resumed twin: load happens with kernels off, then the same
+  // off window and the same re-enable point.
+  SetBitsetKernelsEnabled(false);
+  std::unique_ptr<CompanionDiscoverer> resumed =
+      MakeDiscoverer(Algorithm::kBuddy, params);
+  ASSERT_TRUE(resumed->LoadState(checkpoint).ok());
+  for (size_t t = half; t < three_quarters; ++t) {
+    resumed->ProcessSnapshot(data.stream[t], nullptr);
+  }
+  SetBitsetKernelsEnabled(true);
+  for (size_t t = three_quarters; t < data.stream.size(); ++t) {
+    resumed->ProcessSnapshot(data.stream[t], nullptr);
+  }
+
+  EXPECT_EQ(NormalizedState(*first), NormalizedState(*resumed));
+}
+
 }  // namespace
 }  // namespace tcomp

@@ -209,6 +209,11 @@ void ExpectSameRun(const CompanionDiscoverer& serial,
   EXPECT_EQ(s.buddies_total, p.buddies_total);
   EXPECT_EQ(s.buddies_unchanged, p.buddies_unchanged);
   EXPECT_EQ(s.buddy_member_sum, p.buddy_member_sum);
+  // The incremental clustering layer is serial by contract, so its
+  // counters may never depend on the thread count either.
+  EXPECT_EQ(s.cluster_reuse, p.cluster_reuse);
+  EXPECT_EQ(s.cluster_dirty, p.cluster_dirty);
+  EXPECT_EQ(s.cluster_full_rebuilds, p.cluster_full_rebuilds);
 }
 
 class ParallelDiscoveryTest : public ::testing::TestWithParam<uint64_t> {};
@@ -259,6 +264,34 @@ TEST_P(ParallelDiscoveryTest, ParallelBuddyStillEqualsSmartClosed) {
   for (const Companion& c : bu.log().companions()) bu_sets.insert(c.objects);
   EXPECT_FALSE(sc_sets.empty());
   EXPECT_EQ(sc_sets, bu_sets);
+}
+
+TEST_P(ParallelDiscoveryTest, IncrementalClusteringIdenticalAcrossThreads) {
+  // Carried-state clustering across --threads: the layer itself is
+  // serial, but it feeds parallel consumers; the whole run (products,
+  // distance_ops, reuse/dirty counters) must be thread-count-invariant.
+  testing_util::IncrementalClusteringGuard incremental_on(true);
+  GroupModelOptions options;
+  options.num_objects = 120;
+  options.num_snapshots = 40;
+  options.area_size = 1800.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.group_speed = 1.0;  // below the Δ = ε/2 slack: reuse path runs
+  options.free_speed = 1.5;
+  options.member_jitter = 0.8;
+  options.seed = GetParam() + 19;
+  GroupDataset data = GenerateGroupStream(options);
+
+  SmartClosedDiscoverer serial(BaseParams(1));
+  SmartClosedDiscoverer parallel(BaseParams(8));
+  for (const Snapshot& s : data.stream) {
+    serial.ProcessSnapshot(s, nullptr);
+    parallel.ProcessSnapshot(s, nullptr);
+  }
+  ExpectSameRun(serial, parallel);
+  EXPECT_GT(serial.stats().cluster_reuse, 0)
+      << "stream should exercise the carried-state path, not fallbacks";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDiscoveryTest,

@@ -10,6 +10,7 @@
 #include "eval/runner.h"
 #include "stream/inactive_period.h"
 #include "stream/sliding_window.h"
+#include "tests/test_util.h"
 #include "util/random.h"
 
 namespace tcomp {
@@ -92,6 +93,10 @@ TEST(PipelineTest, RecordsToCompanionsEndToEnd) {
 }
 
 TEST(PipelineTest, RunnerProducesComparableResults) {
+  // The distance-work ordering asserted below compares BU against SC's
+  // full re-clustering; pin the incremental layer off so the relation
+  // is the paper's, independent of how much coherence SC can exploit.
+  testing_util::IncrementalClusteringGuard incremental_off(false);
   Dataset d = MakeMilitaryD2(/*num_snapshots=*/40);
   DiscoveryParams params = d.default_params;
 

@@ -3,12 +3,35 @@
 
 #include <vector>
 
+#include "core/dbscan.h"
 #include "core/snapshot.h"
 #include "core/types.h"
 #include "util/random.h"
 
 namespace tcomp {
 namespace testing_util {
+
+/// RAII pin for the incremental-clustering kill switch. Tests that assert
+/// *cost relations* between algorithms (e.g. "BU does less distance work
+/// than SC's full re-clustering") pin the layer off so the assertion
+/// keeps measuring what it was written to measure; tests that assert
+/// *products* never need this — products are mode-independent.
+class IncrementalClusteringGuard {
+ public:
+  explicit IncrementalClusteringGuard(bool enabled)
+      : previous_(IncrementalClusteringEnabled()) {
+    SetIncrementalClusteringEnabled(enabled);
+  }
+  ~IncrementalClusteringGuard() {
+    SetIncrementalClusteringEnabled(previous_);
+  }
+  IncrementalClusteringGuard(const IncrementalClusteringGuard&) = delete;
+  IncrementalClusteringGuard& operator=(const IncrementalClusteringGuard&) =
+      delete;
+
+ private:
+  bool previous_;
+};
 
 /// A uniformly random snapshot of `n` objects in [0, extent)².
 inline Snapshot RandomSnapshot(int n, double extent, Pcg32& rng,

@@ -3,10 +3,11 @@
 
 Wraps the bench_perf_json binary: runs it with the chosen workload,
 validates the result (checksums and counters must agree between the
-kernel and merge paths), annotates it with the toolchain/commit the
+kernel and merge paths, and incremental clustering must reproduce the
+full-DBSCAN products), annotates it with the toolchain/commit the
 numbers were taken on, and writes it to the output file (by default
-BENCH_PR4.json at the repo root — the perf-trajectory record for the
-word-parallel kernel PR).
+BENCH_PR4.json at the repo root — the repo's perf-trajectory record,
+named for the PR that introduced it).
 
 Usage:
     tools/bench_json.py --build-dir build            # full workload
@@ -71,6 +72,11 @@ def main():
         harness_args += ["--snapshots", str(args.snapshots)]
     result = run_harness(binary, harness_args)
 
+    config = result["config"]
+    if config.get("warmup_iters") is None or config["warmup_iters"] < 1:
+        raise SystemExit("harness ran without warm-up iterations — cold-start "
+                         "numbers are not comparable; refusing to record")
+
     micro = result["micro"]
     if not (micro["intersect_checksums_match"]
             and micro["closedness_checksums_match"]):
@@ -80,6 +86,14 @@ def main():
         if not entry["identical_counters"]:
             raise SystemExit(f"{entry['algorithm']}: intersection counters "
                              "differ across kernel modes — refusing to record")
+    for entry in result.get("incremental", []):
+        if not entry["identical_products"]:
+            raise SystemExit(f"{entry['algorithm']}: incremental clustering "
+                             "changed the products — refusing to record")
+        if not 0.0 <= entry["reuse_ratio"] <= 1.0:
+            raise SystemExit(f"{entry['algorithm']}: reuse_ratio "
+                             f"{entry['reuse_ratio']} out of [0, 1] — torn "
+                             "counters; refusing to record")
 
     stage_metrics = result.get("stage_metrics", {})
     histograms = stage_metrics.get("histograms", {})
@@ -108,6 +122,13 @@ def main():
         print(f"  e2e {entry['algorithm']}: "
               f"istep {entry['istep_speedup']:.2f}x, "
               f"normalized {entry['norm_speedup']:.3f}x")
+    # Informational, not gated: the incremental layer's wins depend on
+    # stream coherence, which CI machines cannot promise to reproduce.
+    for entry in result.get("incremental", []):
+        print(f"  incremental {entry['algorithm']}: "
+              f"cluster {entry['cluster_speedup']:.2f}x, "
+              f"total {entry['total_speedup']:.2f}x, "
+              f"reuse {entry['reuse_ratio']:.2f}")
     return 0
 
 

@@ -25,6 +25,17 @@ Rules (all scoped to library code, src/ and tools/, unless noted):
   no-naked-new        `new`/`delete` expressions are forbidden; use
                       std::make_unique/std::vector. `= delete` declarations
                       are fine. (Scope: src/, tools/)
+  sqrt-eps            Comparing a square-root distance (std::sqrt(...) or
+                      Distance(...)) against an ε threshold duplicates the
+                      neighborhood predicate: the backends agree on exact-ε
+                      boundaries only because they all decide membership
+                      through the shared WithinEps (core/dbscan.h), which
+                      compares squared distances and never rounds through a
+                      root. A sqrt-based comparison may disagree with it in
+                      the last ulp. Use WithinEps, or annotate why the exact
+                      root is required:
+                          // tcomp-lint: allow(sqrt-eps): <why exact>
+                      (Scope: src/, tools/)
 
 Any rule can be suppressed on a specific line (or the line above it) with
     // tcomp-lint: allow(<rule>): <reason>
@@ -57,6 +68,21 @@ UNORDERED_DECL_RE = re.compile(
 UNORDERED_ACCESSORS = ("entries",)
 
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# A comparison operator that is not <<, >>, -> or a template bracket pair
+# in the common cases; heuristic, but scoped to statements that also call
+# sqrt()/Distance() so the false-positive surface is tiny.
+CMP = r"(?:<=|>=|(?<![-<])<(?!<)|(?<![->])>(?!>))"
+# Root-taking calls. \b keeps SquaredDistance/SegmentDistance/
+# NetworkDistance out: those are different metrics with their own
+# thresholds, not the point-ε predicate.
+ROOT_CALL_RE = re.compile(r"\b(?:std\s*::\s*)?sqrt\s*\(|\bDistance\s*\(")
+EPS_IDENT = r"\b[Ee]ps\w*"
+ROOT_CMP_AFTER_RE = re.compile(CMP + r"[^;]*?" + EPS_IDENT)
+ROOT_CMP_BEFORE_RE = re.compile(EPS_IDENT + r"[^;]*?" + CMP + r"[^;]*$")
+ROOT_ASSIGN_RE = re.compile(
+    r"\b(?:const\s+)?(?:double|float|auto)\s+(\w+)\s*=\s*[^;]*?"
+    r"(?:\bsqrt|\bDistance)\s*\(")
 
 CPP_EXTS = (".cc", ".h")
 
@@ -257,6 +283,42 @@ def check_file(path, rel, findings):
             report("no-naked-new", line_of(code, m.start()),
                    "naked 'delete[]'; use std::vector or std::unique_ptr[]")
 
+        # --- sqrt-eps ---
+        sqrt_eps_msg = (
+            "root distance compared against an ε threshold; decide "
+            "membership through the shared WithinEps (core/dbscan.h) on "
+            "squared distances, or annotate why the exact root is required")
+        # Same-statement form: sqrt(...)/Distance(...) and the ε compare in
+        # one expression.
+        for m in ROOT_CALL_RE.finditer(code):
+            pos = m.start()
+            stmt_end = code.find(";", pos)
+            if stmt_end < 0:
+                stmt_end = min(len(code), pos + 200)
+            stmt_start = max(code.rfind(";", 0, pos),
+                             code.rfind("{", 0, pos),
+                             code.rfind("}", 0, pos)) + 1
+            if (ROOT_CMP_AFTER_RE.search(code, pos, stmt_end)
+                    or ROOT_CMP_BEFORE_RE.search(code[stmt_start:pos])):
+                report("sqrt-eps", line_of(code, pos), sqrt_eps_msg)
+        # Assign-then-compare form: `double d = Distance(...);` followed
+        # shortly by `d > eps`-style use of the named root.
+        for m in ROOT_ASSIGN_RE.finditer(code):
+            var = re.escape(m.group(1))
+            stmt_end = code.find(";", m.start())
+            if stmt_end < 0:
+                continue
+            window = code[stmt_end:stmt_end + 400]
+            hit = (re.search(
+                       r"\b%s\b[^;]*?%s[^;]*?%s" % (var, CMP, EPS_IDENT),
+                       window)
+                   or re.search(
+                       EPS_IDENT + r"[^;]*?" + CMP + r"[^;]*?\b%s\b" % var,
+                       window))
+            if hit:
+                report("sqrt-eps", line_of(code, stmt_end + hit.start()),
+                       sqrt_eps_msg)
+
 
 SELF_TEST_CASES = [
     # (snippet, rule expected to fire; None = must stay clean)
@@ -276,6 +338,25 @@ SELF_TEST_CASES = [
     ("int* p = new int(3);", "no-naked-new"),
     ("void F(int* p) { delete p; }", "no-naked-new"),
     ("struct S { S(const S&) = delete; };", None),
+    ("void F() { if (std::sqrt(d2) <= eps) {} }", "sqrt-eps"),
+    ("void F() { if (Distance(a, b) > params.epsilon) return; }",
+     "sqrt-eps"),
+    ("void F() { if (eps < Distance(a, b)) return; }", "sqrt-eps"),
+    ("void F() {\n"
+     "  double d = Distance(a.center(), b.center());\n"
+     "  if (d - a.radius - b.radius > eps) return;\n"
+     "}", "sqrt-eps"),
+    ("void F() {\n"
+     "  double d = Distance(a.center(), b.center());\n"
+     "  // tcomp-lint: allow(sqrt-eps): lemma bound needs the true root\n"
+     "  if (d - a.radius - b.radius > eps) return;\n"
+     "}", None),
+    # Squared comparison through the shared predicate: the sanctioned form.
+    ("bool In(Point a, Point b, double eps2) {\n"
+     "  return SquaredDistance(a, b) <= eps2;\n"
+     "}", None),
+    # Roots without an ε compare (geometry, generators) are fine.
+    ("void F() { double r = radius * std::sqrt(u); place(r); }", None),
 ]
 
 
