@@ -13,6 +13,15 @@
 //     state clustering layer toggled on vs. off: clustering-stage seconds,
 //     reuse ratio, and product identity (same contract — byte-identical
 //     outputs, only the work to produce them shrinks).
+//   sharded — SC end-to-end at shards ∈ {1, 2, 4, 8}: shards=1 is the
+//     stock single-worker path, shards>1 routes the C-step through the
+//     src/shard/ engine. Products must be byte-identical at every shard
+//     count (digest over the companion log). On a single-core host the
+//     speedup is algorithmic — per-stripe ε-cell grids with stripe-local
+//     extents versus the single-worker full-rebuild path's 2ε-padded
+//     grid — and extra cores scale the per-shard work on top of that;
+//     the recorded provenance (tools/bench_json.py) says which machine
+//     produced the numbers.
 //
 // Every timed comparison is preceded by warmup_iters untimed passes.
 // Flags: --quick (small smoke workload), --objects N, --snapshots N,
@@ -20,6 +29,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -27,12 +37,14 @@
 
 #include <functional>
 
+#include "core/candidate.h"
 #include "core/discoverer.h"
 #include "core/discovery_metrics.h"
 #include "core/smart_closed.h"
 #include "data/group_model.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
+#include "shard/sharded_engine.h"
 #include "util/dense_bitset.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -345,6 +357,127 @@ IncrementalResult BenchIncremental(const std::string& name,
   return r;
 }
 
+/// Order-sensitive digest over the full companion log — object sets,
+/// durations (exact bits), and first-qualification indices. Two runs with
+/// equal digests produced byte-identical discovery products.
+uint64_t CompanionDigest(const CompanionLog& log) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Companion& c : log.companions()) {
+    mix(c.objects.size());
+    for (ObjectId o : c.objects) mix(static_cast<uint64_t>(o));
+    uint64_t duration_bits = 0;
+    std::memcpy(&duration_bits, &c.duration, sizeof(duration_bits));
+    mix(duration_bits);
+    mix(static_cast<uint64_t>(c.snapshot_index));
+  }
+  return h;
+}
+
+/// SC end-to-end at one shard count. shards=1 is the stock single-worker
+/// discoverer exactly as `tcomp serve` runs it today; shards>1 wires a
+/// ShardedClusterEngine in through SetClusterProvider, exactly as the
+/// service pipeline does under `--shards N`.
+/// Accumulates the engine's shard-stage seconds — the JSON carries the
+/// route/work/merge split so a sharded-path regression can be localized
+/// straight from the recorded file.
+struct ShardStageSums : StageTimerSink {
+  double route = 0.0, work = 0.0, merge = 0.0;
+  void RecordStage(Stage stage, double seconds) override {
+    if (stage == Stage::kShardRoute) route += seconds;
+    if (stage == Stage::kShardCluster) work += seconds;
+    if (stage == Stage::kMergeStitch) merge += seconds;
+  }
+};
+
+struct ShardedResult {
+  std::string scenario;
+  int shards = 1;
+  int objects = 0;
+  double seconds = 0.0;          // best-of-reps full ProcessSnapshot loop
+  double cluster_seconds = 0.0;  // best-of-reps C-step stage time
+  double route_seconds = 0.0;    // partition stage, best-timed rep
+  double work_seconds = 0.0;     // per-stripe neighborhoods, best-timed rep
+  double merge_seconds = 0.0;    // stitch + finisher, best-timed rep
+  int64_t distance_ops = 0;
+  int64_t halo_objects = 0;  // Σ halo replicas across the stream
+  int64_t halo_peak = 0;     // largest per-snapshot halo total
+  size_t companions = 0;
+  uint64_t digest = 0;
+  bool identical_products = false;  // vs the scenario's shards=1 entry
+};
+
+/// One scenario across every shard count, with the shard counts
+/// alternating *within* each rep (the same paired-measurement discipline
+/// as BenchEndToEnd): machine drift spanning seconds hits every shard
+/// count alike instead of biasing the speedup ratios.
+std::vector<ShardedResult> BenchShardedScenario(
+    const std::string& scenario, const DiscoveryParams& params,
+    const SnapshotStream& stream, int objects,
+    const std::vector<int>& shard_counts, int reps, int warmup) {
+  std::vector<ShardedResult> out(shard_counts.size());
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    out[i].scenario = scenario;
+    out[i].shards = shard_counts[i];
+    out[i].objects = objects;
+  }
+  auto run = [&](size_t ci, bool timed, int rep) {
+    ShardedResult& r = out[ci];
+    // The engine outlives the discoverer holding the provider closure
+    // (declaration order — reverse destruction).
+    std::unique_ptr<ShardedClusterEngine> engine;
+    std::unique_ptr<CompanionDiscoverer> d =
+        MakeDiscoverer(Algorithm::kSmartClosed, params);
+    ShardStageSums stages;
+    if (r.shards > 1) {
+      engine = std::make_unique<ShardedClusterEngine>(params.cluster,
+                                                      r.shards);
+      engine->set_stage_sink(&stages);
+      ShardedClusterEngine* raw = engine.get();
+      d->SetClusterProvider(
+          [raw](const Snapshot& snapshot, int64_t* distance_ops) {
+            return raw->Cluster(snapshot, distance_ops);
+          });
+    }
+    Timer t;
+    t.Start();
+    for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+    t.Stop();
+    if (!timed) return;
+    if (rep == 0 || t.Seconds() < r.seconds) {
+      r.seconds = t.Seconds();
+      r.route_seconds = stages.route;
+      r.work_seconds = stages.work;
+      r.merge_seconds = stages.merge;
+    }
+    const double cluster = d->stats().cluster_seconds;
+    if (rep == 0 || cluster < r.cluster_seconds) r.cluster_seconds = cluster;
+    if (rep == 0) {
+      r.distance_ops = d->stats().distance_ops;
+      r.companions = d->log().companions().size();
+      r.digest = CompanionDigest(d->log());
+      if (engine != nullptr) {
+        r.halo_objects = engine->stats().halo_objects;
+        r.halo_peak = engine->stats().halo_peak;
+      }
+    }
+  };
+  for (int w = 0; w < warmup; ++w) {
+    for (size_t ci = 0; ci < out.size(); ++ci) run(ci, /*timed=*/false, 0);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t ci = 0; ci < out.size(); ++ci) run(ci, /*timed=*/true, rep);
+  }
+  for (ShardedResult& r : out) {
+    r.identical_products =
+        r.digest == out[0].digest && r.companions == out[0].companions;
+  }
+  return out;
+}
+
 /// One instrumented pass per algorithm with the obs stage sink attached:
 /// the BENCH JSON carries the full per-stage latency histogram snapshot
 /// (registry JSON), so a perf regression can be localized to a stage
@@ -472,6 +605,38 @@ int Main(int argc, char** argv) {
         config.e2e_reps, config.warmup_iters));
   }
 
+  // Sharded C-step scenarios, at 3x the kernel-bench population (density
+  // fixed via the sqrt-area rule) — fleet-scale streams are the regime
+  // the shard subsystem targets; at small populations the per-snapshot
+  // fixed costs both paths share drown the comparison, exactly as with
+  // the incremental layer above. `coherent_multi_tile` keeps the
+  // kernel-bench dynamics: coherent groups sweeping a world hundreds of
+  // ε-cells wide, moving far above the Δ = ε/2 slack, so the
+  // single-worker baseline full-rebuilds on its 2ε-padded grid every
+  // snapshot. `transit_burst` adds heavy group splits/departures on top
+  // (terminal-transit bursts: companions keep dissolving and reforming),
+  // stressing the partition/merge path with unstable cluster structure.
+  GroupModelOptions tile_options = options;
+  tile_options.num_objects = config.objects * 3;
+  tile_options.area_size =
+      170.0 * std::sqrt(static_cast<double>(tile_options.num_objects));
+  GroupDataset tile = GenerateGroupStream(tile_options);
+  GroupModelOptions burst_options = tile_options;
+  burst_options.split_probability = 0.10;
+  burst_options.leave_probability = 0.05;
+  burst_options.seed = 406;
+  GroupDataset burst = GenerateGroupStream(burst_options);
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  std::vector<ShardedResult> sharded = BenchShardedScenario(
+      "coherent_multi_tile", params, tile.stream, tile_options.num_objects,
+      shard_counts, config.e2e_reps, config.warmup_iters);
+  {
+    std::vector<ShardedResult> more = BenchShardedScenario(
+        "transit_burst", params, burst.stream, burst_options.num_objects,
+        shard_counts, config.e2e_reps, config.warmup_iters);
+    sharded.insert(sharded.end(), more.begin(), more.end());
+  }
+
   std::ostream& out = std::cout;
   out << "{\n";
   out << "  \"config\": {\"objects\": " << config.objects
@@ -551,19 +716,48 @@ int Main(int argc, char** argv) {
         << (i + 1 < incremental.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"sharded\": [\n";
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    const ShardedResult& r = sharded[i];
+    const ShardedResult& base = sharded[i / 4 * 4];  // scenario's shards=1
+    out << "    {\"scenario\": \"" << r.scenario << "\""
+        << ", \"algorithm\": \"SC\""
+        << ", \"shards\": " << r.shards
+        << ", \"objects\": " << r.objects
+        << ", \"snapshots\": " << config.snapshots
+        << ", \"seconds\": " << r.seconds
+        << ", \"snapshots_per_sec\": " << SafeRatio(config.snapshots, r.seconds)
+        << ", \"speedup_vs_1\": " << SafeRatio(base.seconds, r.seconds)
+        << ", \"cluster_seconds\": " << r.cluster_seconds
+        << ", \"cluster_speedup_vs_1\": "
+        << SafeRatio(base.cluster_seconds, r.cluster_seconds)
+        << ", \"route_seconds\": " << r.route_seconds
+        << ", \"work_seconds\": " << r.work_seconds
+        << ", \"merge_seconds\": " << r.merge_seconds
+        << ", \"distance_ops\": " << r.distance_ops
+        << ", \"halo_objects\": " << r.halo_objects
+        << ", \"halo_peak\": " << r.halo_peak
+        << ", \"companions\": " << r.companions
+        << ", \"identical_products\": "
+        << (r.identical_products ? "true" : "false") << "}"
+        << (i + 1 < sharded.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   // Registry JSON is itself a complete object ending in '\n'; embed it as
   // the final member.
   out << "  \"stage_metrics\": " << StageMetricsJson(params, data.stream);
   out << "}\n";
 
-  // Smoke contract: neither the kernels nor the incremental clustering
-  // layer may change any counted work or any product.
+  // Smoke contract: neither the kernels, the incremental clustering
+  // layer, nor the sharded C-step may change any counted work or any
+  // product.
   bool ok = micro.checksum_merge == micro.checksum_bitset &&
             scan.checksum_plain == scan.checksum_prefilter;
   for (const E2eResult& r : e2e) ok = ok && r.identical_counters;
   for (const IncrementalResult& r : incremental) {
     ok = ok && r.identical_products;
   }
+  for (const ShardedResult& r : sharded) ok = ok && r.identical_products;
   if (!ok) {
     std::cerr << "FAIL: kernel and merge paths disagree\n";
     return 1;

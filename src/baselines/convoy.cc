@@ -48,7 +48,9 @@ std::vector<Convoy> DiscoverConvoys(const SnapshotStream& stream,
     Timer cluster_timer;
     cluster_timer.Start();
     Clustering clustering =
-        clusterer.Cluster(stream[t], &local.distance_ops, nullptr);
+        params.cluster_provider
+            ? params.cluster_provider(stream[t], &local.distance_ops)
+            : clusterer.Cluster(stream[t], &local.distance_ops, nullptr);
     cluster_timer.Stop();
     if (stage_sink != nullptr) {
       stage_sink->RecordStage(Stage::kCluster, cluster_timer.Seconds());

@@ -19,12 +19,20 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
     const Snapshot& snapshot, std::vector<Companion>* newly_qualified) {
   Timer cluster_timer;
   cluster_timer.Start();
-  ClusterDeltaStats cluster_delta;
-  Clustering clustering =
-      clusterer_.Cluster(snapshot, &stats_.distance_ops, &cluster_delta);
-  stats_.cluster_reuse += cluster_delta.reuse;
-  stats_.cluster_dirty += cluster_delta.dirty;
-  stats_.cluster_full_rebuilds += cluster_delta.full_rebuilds;
+  Clustering clustering;
+  if (cluster_provider_) {
+    // External C-step backend (e.g. the sharded engine). The provider
+    // owns its own reuse strategy, so the incremental reuse/dirty
+    // counters stay 0 on this path.
+    clustering = cluster_provider_(snapshot, &stats_.distance_ops);
+  } else {
+    ClusterDeltaStats cluster_delta;
+    clustering =
+        clusterer_.Cluster(snapshot, &stats_.distance_ops, &cluster_delta);
+    stats_.cluster_reuse += cluster_delta.reuse;
+    stats_.cluster_dirty += cluster_delta.dirty;
+    stats_.cluster_full_rebuilds += cluster_delta.full_rebuilds;
+  }
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();
   RecordStage(Stage::kCluster, cluster_timer.Seconds());

@@ -1,6 +1,7 @@
 #ifndef TCOMP_CORE_CLUSTERING_INTERSECTION_H_
 #define TCOMP_CORE_CLUSTERING_INTERSECTION_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/discoverer.h"
@@ -28,6 +29,13 @@ class ClusteringIntersectionDiscoverer : public CompanionDiscoverer {
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
 
+  /// CI's C-step clusters raw objects, so an external backend slots in
+  /// directly (the sharded engine uses this).
+  bool SetClusterProvider(ClusterProvider provider) override {
+    cluster_provider_ = std::move(provider);
+    return true;
+  }
+
   /// Candidate set after the last snapshot (exposed for tests that verify
   /// the paper's worked example, Fig. 4).
   const std::vector<Candidate>& candidates() const { return candidates_; }
@@ -35,6 +43,10 @@ class ClusteringIntersectionDiscoverer : public CompanionDiscoverer {
  private:
   DiscoveryParams params_;
   std::vector<Candidate> candidates_;
+  /// External clustering backend; empty = the built-in incremental
+  /// clusterer below. Products are identical either way (both sides obey
+  /// the Clustering determinism spec; differential-tested).
+  ClusterProvider cluster_provider_;
   /// Snapshot-to-snapshot clustering state; exact (byte-identical to
   /// Dbscan) and process-gated by SetIncrementalClusteringEnabled().
   IncrementalClusterer clusterer_;

@@ -2,6 +2,7 @@
 #define TCOMP_CORE_DBSCAN_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/snapshot.h"
@@ -73,6 +74,15 @@ struct Clustering {
   /// Object-id sets per cluster, sorted ascending; cluster k = clusters[k].
   std::vector<ObjectSet> clusters;
 };
+
+/// Pluggable snapshot-clustering backend: given a snapshot, produce the
+/// Clustering described above — same determinism spec, same closed-ball
+/// neighborhood — incrementing `distance_ops` (never null is not
+/// guaranteed; check) by the distance evaluations spent. The sharded
+/// C-step engine (src/shard/) is injected through this type; see
+/// CompanionDiscoverer::SetClusterProvider and ConvoyParams.
+using ClusterProvider =
+    std::function<Clustering(const Snapshot& snapshot, int64_t* distance_ops)>;
 
 /// Reference density-based clustering, O(n²) pairwise distances (the cost
 /// model the paper assumes for the CI/SC baselines). If `distance_ops` is

@@ -31,7 +31,11 @@ void SmartClosedDiscoverer::ProcessSnapshot(
   Timer cluster_timer;
   cluster_timer.Start();
   Clustering clustering;
-  if (clustering_fn_) {
+  if (cluster_provider_) {
+    // External C-step backend (e.g. the sharded engine); the incremental
+    // reuse/dirty counters stay 0 on this path.
+    clustering = cluster_provider_(snapshot, &stats_.distance_ops);
+  } else if (clustering_fn_) {
     clustering = clustering_fn_(snapshot);
   } else {
     ClusterDeltaStats cluster_delta;

@@ -2,6 +2,7 @@
 #define TCOMP_CORE_SMART_CLOSED_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/discoverer.h"
@@ -46,10 +47,22 @@ class SmartClosedDiscoverer : public CompanionDiscoverer {
   Status SaveState(std::ostream& out) const override;
   Status LoadState(std::istream& in) override;
 
+  /// SC's C-step clusters raw objects, so an external backend slots in
+  /// directly. Takes precedence over a ClusteringFn passed at
+  /// construction (in practice the two are never combined: ClusteringFn
+  /// carries a different *metric*, the provider a different *execution*).
+  bool SetClusterProvider(ClusterProvider provider) override {
+    cluster_provider_ = std::move(provider);
+    return true;
+  }
+
   const std::vector<Candidate>& candidates() const { return candidates_; }
 
  private:
   DiscoveryParams params_;
+  /// External clustering backend; empty = clustering_fn_, then the
+  /// built-in incremental clusterer.
+  ClusterProvider cluster_provider_;
   ClusteringFn clustering_fn_;  // empty = built-in DBSCAN
   std::vector<Candidate> candidates_;
   /// Built-in clustering path only (unused when clustering_fn_ is set —

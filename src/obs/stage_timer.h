@@ -22,8 +22,14 @@ enum class Stage {
   kIntersect,        // I-step: candidate × cluster intersections
   kClosure,          // closedness checks on new clusters (SC, BU, convoy)
   kCheckpointWrite,  // checkpoint serialization + file write
+  // Sharded C-step (src/shard/): zero samples unless --shards > 1 routes
+  // the snapshot-clustering stage through the sharded engine. The three
+  // stages nest inside kCluster (partition → per-shard work → stitch).
+  kShardRoute,       // partition: stripe assignment + halo computation
+  kShardCluster,     // per-shard ε-neighborhood work, submit → all done
+  kMergeStitch,      // cross-shard merge: union-find stitch + finishing
 };
-inline constexpr int kStageCount = 8;
+inline constexpr int kStageCount = 11;
 
 /// Stable lowercase identifier used as the `stage` label value.
 const char* StageName(Stage stage);

@@ -1,0 +1,40 @@
+#ifndef TCOMP_SHARD_MERGE_H_
+#define TCOMP_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan.h"
+#include "core/snapshot.h"
+#include "shard/partition.h"
+#include "shard/shard_worker.h"
+
+namespace tcomp {
+
+/// Deterministic merge stage: stitches the per-shard ε-neighborhood
+/// results back into one global Clustering, byte-identical to Dbscan() on
+/// the whole snapshot.
+///
+/// Why this is exact (DESIGN.md §1.8): the slices partition the index
+/// space and each shard computed the *complete* ε-neighbor list of every
+/// owned index (halo invariant), so assembling them in shard order yields
+/// the same global neighbor lists a single-machine pass would produce.
+/// Core flags are then |N_ε| ≥ μ, and the shared
+/// internal::BuildClusteringFromCores finisher — union-find over
+/// core-core edges with smallest-index representatives, border objects
+/// attached to their lowest-index core neighbor — IS the cross-shard
+/// stitch: a cluster spanning a stripe border is joined through the
+/// core-core edges both owners report for the halo overlap. Determinism
+/// does not depend on shard completion order, only on the (fixed) slice
+/// contents; `results[k]` must be the output of ComputeShardNeighbors on
+/// `plan.slices[k]`.
+///
+/// `distance_ops`, if non-null, is incremented by the sum of the shard
+/// op counts, in shard order (deterministic for a fixed plan).
+Clustering MergeShardResults(const Snapshot& snapshot, const ShardPlan& plan,
+                             std::vector<ShardResult>&& results, int mu,
+                             int64_t* distance_ops);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SHARD_MERGE_H_

@@ -1,0 +1,141 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dbscan.h"
+
+namespace tcomp {
+
+int EffectiveShardCount(int requested, size_t n) {
+  if (requested < 1) return 1;
+  size_t cap = n / kMinOwnedPerShard;
+  if (cap < 1) cap = 1;
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(requested), cap));
+}
+
+ShardPlan PartitionSnapshot(const Snapshot& snapshot, int num_shards,
+                            double epsilon) {
+  const size_t n = snapshot.size();
+  ShardPlan plan;
+  const int shards = EffectiveShardCount(num_shards, n);
+  plan.slices.resize(static_cast<size_t>(shards));
+  if (n == 0) return plan;
+
+  // Pick the wider bounding-box axis; ties go to x. max_abs feeds the
+  // same floating-point pad the grid backends use, so the halo radius is
+  // ≥ ε by at least the rounding slack of the coordinate magnitudes.
+  double min_x = snapshot.pos(0).x, max_x = min_x;
+  double min_y = snapshot.pos(0).y, max_y = min_y;
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Point p = snapshot.pos(i);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+    max_abs = std::max({max_abs, std::fabs(p.x), std::fabs(p.y)});
+  }
+  plan.split_by_x = (max_x - min_x) >= (max_y - min_y);
+
+  // Axis coordinates, materialized once: every comparison below reads a
+  // flat double array instead of chasing Point loads through the
+  // snapshot.
+  static thread_local std::vector<double> coords;
+  static thread_local std::vector<uint32_t> order;
+  coords.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p = snapshot.pos(i);
+    coords[i] = plan.split_by_x ? p.x : p.y;
+  }
+
+  // Deterministic stripe membership: ranks under the (axis coordinate,
+  // index) total order, cut at n·k/shards. Equal coordinates may
+  // straddle a stripe boundary; the halo radius covers them (|Δcoord| =
+  // 0 ≤ radius), so correctness never depends on where the tie lands.
+  //
+  // The segments are produced by nth_element bisection, not a full sort:
+  // slice membership is rank-defined, so partitioning at the cut ranks
+  // yields the identical slices for O(n log shards) cheap swaps instead
+  // of an O(n log n) comparison sort — the route stage runs once per
+  // snapshot, and at fleet scale the sort dominated it. Segments are
+  // internally unordered; nothing below depends on their order.
+  order.resize(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  auto rank_less = [&](uint32_t a, uint32_t b) {
+    if (coords[a] != coords[b]) return coords[a] < coords[b];
+    return a < b;
+  };
+  std::vector<size_t> cuts(static_cast<size_t>(shards) + 1);
+  for (int k = 0; k <= shards; ++k) {
+    cuts[static_cast<size_t>(k)] =
+        n * static_cast<size_t>(k) / static_cast<size_t>(shards);
+  }
+  std::vector<std::pair<int, int>> stack = {{0, shards}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (b - a <= 1) continue;
+    const int m = (a + b) / 2;
+    std::nth_element(order.begin() + static_cast<ptrdiff_t>(cuts[a]),
+                     order.begin() + static_cast<ptrdiff_t>(cuts[m]),
+                     order.begin() + static_cast<ptrdiff_t>(cuts[b]),
+                     rank_less);
+    stack.push_back({a, m});
+    stack.push_back({m, b});
+  }
+
+  // Coordinate interval of each segment (one linear pass; the segments
+  // are unordered inside, so the extremes are not at the ends).
+  std::vector<double> seg_lo(static_cast<size_t>(shards));
+  std::vector<double> seg_hi(static_cast<size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    double lo = coords[order[cuts[static_cast<size_t>(k)]]];
+    double hi = lo;
+    for (size_t j = cuts[static_cast<size_t>(k)] + 1;
+         j < cuts[static_cast<size_t>(k) + 1]; ++j) {
+      lo = std::min(lo, coords[order[j]]);
+      hi = std::max(hi, coords[order[j]]);
+    }
+    seg_lo[static_cast<size_t>(k)] = lo;
+    seg_hi[static_cast<size_t>(k)] = hi;
+  }
+
+  const double radius = GridCellWidth(epsilon, max_abs);
+  for (int k = 0; k < shards; ++k) {
+    ShardSlice& slice = plan.slices[static_cast<size_t>(k)];
+    slice.owned.assign(
+        order.begin() + static_cast<ptrdiff_t>(cuts[static_cast<size_t>(k)]),
+        order.begin() +
+            static_cast<ptrdiff_t>(cuts[static_cast<size_t>(k) + 1]));
+    std::sort(slice.owned.begin(), slice.owned.end());
+
+    // Halo: everything outside the stripe whose coordinate is within
+    // `radius` of the stripe's coordinate interval [lo, hi] — the same
+    // value-based membership as ever. Neighbor segments are scanned
+    // whole (they are unordered inside); a segment whose interval lies
+    // entirely beyond the radius ends the scan in that direction.
+    const double lo = seg_lo[static_cast<size_t>(k)];
+    const double hi = seg_hi[static_cast<size_t>(k)];
+    for (int j = k; j-- > 0;) {
+      if (seg_hi[static_cast<size_t>(j)] < lo - radius) break;
+      for (size_t e = cuts[static_cast<size_t>(j)];
+           e < cuts[static_cast<size_t>(j) + 1]; ++e) {
+        if (coords[order[e]] >= lo - radius) slice.halo.push_back(order[e]);
+      }
+    }
+    for (int j = k + 1; j < shards; ++j) {
+      if (seg_lo[static_cast<size_t>(j)] > hi + radius) break;
+      for (size_t e = cuts[static_cast<size_t>(j)];
+           e < cuts[static_cast<size_t>(j) + 1]; ++e) {
+        if (coords[order[e]] <= hi + radius) slice.halo.push_back(order[e]);
+      }
+    }
+    std::sort(slice.halo.begin(), slice.halo.end());
+    plan.halo_objects += static_cast<int64_t>(slice.halo.size());
+  }
+  return plan;
+}
+
+}  // namespace tcomp

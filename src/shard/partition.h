@@ -1,0 +1,65 @@
+#ifndef TCOMP_SHARD_PARTITION_H_
+#define TCOMP_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace tcomp {
+
+/// One shard's slice of a snapshot. Both lists hold snapshot indices
+/// (Snapshot's dense 0..n-1 index space, ascending), never object ids —
+/// the merge stage needs index-space neighbor lists for the shared
+/// BuildClusteringFromCores finisher, and indices compare cheaper.
+struct ShardSlice {
+  /// Indices this shard is responsible for: it must produce the exact
+  /// ε-neighborhood of every owned index. Slices partition 0..n-1.
+  std::vector<uint32_t> owned;
+  /// Read-only replicas from neighboring stripes whose split-axis
+  /// coordinate lies within the padded halo radius of this stripe's
+  /// coordinate interval. A superset of the true out-of-stripe
+  /// ε-neighbors (the padding errs toward inclusion; the per-shard
+  /// WithinEps filter is what is exact).
+  std::vector<uint32_t> halo;
+};
+
+/// A deterministic decomposition of one snapshot into shard slices.
+struct ShardPlan {
+  std::vector<ShardSlice> slices;
+  /// True when stripes cut the x axis, false for y (the wider bbox side
+  /// is cut, so halos stay thin for elongated point sets).
+  bool split_by_x = true;
+  /// Σ |slice.halo| — the replication cost of this plan.
+  int64_t halo_objects = 0;
+};
+
+/// Shards with fewer owned objects than this are not worth a task
+/// hand-off; PartitionSnapshot collapses the shard count until every
+/// stripe meets it (or one shard remains).
+inline constexpr size_t kMinOwnedPerShard = 32;
+
+/// The shard count PartitionSnapshot will actually use for a snapshot of
+/// `n` objects: `requested` clamped so every stripe owns at least
+/// kMinOwnedPerShard objects. Deterministic in (requested, n) — resuming
+/// a stream at a different --shards value re-plans every snapshot from
+/// scratch, so no plan state needs checkpointing.
+int EffectiveShardCount(int requested, size_t n);
+
+/// Splits `snapshot` into EffectiveShardCount stripes of near-equal
+/// object count along the wider bounding-box axis, each with an ε-halo of
+/// neighboring-stripe objects. Wholly deterministic: stripe boundaries
+/// come from the (coordinate, index)-sorted order, and owned/halo lists
+/// are ascending.
+///
+/// Exactness invariant (DESIGN.md §1.8): for every owned index i, every
+/// index j with dist(i, j) ≤ ε is in owned ∪ halo of i's slice. The halo
+/// radius is GridCellWidth(epsilon, max|coord|) — ε padded for floating
+/// point — so an exact-boundary neighbor can never be excluded by the
+/// coordinate comparison that admits halo members.
+ShardPlan PartitionSnapshot(const Snapshot& snapshot, int num_shards,
+                            double epsilon);
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SHARD_PARTITION_H_

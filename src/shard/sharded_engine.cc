@@ -1,0 +1,125 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace tcomp {
+
+ShardedClusterEngine::ShardedClusterEngine(const DbscanParams& params,
+                                           int num_shards)
+    : params_(params),
+      num_shards_(num_shards < 1 ? 1 : num_shards),
+      pool_(num_shards_ - 1) {}
+
+Clustering ShardedClusterEngine::Cluster(const Snapshot& snapshot,
+                                         int64_t* distance_ops) {
+  Timer route_timer;
+  route_timer.Start();
+  ShardPlan plan = PartitionSnapshot(snapshot, num_shards_, params_.epsilon);
+  route_timer.Stop();
+  if (stage_sink_ != nullptr) {
+    stage_sink_->RecordStage(Stage::kShardRoute, route_timer.Seconds());
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  routed_objects_.fetch_add(static_cast<int64_t>(snapshot.size()),
+                            std::memory_order_relaxed);
+  halo_objects_.fetch_add(plan.halo_objects, std::memory_order_relaxed);
+  if (plan.halo_objects > halo_peak_.load(std::memory_order_relaxed)) {
+    halo_peak_.store(plan.halo_objects, std::memory_order_relaxed);
+  }
+  merge_fanin_last_.store(static_cast<int64_t>(plan.slices.size()),
+                          std::memory_order_relaxed);
+
+  Timer work_timer;
+  work_timer.Start();
+  const size_t shards = plan.slices.size();
+  std::vector<ShardResult> results(shards);
+  if (shards > 1) {
+    ShardBarrier barrier(static_cast<int>(shards) - 1);
+    for (size_t k = 1; k < shards; ++k) {
+      const ShardSlice* slice = &plan.slices[k];
+      ShardResult* out = &results[k];
+      pool_.Submit(static_cast<int>(k) - 1, [this, &snapshot, slice, out,
+                                             &barrier] {
+        *out = ComputeShardNeighbors(snapshot, *slice, params_);
+        barrier.Done();
+      });
+    }
+    results[0] = ComputeShardNeighbors(snapshot, plan.slices[0], params_);
+    barrier.Wait();
+  } else {
+    results[0] = ComputeShardNeighbors(snapshot, plan.slices[0], params_);
+  }
+  work_timer.Stop();
+  if (stage_sink_ != nullptr) {
+    stage_sink_->RecordStage(Stage::kShardCluster, work_timer.Seconds());
+  }
+
+  Timer merge_timer;
+  merge_timer.Start();
+  Clustering clustering = MergeShardResults(snapshot, plan,
+                                            std::move(results), params_.mu,
+                                            distance_ops);
+  merge_timer.Stop();
+  if (stage_sink_ != nullptr) {
+    stage_sink_->RecordStage(Stage::kMergeStitch, merge_timer.Seconds());
+  }
+  return clustering;
+}
+
+ShardEngineStats ShardedClusterEngine::stats() const {
+  ShardEngineStats stats;
+  stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  stats.routed_objects = routed_objects_.load(std::memory_order_relaxed);
+  stats.halo_objects = halo_objects_.load(std::memory_order_relaxed);
+  stats.halo_peak = halo_peak_.load(std::memory_order_relaxed);
+  stats.merge_fanin_last =
+      merge_fanin_last_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ShardedClusterEngine::ExportMetrics(MetricsRegistry* registry) const {
+  ShardEngineStats stats = this->stats();
+  registry->GetGauge("tcomp_shards", "", "Configured shard count (--shards)")
+      ->Set(num_shards_);
+  registry
+      ->GetCounter("tcomp_shard_snapshots_total", "",
+                   "Snapshots clustered by the sharded engine")
+      ->Set(static_cast<uint64_t>(stats.snapshots));
+  registry
+      ->GetCounter("tcomp_shard_routed_objects_total", "",
+                   "Objects routed to shard stripes")
+      ->Set(static_cast<uint64_t>(stats.routed_objects));
+  registry
+      ->GetCounter("tcomp_shard_halo_objects_total", "",
+                   "Halo replicas shipped to neighboring shards")
+      ->Set(static_cast<uint64_t>(stats.halo_objects));
+  registry
+      ->GetGauge("tcomp_shard_halo_peak", "",
+                 "Largest per-snapshot halo total")
+      ->Set(stats.halo_peak);
+  registry
+      ->GetGauge("tcomp_shard_merge_fanin", "",
+                 "Effective shard count of the most recent snapshot")
+      ->Set(stats.merge_fanin_last);
+  for (int k = 0; k < num_shards_; ++k) {
+    std::string labels = "shard=\"" + std::to_string(k) + "\"";
+    // Shard 0 runs inline on the close thread and has no queue.
+    const int64_t depth = k == 0 ? 0 : pool_.depth(k - 1);
+    const int64_t peak = k == 0 ? 0 : pool_.depth_peak(k - 1);
+    registry
+        ->GetGauge("tcomp_shard_queue_depth", labels,
+                   "Per-shard task queue depth at sampling time")
+        ->Set(depth);
+    registry
+        ->GetGauge("tcomp_shard_queue_depth_peak", labels,
+                   "High-watermark per-shard task queue depth")
+        ->Set(peak);
+  }
+}
+
+}  // namespace tcomp

@@ -36,12 +36,26 @@ std::string RenderFixture() {
       .GetCounter("tcomp_queue_shed_total", "", "Records shed under load")
       ->Set(7);
   registry.GetGauge("tcomp_queue_depth", "", "Ingest queue depth")->Set(42);
+  // The sharded engine's labeled per-shard gauges (the label set and its
+  // rendering are part of the scrape contract, same as stage="...").
+  registry
+      .GetGauge("tcomp_shard_queue_depth", "shard=\"0\"",
+                "Per-shard task queue depth at sampling time")
+      ->Set(0);
+  registry
+      .GetGauge("tcomp_shard_queue_depth", "shard=\"1\"",
+                "Per-shard task queue depth at sampling time")
+      ->Set(3);
   // One sample per interesting histogram region: bucket 0, a mid bucket,
   // and the overflow slot.
   sink.RecordStage(Stage::kCluster, 0.5e-6);
   sink.RecordStage(Stage::kCluster, 3e-6);
   sink.RecordStage(Stage::kCluster, 100.0);
   sink.RecordStage(Stage::kSnapshotClose, 1e-3);
+  // The sharded C-step stages exist (count 0 when sharding is off); give
+  // two of them samples so the rendered buckets are pinned too.
+  sink.RecordStage(Stage::kShardCluster, 2e-4);
+  sink.RecordStage(Stage::kMergeStitch, 5e-5);
   return registry.ExpositionText();
 }
 

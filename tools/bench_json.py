@@ -3,19 +3,22 @@
 
 Wraps the bench_perf_json binary: runs it with the chosen workload,
 validates the result (checksums and counters must agree between the
-kernel and merge paths, and incremental clustering must reproduce the
-full-DBSCAN products), annotates it with the toolchain/commit the
-numbers were taken on, and writes it to the output file (by default
-BENCH_PR4.json at the repo root — the repo's perf-trajectory record,
-named for the PR that introduced it).
+kernel and merge paths, incremental clustering must reproduce the
+full-DBSCAN products, and every sharded run must produce byte-identical
+companions to the single-shard baseline), annotates it with the
+toolchain/commit the numbers were taken on, and writes it to
+BENCH_PR<N>.json at the repo root — the repo's perf-trajectory record,
+one file per PR that re-measured it (--pr selects N; --out overrides
+the path entirely).
 
 Usage:
-    tools/bench_json.py --build-dir build            # full workload
+    tools/bench_json.py --build-dir build --pr 7     # full workload
     tools/bench_json.py --build-dir build --quick    # CI smoke workload
 """
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -46,8 +49,11 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory containing bench/")
-    parser.add_argument("--out", default=str(repo_root / "BENCH_PR4.json"),
-                        help="output JSON path")
+    parser.add_argument("--pr", type=int, default=4,
+                        help="PR number naming the output record "
+                             "(BENCH_PR<N>.json at the repo root)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (overrides --pr naming)")
     parser.add_argument("--quick", action="store_true",
                         help="small smoke workload (CI lane)")
     parser.add_argument("--reps", type=int, default=9,
@@ -94,6 +100,12 @@ def main():
             raise SystemExit(f"{entry['algorithm']}: reuse_ratio "
                              f"{entry['reuse_ratio']} out of [0, 1] — torn "
                              "counters; refusing to record")
+    for entry in result.get("sharded", []):
+        if not entry["identical_products"]:
+            raise SystemExit(
+                f"sharded {entry['scenario']} @ {entry['shards']} shards: "
+                "companions differ from the single-shard baseline — the "
+                "decomposition is not product-preserving; refusing to record")
 
     stage_metrics = result.get("stage_metrics", {})
     histograms = stage_metrics.get("histograms", {})
@@ -110,9 +122,12 @@ def main():
         "commit": git_commit(repo_root),
         "machine": platform.machine(),
         "system": platform.system(),
+        "hardware_threads": os.cpu_count(),
     }
 
-    out_path = pathlib.Path(args.out)
+    out_path = pathlib.Path(
+        args.out if args.out is not None
+        else repo_root / f"BENCH_PR{args.pr}.json")
     out_path.write_text(json.dumps(result, indent=2) + "\n")
 
     print(f"wrote {out_path}")
@@ -129,6 +144,11 @@ def main():
               f"cluster {entry['cluster_speedup']:.2f}x, "
               f"total {entry['total_speedup']:.2f}x, "
               f"reuse {entry['reuse_ratio']:.2f}")
+    for entry in result.get("sharded", []):
+        print(f"  sharded {entry['scenario']} @ {entry['shards']}: "
+              f"total {entry['speedup_vs_1']:.2f}x, "
+              f"cluster {entry['cluster_speedup_vs_1']:.2f}x, "
+              f"halo {entry['halo_objects']}")
     return 0
 
 

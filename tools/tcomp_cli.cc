@@ -68,6 +68,9 @@ int Usage() {
       "  tcomp suggest --csv records.csv [--k K] [--window-seconds W]\n"
       "  tcomp serve [--port P] [--port-file FILE] [--algo ci|sc|bu]\n"
       "      --epsilon E --mu M --min-size S --min-duration T [--threads N]\n"
+      "      [--shards N]  (sharded snapshot clustering; products are\n"
+      "                     byte-identical at every N, 1 = single worker,\n"
+      "                     default 1; BU falls back to 1 with a warning)\n"
       "      [--window-seconds W | --window-objects N] [--inactive K]\n"
       "      [--queue-capacity C] [--backpressure block|shed|reject]\n"
       "      [--lateness SECONDS] [--checkpoint FILE]\n"
@@ -574,14 +577,22 @@ int Serve(const FlagParser& flags) {
   if (!RejectUnknownFlags(
           "serve", flags,
           {"port", "port-file", "algo", "epsilon", "mu", "min-size",
-           "min-duration", "threads", "window-seconds", "window-objects",
-           "inactive", "queue-capacity", "backpressure", "lateness",
-           "checkpoint", "checkpoint-every", "read-timeout-ms",
+           "min-duration", "threads", "shards", "window-seconds",
+           "window-objects", "inactive", "queue-capacity", "backpressure",
+           "lateness", "checkpoint", "checkpoint-every", "read-timeout-ms",
            "slow-snapshot-ms"})) {
     return Usage();
   }
   ServicePipelineOptions popts;
   if (!ParseDiscoveryOptions("serve", flags, &popts)) return Usage();
+
+  int shards = 1;
+  if (!ReadFlag("serve", flags, "shards", 1, &shards)) return Usage();
+  if (shards < 1 || shards > 64) {
+    std::fprintf(stderr, "serve: --shards must be in [1, 64]\n");
+    return Usage();
+  }
+  popts.shards = shards;
 
   int capacity = 4096;
   if (!ReadFlag("serve", flags, "queue-capacity", 4096, &capacity)) {
@@ -641,9 +652,10 @@ int Serve(const FlagParser& flags) {
   }
   std::printf(
       "serve: listening on 127.0.0.1:%u (algo %s, backpressure %s, "
-      "queue %d)\n",
+      "queue %d, shards %d)\n",
       server.port(), AlgorithmName(popts.algorithm),
-      BackpressureModeName(popts.backpressure), capacity);
+      BackpressureModeName(popts.backpressure), capacity,
+      pipeline.Stats().shards);
   std::fflush(stdout);
   std::string port_file = flags.GetString("port-file", "");
   if (!port_file.empty()) {

@@ -22,6 +22,18 @@ Rules (all scoped to library code, src/ and tools/, unless noted):
                       allowlist annotation asserting order-insensitivity:
                           // tcomp-lint: allow(unordered-iter): <why safe>
                       (Scope: src/, tools/)
+  shard-unordered     In src/shard/ the bar is higher than unordered-iter:
+                      declaring a std::unordered_{map,set,...} at all is a
+                      finding, iterated or not. Every container on the
+                      shard path feeds the merge stage, whose contract is
+                      byte-identical output at any shard count — one
+                      hash-ordered walk that reaches a cluster id, a
+                      neighbor list, or a stitching order breaks it, and
+                      merge code is refactored often enough that "it is
+                      not iterated today" does not hold. Use sorted
+                      vectors or std::map, or annotate:
+                          // tcomp-lint: allow(shard-unordered): <why safe>
+                      (Scope: src/shard/)
   no-naked-new        `new`/`delete` expressions are forbidden; use
                       std::make_unique/std::vector. `= delete` declarations
                       are fine. (Scope: src/, tools/)
@@ -255,6 +267,16 @@ def check_file(path, rel, findings):
                "tcomp::Pcg32 (util/random.h)"
                % (m.group(1) or m.group(2)))
 
+    # --- shard-unordered (src/shard/ only) ---
+    if rel.replace(os.sep, "/").startswith("src/shard/"):
+        for m in re.finditer(
+                r"\bunordered_(?:map|set|multimap|multiset)\b", code):
+            report("shard-unordered", line_of(code, m.start()),
+                   "hash-ordered container on the shard path; the merge "
+                   "contract is byte-identical output at any shard count — "
+                   "use a sorted vector or std::map, or annotate why hash "
+                   "order cannot reach the merge")
+
     if top in LIB_DIRS:
         # --- unordered-iter ---
         unordered_vars = set(UNORDERED_DECL_RE.findall(code))
@@ -321,7 +343,9 @@ def check_file(path, rel, findings):
 
 
 SELF_TEST_CASES = [
-    # (snippet, rule expected to fire; None = must stay clean)
+    # (snippet, rule expected to fire; None = must stay clean). A third
+    # element overrides the checked path (default src/case.cc) so
+    # directory-scoped rules can be exercised.
     ("void F() { throw 1; }", "no-throw"),
     ("// a comment may say throw freely\nint x;", None),
     ("const char* s = \"don't throw\";", None),
@@ -357,20 +381,38 @@ SELF_TEST_CASES = [
      "}", None),
     # Roots without an ε compare (geometry, generators) are fine.
     ("void F() { double r = radius * std::sqrt(u); place(r); }", None),
+    # shard-unordered: in src/shard/ the mere declaration is a finding...
+    ("std::unordered_map<uint32_t, int> owner_;", "shard-unordered",
+     os.path.join("src", "shard", "case.cc")),
+    # ...even un-iterated inside a function body...
+    ("void F() { std::unordered_set<uint32_t> seen; seen.insert(3); }",
+     "shard-unordered", os.path.join("src", "shard", "case.cc")),
+    # ...unless annotated with a reviewed reason.
+    ("// tcomp-lint: allow(shard-unordered): drained via sorted key copy\n"
+     "std::unordered_map<uint32_t, int> owner_;", None,
+     os.path.join("src", "shard", "case.cc")),
+    # Ordered containers on the shard path are the sanctioned form.
+    ("std::vector<uint32_t> owner_;\nstd::map<uint32_t, int> rank_;", None,
+     os.path.join("src", "shard", "case.cc")),
+    # Outside src/shard/ an un-iterated declaration stays legal (only
+    # hash-order *iteration* is the library-wide hazard).
+    ("std::unordered_map<int, int> m;\nvoid F() { m[1] = 2; }", None),
 ]
 
 
 def self_test():
     import tempfile
     failures = 0
-    for i, (snippet, expected) in enumerate(SELF_TEST_CASES):
+    for i, case in enumerate(SELF_TEST_CASES):
+        snippet, expected = case[0], case[1]
+        rel = case[2] if len(case) > 2 else os.path.join("src", "case.cc")
         with tempfile.TemporaryDirectory() as tmp:
-            os.mkdir(os.path.join(tmp, "src"))
-            path = os.path.join(tmp, "src", "case.cc")
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path))
             with open(path, "w", encoding="utf-8") as f:
                 f.write(snippet + "\n")
             findings = []
-            check_file(path, os.path.join("src", "case.cc"), findings)
+            check_file(path, rel, findings)
             rules = {rule for (_, _, rule, _) in findings}
             ok = (expected in rules) if expected else not rules
             if not ok:
