@@ -39,7 +39,7 @@
 
 #include "core/candidate.h"
 #include "core/discoverer.h"
-#include "core/discovery_metrics.h"
+#include "obs/discovery_metrics.h"
 #include "core/smart_closed.h"
 #include "data/group_model.h"
 #include "obs/metrics.h"

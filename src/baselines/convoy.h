@@ -7,7 +7,7 @@
 #include "core/dbscan.h"
 #include "core/snapshot.h"
 #include "core/types.h"
-#include "obs/stage_timer.h"
+#include "core/stage.h"
 
 namespace tcomp {
 

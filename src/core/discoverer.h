@@ -11,7 +11,7 @@
 #include "core/candidate.h"
 #include "core/dbscan.h"
 #include "core/snapshot.h"
-#include "obs/stage_timer.h"
+#include "core/stage.h"
 #include "util/status.h"
 
 namespace tcomp {

@@ -1,4 +1,4 @@
-#include "core/discovery_metrics.h"
+#include "obs/discovery_metrics.h"
 
 namespace tcomp {
 

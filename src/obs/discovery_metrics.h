@@ -1,5 +1,5 @@
-#ifndef TCOMP_CORE_DISCOVERY_METRICS_H_
-#define TCOMP_CORE_DISCOVERY_METRICS_H_
+#ifndef TCOMP_OBS_DISCOVERY_METRICS_H_
+#define TCOMP_OBS_DISCOVERY_METRICS_H_
 
 #include <cstdint>
 
@@ -20,4 +20,4 @@ void ExportDiscoveryMetrics(const DiscoveryStats& stats,
 
 }  // namespace tcomp
 
-#endif  // TCOMP_CORE_DISCOVERY_METRICS_H_
+#endif  // TCOMP_OBS_DISCOVERY_METRICS_H_

@@ -4,34 +4,6 @@
 
 namespace tcomp {
 
-const char* StageName(Stage stage) {
-  switch (stage) {
-    case Stage::kIngestAdmission:
-      return "ingest_admission";
-    case Stage::kReorderHold:
-      return "reorder_hold";
-    case Stage::kSnapshotClose:
-      return "snapshot_close";
-    case Stage::kMaintain:
-      return "maintain";
-    case Stage::kCluster:
-      return "cluster";
-    case Stage::kIntersect:
-      return "intersect";
-    case Stage::kClosure:
-      return "closure";
-    case Stage::kCheckpointWrite:
-      return "checkpoint_write";
-    case Stage::kShardRoute:
-      return "shard_route";
-    case Stage::kShardCluster:
-      return "shard_cluster";
-    case Stage::kMergeStitch:
-      return "merge_stitch";
-  }
-  return "unknown";
-}
-
 MetricsStageSink::MetricsStageSink(MetricsRegistry* registry) {
   for (int i = 0; i < kStageCount; ++i) {
     std::string labels = "stage=\"";

@@ -3,46 +3,10 @@
 
 #include <atomic>
 
+#include "core/stage.h"
 #include "obs/metrics.h"
 
 namespace tcomp {
-
-/// The pipeline stages the paper's evaluation measures (Section VII,
-/// Figs. 14–19). Every discoverer — CI, SC, BU — and the convoy baseline
-/// report the same stage names, so dashboards and the slow-snapshot log
-/// read identically whichever algorithm is serving. A stage an algorithm
-/// does not have (CI has no closure check, only BU maintains buddies)
-/// simply records no samples; the series still exists, with count 0.
-enum class Stage {
-  kIngestAdmission,  // Ingest(): admission-queue push (incl. kBlock stall)
-  kReorderHold,      // watermark reorder buffer: arrival → release
-  kSnapshotClose,    // window close → discoverer done (whole snapshot)
-  kMaintain,         // M-step: buddy split/merge maintenance (BU)
-  kCluster,          // C-step: density clustering
-  kIntersect,        // I-step: candidate × cluster intersections
-  kClosure,          // closedness checks on new clusters (SC, BU, convoy)
-  kCheckpointWrite,  // checkpoint serialization + file write
-  // Sharded C-step (src/shard/): zero samples unless --shards > 1 routes
-  // the snapshot-clustering stage through the sharded engine. The three
-  // stages nest inside kCluster (partition → per-shard work → stitch).
-  kShardRoute,       // partition: stripe assignment + halo computation
-  kShardCluster,     // per-shard ε-neighborhood work, submit → all done
-  kMergeStitch,      // cross-shard merge: union-find stitch + finishing
-};
-inline constexpr int kStageCount = 11;
-
-/// Stable lowercase identifier used as the `stage` label value.
-const char* StageName(Stage stage);
-
-/// Where instrumented code reports per-snapshot stage durations. The
-/// interface is deliberately minimal so core algorithms depend only on
-/// this header, not on any metrics backend; a null sink (the default in
-/// CompanionDiscoverer) makes instrumentation a pointer test.
-class StageTimerSink {
- public:
-  virtual ~StageTimerSink() = default;
-  virtual void RecordStage(Stage stage, double seconds) = 0;
-};
 
 /// StageTimerSink backed by a MetricsRegistry: one
 /// `tcomp_stage_seconds{stage="..."}` histogram per stage, all registered
@@ -51,6 +15,9 @@ class StageTimerSink {
 /// value per stage (atomic doubles) so the pipeline can assemble a
 /// per-snapshot breakdown for the slow-snapshot warning without touching
 /// the histograms again.
+///
+/// The Stage enum and the StageTimerSink interface live in core/stage.h
+/// so the algorithm layer never includes obs/ headers.
 class MetricsStageSink : public StageTimerSink {
  public:
   explicit MetricsStageSink(MetricsRegistry* registry);

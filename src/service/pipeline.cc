@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "core/checkpoint.h"
-#include "core/discovery_metrics.h"
+#include "obs/discovery_metrics.h"
 #include "util/logging.h"
 #include "util/timer.h"
 

@@ -222,6 +222,12 @@ class ServicePipeline {
   std::thread worker_;
   // Serializes Stop() end to end (a protocol SHUTDOWN and the signal path
   // can race); state_mu_ cannot be held across the worker join.
+  //
+  // Canonical acquisition order: stop_mu_ BEFORE state_mu_, never the
+  // reverse. Stop() holds stop_mu_ across its state_mu_ critical
+  // sections; any path that held state_mu_ while taking stop_mu_ would
+  // deadlock against it (the PR 5 Stats() inversion). Enforced by the
+  // lock-order pass in tools/analyze.
   std::mutex stop_mu_;
   bool started_ = false;   // guarded by state_mu_
   bool stopped_ = false;   // guarded by state_mu_

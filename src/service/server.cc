@@ -31,7 +31,11 @@ Status CompanionServer::Start() {
   return Status::OK();
 }
 
-void CompanionServer::RequestStop() { stop_.store(true); }
+// stop_ is a pure loop-exit flag: shutdown correctness comes from the
+// joins in Wait(), not from ordering around the flag, so relaxed suffices.
+void CompanionServer::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
 
 void CompanionServer::Wait() {
   if (!started_) return;
@@ -60,7 +64,12 @@ void CompanionServer::ReapFinishedSessions() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& session : sessions_) {
-      if (session->done.load()) finished.push_back(std::move(session));
+      // tcomp-lint: allow(atomic-strong-order): acquire pairs with the
+      // release in ServeConnection; everything the session thread wrote
+      // must be visible before we join and destroy it.
+      if (session->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(session));
+      }
     }
     sessions_.erase(
         std::remove(sessions_.begin(), sessions_.end(), nullptr),
@@ -72,7 +81,7 @@ void CompanionServer::ReapFinishedSessions() {
 
 void CompanionServer::AcceptLoop() {
   int backoff_ms = 0;
-  while (!stop_.load()) {
+  while (!stop_.load(std::memory_order_relaxed)) {
     ReapFinishedSessions();
     StreamSocket accepted;
     Status s = listener_.Accept(options_.accept_poll_ms, &accepted);
@@ -118,7 +127,7 @@ void CompanionServer::ServeConnection(Session* self, StreamSocket sock) {
   // accumulating toward the configured idle timeout.
   const int quantum_ms = std::min(200, std::max(1, options_.read_timeout_ms));
 
-  while (!stop_.load()) {
+  while (!stop_.load(std::memory_order_relaxed)) {
     size_t n = 0;
     Status rs = sock.Read(buf, sizeof(buf), quantum_ms, &n);
     if (rs.code() == StatusCode::kOutOfRange) {  // poll quantum elapsed
@@ -137,7 +146,7 @@ void CompanionServer::ServeConnection(Session* self, StreamSocket sock) {
     idle_ms = 0;
     framer.Feed(buf, n);
 
-    bool done = false;
+    bool session_over = false;
     for (;;) {
       std::string line;
       LineFramer::Result r = framer.Next(&line);
@@ -153,11 +162,11 @@ void CompanionServer::ServeConnection(Session* self, StreamSocket sock) {
       Status ws = sock.WriteAll(response, options_.write_timeout_ms);
       if (shutdown_requested) RequestStop();
       if (!ws.ok() || shutdown_requested) {
-        done = true;
+        session_over = true;
         break;
       }
     }
-    if (done) break;
+    if (session_over) break;
   }
   sock.Close();
 
@@ -169,7 +178,9 @@ void CompanionServer::ServeConnection(Session* self, StreamSocket sock) {
     if (timed_out) ++counters_.read_timeouts;
   }
   // Last store: after this the accept loop may join and destroy *self.
-  self->done.store(true);
+  // tcomp-lint: allow(atomic-strong-order): release pairs with the
+  // acquire load in ReapFinishedSessions.
+  self->done.store(true, std::memory_order_release);
 }
 
 }  // namespace tcomp

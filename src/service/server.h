@@ -57,7 +57,9 @@ class CompanionServer {
 
   /// Asynchronous stop trigger; idempotent, callable from any thread.
   void RequestStop();
-  bool stop_requested() const { return stop_.load(); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
 
   /// Joins the accept loop and every session thread. Returns only after
   /// RequestStop() (or a client SHUTDOWN) has been issued.

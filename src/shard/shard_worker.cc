@@ -236,17 +236,17 @@ void ShardWorkerPool::Submit(int worker, std::function<void()> task) {
     w.depth.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
-  int64_t depth;
+  int64_t depth_now;
   {
     std::lock_guard<std::mutex> lock(w.mu);
     w.queue.push_back(std::move(task));
-    depth = w.depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    depth_now = w.depth.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   // Peak maintenance races only against other Submit()s to the same
   // worker; a lost update can under-report the peak by a sample, never
   // invent one (monitoring-grade, like the queue gauges in src/service/).
-  if (depth > w.depth_peak.load(std::memory_order_relaxed)) {
-    w.depth_peak.store(depth, std::memory_order_relaxed);
+  if (depth_now > w.depth_peak.load(std::memory_order_relaxed)) {
+    w.depth_peak.store(depth_now, std::memory_order_relaxed);
   }
   w.cv.notify_one();
 }

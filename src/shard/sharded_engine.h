@@ -7,7 +7,7 @@
 #include "core/dbscan.h"
 #include "core/snapshot.h"
 #include "obs/metrics.h"
-#include "obs/stage_timer.h"
+#include "core/stage.h"
 #include "shard/merge.h"
 #include "shard/partition.h"
 #include "shard/shard_worker.h"

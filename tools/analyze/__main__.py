@@ -1,0 +1,18 @@
+"""Makes both invocation forms work:
+
+    python3 tools/analyze ...      (directory: sys.path[0] is the package
+                                    dir, so bootstrap the parent first)
+    python3 -m analyze ...         (from tools/: normal package __main__)
+"""
+
+import os
+import sys
+
+if __package__ is None or __package__ == "":
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from analyze.cli import main
+else:
+    from .cli import main
+
+sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,93 @@
+"""Command-line front end for tcomp-analyze.
+
+Usage:
+  tools/analyze [ROOT] [--json OUT]       analyze the repo (default: the
+                                          repo containing tools/analyze)
+  tools/analyze --self-test               run the embedded rule corpus
+  tools/analyze --self-test --golden F    ...and diff the corpus findings
+                                          against the pinned golden JSON
+  tools/analyze --self-test --write-golden F   regenerate the golden
+  tools/analyze --list-rules              print the rule names
+
+Exit status: 0 clean, 1 findings or self-test failure, 2 usage error.
+The --json report is written even when findings exist (exit 1), so CI
+can upload it as an artifact from a failing lane.
+"""
+
+import os
+import sys
+
+from . import engine, selftest
+
+
+def _usage(err):
+    err.write(__doc__.strip() + "\n")
+    return 2
+
+
+def main(argv):
+    root = None
+    json_out = None
+    do_self_test = False
+    golden = None
+    write_golden = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--self-test":
+            do_self_test = True
+        elif arg == "--golden":
+            i += 1
+            if i >= len(argv):
+                return _usage(sys.stderr)
+            golden = argv[i]
+        elif arg == "--write-golden":
+            i += 1
+            if i >= len(argv):
+                return _usage(sys.stderr)
+            write_golden = argv[i]
+        elif arg == "--json":
+            i += 1
+            if i >= len(argv):
+                return _usage(sys.stderr)
+            json_out = argv[i]
+        elif arg == "--list-rules":
+            for rule in engine.RULES:
+                sys.stdout.write(rule + "\n")
+            return 0
+        elif arg.startswith("-"):
+            sys.stderr.write("tcomp-analyze: unknown flag %s\n" % arg)
+            return _usage(sys.stderr)
+        elif root is None:
+            root = arg
+        else:
+            return _usage(sys.stderr)
+        i += 1
+
+    if write_golden:
+        return selftest.write_golden(write_golden)
+    if do_self_test:
+        return selftest.self_test(golden_path=golden)
+
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write("tcomp-analyze: no src/ under %s\n" % root)
+        return 2
+
+    result = engine.analyze(root)
+    if json_out:
+        engine.write_json(result, json_out)
+    engine.render_text(result, sys.stdout)
+    if result.findings:
+        sys.stderr.write(
+            "tcomp-analyze: %d finding(s) in %d files scanned "
+            "(%d suppression(s) honored)\n"
+            % (len(result.findings), result.files_scanned,
+               len(result.suppressed)))
+        return 1
+    sys.stdout.write(
+        "tcomp-analyze: OK (%d files scanned, %d suppression(s) "
+        "honored)\n" % (result.files_scanned, len(result.suppressed)))
+    return 0

@@ -1,0 +1,320 @@
+"""Per-file declaration/scope model for tcomp-analyze.
+
+Built once per translation unit from the token stream:
+
+  * includes           `#include "..."` targets with line numbers
+  * comments_by_line   comment text per line (allow() annotations live in
+                       comments, so suppression scanning is literal-proof)
+  * unordered_vars     names declared as std::unordered_{map,set,...}
+  * atomic_vars        names declared as std::atomic<...>
+  * mutex_vars         names declared as std::{mutex,shared_mutex,...}
+  * functions          definitions with qualified names and body token
+                       ranges (namespace/class scopes are tracked so an
+                       in-class definition is attributed to its class)
+  * range_fors         (line, range-expression tokens) per range-based for
+
+The model is deliberately a linter's model, not a compiler's: name sets
+are file-wide (plus the paired header for a .cc, folded in by the
+project layer), and overload resolution is by name. That is the same
+contract the regex engine had — but scoped to real tokens, so strings,
+comments, and raw literals can no longer confuse it.
+"""
+
+import re
+
+from . import lexer
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+_UNORDERED = frozenset(
+    ["unordered_map", "unordered_set", "unordered_multimap",
+     "unordered_multiset"])
+_MUTEXES = frozenset(
+    ["mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+     "recursive_timed_mutex"])
+_NOT_FUNC_NAMES = frozenset(
+    ["if", "for", "while", "switch", "catch", "return", "sizeof",
+     "alignof", "decltype", "static_assert", "operator", "defined"])
+
+
+class Function:
+    __slots__ = ("name", "cls", "qual", "line", "body")
+
+    def __init__(self, name, cls, line, body):
+        self.name = name
+        self.cls = cls  # enclosing/explicit class name, or ""
+        self.qual = (cls + "::" + name) if cls else name
+        self.line = line
+        self.body = body  # list of code tokens, excluding the outer braces
+
+    def __repr__(self):
+        return "Function(%s@%d)" % (self.qual, self.line)
+
+
+class FileModel:
+    def __init__(self, rel, text):
+        self.rel = rel.replace("\\", "/")
+        self.tokens = lexer.tokenize(text)
+        self.code = lexer.code_tokens(self.tokens)
+        self.comments_by_line = {}
+        self.includes = []
+        for tok in self.tokens:
+            if tok.kind == "comment":
+                self.comments_by_line.setdefault(tok.line, []).append(
+                    tok.text)
+            elif tok.kind == "directive":
+                m = _INCLUDE_RE.search(tok.text)
+                if m:
+                    self.includes.append((tok.line, m.group(1)))
+        self.unordered_vars = set()
+        self.atomic_vars = set()
+        self.mutex_vars = set()
+        self._scan_declarations()
+        self.functions = []
+        self._scan_structure()
+        self.range_fors = []
+        for i, tok in enumerate(self.code):
+            if tok.kind == "ident" and tok.text == "for":
+                rf = _parse_range_for(self.code, i)
+                if rf:
+                    self.range_fors.append(rf)
+
+    # ---- declarations -------------------------------------------------
+
+    def _scan_declarations(self):
+        code = self.code
+        n = len(code)
+        i = 0
+        while i < n:
+            tok = code[i]
+            if tok.kind != "ident":
+                i += 1
+                continue
+            if tok.text in _UNORDERED or tok.text == "atomic":
+                j = _skip_template_args(code, i + 1)
+                name = _decl_name_after(code, j)
+                if name:
+                    if tok.text == "atomic":
+                        self.atomic_vars.add(name)
+                    else:
+                        self.unordered_vars.add(name)
+                i = j
+                continue
+            if tok.text in _MUTEXES:
+                name = _decl_name_after(code, i + 1)
+                if name:
+                    self.mutex_vars.add(name)
+            i += 1
+
+    # ---- scopes, functions, range-fors --------------------------------
+
+    def _scan_structure(self):
+        code = self.code
+        n = len(code)
+        class_stack = []   # (name, depth at which its brace opened)
+        brace_kinds = []   # parallel to open braces: class|enum|fn|other
+        last_boundary = -1  # index of last ; { } at non-function scope
+        pending_class = None
+        i = 0
+        while i < n:
+            tok = code[i]
+            if tok.kind == "ident" and tok.text in ("class", "struct"):
+                prev = code[i - 1] if i > 0 else None
+                if not (prev and prev.kind == "ident"
+                        and prev.text == "enum"):
+                    name = _class_name_ahead(code, i + 1)
+                    if name:
+                        pending_class = name
+                i += 1
+                continue
+            if tok.text == "{" and tok.kind == "punct":
+                kind = "other"
+                if pending_class:
+                    kind = "class"
+                    class_stack.append((pending_class, len(brace_kinds)))
+                    pending_class = None
+                elif "fn" not in brace_kinds:
+                    fn = self._try_function(code, last_boundary, i,
+                                            class_stack)
+                    if fn is not None:
+                        kind = "fn"
+                        body_start = i + 1
+                        close = _match_brace(code, i)
+                        fn.body = code[body_start:close]
+                        self.functions.append(fn)
+                        i = close  # the '}' is processed next iteration
+                        brace_kinds.append(kind)
+                        last_boundary = i
+                        continue
+                brace_kinds.append(kind)
+                last_boundary = i
+                i += 1
+                continue
+            if tok.text == "}" and tok.kind == "punct":
+                if brace_kinds:
+                    kind = brace_kinds.pop()
+                    if (kind == "class" and class_stack
+                            and class_stack[-1][1] == len(brace_kinds)):
+                        class_stack.pop()
+                last_boundary = i
+                i += 1
+                continue
+            if tok.text == ";" and tok.kind == "punct":
+                pending_class = None  # forward declaration
+                last_boundary = i
+                i += 1
+                continue
+            i += 1
+
+    def _try_function(self, code, last_boundary, brace_idx, class_stack):
+        """Is the token run (last_boundary, brace_idx) a function header?
+        Returns a Function (body filled by the caller) or None."""
+        window = code[last_boundary + 1:brace_idx]
+        if not window:
+            return None
+        # Find the parameter list: the first top-level '(' in the window.
+        depth = 0
+        paren = -1
+        for k, tok in enumerate(window):
+            if tok.kind != "punct":
+                continue
+            if tok.text == "<":
+                depth += 1
+            elif tok.text == ">":
+                depth -= 1
+            elif tok.text == ">>":
+                depth -= 2
+            elif tok.text == "(" and depth <= 0:
+                paren = k
+                break
+        if paren <= 0:
+            return None
+        name_tok = window[paren - 1]
+        if name_tok.kind != "ident" or name_tok.text in _NOT_FUNC_NAMES:
+            return None
+        # Assignments / initializers (`Foo x = Bar(...)`, `int x(3)`)
+        # are not definitions; neither is anything containing `=` before
+        # the parameter list (excluding `operator=` which we skip anyway).
+        for tok in window[:paren]:
+            if tok.kind == "punct" and tok.text in ("=", "{"):
+                return None
+        cls = ""
+        if (paren >= 3 and window[paren - 2].text == "::"
+                and window[paren - 3].kind == "ident"):
+            cls = window[paren - 3].text
+        elif class_stack:
+            cls = class_stack[-1][0]
+        return Function(name_tok.text, cls, name_tok.line, [])
+
+
+# ---- shared token helpers ---------------------------------------------
+
+
+def _skip_template_args(code, i):
+    """`i` points just past the template name. Skips `<...>` if present,
+    counting angle characters so `>>` closes two levels. Returns the index
+    after the closing `>` (or `i` unchanged if no argument list)."""
+    if i >= len(code) or code[i].text != "<":
+        return i
+    depth = 0
+    while i < len(code):
+        t = code[i].text
+        if code[i].kind == "punct" and t in ("<", ">", ">>"):
+            depth += 1 if t == "<" else (-1 if t == ">" else -2)
+            if depth <= 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def _decl_name_after(code, i):
+    """After a type spelling, returns the declared variable name, or None
+    when the type appears in a non-declaration position (template arg,
+    function return, cast)."""
+    while i < len(code) and code[i].kind == "punct" and code[i].text in (
+            "&", "*"):
+        i += 1
+    if i >= len(code) or code[i].kind != "ident":
+        return None
+    name = code[i].text
+    j = i + 1
+    if j < len(code) and code[j].kind == "punct":
+        nxt = code[j].text
+        # Declarator must be terminated/initialized, not called or scoped:
+        # `unordered_map<K,V> m;` / `= {...}` / `m{...}` / `m[N]` / `m(...)`
+        # (direct-init) / `, next` are declarations; `name::` or `name <`
+        # or `name .` are uses of the type name elsewhere.
+        if nxt in (";", "=", "{", "[", ",", ")", "("):
+            return name
+    return None
+
+
+def _class_name_ahead(code, i):
+    """Name of the class/struct introduced at `i`, if this introduces a
+    definition (a `{` is seen before `;`)."""
+    name = None
+    depth = 0
+    while i < len(code):
+        tok = code[i]
+        if tok.kind == "ident" and name is None and tok.text not in (
+                "final", "alignas"):
+            name = tok.text
+        if tok.kind == "punct":
+            if tok.text in ("(", "["):
+                depth += 1
+            elif tok.text in (")", "]"):
+                depth -= 1
+            elif tok.text == "{" and depth == 0:
+                return name
+            elif tok.text == ";" and depth == 0:
+                return None
+            elif tok.text == "=" and depth == 0:
+                return None  # alias or default member initializer
+        i += 1
+    return None
+
+
+def _match_brace(code, i):
+    """`code[i]` is `{`; returns the index of the matching `}` (or the
+    last index on unbalanced input)."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        if code[i].kind == "punct":
+            if code[i].text == "{":
+                depth += 1
+            elif code[i].text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n - 1
+
+
+def _parse_range_for(code, i):
+    """`code[i]` is the `for` ident. Returns (line, expr tokens) for a
+    range-based for, else None."""
+    j = i + 1
+    if j >= len(code) or code[j].text != "(":
+        return None
+    depth = 0
+    colon = -1
+    k = j
+    n = len(code)
+    while k < n:
+        tok = code[k]
+        if tok.kind == "punct":
+            if tok.text in ("(", "[", "{"):
+                depth += 1
+            elif tok.text in (")", "]", "}"):
+                depth -= 1
+                if depth == 0:
+                    break
+            elif tok.text == ";" and depth == 1:
+                return None  # classic three-clause for
+            elif tok.text == ":" and depth == 1 and colon < 0:
+                colon = k
+        k += 1
+    if colon < 0 or k >= n:
+        return None
+    return (code[i].line, code[colon + 1:k])

@@ -1,0 +1,175 @@
+"""C++ lexer for tcomp-analyze.
+
+Produces a flat token stream with line numbers. Unlike the regex core it
+replaces, the lexer understands line/block comments, string and character
+literals (including escape sequences and raw strings), and preprocessor
+directives — so a rule that matches the `throw` *token* can never fire on
+a comment that merely mentions throwing, and an `allow()` annotation
+inside a string literal can never suppress anything.
+
+Token kinds:
+  ident      identifiers and keywords (C++ keywords are not separated:
+             passes match on text)
+  num        numeric literals (incl. hex, digit separators, suffixes)
+  str        string literal (text is the raw source spelling)
+  chr        character literal
+  punct      operators and punctuation; multi-character operators are
+             single tokens (`::`, `->`, `<=`, ...)
+  comment    // or /* */ comment, text includes the delimiters
+  directive  a whole preprocessor line (with continuations folded in)
+"""
+
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+# Longest-match-first multi-character operators. `>>` stays one token;
+# consumers that balance template angle brackets count the characters.
+_PUNCTS = (
+    "...", "->*", "<=>", "<<=", ">>=",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def _scan_raw_string(text, i):
+    """`i` points at the `"` of `R"`. Returns index one past the literal."""
+    j = text.find("(", i + 1)
+    if j < 0:
+        return len(text)
+    delim = text[i + 1:j]
+    end = text.find(")" + delim + '"', j + 1)
+    if end < 0:
+        return len(text)
+    return end + len(delim) + 2
+
+
+def _scan_quoted(text, i, quote):
+    """`i` points at the opening quote. Returns index one past the close."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote or c == "\n":  # unterminated: stop at EOL
+            return j + 1
+        j += 1
+    return n
+
+
+def tokenize(text):
+    """Returns the full token list for `text` (a translation unit)."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            at_line_start = True
+            i += 1
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Preprocessor directive: `#` first on its line, runs to an
+        # unescaped newline. Comments inside are left verbatim (include
+        # extraction only needs the quoted path).
+        if c == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n:
+                if text[i] == "\n":
+                    if text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            tokens.append(Token("directive", text[start:i], start_line))
+            continue
+        at_line_start = False
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            tokens.append(Token("comment", text[i:j], line))
+            i = j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            chunk = text[i:j]
+            tokens.append(Token("comment", chunk, line))
+            line += chunk.count("\n")
+            i = j
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            word = text[i:j]
+            # Raw / prefixed string literals: R"...", u8R"...", L"..." etc.
+            if j < n and text[j] == '"' and word in (
+                    "R", "u8R", "uR", "UR", "LR"):
+                end = _scan_raw_string(text, j)
+                chunk = text[i:end]
+                tokens.append(Token("str", chunk, line))
+                line += chunk.count("\n")
+                i = end
+                continue
+            if j < n and text[j] == '"' and word in ("u8", "u", "U", "L"):
+                end = _scan_quoted(text, j, '"')
+                tokens.append(Token("str", text[i:end], line))
+                i = end
+                continue
+            if j < n and text[j] == "'" and word in ("u8", "u", "U", "L"):
+                end = _scan_quoted(text, j, "'")
+                tokens.append(Token("chr", text[i:end], line))
+                i = end
+                continue
+            tokens.append(Token("ident", word, line))
+            i = j
+            continue
+        if c == '"':
+            end = _scan_quoted(text, i, '"')
+            tokens.append(Token("str", text[i:end], line))
+            i = end
+            continue
+        if c == "'":
+            end = _scan_quoted(text, i, "'")
+            tokens.append(Token("chr", text[i:end], line))
+            i = end
+            continue
+        if c in _DIGITS or (c == "." and nxt in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def code_tokens(tokens):
+    """Tokens with comments and directives stripped: what passes scan."""
+    return [t for t in tokens if t.kind not in ("comment", "directive")]

@@ -1,0 +1,121 @@
+"""Whole-project model for tcomp-analyze.
+
+Holds every FileModel, the `#include` edge graph between project files,
+the architectural layer map, and a function index for the one-level call
+inlining the lock-order pass performs. This is the piece the regex
+engine structurally could not have: the bugs these passes exist to catch
+(lock-order inversions, hash-order walks on the shard path, upward
+includes) are cross-file by nature.
+"""
+
+import os
+
+from .filemodel import FileModel
+
+# Directories scanned, mirroring the regex linter's scope. Library scope
+# is src/ + tools/; randomness hygiene also covers tests/benches because
+# a nondeterministic test input invalidates the differential suites.
+SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
+CPP_EXTS = (".cc", ".h", ".cpp")
+
+# Architectural layering (DESIGN §1.9). An include from a module to one
+# with a *higher* layer number is an upward include and a finding; same
+# layer is allowed (core ↔ stream ↔ spatial collaborate as peers).
+# bench/, examples/, and tests/ are consumers and may include anything.
+LAYERS = {
+    "util": 0,
+    "core": 1, "stream": 1, "spatial": 1, "data": 1, "network": 1,
+    "shard": 2, "obs": 2, "baselines": 2, "eval": 2,
+    "service": 3,
+    "tools": 4,
+}
+LAYER_NAMES = {
+    0: "util",
+    1: "core/stream/spatial/data/network",
+    2: "shard/obs/baselines/eval",
+    3: "service",
+    4: "tools",
+}
+
+
+def module_of(rel):
+    """Architectural module of a repo-relative path: `src/core/x.h` →
+    `core`, `tools/x.cc` → `tools`, `tests/...` → `tests` (unlayered)."""
+    parts = rel.replace("\\", "/").split("/")
+    if parts[0] == "src" and len(parts) > 1:
+        return parts[1]
+    return parts[0]
+
+
+class Project:
+    def __init__(self, root):
+        self.root = root
+        self.files = {}  # rel (posix) -> FileModel
+        for top in SCAN_DIRS:
+            top_dir = os.path.join(root, top)
+            for dirpath, dirnames, filenames in os.walk(top_dir):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if not name.endswith(CPP_EXTS):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, root).replace(os.sep, "/")
+                    with open(path, encoding="utf-8") as f:
+                        text = f.read()
+                    self.files[rel] = FileModel(rel, text)
+        self._build_include_graph()
+        self._index_functions()
+
+    # ---- includes ------------------------------------------------------
+
+    def _resolve_include(self, rel, target):
+        """Repo-relative path of an include target, or None for system /
+        out-of-tree headers. Project includes are root-relative (the build
+        adds src/ and the repo root to the include path) or sibling."""
+        target = target.replace("\\", "/")
+        for base in ("src/" + target, target,
+                     rel.rsplit("/", 1)[0] + "/" + target):
+            norm = os.path.normpath(base).replace(os.sep, "/")
+            if norm in self.files:
+                return norm
+        return None
+
+    def _build_include_graph(self):
+        self.include_edges = {}  # rel -> [(line, target_rel, raw_target)]
+        for rel, fm in self.files.items():
+            edges = []
+            for line, target in fm.includes:
+                resolved = self._resolve_include(rel, target)
+                edges.append((line, resolved, target))
+            self.include_edges[rel] = edges
+
+    # ---- functions -----------------------------------------------------
+
+    def _index_functions(self):
+        self.functions_by_qual = {}   # "Class::Name" or "Name" -> [fn]
+        self.functions_by_name = {}   # "Name" -> [(rel, fn)]
+        self.fn_file = {}             # id(fn) -> rel
+        for rel, fm in self.files.items():
+            for fn in fm.functions:
+                self.functions_by_qual.setdefault(fn.qual, []).append(fn)
+                self.functions_by_name.setdefault(fn.name, []).append(
+                    (rel, fn))
+                self.fn_file[id(fn)] = rel
+
+    def paired_header(self, rel):
+        """The FileModel of `x.h` for `x.cc`, if scanned: member
+        declarations live there."""
+        if rel.endswith(".cc") or rel.endswith(".cpp"):
+            stem = rel.rsplit(".", 1)[0]
+            return self.files.get(stem + ".h")
+        return None
+
+    def known_names(self, rel, kind):
+        """File-wide declared names of `kind` ('unordered' | 'atomic' |
+        'mutex') for `rel`, folding in the paired header."""
+        fm = self.files[rel]
+        names = set(getattr(fm, kind + "_vars"))
+        paired = self.paired_header(rel)
+        if paired:
+            names |= getattr(paired, kind + "_vars")
+        return names

@@ -1,0 +1,417 @@
+"""Whole-project passes for tcomp-analyze.
+
+  include-layer   the architectural DAG: util → {core, stream, spatial,
+                  data, network} → {shard, obs, baselines, eval} →
+                  service → tools. An include that points at a module
+                  with a higher layer number is an upward include.
+  include-cycle   cycles in the file-level `#include` graph.
+  lock-order      mutex acquisition-order consistency: per function,
+                  extract the sequence of held-while-acquiring pairs,
+                  inline one level of intra-project calls, and flag
+                  cycles in the global lock-order graph. This is the
+                  pass that catches the PR 5 `Stats()` inversion class:
+                  one function takes A then B, another holds B while
+                  calling a helper that takes A.
+
+Findings are attributed to concrete source lines so the standard
+`allow()` suppression contract applies unchanged.
+"""
+
+from .project import LAYERS, LAYER_NAMES, module_of
+
+_GUARD_TYPES = frozenset(
+    ["lock_guard", "scoped_lock", "unique_lock", "shared_lock"])
+_LOCK_TAGS = frozenset(["adopt_lock", "defer_lock", "try_to_lock", "std"])
+
+
+# ---- include-layer -----------------------------------------------------
+
+
+def pass_include_layer(project, report):
+    for rel in sorted(project.files):
+        src_mod = module_of(rel)
+        if src_mod not in LAYERS:
+            continue  # bench/examples/tests are consumers: unrestricted
+        src_layer = LAYERS[src_mod]
+        for line, resolved, raw in project.include_edges[rel]:
+            target = resolved if resolved else (
+                "src/" + raw if not raw.startswith(
+                    ("src/", "tools/")) else raw)
+            dst_mod = module_of(target)
+            if dst_mod not in LAYERS or dst_mod == src_mod:
+                continue
+            dst_layer = LAYERS[dst_mod]
+            if dst_layer > src_layer:
+                report(rel, line, "include-layer",
+                       "upward include: %s (layer %d: %s) must not "
+                       "include %s (layer %d: %s); invert the dependency "
+                       "or move the shared declaration down"
+                       % (src_mod, src_layer, LAYER_NAMES[src_layer],
+                          dst_mod, dst_layer, LAYER_NAMES[dst_layer]))
+
+
+# ---- include-cycle -----------------------------------------------------
+
+
+def pass_include_cycle(project, report):
+    graph = {}
+    lines = {}
+    for rel in project.files:
+        outs = []
+        for line, resolved, _ in project.include_edges[rel]:
+            if resolved is not None:
+                outs.append(resolved)
+                lines[(rel, resolved)] = line
+        graph[rel] = outs
+    seen = set()       # fully-explored nodes
+    reported = set()   # canonical cycle keys already reported
+    for start in sorted(graph):
+        if start in seen:
+            continue
+        stack = [(start, iter(graph[start]))]
+        path = [start]
+        on_path = {start}
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        edge_line = lines.get((node, nxt), 1)
+                        report(node, edge_line, "include-cycle",
+                               "#include cycle: %s" % " -> ".join(cycle))
+                    continue
+                if nxt in seen:
+                    continue
+                stack.append((nxt, iter(graph[nxt])))
+                path.append(nxt)
+                on_path.add(nxt)
+                advanced = True
+                break
+            if not advanced:
+                seen.add(node)
+                on_path.discard(node)
+                path.pop()
+                stack.pop()
+
+
+# ---- lock-order --------------------------------------------------------
+
+
+class _FnLocks:
+    """Lock behaviour extracted from one function body."""
+
+    __slots__ = ("fn", "rel", "acquired", "edges", "calls")
+
+    def __init__(self, fn, rel):
+        self.fn = fn
+        self.rel = rel
+        self.acquired = []   # [(mutex_id, line)] every acquisition
+        self.edges = []      # [(held_id, new_id, line)] direct nesting
+        self.calls = []      # [(callee_name, is_method, [held ids], line)]
+
+
+def _canon_mutex(expr_tokens, owner):
+    """Canonical id of a mutex expression: the tail identifier of the
+    access chain, qualified by the enclosing class (or file stem for free
+    functions). `g_`-prefixed globals unify across files."""
+    idents = [t.text for t in expr_tokens
+              if t.kind == "ident" and t.text not in ("this", "std")]
+    if not idents:
+        return None
+    tail = idents[-1]
+    if tail.startswith("g_"):
+        return "global::" + tail
+    return "%s::%s" % (owner, tail)
+
+
+def _split_args(args):
+    parts = []
+    cur = []
+    depth = 0
+    for t in args:
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                parts.append(cur)
+                cur = []
+                continue
+        cur.append(t)
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def _extract_fn_locks(project, rel, fn, owner, mutex_names):
+    from .rules_file import _call_arg_tokens
+    from .filemodel import _skip_template_args
+
+    info = _FnLocks(fn, rel)
+    code = fn.body
+    n = len(code)
+    held = []          # [(scope_depth, mutex_id, guard_var or None)]
+    guard_mutexes = {}  # guard var -> [mutex ids]
+    depth = 0
+
+    def acquire(mid, line):
+        for _, held_id, _ in held:
+            if held_id != mid:
+                info.edges.append((held_id, mid, line))
+        info.acquired.append((mid, line))
+
+    i = 0
+    while i < n:
+        tok = code[i]
+        if tok.kind == "punct":
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                depth -= 1
+                while held and held[-1][0] > depth:
+                    held.pop()
+            i += 1
+            continue
+        if tok.kind != "ident":
+            i += 1
+            continue
+        if tok.text in _GUARD_TYPES:
+            j = _skip_template_args(code, i + 1)
+            if j < n and code[j].kind == "ident" and j + 1 < n \
+                    and code[j + 1].text == "(":
+                var = code[j].text
+                args = _call_arg_tokens(code, j + 1)
+                deferred = any(t.kind == "ident" and t.text == "defer_lock"
+                               for t in args)
+                mids = []
+                for part in _split_args(args):
+                    idents = [t for t in part if t.kind == "ident"
+                              and t.text not in _LOCK_TAGS]
+                    if not idents:
+                        continue
+                    mid = _canon_mutex(part, owner)
+                    if mid:
+                        mids.append(mid)
+                guard_mutexes[var] = mids
+                if not deferred:
+                    for mid in mids:
+                        acquire(mid, tok.line)
+                        held.append((depth, mid, var))
+                i = j + 1
+                continue
+        if tok.text in ("lock", "unlock") and i > 0 \
+                and code[i - 1].text in (".", "->") \
+                and i + 1 < n and code[i + 1].text == "(":
+            # Receiver chain tail: a guard variable or a raw mutex.
+            recv = code[i - 2] if i >= 2 else None
+            if recv is not None and recv.kind == "ident":
+                name = recv.text
+                mids = guard_mutexes.get(name)
+                if mids is None and name in mutex_names:
+                    mids = [_canon_mutex([recv], owner)]
+                if mids:
+                    if tok.text == "lock":
+                        for mid in mids:
+                            acquire(mid, tok.line)
+                            held.append((depth, mid, name))
+                    else:
+                        for mid in mids:
+                            for k in range(len(held) - 1, -1, -1):
+                                if held[k][1] == mid:
+                                    held.pop(k)
+                                    break
+            i += 2
+            continue
+        # Intra-project call while holding locks → candidate for
+        # one-level inlining.
+        if held and i + 1 < n and code[i + 1].text == "(" \
+                and tok.text not in _GUARD_TYPES:
+            is_method = i > 0 and code[i - 1].text in (".", "->")
+            bare = (i == 0 or code[i - 1].text not in
+                    (".", "->", "::", "&"))
+            if is_method or bare:
+                info.calls.append(
+                    (tok.text, is_method, [h[1] for h in held], tok.line))
+        i += 1
+    return info
+
+
+def _resolve_callee(project, name, cls, fn_infos_by_qual,
+                    fn_infos_by_name):
+    """Depth-1 call resolution: same-class method first, then a unique
+    project-wide name match. Ambiguity means no inlining — a linter
+    must miss rather than invent."""
+    if cls:
+        qual = cls + "::" + name
+        infos = fn_infos_by_qual.get(qual)
+        if infos:
+            return infos
+    infos = fn_infos_by_name.get(name)
+    if infos and len(infos) == 1:
+        return infos
+    return None
+
+
+def pass_lock_order(project, report):
+    # Phase 1: per-function lock extraction.
+    all_infos = []
+    fn_infos_by_qual = {}
+    fn_infos_by_name = {}
+    for rel in sorted(project.files):
+        if not rel.startswith("src/"):
+            continue
+        fm = project.files[rel]
+        mutex_names = project.known_names(rel, "mutex")
+        for fn in fm.functions:
+            owner = fn.cls if fn.cls else \
+                rel.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            info = _extract_fn_locks(project, rel, fn, owner, mutex_names)
+            all_infos.append(info)
+            fn_infos_by_qual.setdefault(fn.qual, []).append(info)
+            fn_infos_by_name.setdefault(fn.name, []).append(info)
+
+    # Phase 2: one-level call inlining — held locks at a call site order
+    # before everything the callee acquires.
+    edges = {}  # (a, b) -> (rel, line, description)
+    for info in all_infos:
+        for a, b, line in info.edges:
+            edges.setdefault((a, b), (info.rel, line,
+                                      "in %s" % info.fn.qual))
+        for name, _is_method, held_ids, line in info.calls:
+            callees = _resolve_callee(project, name, info.fn.cls,
+                                      fn_infos_by_qual, fn_infos_by_name)
+            if not callees:
+                continue
+            for callee in callees:
+                if callee.fn.qual == info.fn.qual:
+                    continue  # recursion: no self-inlining
+                for mid, _ in callee.acquired:
+                    for h in held_ids:
+                        if h != mid:
+                            edges.setdefault(
+                                (h, mid),
+                                (info.rel, line,
+                                 "%s calls %s which acquires %s"
+                                 % (info.fn.qual, callee.fn.qual, mid)))
+
+    # Phase 3: cycle detection over the global lock-order graph.
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    for node in graph:
+        graph[node].sort()
+    for cycle in _find_cycles(graph):
+        # Attribute the finding to the lexically first edge of the cycle.
+        cycle_edges = [(cycle[k], cycle[k + 1])
+                       for k in range(len(cycle) - 1)]
+        sites = [edges[e] for e in cycle_edges if e in edges]
+        sites.sort()
+        rel, line, _ = sites[0]
+        detail = "; ".join(
+            "%s -> %s (%s:%d, %s)" % (a, b, edges[(a, b)][0],
+                                      edges[(a, b)][1], edges[(a, b)][2])
+            for a, b in cycle_edges)
+        report(rel, line, "lock-order",
+               "lock-order cycle — these mutexes are acquired in "
+               "conflicting orders and can deadlock: %s" % detail)
+
+
+def _find_cycles(graph):
+    """Yields each elementary cycle's node list (first == last), one per
+    strongly connected component, deterministically."""
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    sccs = []
+
+    def strongconnect(v):
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = counter[0]
+                lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = graph.get(node, [])
+            for k in range(pi, len(succs)):
+                w = succs[k]
+                if w not in index:
+                    work[-1] = (node, k + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in graph.get(node, []):
+                    sccs.append(sorted(scc))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    for scc in sccs:
+        scc_set = set(scc)
+        start = scc[0]
+        # Walk a cycle within the SCC deterministically.
+        cycle = [start]
+        seen = {start}
+        node = start
+        while True:
+            nxts = [w for w in graph.get(node, []) if w in scc_set]
+            if not nxts:
+                break
+            nxt = None
+            for w in nxts:
+                if w == start:
+                    nxt = w
+                    break
+            if nxt is None:
+                for w in nxts:
+                    if w not in seen:
+                        nxt = w
+                        break
+            if nxt is None:
+                nxt = nxts[0]
+            cycle.append(nxt)
+            if nxt == start:
+                yield cycle
+                break
+            if nxt in seen:
+                # Found a sub-cycle not through start; normalize to it.
+                sub = cycle[cycle.index(nxt):]
+                yield sub + []
+                break
+            seen.add(nxt)
+            node = nxt
+
+
+PROJECT_PASSES = [
+    pass_include_layer,
+    pass_include_cycle,
+    pass_lock_order,
+]

@@ -25,7 +25,7 @@
 
 #include "core/checkpoint.h"
 #include "core/discoverer.h"
-#include "core/discovery_metrics.h"
+#include "obs/discovery_metrics.h"
 #include "core/timeline.h"
 #include "data/synthetic_gen.h"
 #include "data/trajectory_io.h"

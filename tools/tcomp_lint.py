@@ -1,464 +1,30 @@
 #!/usr/bin/env python3
-"""tcomp_lint — project-invariant lint for the tcomp codebase.
+"""tcomp_lint — legacy entry point, now a thin wrapper over tools/analyze.
 
-Enforces the invariants clang-tidy cannot express, all of which protect
-the repo's two load-bearing guarantees: no exceptions escape the library
-(every fallible path returns Status), and discovery output is
-bit-identical across runs, thread counts, and daemon-vs-batch execution.
+The regex rule engine that used to live here was replaced by the
+token/scope-aware analyzer in tools/analyze/ (see DESIGN.md §1.9). The
+original six rules — no-throw, no-crt-rand, unordered-iter,
+shard-unordered, no-naked-new, sqrt-eps — survive unchanged in name,
+scope, and suppression contract (`// tcomp-lint: allow(<rule>): <reason>`),
+alongside the new whole-project passes (include-layer, include-cycle,
+lock-order, atomic-order, atomic-strong-order, wallclock, addr-order,
+allow-without-reason, stale-allow).
 
-Rules (all scoped to library code, src/ and tools/, unless noted):
+This wrapper keeps the historical invocations working:
 
-  no-throw            `throw` is forbidden in library code; fallible paths
-                      return Status/StatusOr. (Scope: src/)
-  no-crt-rand         rand()/srand()/drand48() and the <random> engines are
-                      forbidden everywhere; all randomness goes through the
-                      deterministic, platform-stable Pcg32 in util/random.h.
-                      (Scope: src/, tools/, bench/, examples/, tests/)
-  unordered-iter      Range-for over a std::unordered_{map,set,...} is
-                      hash-order iteration: if it feeds an output file,
-                      checkpoint, or any ordering-sensitive path, results
-                      stop being reproducible. Every such loop must either
-                      be rewritten over a sorted copy or carry an explicit
-                      allowlist annotation asserting order-insensitivity:
-                          // tcomp-lint: allow(unordered-iter): <why safe>
-                      (Scope: src/, tools/)
-  shard-unordered     In src/shard/ the bar is higher than unordered-iter:
-                      declaring a std::unordered_{map,set,...} at all is a
-                      finding, iterated or not. Every container on the
-                      shard path feeds the merge stage, whose contract is
-                      byte-identical output at any shard count — one
-                      hash-ordered walk that reaches a cluster id, a
-                      neighbor list, or a stitching order breaks it, and
-                      merge code is refactored often enough that "it is
-                      not iterated today" does not hold. Use sorted
-                      vectors or std::map, or annotate:
-                          // tcomp-lint: allow(shard-unordered): <why safe>
-                      (Scope: src/shard/)
-  no-naked-new        `new`/`delete` expressions are forbidden; use
-                      std::make_unique/std::vector. `= delete` declarations
-                      are fine. (Scope: src/, tools/)
-  sqrt-eps            Comparing a square-root distance (std::sqrt(...) or
-                      Distance(...)) against an ε threshold duplicates the
-                      neighborhood predicate: the backends agree on exact-ε
-                      boundaries only because they all decide membership
-                      through the shared WithinEps (core/dbscan.h), which
-                      compares squared distances and never rounds through a
-                      root. A sqrt-based comparison may disagree with it in
-                      the last ulp. Use WithinEps, or annotate why the exact
-                      root is required:
-                          // tcomp-lint: allow(sqrt-eps): <why exact>
-                      (Scope: src/, tools/)
+    tools/tcomp_lint.py [ROOT]       analyze the repo
+    tools/tcomp_lint.py --self-test  run the analyzer's rule corpus
 
-Any rule can be suppressed on a specific line (or the line above it) with
-    // tcomp-lint: allow(<rule>): <reason>
-The reason is mandatory — an allowlist entry is a reviewed claim, not an
-escape hatch.
-
-Usage: tools/tcomp_lint.py [REPO_ROOT]
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+Anything else is forwarded verbatim; see the usage text in
+tools/analyze/cli.py for the full flag set.
 """
 
 import os
-import re
 import sys
 
-# Directories scanned per rule. Library scope is src/ + tools/; the
-# randomness rule also covers tests and benches because a nondeterministic
-# test input invalidates the differential suites.
-LIB_DIRS = ("src", "tools")
-ALL_DIRS = ("src", "tools", "bench", "examples", "tests")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-ALLOW_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*:\s*\S")
-ALLOW_NO_REASON_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*(?!:)")
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*[&*]?\s*"
-    r"(\w+)\s*[;={(,)]"
-)
-# Accessors known (by project convention) to expose an unordered container;
-# regex type resolution cannot see through them.
-UNORDERED_ACCESSORS = ("entries",)
-
-IDENT_RE = re.compile(r"[A-Za-z_]\w*")
-
-# A comparison operator that is not <<, >>, -> or a template bracket pair
-# in the common cases; heuristic, but scoped to statements that also call
-# sqrt()/Distance() so the false-positive surface is tiny.
-CMP = r"(?:<=|>=|(?<![-<])<(?!<)|(?<![->])>(?!>))"
-# Root-taking calls. \b keeps SquaredDistance/SegmentDistance/
-# NetworkDistance out: those are different metrics with their own
-# thresholds, not the point-ε predicate.
-ROOT_CALL_RE = re.compile(r"\b(?:std\s*::\s*)?sqrt\s*\(|\bDistance\s*\(")
-EPS_IDENT = r"\b[Ee]ps\w*"
-ROOT_CMP_AFTER_RE = re.compile(CMP + r"[^;]*?" + EPS_IDENT)
-ROOT_CMP_BEFORE_RE = re.compile(EPS_IDENT + r"[^;]*?" + CMP + r"[^;]*$")
-ROOT_ASSIGN_RE = re.compile(
-    r"\b(?:const\s+)?(?:double|float|auto)\s+(\w+)\s*=\s*[^;]*?"
-    r"(?:\bsqrt|\bDistance)\s*\(")
-
-CPP_EXTS = (".cc", ".h")
-
-
-def strip_comments_and_strings(text):
-    """Replaces comment/string contents with spaces, preserving offsets and
-    newlines so line numbers survive."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "string"
-                out.append('"')
-                i += 1
-            elif c == "'":
-                state = "char"
-                out.append("'")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-        else:  # string or char literal
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(quote)
-                i += 1
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-def line_of(text, offset):
-    return text.count("\n", 0, offset) + 1
-
-
-def is_allowed(raw_lines, lineno, rule, findings, path):
-    """True if `lineno` (1-based) or the line above carries an allow()
-    annotation for `rule`. An annotation without a reason is itself a
-    finding."""
-    for ln in (lineno, lineno - 1):
-        if 1 <= ln <= len(raw_lines):
-            line = raw_lines[ln - 1]
-            m = ALLOW_RE.search(line)
-            if m and m.group(1) == rule:
-                return True
-            m = ALLOW_NO_REASON_RE.search(line)
-            if m and m.group(1) == rule:
-                findings.append(
-                    (path, ln, "allow-without-reason",
-                     "allow(%s) annotation needs a ': <reason>'" % rule))
-                return True  # suppressed, but the missing reason is flagged
-    return False
-
-
-def extract_range_fors(code):
-    """Yields (line_offset, range_expression) for every range-based for.
-    Handles nested parens inside the range expression."""
-    for m in re.finditer(r"\bfor\s*\(", code):
-        start = m.end()  # just past '('
-        depth = 1
-        i = start
-        colon = -1
-        while i < len(code) and depth > 0:
-            c = code[i]
-            if c == "(":
-                depth += 1
-            elif c == ")":
-                depth -= 1
-            elif c == ";" and depth == 1:
-                colon = -1
-                break  # classic three-clause for
-            elif c == ":" and depth == 1 and colon < 0:
-                # skip '::'
-                if code[i + 1: i + 2] == ":" or code[i - 1: i] == ":":
-                    i += 1
-                    continue
-                colon = i
-            i += 1
-        if colon >= 0 and depth == 0:
-            yield m.start(), code[colon + 1: i - 1]
-
-
-def range_expr_unordered(range_expr, unordered_vars):
-    """Returns a description of the unordered container iterated by
-    `range_expr`, or None. Subscripted expressions (`map[key]`) iterate the
-    mapped *value*, not the map, and are skipped; calls are only matched
-    against the known unordered accessors."""
-    expr = range_expr.strip()
-    if "[" in expr:
-        return None
-    if "(" in expr:
-        for acc in UNORDERED_ACCESSORS:
-            if re.search(r"\.\s*%s\s*\(\s*\)\s*$" % acc, expr):
-                return "'%s()' (unordered by convention)" % acc
-        return None
-    if "unordered_map" in expr or "unordered_set" in expr:
-        return "an unordered container"
-    hits = set(IDENT_RE.findall(expr)) & unordered_vars
-    if hits:
-        return "'%s'" % sorted(hits)[0]
-    return None
-
-
-def check_file(path, rel, findings):
-    with open(path, encoding="utf-8") as f:
-        text = f.read()
-    raw_lines = text.splitlines()
-    code = strip_comments_and_strings(text)
-    top = rel.split(os.sep, 1)[0]
-
-    # Member containers are declared in the paired header; fold those
-    # declarations in so `for (... : window_)` in the .cc is seen.
-    paired_decls = ""
-    if path.endswith(".cc"):
-        header = path[:-3] + ".h"
-        if os.path.exists(header):
-            with open(header, encoding="utf-8") as f:
-                paired_decls = strip_comments_and_strings(f.read())
-
-    def report(rule, lineno, message):
-        if not is_allowed(raw_lines, lineno, rule, findings, rel):
-            findings.append((rel, lineno, rule, message))
-
-    # --- no-throw (src/ only: tests may exercise gtest internals) ---
-    if top == "src":
-        for m in re.finditer(r"\bthrow\b", code):
-            report("no-throw", line_of(code, m.start()),
-                   "library code must return Status, not throw")
-
-    # --- no-crt-rand (everywhere) ---
-    for m in re.finditer(
-            r"\b(?:std\s*::\s*)?(?:(rand|srand|drand48|lrand48)\s*\(|"
-            r"(random_device|mt19937(?:_64)?|default_random_engine|"
-            r"minstd_rand0?)\b)",
-            code):
-        report("no-crt-rand", line_of(code, m.start()),
-               "'%s' is nondeterministic or platform-varying; use "
-               "tcomp::Pcg32 (util/random.h)"
-               % (m.group(1) or m.group(2)))
-
-    # --- shard-unordered (src/shard/ only) ---
-    if rel.replace(os.sep, "/").startswith("src/shard/"):
-        for m in re.finditer(
-                r"\bunordered_(?:map|set|multimap|multiset)\b", code):
-            report("shard-unordered", line_of(code, m.start()),
-                   "hash-ordered container on the shard path; the merge "
-                   "contract is byte-identical output at any shard count — "
-                   "use a sorted vector or std::map, or annotate why hash "
-                   "order cannot reach the merge")
-
-    if top in LIB_DIRS:
-        # --- unordered-iter ---
-        unordered_vars = set(UNORDERED_DECL_RE.findall(code))
-        unordered_vars |= set(UNORDERED_DECL_RE.findall(paired_decls))
-        for offset, range_expr in extract_range_fors(code):
-            lineno = line_of(code, offset)
-            hit = range_expr_unordered(range_expr, unordered_vars)
-            if hit:
-                report("unordered-iter", lineno,
-                       "range-for over %s iterates in hash order; sort "
-                       "first or annotate why order cannot reach an "
-                       "output/ordering path" % hit)
-
-        # --- no-naked-new ---
-        for m in re.finditer(r"\bnew\b", code):
-            report("no-naked-new", line_of(code, m.start()),
-                   "naked 'new'; use std::make_unique or a container")
-        for m in re.finditer(r"\bdelete\b(?!\s*\[)", code):
-            # permit `= delete` declarations
-            before = code[:m.start()].rstrip()
-            if before.endswith("="):
-                continue
-            report("no-naked-new", line_of(code, m.start()),
-                   "naked 'delete'; owning pointers must be smart pointers")
-        for m in re.finditer(r"\bdelete\s*\[", code):
-            report("no-naked-new", line_of(code, m.start()),
-                   "naked 'delete[]'; use std::vector or std::unique_ptr[]")
-
-        # --- sqrt-eps ---
-        sqrt_eps_msg = (
-            "root distance compared against an ε threshold; decide "
-            "membership through the shared WithinEps (core/dbscan.h) on "
-            "squared distances, or annotate why the exact root is required")
-        # Same-statement form: sqrt(...)/Distance(...) and the ε compare in
-        # one expression.
-        for m in ROOT_CALL_RE.finditer(code):
-            pos = m.start()
-            stmt_end = code.find(";", pos)
-            if stmt_end < 0:
-                stmt_end = min(len(code), pos + 200)
-            stmt_start = max(code.rfind(";", 0, pos),
-                             code.rfind("{", 0, pos),
-                             code.rfind("}", 0, pos)) + 1
-            if (ROOT_CMP_AFTER_RE.search(code, pos, stmt_end)
-                    or ROOT_CMP_BEFORE_RE.search(code[stmt_start:pos])):
-                report("sqrt-eps", line_of(code, pos), sqrt_eps_msg)
-        # Assign-then-compare form: `double d = Distance(...);` followed
-        # shortly by `d > eps`-style use of the named root.
-        for m in ROOT_ASSIGN_RE.finditer(code):
-            var = re.escape(m.group(1))
-            stmt_end = code.find(";", m.start())
-            if stmt_end < 0:
-                continue
-            window = code[stmt_end:stmt_end + 400]
-            hit = (re.search(
-                       r"\b%s\b[^;]*?%s[^;]*?%s" % (var, CMP, EPS_IDENT),
-                       window)
-                   or re.search(
-                       EPS_IDENT + r"[^;]*?" + CMP + r"[^;]*?\b%s\b" % var,
-                       window))
-            if hit:
-                report("sqrt-eps", line_of(code, stmt_end + hit.start()),
-                       sqrt_eps_msg)
-
-
-SELF_TEST_CASES = [
-    # (snippet, rule expected to fire; None = must stay clean). A third
-    # element overrides the checked path (default src/case.cc) so
-    # directory-scoped rules can be exercised.
-    ("void F() { throw 1; }", "no-throw"),
-    ("// a comment may say throw freely\nint x;", None),
-    ("const char* s = \"don't throw\";", None),
-    ("int R() { return rand() % 6; }", "no-crt-rand"),
-    ("#include <random>\nstd::mt19937 gen(42);", "no-crt-rand"),
-    ("std::unordered_map<int, int> m;\n"
-     "void F() { for (const auto& [k, v] : m) {} }", "unordered-iter"),
-    ("std::unordered_map<int, int> m;\n"
-     "// tcomp-lint: allow(unordered-iter): feeds an order-free sum\n"
-     "void F() { for (const auto& [k, v] : m) {} }", None),
-    ("std::unordered_map<int, std::vector<int>> m;\n"
-     "void F() { for (int v : m[3]) {} }", None),  # element, not the map
-    ("std::vector<int> v;\nvoid F() { for (int x : v) {} }", None),
-    ("int* p = new int(3);", "no-naked-new"),
-    ("void F(int* p) { delete p; }", "no-naked-new"),
-    ("struct S { S(const S&) = delete; };", None),
-    ("void F() { if (std::sqrt(d2) <= eps) {} }", "sqrt-eps"),
-    ("void F() { if (Distance(a, b) > params.epsilon) return; }",
-     "sqrt-eps"),
-    ("void F() { if (eps < Distance(a, b)) return; }", "sqrt-eps"),
-    ("void F() {\n"
-     "  double d = Distance(a.center(), b.center());\n"
-     "  if (d - a.radius - b.radius > eps) return;\n"
-     "}", "sqrt-eps"),
-    ("void F() {\n"
-     "  double d = Distance(a.center(), b.center());\n"
-     "  // tcomp-lint: allow(sqrt-eps): lemma bound needs the true root\n"
-     "  if (d - a.radius - b.radius > eps) return;\n"
-     "}", None),
-    # Squared comparison through the shared predicate: the sanctioned form.
-    ("bool In(Point a, Point b, double eps2) {\n"
-     "  return SquaredDistance(a, b) <= eps2;\n"
-     "}", None),
-    # Roots without an ε compare (geometry, generators) are fine.
-    ("void F() { double r = radius * std::sqrt(u); place(r); }", None),
-    # shard-unordered: in src/shard/ the mere declaration is a finding...
-    ("std::unordered_map<uint32_t, int> owner_;", "shard-unordered",
-     os.path.join("src", "shard", "case.cc")),
-    # ...even un-iterated inside a function body...
-    ("void F() { std::unordered_set<uint32_t> seen; seen.insert(3); }",
-     "shard-unordered", os.path.join("src", "shard", "case.cc")),
-    # ...unless annotated with a reviewed reason.
-    ("// tcomp-lint: allow(shard-unordered): drained via sorted key copy\n"
-     "std::unordered_map<uint32_t, int> owner_;", None,
-     os.path.join("src", "shard", "case.cc")),
-    # Ordered containers on the shard path are the sanctioned form.
-    ("std::vector<uint32_t> owner_;\nstd::map<uint32_t, int> rank_;", None,
-     os.path.join("src", "shard", "case.cc")),
-    # Outside src/shard/ an un-iterated declaration stays legal (only
-    # hash-order *iteration* is the library-wide hazard).
-    ("std::unordered_map<int, int> m;\nvoid F() { m[1] = 2; }", None),
-]
-
-
-def self_test():
-    import tempfile
-    failures = 0
-    for i, case in enumerate(SELF_TEST_CASES):
-        snippet, expected = case[0], case[1]
-        rel = case[2] if len(case) > 2 else os.path.join("src", "case.cc")
-        with tempfile.TemporaryDirectory() as tmp:
-            path = os.path.join(tmp, rel)
-            os.makedirs(os.path.dirname(path))
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(snippet + "\n")
-            findings = []
-            check_file(path, rel, findings)
-            rules = {rule for (_, _, rule, _) in findings}
-            ok = (expected in rules) if expected else not rules
-            if not ok:
-                failures += 1
-                print("self-test case %d FAILED: expected %s, got %s\n%s"
-                      % (i, expected or "clean", sorted(rules) or "clean",
-                         snippet), file=sys.stderr)
-    if failures:
-        print("tcomp_lint --self-test: %d failure(s)" % failures,
-              file=sys.stderr)
-        return 1
-    print("tcomp_lint --self-test: OK (%d cases)" % len(SELF_TEST_CASES))
-    return 0
-
-
-def main(argv):
-    if len(argv) > 1 and argv[1] == "--self-test":
-        return self_test()
-    root = argv[1] if len(argv) > 1 else os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    if not os.path.isdir(os.path.join(root, "src")):
-        print("tcomp_lint: no src/ under %s" % root, file=sys.stderr)
-        return 2
-
-    findings = []
-    scanned = 0
-    for top in ALL_DIRS:
-        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
-            dirnames.sort()
-            for name in sorted(filenames):
-                if not name.endswith(CPP_EXTS):
-                    continue
-                path = os.path.join(dirpath, name)
-                rel = os.path.relpath(path, root)
-                check_file(path, rel, findings)
-                scanned += 1
-
-    for rel, lineno, rule, message in sorted(findings):
-        print("%s:%d: [%s] %s" % (rel, lineno, rule, message))
-    if findings:
-        print("tcomp_lint: %d finding(s) in %d files scanned"
-              % (len(findings), scanned), file=sys.stderr)
-        return 1
-    print("tcomp_lint: OK (%d files scanned)" % scanned)
-    return 0
-
+from analyze.cli import main  # noqa: E402  (path bootstrap above)
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))
