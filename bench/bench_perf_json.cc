@@ -13,6 +13,14 @@
 //     state clustering layer toggled on vs. off: clustering-stage seconds,
 //     reuse ratio, and product identity (same contract — byte-identical
 //     outputs, only the work to produce them shrinks).
+//   soa  — the PR 9 structure-of-arrays ε-filter hot path: a micro layer
+//     timing one query against a contiguous candidate block (scalar
+//     WithinEps walk vs EpsFilterBatch vs EpsFilterGather, checksums
+//     compared), and cluster-stage e2e with SetSoAKernelsEnabled toggled
+//     on vs off (kernels and incremental clustering held constant) over
+//     coherent, transit-burst, and spatially-sparse scenarios. Same
+//     contract as every other toggle here: byte-identical products and
+//     identical distance_ops, only the time to produce them shrinks.
 //   sharded — SC end-to-end at shards ∈ {1, 2, 4, 8}: shards=1 is the
 //     stock single-worker path, shards>1 routes the C-step through the
 //     src/shard/ engine. Products must be byte-identical at every shard
@@ -38,6 +46,7 @@
 #include <functional>
 
 #include "core/candidate.h"
+#include "core/dbscan.h"
 #include "core/discoverer.h"
 #include "obs/discovery_metrics.h"
 #include "core/smart_closed.h"
@@ -46,6 +55,7 @@
 #include "obs/stage_timer.h"
 #include "shard/sharded_engine.h"
 #include "util/dense_bitset.h"
+#include "util/eps_filter.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/set_signature.h"
@@ -377,6 +387,168 @@ uint64_t CompanionDigest(const CompanionLog& log) {
   return h;
 }
 
+/// One query point probed against a contiguous block of candidates — the
+/// exact shape of the grid range query and the shard plane-sweep inner
+/// loop. The scalar side walks the AoS snapshot layout through WithinEps
+/// (the pre-PR-9 hot path); the batch side runs EpsFilterBatch over the
+/// SoA mirror; the gather side runs EpsFilterGather over an explicit
+/// index list (the FinishExact shape). Checksums are survivor-index sums
+/// and must agree exactly — the kernels share the scalar compare.
+struct EpsMicroResult {
+  double scalar_ns = 0.0;  // per candidate lane
+  double batch_ns = 0.0;
+  double gather_ns = 0.0;
+  uint64_t checksum_scalar = 0;
+  uint64_t checksum_batch = 0;
+  uint64_t checksum_gather = 0;
+};
+
+EpsMicroResult BenchEpsFilter(int iters) {
+  constexpr size_t kPoints = 4096;
+  constexpr int kQueries = 64;
+  const double eps = 18.0;
+  const double eps2 = eps * eps;
+  Pcg32 rng(44);
+  auto coord = [&rng] {
+    // Density tuned so a query keeps ~2% of the block: survivors exist
+    // (the compaction path is exercised) without the compare pass
+    // degenerating into an all-hits copy.
+    return static_cast<double>(rng.NextBounded(100000)) / 100000.0 * 512.0;
+  };
+  std::vector<Point> pts(kPoints);
+  std::vector<double> xs(kPoints), ys(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    pts[i] = Point{coord(), coord()};
+    xs[i] = pts[i].x;
+    ys[i] = pts[i].y;
+  }
+  std::vector<Point> queries(kQueries);
+  for (int q = 0; q < kQueries; ++q) queries[q] = Point{coord(), coord()};
+  std::vector<uint32_t> cand(kPoints), out(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) cand[i] = static_cast<uint32_t>(i);
+
+  EpsMicroResult r;
+  Timer scalar;
+  scalar.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const Point& q : queries) {
+      for (size_t i = 0; i < kPoints; ++i) {
+        if (WithinEps(q, pts[i], eps2)) r.checksum_scalar += i;
+      }
+    }
+  }
+  scalar.Stop();
+
+  Timer batch;
+  batch.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const Point& q : queries) {
+      const size_t m = EpsFilterBatch(xs.data(), ys.data(), 0,
+                                      static_cast<uint32_t>(kPoints), q.x,
+                                      q.y, eps2, out.data());
+      for (size_t k = 0; k < m; ++k) r.checksum_batch += out[k];
+    }
+  }
+  batch.Stop();
+
+  Timer gather;
+  gather.Start();
+  for (int it = 0; it < iters; ++it) {
+    for (const Point& q : queries) {
+      const size_t m = EpsFilterGather(xs.data(), ys.data(), cand.data(),
+                                       kPoints, q.x, q.y, eps2, out.data());
+      for (size_t k = 0; k < m; ++k) r.checksum_gather += out[k];
+    }
+  }
+  gather.Stop();
+
+  const double lanes = static_cast<double>(iters) * kQueries * kPoints;
+  r.scalar_ns = scalar.Seconds() * 1e9 / lanes;
+  r.batch_ns = batch.Seconds() * 1e9 / lanes;
+  r.gather_ns = gather.Seconds() * 1e9 / lanes;
+  return r;
+}
+
+/// Cluster-stage e2e with the SoA kernels toggled on vs off. Kernels and
+/// incremental clustering stay at their defaults in both modes — the
+/// toggle isolates the SoA rewiring. identical_products is the strictest
+/// gate in this file: the full companion-log digest AND the distance_ops
+/// counter must match, because the SoA paths re-derive the same
+/// candidate sets in a different evaluation order and both the products
+/// and the counted work must come out untouched.
+struct SoAResult {
+  std::string scenario;
+  std::string algorithm;
+  int objects = 0;
+  double on_total_seconds = 0.0;  // best-of-reps, SoA kernels on
+  double off_total_seconds = 0.0;
+  double on_cluster_seconds = 0.0;  // best-of-reps C-step stage time
+  double off_cluster_seconds = 0.0;
+  double on_eps_filter_seconds = 0.0;  // FinishExact filter slice (the
+  double off_eps_filter_seconds = 0.0;  // incremental layer only)
+  int64_t on_distance_ops = 0;
+  int64_t off_distance_ops = 0;
+  int64_t soa_batches = 0;
+  int64_t soa_lanes = 0;
+  uint64_t on_digest = 0;
+  uint64_t off_digest = 0;
+  size_t companions = 0;
+  bool identical_products = false;
+};
+
+SoAResult BenchSoA(const std::string& scenario, const std::string& algorithm,
+                   const DiscovererFactory& make, const SnapshotStream& stream,
+                   int objects, int reps, int warmup) {
+  SoAResult r;
+  r.scenario = scenario;
+  r.algorithm = algorithm;
+  r.objects = objects;
+  for (int w = 0; w < warmup; ++w) {
+    for (bool soa : {true, false}) {
+      SetSoAKernelsEnabled(soa);
+      std::unique_ptr<CompanionDiscoverer> d = make();
+      for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+    }
+  }
+  // Paired alternation and best-of-reps, exactly like BenchEndToEnd.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (bool soa : {true, false}) {
+      SetSoAKernelsEnabled(soa);
+      std::unique_ptr<CompanionDiscoverer> d = make();
+      Timer t;
+      t.Start();
+      for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+      t.Stop();
+      double& best_total = soa ? r.on_total_seconds : r.off_total_seconds;
+      double& best_cluster =
+          soa ? r.on_cluster_seconds : r.off_cluster_seconds;
+      double& best_filter =
+          soa ? r.on_eps_filter_seconds : r.off_eps_filter_seconds;
+      if (rep == 0 || t.Seconds() < best_total) best_total = t.Seconds();
+      const double cluster = d->stats().cluster_seconds;
+      if (rep == 0 || cluster < best_cluster) best_cluster = cluster;
+      const double filter = d->stats().eps_filter_seconds;
+      if (rep == 0 || filter < best_filter) best_filter = filter;
+      if (rep == 0) {
+        if (soa) {
+          r.on_distance_ops = d->stats().distance_ops;
+          r.soa_batches = d->stats().soa_batches;
+          r.soa_lanes = d->stats().soa_lanes;
+          r.companions = d->log().companions().size();
+          r.on_digest = CompanionDigest(d->log());
+        } else {
+          r.off_distance_ops = d->stats().distance_ops;
+          r.off_digest = CompanionDigest(d->log());
+        }
+      }
+    }
+  }
+  SetSoAKernelsEnabled(true);
+  r.identical_products = r.on_digest == r.off_digest &&
+                         r.on_distance_ops == r.off_distance_ops;
+  return r;
+}
+
 /// SC end-to-end at one shard count. shards=1 is the stock single-worker
 /// discoverer exactly as `tcomp serve` runs it today; shards>1 wires a
 /// ShardedClusterEngine in through SetClusterProvider, exactly as the
@@ -637,6 +809,61 @@ int Main(int argc, char** argv) {
     sharded.insert(sharded.end(), more.begin(), more.end());
   }
 
+  // SoA ε-filter layer (PR 9), measured in the dense-companion regime
+  // the paper targets: convoy-scale groups (64-128 members inside the
+  // default 25-unit spread) where ε-neighborhoods run tens of candidates
+  // deep and the ε-filter is the C-step's dominant slice. The gate entry
+  // runs SC over the grid DBSCAN backend: there the whole C-step is the
+  // range-query loop the SoA kernels rewired, so cluster_speedup reads
+  // the kernels directly. `coherent_incremental` runs the stock SC
+  // (incremental clustering on in both modes) and shows how the win
+  // compounds with PR 6 — fewer points probed, each probe batched.
+  // `transit_burst` layers the sharded bench's split/leave churn on top.
+  // `sparse_area` is the regression guard: small wandering groups spread
+  // over a huge world leave the kernels nothing to amortize against, so
+  // ~1.0x is the pass condition.
+  EpsMicroResult eps_micro = BenchEpsFilter(config.micro_iters / 10 + 1);
+  DiscovererFactory make_sc_grid = [&]() -> std::unique_ptr<CompanionDiscoverer> {
+    std::unique_ptr<CompanionDiscoverer> d =
+        MakeDiscoverer(Algorithm::kSmartClosed, params);
+    d->SetClusterProvider([&params](const Snapshot& s, int64_t* distance_ops) {
+      return DbscanGrid(s, params.cluster, distance_ops);
+    });
+    return d;
+  };
+  DiscovererFactory make_sc = [&] {
+    return MakeDiscoverer(Algorithm::kSmartClosed, params);
+  };
+  GroupModelOptions convoy_options = coherent_options;
+  convoy_options.min_group_size = 64;
+  convoy_options.max_group_size = 128;
+  GroupDataset convoy = GenerateGroupStream(convoy_options);
+  GroupModelOptions convoy_burst_options = convoy_options;
+  convoy_burst_options.split_probability = 0.10;
+  convoy_burst_options.leave_probability = 0.05;
+  convoy_burst_options.seed = 406;
+  GroupDataset convoy_burst = GenerateGroupStream(convoy_burst_options);
+  GroupModelOptions sparse_soa_options = options;
+  sparse_soa_options.min_group_size = 3;
+  sparse_soa_options.max_group_size = 6;
+  sparse_soa_options.area_size =
+      600.0 * std::sqrt(static_cast<double>(config.objects));
+  sparse_soa_options.seed = 407;
+  GroupDataset sparse_soa = GenerateGroupStream(sparse_soa_options);
+  std::vector<SoAResult> soa;
+  soa.push_back(BenchSoA("coherent", "SC_grid", make_sc_grid, convoy.stream,
+                         convoy_options.num_objects, config.e2e_reps,
+                         config.warmup_iters));
+  soa.push_back(BenchSoA("coherent_incremental", "SC", make_sc,
+                         convoy.stream, convoy_options.num_objects,
+                         config.e2e_reps, config.warmup_iters));
+  soa.push_back(BenchSoA("transit_burst", "SC_grid", make_sc_grid,
+                         convoy_burst.stream, convoy_burst_options.num_objects,
+                         config.e2e_reps, config.warmup_iters));
+  soa.push_back(BenchSoA("sparse_area", "SC_grid", make_sc_grid,
+                         sparse_soa.stream, sparse_soa_options.num_objects,
+                         config.e2e_reps, config.warmup_iters));
+
   std::ostream& out = std::cout;
   out << "{\n";
   out << "  \"config\": {\"objects\": " << config.objects
@@ -743,6 +970,49 @@ int Main(int argc, char** argv) {
         << (i + 1 < sharded.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"soa\": {\n";
+  out << "    \"micro\": {\n";
+  out << "      \"scalar_ns_per_lane\": " << eps_micro.scalar_ns << ",\n";
+  out << "      \"batch_ns_per_lane\": " << eps_micro.batch_ns << ",\n";
+  out << "      \"batch_speedup\": "
+      << SafeRatio(eps_micro.scalar_ns, eps_micro.batch_ns) << ",\n";
+  out << "      \"gather_ns_per_lane\": " << eps_micro.gather_ns << ",\n";
+  out << "      \"gather_speedup\": "
+      << SafeRatio(eps_micro.scalar_ns, eps_micro.gather_ns) << ",\n";
+  out << "      \"checksums_match\": "
+      << (eps_micro.checksum_scalar == eps_micro.checksum_batch &&
+                  eps_micro.checksum_scalar == eps_micro.checksum_gather
+              ? "true"
+              : "false")
+      << "\n    },\n";
+  out << "    \"e2e\": [\n";
+  for (size_t i = 0; i < soa.size(); ++i) {
+    const SoAResult& r = soa[i];
+    out << "      {\"scenario\": \"" << r.scenario << "\""
+        << ", \"algorithm\": \"" << r.algorithm << "\""
+        << ", \"objects\": " << r.objects
+        << ", \"snapshots\": " << config.snapshots
+        << ", \"soa_on_seconds\": " << r.on_total_seconds
+        << ", \"soa_off_seconds\": " << r.off_total_seconds
+        << ", \"total_speedup\": "
+        << SafeRatio(r.off_total_seconds, r.on_total_seconds)
+        << ", \"soa_on_cluster_seconds\": " << r.on_cluster_seconds
+        << ", \"soa_off_cluster_seconds\": " << r.off_cluster_seconds
+        << ", \"cluster_speedup\": "
+        << SafeRatio(r.off_cluster_seconds, r.on_cluster_seconds)
+        << ", \"soa_on_eps_filter_seconds\": " << r.on_eps_filter_seconds
+        << ", \"soa_off_eps_filter_seconds\": " << r.off_eps_filter_seconds
+        << ", \"eps_filter_speedup\": "
+        << SafeRatio(r.off_eps_filter_seconds, r.on_eps_filter_seconds)
+        << ", \"distance_ops\": " << r.on_distance_ops
+        << ", \"soa_batches\": " << r.soa_batches
+        << ", \"soa_lanes\": " << r.soa_lanes
+        << ", \"companions\": " << r.companions
+        << ", \"identical_products\": "
+        << (r.identical_products ? "true" : "false") << "}"
+        << (i + 1 < soa.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  },\n";
   // Registry JSON is itself a complete object ending in '\n'; embed it as
   // the final member.
   out << "  \"stage_metrics\": " << StageMetricsJson(params, data.stream);
@@ -758,6 +1028,9 @@ int Main(int argc, char** argv) {
     ok = ok && r.identical_products;
   }
   for (const ShardedResult& r : sharded) ok = ok && r.identical_products;
+  ok = ok && eps_micro.checksum_scalar == eps_micro.checksum_batch &&
+       eps_micro.checksum_scalar == eps_micro.checksum_gather;
+  for (const SoAResult& r : soa) ok = ok && r.identical_products;
   if (!ok) {
     std::cerr << "FAIL: kernel and merge paths disagree\n";
     return 1;

@@ -147,8 +147,13 @@ void BuddySet::Initialize(const Snapshot& snapshot) {
     }
     std::sort(candidates.begin(), candidates.end(),
               [&](uint32_t a, uint32_t bidx) {
+                // tcomp-lint: allow(soa-raw-loop): sort-comparator keys,
+                // not an ε-filter — survivor sets are not computed here,
+                // so there is no batch to stream.
                 double da = SquaredDistance(snapshot.pos(a), snapshot.pos(i));
                 double db =
+                    // tcomp-lint: allow(soa-raw-loop): same comparator
+                    // key as the line above.
                     SquaredDistance(snapshot.pos(bidx), snapshot.pos(i));
                 if (da != db) return da < db;
                 return a < bidx;

@@ -153,6 +153,10 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
           for (uint32_t other : list) {
             if (other == idx) continue;
             ++shard_ops;
+            // tcomp-lint: allow(soa-raw-loop): the ≥μ early stop (return
+            // on the μ-th hit) is the whole optimization; a batched
+            // filter would evaluate the full list and change
+            // distance_ops.
             if (WithinEps(p, snapshot.pos(other), eps2)) {
               ++count;
               if (count >= mu) return true;
@@ -193,6 +197,9 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
       for (size_t c = a + 1; c < mem.size(); ++c) {
         if (!core[mem[c]]) continue;
         ++local.distance_ops;
+        // tcomp-lint: allow(soa-raw-loop): in-buddy core pairs — buddies
+        // are δγ-sized (a handful of members), far below any batch
+        // break-even.
         if (WithinEps(snapshot.pos(mem[a]), snapshot.pos(mem[c]), eps2)) {
           sets.Union(mem[a], mem[c]);
         }
@@ -211,6 +218,9 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
         if (shortcut_done) break;
         for (uint32_t c : members[j]) {
           ++local.distance_ops;
+          // tcomp-lint: allow(soa-raw-loop): Lemma 4 short-circuits at
+          // the first ε-close cross pair; batching would evaluate pairs
+          // the scalar walk never reaches and change distance_ops.
           if (!WithinEps(snapshot.pos(a), snapshot.pos(c), eps2)) {
             continue;
           }
@@ -247,6 +257,9 @@ Clustering BuddyBasedClustering(const Snapshot& snapshot,
         if (other == i || !core[other]) continue;
         if (other >= best) continue;  // only lower indices can improve
         ++local.distance_ops;
+        // tcomp-lint: allow(soa-raw-loop): the `other >= best` pruning
+        // makes the candidate set data-dependent mid-walk; a precomputed
+        // batch would evaluate pruned pairs and change distance_ops.
         if (WithinEps(p, snapshot.pos(other), eps2)) best = other;
       }
     };

@@ -32,6 +32,12 @@ void ClusteringIntersectionDiscoverer::ProcessSnapshot(
     stats_.cluster_reuse += cluster_delta.reuse;
     stats_.cluster_dirty += cluster_delta.dirty;
     stats_.cluster_full_rebuilds += cluster_delta.full_rebuilds;
+    stats_.soa_batches += cluster_delta.soa_batches;
+    stats_.soa_lanes += cluster_delta.soa_lanes;
+    stats_.eps_filter_seconds += cluster_delta.eps_filter_seconds;
+    if (cluster_delta.eps_filter_seconds > 0.0) {
+      RecordStage(Stage::kEpsFilter, cluster_delta.eps_filter_seconds);
+    }
   }
   cluster_timer.Stop();
   stats_.cluster_seconds += cluster_timer.Seconds();

@@ -63,11 +63,25 @@ struct DiscoveryStats {
   int64_t cluster_dirty = 0;          // Σ per-snapshot reprobed objects
   int64_t cluster_full_rebuilds = 0;  // snapshots that fell back to full
 
+  // SoA ε-filter kernels (util/eps_filter.h): batches dispatched and
+  // candidate lanes streamed through them. Zero when the SoA switch is
+  // off or the algorithm's clustering path has no batched filter.
+  // Monitoring-grade only: NOT serialized by SaveCommon (the values
+  // differ between SoA-on and SoA-off runs of identical products, so
+  // they must stay out of the checkpoint byte stream) — they restart
+  // from zero after a resume, like process counters do.
+  int64_t soa_batches = 0;
+  int64_t soa_lanes = 0;
+
   /// Per-stage wall time in seconds: M-step (buddy maintenance), C-step
   /// (clustering), I-step (candidate intersection). Fig. 19.
   double maintain_seconds = 0.0;
   double cluster_seconds = 0.0;
   double intersect_seconds = 0.0;
+  /// Wall time inside the C-step's ε-neighborhood filtering portion
+  /// (whichever kernel served it). A subset of cluster_seconds; not
+  /// serialized, same rationale as the soa_* counters.
+  double eps_filter_seconds = 0.0;
 
   double total_seconds() const {
     return maintain_seconds + cluster_seconds + intersect_seconds;

@@ -8,7 +8,9 @@
 #include <ostream>
 #include <string>
 
+#include "util/eps_filter.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace tcomp {
 namespace {
@@ -88,16 +90,16 @@ double IncrementalClusterer::BuildCellIndex() {
     max_abs = std::max({max_abs, std::fabs(a.x), std::fabs(a.y)});
   }
   const double cell = GridCellWidth(re_pad_, max_abs);
-  cell_index_.clear();
-  cell_index_.reserve(anchors_.size());
-  for (size_t i = 0; i < anchors_.size(); ++i) {
+  cell_count_ = anchors_.size();
+  cell_index_ = arena_.AllocateArray<CellEntry>(cell_count_);
+  for (size_t i = 0; i < cell_count_; ++i) {
     const Point a = anchors_[i];
-    cell_index_.push_back(
+    cell_index_[i] =
         CellEntry{static_cast<int64_t>(std::floor(a.x / cell)),
                   static_cast<int64_t>(std::floor(a.y / cell)),
-                  static_cast<uint32_t>(i)});
+                  static_cast<uint32_t>(i)};
   }
-  std::sort(cell_index_.begin(), cell_index_.end(),
+  std::sort(cell_index_, cell_index_ + cell_count_,
             [](const CellEntry& a, const CellEntry& b) {
               if (a.cx != b.cx) return a.cx < b.cx;
               if (a.cy != b.cy) return a.cy < b.cy;
@@ -114,7 +116,9 @@ void IncrementalClusterer::RefreshIndexLookup() {
   // O(max_id) fill/footprint stops paying for itself; binary search then.
   const uint64_t max_id = ids_.back();
   if (max_id <= 4 * static_cast<uint64_t>(n) + 1024) {
-    if (index_of_.size() <= max_id) index_of_.resize(max_id + 1);
+    // Arena storage is uninitialized; only slots for present ids are
+    // written, and IndexOfId is only ever queried for present ids.
+    index_of_ = arena_.AllocateArray<uint32_t>(max_id + 1);
     for (uint32_t i = 0; i < n; ++i) index_of_[ids_[i]] = i;
     dense_lookup_ = true;
   }
@@ -145,13 +149,16 @@ void IncrementalClusterer::RebuildListsFromAnchors(int64_t* ops) {
     const int64_t cy = static_cast<int64_t>(std::floor(a.y / cell));
     for (int64_t dx = -1; dx <= 1; ++dx) {
       for (int64_t dy = -1; dy <= 1; ++dy) {
-        auto range = std::equal_range(cell_index_.begin(), cell_index_.end(),
+        auto range = std::equal_range(cell_index_, cell_index_ + cell_count_,
                                       CellEntry{cx + dx, cy + dy, 0},
                                       CellPosLess<CellEntry>);
         for (auto it = range.first; it != range.second; ++it) {
           const uint32_t h = it->idx;
           if (h <= i) continue;  // the 3×3 scan is symmetric: pair once
           if (ops != nullptr) ++*ops;
+          // tcomp-lint: allow(soa-raw-loop): anchor probes are rₑ-radius
+          // superset tests over AoS anchors_, not the per-snapshot ε hot
+          // path; batching them would change nothing downstream.
           if (WithinEps(a, anchors_[h], re_pad2_)) {
             lists_[i].push_back(ids_[h]);
             lists_[h].push_back(ids_[i]);
@@ -167,7 +174,8 @@ void IncrementalClusterer::RebuildListsFromAnchors(int64_t* ops) {
 }
 
 Clustering IncrementalClusterer::FinishExact(const Snapshot& snapshot,
-                                             int64_t* ops) {
+                                             int64_t* ops,
+                                             ClusterDeltaStats* delta) {
   const size_t n = snapshot.size();
   const double eps2 = params_.epsilon * params_.epsilon;
   // ids_ == snapshot.ids() here (both the rebuild and the repair path end
@@ -175,23 +183,87 @@ Clustering IncrementalClusterer::FinishExact(const Snapshot& snapshot,
   // list entries without a per-edge binary search.
   RefreshIndexLookup();
   std::vector<std::vector<uint32_t>> neighbors(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    // Mirror pushes from earlier rows are all < i, the lists_ walk below
-    // only appends indices > i in ascending id order, so every neighbor
-    // row comes out ascending without a sort.
-    neighbors[i].push_back(i);
-    const ObjectId self = ids_[i];
-    const Point pi = snapshot.pos(i);
-    for (ObjectId u : lists_[i]) {
-      if (u <= self) continue;  // symmetric lists: filter each pair once
-      const size_t j = IndexOfId(u);
-      ++*ops;
-      if (WithinEps(pi, snapshot.pos(j), eps2)) {
-        neighbors[i].push_back(static_cast<uint32_t>(j));
-        neighbors[j].push_back(i);
+  Timer filter_timer;
+  filter_timer.Start();
+  if (SoAKernelsEnabled()) {
+    // SoA path: gather each row's carried candidates (the list tail with
+    // id > self, so each symmetric pair is filtered exactly once — same
+    // pair set, same op count as the scalar walk below), stream them
+    // through EpsFilterGather, and emit surviving pairs as packed
+    // (row << 32 | col) edges into the arena. Rows are then built with
+    // exact reserves and sorted — ascending, the scalar row order.
+    const SnapshotSoA soa = BuildSnapshotSoA(snapshot, &arena_);
+    size_t total_list = 0;
+    size_t max_list = 0;
+    for (const std::vector<ObjectId>& list : lists_) {
+      total_list += list.size();
+      max_list = std::max(max_list, list.size());
+    }
+    uint32_t* cand = arena_.AllocateArray<uint32_t>(max_list);
+    uint32_t* surv = arena_.AllocateArray<uint32_t>(max_list);
+    // Every surviving pair contributes both directions; Σ tails ==
+    // total_list / 2 pairs, so total_list bounds the edge count.
+    uint64_t* edges = arena_.AllocateArray<uint64_t>(total_list);
+    size_t edge_count = 0;
+    int64_t lanes = 0;
+    int64_t batches = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const std::vector<ObjectId>& list = lists_[i];
+      auto tail = std::upper_bound(list.begin(), list.end(), ids_[i]);
+      size_t m = 0;
+      for (auto it = tail; it != list.end(); ++it) cand[m++] = IndexOfId(*it);
+      if (m == 0) continue;
+      *ops += static_cast<int64_t>(m);
+      lanes += static_cast<int64_t>(m);
+      ++batches;
+      const size_t kept = EpsFilterGather(soa.x, soa.y, cand, m, soa.x[i],
+                                          soa.y[i], eps2, surv);
+      for (size_t k = 0; k < kept; ++k) {
+        const uint64_t j = surv[k];
+        edges[edge_count++] = (static_cast<uint64_t>(i) << 32) | j;
+        edges[edge_count++] = (j << 32) | i;
+      }
+    }
+    uint32_t* degree = arena_.AllocateArray<uint32_t>(n);
+    std::fill(degree, degree + n, 0u);
+    for (size_t e = 0; e < edge_count; ++e) ++degree[edges[e] >> 32];
+    for (uint32_t i = 0; i < n; ++i) {
+      neighbors[i].reserve(degree[i] + 1);
+      neighbors[i].push_back(i);
+    }
+    for (size_t e = 0; e < edge_count; ++e) {
+      neighbors[edges[e] >> 32].push_back(static_cast<uint32_t>(edges[e]));
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      std::sort(neighbors[i].begin(), neighbors[i].end());
+    }
+    if (delta != nullptr) {
+      delta->soa_batches += batches;
+      delta->soa_lanes += lanes;
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      // Mirror pushes from earlier rows are all < i, the lists_ walk below
+      // only appends indices > i in ascending id order, so every neighbor
+      // row comes out ascending without a sort.
+      neighbors[i].push_back(i);
+      const ObjectId self = ids_[i];
+      const Point pi = snapshot.pos(i);
+      for (ObjectId u : lists_[i]) {
+        if (u <= self) continue;  // symmetric lists: filter each pair once
+        const size_t j = IndexOfId(u);
+        ++*ops;
+        // tcomp-lint: allow(soa-raw-loop): this IS the sanctioned scalar
+        // fallback the SoA branch above is differentially tested against.
+        if (WithinEps(pi, snapshot.pos(j), eps2)) {
+          neighbors[i].push_back(static_cast<uint32_t>(j));
+          neighbors[j].push_back(i);
+        }
       }
     }
   }
+  filter_timer.Stop();
+  if (delta != nullptr) delta->eps_filter_seconds += filter_timer.Seconds();
   std::vector<bool> core(n, false);
   for (uint32_t i = 0; i < n; ++i) {
     core[i] = neighbors[i].size() >= static_cast<size_t>(params_.mu);
@@ -209,6 +281,12 @@ Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
     Reset();
     return Dbscan(snapshot, params_, distance_ops);
   }
+
+  // All per-snapshot scratch (cell index, id→index table, SoA view, edge
+  // buffers) lives until here and no longer; after the warm-up snapshot
+  // has sized the arena this is the only allocation event per snapshot —
+  // a cursor rewind.
+  arena_.Reset();
 
   const size_t n = snapshot.size();
   int64_t ops = 0;
@@ -238,6 +316,9 @@ Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
       // Stability predicate: still within Δ of the anchor? This is a
       // real distance evaluation, so it counts toward distance_ops.
       ++ops;
+      // tcomp-lint: allow(soa-raw-loop): the stability test is O(n) over
+      // an ordered merge mixing two index spaces; a gather into SoA form
+      // would cost more than the compare it feeds.
       if (!WithinEps(snapshot.pos(m.index_b), anchors_[m.index_a], delta2_)) {
         dirty[m.index_b] = true;
         ++moved;
@@ -298,8 +379,8 @@ Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
         const int64_t cy = static_cast<int64_t>(std::floor(a.y / cell));
         for (int64_t dx = -1; dx <= 1; ++dx) {
           for (int64_t dy = -1; dy <= 1; ++dy) {
-            auto range = std::equal_range(cell_index_.begin(),
-                                          cell_index_.end(),
+            auto range = std::equal_range(cell_index_,
+                                          cell_index_ + cell_count_,
                                           CellEntry{cx + dx, cy + dy, 0},
                                           CellPosLess<CellEntry>);
             for (auto it = range.first; it != range.second; ++it) {
@@ -307,6 +388,9 @@ Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
               if (h == d) continue;
               if (dirty[h] && h < d) continue;  // evaluated at the h probe
               ++ops;
+              // tcomp-lint: allow(soa-raw-loop): dirty-anchor rₑ probes
+              // touch only the churned minority; see the rebuild-path
+              // rationale above.
               if (WithinEps(a, anchors_[h], re_pad2_)) {
                 InsertSorted(lists_[d], ids_[h]);
                 InsertSorted(lists_[h], ids_[d]);
@@ -327,7 +411,7 @@ Clustering IncrementalClusterer::Cluster(const Snapshot& snapshot,
       delta->dirty += static_cast<int64_t>(reprobed);
     }
   }
-  Clustering result = FinishExact(snapshot, &ops);
+  Clustering result = FinishExact(snapshot, &ops, delta);
   if (distance_ops != nullptr) *distance_ops += ops;
   return result;
 }
@@ -387,6 +471,7 @@ Status IncrementalClusterer::LoadState(std::istream& in) {
   // The neighbor lists are a pure function of the anchors; rebuilding
   // them here (uncounted — the uninterrupted run never paid for this)
   // reproduces the carried graph bit-for-bit.
+  arena_.Reset();  // the rebuild's cell index is per-call scratch too
   RebuildListsFromAnchors(nullptr);
   return Status::OK();
 }

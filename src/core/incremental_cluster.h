@@ -8,6 +8,7 @@
 #include "core/dbscan.h"
 #include "core/snapshot.h"
 #include "core/types.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace tcomp {
@@ -23,6 +24,15 @@ struct ClusterDeltaStats {
   /// Snapshots where the stability test could not bound the churn and the
   /// whole snapshot was re-clustered from scratch.
   int64_t full_rebuilds = 0;
+
+  /// SoA ε-filter kernel activity (util/eps_filter.h): batches dispatched
+  /// and candidate lanes streamed. Zero when SoAKernelsEnabled() is off.
+  int64_t soa_batches = 0;
+  int64_t soa_lanes = 0;
+  /// Wall time spent in the exact ε-filter portion of FinishExact
+  /// (neighbor-graph construction), whichever kernel served it. Timing
+  /// only — never read back into control flow.
+  double eps_filter_seconds = 0.0;
 };
 
 /// Exact snapshot-to-snapshot density clustering (ROADMAP item 4,
@@ -86,6 +96,12 @@ class IncrementalClusterer {
 
   bool has_state() const { return has_state_; }
 
+  /// Heap bytes held by the per-snapshot scratch arena (SoA views, cell
+  /// index, id→index table, edge buffers). Stable across snapshots once
+  /// the workload's high-water mark has been seen — the no-heap-growth
+  /// invariant tests/soa_differential_test.cc pins.
+  size_t ScratchArenaBytes() const { return arena_.allocated_bytes(); }
+
  private:
   /// Re-anchors every object of `snapshot` and rebuilds the neighbor
   /// lists from an rₑ-grid. Counts one distance op per candidate pair
@@ -97,7 +113,12 @@ class IncrementalClusterer {
   void RebuildListsFromAnchors(int64_t* ops);
 
   /// The exact ε-filter + core/label finishing step over carried lists.
-  Clustering FinishExact(const Snapshot& snapshot, int64_t* ops);
+  /// Routes the filter through the batched SoA kernels when
+  /// SoAKernelsEnabled(), through the scalar WithinEps walk otherwise —
+  /// byte-identical products and distance_ops either way. `delta` (may be
+  /// null) accumulates soa_batches/soa_lanes/eps_filter_seconds.
+  Clustering FinishExact(const Snapshot& snapshot, int64_t* ops,
+                         ClusterDeltaStats* delta);
 
   /// Refreshes the id → index scratch table from ids_. Queries through
   /// IndexOfId are only ever made for ids present in ids_, so stale
@@ -120,17 +141,22 @@ class IncrementalClusterer {
   std::vector<Point> anchors_;                 // parallel to ids_
   std::vector<std::vector<ObjectId>> lists_;   // sorted, symmetric, no self
 
-  // Reused scratch (capacity persists across snapshots). cell_index_ is
-  // the anchor grid sorted by (cx, cy, idx); index_of_ is the dense
-  // id → index table, valid only when dense_lookup_ is set (sparse id
-  // spaces fall back to binary search over ids_).
+  // Per-snapshot scratch, arena-allocated: cell_index_ is the anchor grid
+  // sorted by (cx, cy, idx); index_of_ is the dense id → index table,
+  // valid only when dense_lookup_ is set (sparse id spaces fall back to
+  // binary search over ids_). Pointers are valid until the arena's next
+  // Reset(), which happens only at Cluster() entry and in LoadState() —
+  // never mid-snapshot. The arena retains its capacity across snapshots,
+  // so the steady state allocates nothing from the heap.
   struct CellEntry {
     int64_t cx;
     int64_t cy;
     uint32_t idx;
   };
-  std::vector<CellEntry> cell_index_;
-  std::vector<uint32_t> index_of_;
+  Arena arena_;
+  CellEntry* cell_index_ = nullptr;
+  size_t cell_count_ = 0;
+  uint32_t* index_of_ = nullptr;
   bool dense_lookup_ = false;
 };
 

@@ -24,6 +24,25 @@ Snapshot::Snapshot(std::vector<ObjectPosition> positions, double duration)
   }
 }
 
+SnapshotSoA BuildSnapshotSoA(const Snapshot& snapshot, Arena* arena) {
+  const size_t n = snapshot.size();
+  SnapshotSoA soa;
+  soa.size = n;
+  double* xs = arena->AllocateArray<double>(n);
+  double* ys = arena->AllocateArray<double>(n);
+  ObjectId* ids = arena->AllocateArray<ObjectId>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point p = snapshot.pos(i);
+    xs[i] = p.x;
+    ys[i] = p.y;
+    ids[i] = snapshot.id(i);
+  }
+  soa.x = xs;
+  soa.y = ys;
+  soa.id = ids;
+  return soa;
+}
+
 size_t Snapshot::IndexOf(ObjectId id) const {
   auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it == ids_.end() || *it != id) return kNpos;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/arena.h"
 
 namespace tcomp {
 
@@ -53,6 +54,26 @@ class Snapshot {
   std::vector<Point> points_;    // parallel to ids_
   double duration_ = 1.0;
 };
+
+/// Structure-of-arrays view of one snapshot: the same objects, same index
+/// space, but coordinates split into contiguous x[] / y[] arrays so the
+/// batched ε-filter kernels (util/eps_filter.h) stream them with unit
+/// stride instead of hopping 16-byte Point pairs. Built once per snapshot
+/// into a per-snapshot Arena — the view borrows the arena's storage and
+/// is invalidated by the arena's next Reset(), exactly like every other
+/// per-snapshot scratch array.
+struct SnapshotSoA {
+  size_t size = 0;
+  const double* x = nullptr;   // x[i] == snapshot.pos(i).x
+  const double* y = nullptr;   // y[i] == snapshot.pos(i).y
+  const ObjectId* id = nullptr;  // id[i] == snapshot.id(i), ascending
+};
+
+/// Splits `snapshot` into the SoA layout, allocating the three arrays
+/// from `arena`. One linear pass; the copy is the price of admission for
+/// vectorized distance math and is amortized over every ε-query the
+/// consumer makes against the snapshot.
+SnapshotSoA BuildSnapshotSoA(const Snapshot& snapshot, Arena* arena);
 
 /// One row of a two-way ordered merge over object-id sequences: the id
 /// plus its index in each input (Snapshot::kNpos when absent). Exactly one

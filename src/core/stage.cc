@@ -14,6 +14,8 @@ const char* StageName(Stage stage) {
       return "maintain";
     case Stage::kCluster:
       return "cluster";
+    case Stage::kEpsFilter:
+      return "eps_filter";
     case Stage::kIntersect:
       return "intersect";
     case Stage::kClosure:

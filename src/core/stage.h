@@ -15,6 +15,11 @@ enum class Stage {
   kSnapshotClose,    // window close → discoverer done (whole snapshot)
   kMaintain,         // M-step: buddy split/merge maintenance (BU)
   kCluster,          // C-step: density clustering
+  kEpsFilter,        // ε-neighborhood filtering inside the C-step: the
+                     // batched SoA kernels (util/eps_filter.h) or their
+                     // scalar fallback. Nests inside kCluster, like the
+                     // shard stages; zero samples on paths that do not
+                     // time their filter portion separately.
   kIntersect,        // I-step: candidate × cluster intersections
   kClosure,          // closedness checks on new clusters (SC, BU, convoy)
   kCheckpointWrite,  // checkpoint serialization + file write
@@ -25,7 +30,7 @@ enum class Stage {
   kShardCluster,     // per-shard ε-neighborhood work, submit → all done
   kMergeStitch,      // cross-shard merge: union-find stitch + finishing
 };
-inline constexpr int kStageCount = 11;
+inline constexpr int kStageCount = 12;
 
 /// Stable lowercase identifier used as the `stage` label value.
 const char* StageName(Stage stage);

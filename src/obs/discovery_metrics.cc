@@ -45,6 +45,12 @@ void ExportDiscoveryMetrics(const DiscoveryStats& stats,
           "Snapshots where incremental clustering fell back to a full "
           "re-probe",
           stats.cluster_full_rebuilds);
+  counter("tcomp_soa_batches_total",
+          "Batches dispatched to the SoA eps-filter kernels",
+          stats.soa_batches);
+  counter("tcomp_soa_lanes_total",
+          "Candidate lanes streamed through the SoA eps-filter kernels",
+          stats.soa_lanes);
   gauge("tcomp_candidate_objects_peak",
         "Peak stored candidate-set size in objects (Figs. 15b-17b)",
         stats.candidate_objects_peak);

@@ -1,0 +1,99 @@
+#ifndef TCOMP_UTIL_ARENA_H_
+#define TCOMP_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace tcomp {
+
+/// Bump allocator for per-snapshot scratch. The hot paths (SoA snapshot
+/// views, the ε-filter candidate/survivor buffers, the incremental
+/// clusterer's cell index and id→index table) allocate a handful of flat
+/// arrays every snapshot; individually heap-allocating them is pure churn
+/// — the sizes are near-identical snapshot to snapshot. An Arena hands
+/// out pointers by bumping a cursor through one retained block:
+///
+///   - AllocateArray<T>(n) returns n uninitialized T slots (T must be
+///     trivially copyable and trivially destructible — no destructors
+///     ever run);
+///   - pointers stay valid until the next Reset(), never across it;
+///   - Reset() rewinds the cursor and *keeps the capacity*, so after a
+///     warm-up snapshot has established the high-water mark the steady
+///     state performs zero heap allocations per snapshot (asserted by the
+///     steady-state test in tests/soa_differential_test.cc).
+///
+/// Allocations that overflow the retained block go to overflow blocks
+/// (existing pointers must never be invalidated mid-snapshot); Reset()
+/// then consolidates the total into one larger retained block, so
+/// overflow is a warm-up phenomenon, not a steady-state one.
+///
+/// Not thread-safe; one arena per owner, like the discoverers.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_copyable<T>::value &&
+                      std::is_trivially_destructible<T>::value,
+                  "Arena hands out raw uninitialized storage");
+    const size_t bytes = count * sizeof(T);
+    return static_cast<T*>(AllocateBytes(bytes, alignof(T)));
+  }
+
+  /// Rewinds the cursor; capacity (including any overflow taken since the
+  /// last Reset) is consolidated into the single retained block.
+  void Reset() {
+    if (!overflow_.empty()) {
+      // Grow the retained block to the whole high-water mark, rounded up
+      // so repeated small overshoots converge instead of reallocating
+      // every snapshot.
+      size_t want = used_ + overflow_bytes_;
+      size_t capacity = capacity_ < 64 ? 64 : capacity_;
+      while (capacity < want) capacity *= 2;
+      block_ = std::make_unique<unsigned char[]>(capacity);
+      capacity_ = capacity;
+      overflow_.clear();
+      overflow_bytes_ = 0;
+    }
+    used_ = 0;
+  }
+
+  /// Total heap bytes this arena holds. Stable across snapshots once the
+  /// workload's high-water mark has been seen — the no-heap-growth
+  /// invariant the steady-state test pins.
+  size_t allocated_bytes() const { return capacity_ + overflow_bytes_; }
+
+  /// Bytes handed out since the last Reset() (diagnostic).
+  size_t used_bytes() const { return used_ + overflow_bytes_; }
+
+ private:
+  void* AllocateBytes(size_t bytes, size_t align) {
+    size_t aligned = (used_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= capacity_) {
+      used_ = aligned + bytes;
+      return block_.get() + aligned;
+    }
+    // Overflow: a dedicated block, consolidated at the next Reset().
+    // make_unique<unsigned char[]> storage is aligned for every
+    // fundamental type (__STDCPP_DEFAULT_NEW_ALIGNMENT__ ≥ 16).
+    overflow_.push_back(std::make_unique<unsigned char[]>(bytes));
+    overflow_bytes_ += bytes;
+    return overflow_.back().get();
+  }
+
+  std::unique_ptr<unsigned char[]> block_;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+  std::vector<std::unique_ptr<unsigned char[]>> overflow_;
+  size_t overflow_bytes_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_UTIL_ARENA_H_

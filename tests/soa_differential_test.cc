@@ -1,0 +1,535 @@
+/// Differential proof that the SoA snapshot layout and the batched
+/// ε-filter kernels (util/eps_filter.h, ROADMAP item 4) are a pure
+/// optimization: with SetSoAKernelsEnabled() toggled on vs. off, the
+/// kernels accept exactly the lanes the scalar WithinEps walk accepts
+/// (exact-ε boundary coordinates included), DbscanGrid produces the
+/// identical Clustering with the identical distance_ops count, and CI,
+/// SC, BU, and the convoy baseline produce byte-identical serialized
+/// state. Only wall-clock timings may differ, so those fields of the
+/// "stats" line are zeroed before comparison. Also pins the incremental
+/// clusterer's steady-state no-heap-growth invariant: the per-snapshot
+/// scratch arena stops growing once the workload's high-water mark has
+/// been seen.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/convoy.h"
+#include "core/dbscan.h"
+#include "core/discoverer.h"
+#include "core/incremental_cluster.h"
+#include "core/snapshot.h"
+#include "data/group_model.h"
+#include "test_util.h"
+#include "util/eps_filter.h"
+#include "util/random.h"
+
+namespace tcomp {
+namespace {
+
+using testing_util::ClusteredSnapshot;
+
+/// Restores the process-wide SoA toggle no matter how a test exits, so a
+/// failing assertion can't leak "SoA off" into later tests.
+class SoAToggleGuard {
+ public:
+  SoAToggleGuard() : saved_(SoAKernelsEnabled()) {}
+  ~SoAToggleGuard() { SetSoAKernelsEnabled(saved_); }
+  SoAToggleGuard(const SoAToggleGuard&) = delete;
+  SoAToggleGuard& operator=(const SoAToggleGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// ---------------------------------------------------------------------
+// Kernel-level differentials: EpsFilterBatch / EpsFilterGather against
+// the scalar WithinEps walk, lane for lane.
+
+std::vector<uint32_t> ScalarRange(const std::vector<double>& xs,
+                                  const std::vector<double>& ys,
+                                  uint32_t begin, uint32_t end, double qx,
+                                  double qy, double eps2) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = begin; i < end; ++i) {
+    if (WithinEps(Point{xs[i], ys[i]}, Point{qx, qy}, eps2)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ScalarGather(const std::vector<double>& xs,
+                                   const std::vector<double>& ys,
+                                   const std::vector<uint32_t>& cand,
+                                   double qx, double qy, double eps2) {
+  std::vector<uint32_t> out;
+  for (uint32_t i : cand) {
+    if (WithinEps(Point{xs[i], ys[i]}, Point{qx, qy}, eps2)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Sizes straddling both kernel structure boundaries: the scalar cutover
+/// (16) and the chunk width (256).
+const uint32_t kSizes[] = {0, 1, 3, 8, 15, 16, 17, 64, 255, 256, 257, 777};
+
+TEST(EpsFilterKernelTest, BatchMatchesScalarWalkAcrossSizes) {
+  Pcg32 rng(901);
+  for (uint32_t n : kSizes) {
+    std::vector<double> xs(n), ys(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      xs[i] = rng.NextDouble(0.0, 200.0);
+      ys[i] = rng.NextDouble(0.0, 200.0);
+    }
+    std::vector<uint32_t> out(n);
+    for (int trial = 0; trial < 8; ++trial) {
+      const double qx = rng.NextDouble(0.0, 200.0);
+      const double qy = rng.NextDouble(0.0, 200.0);
+      const double eps = rng.NextDouble(1.0, 40.0);
+      const double eps2 = eps * eps;
+      // Random sub-windows exercise nonzero `begin` (the grid backends
+      // always pass cell-aligned interior ranges).
+      const uint32_t begin = n == 0 ? 0 : rng.NextBounded(n);
+      const uint32_t end =
+          begin + (n == begin ? 0 : rng.NextBounded(n - begin + 1));
+      const size_t got =
+          EpsFilterBatch(xs.data(), ys.data(), begin, end, qx, qy, eps2,
+                         out.data());
+      const std::vector<uint32_t> want =
+          ScalarRange(xs, ys, begin, end, qx, qy, eps2);
+      ASSERT_EQ(got, want.size()) << "n=" << n << " trial=" << trial;
+      for (size_t k = 0; k < got; ++k) {
+        EXPECT_EQ(out[k], want[k]) << "n=" << n << " lane " << k;
+      }
+    }
+  }
+}
+
+TEST(EpsFilterKernelTest, GatherMatchesScalarWalkAcrossSizes) {
+  Pcg32 rng(902);
+  const uint32_t kUniverse = 1024;
+  std::vector<double> xs(kUniverse), ys(kUniverse);
+  for (uint32_t i = 0; i < kUniverse; ++i) {
+    xs[i] = rng.NextDouble(0.0, 200.0);
+    ys[i] = rng.NextDouble(0.0, 200.0);
+  }
+  for (uint32_t n : kSizes) {
+    // Scattered, unordered, duplicate-bearing candidate lists — the
+    // carried-neighbor shape the incremental clusterer feeds the kernel.
+    std::vector<uint32_t> cand(n);
+    for (uint32_t& c : cand) c = rng.NextBounded(kUniverse);
+    std::vector<uint32_t> out(n);
+    for (int trial = 0; trial < 8; ++trial) {
+      const double qx = rng.NextDouble(0.0, 200.0);
+      const double qy = rng.NextDouble(0.0, 200.0);
+      const double eps2 = rng.NextDouble(1.0, 1600.0);
+      const size_t got =
+          EpsFilterGather(xs.data(), ys.data(), cand.data(), cand.size(),
+                          qx, qy, eps2, out.data());
+      const std::vector<uint32_t> want =
+          ScalarGather(xs, ys, cand, qx, qy, eps2);
+      ASSERT_EQ(got, want.size()) << "n=" << n << " trial=" << trial;
+      for (size_t k = 0; k < got; ++k) {
+        EXPECT_EQ(out[k], want[k]) << "n=" << n << " lane " << k;
+      }
+    }
+  }
+}
+
+/// Exact-ε boundary coordinates. The contract says the kernels evaluate
+/// literally `dx*dx + dy*dy <= eps2` with scalar IEEE rounding — a lost
+/// -ffp-contract=off on the kernel TU (which would let the AVX2 clones
+/// fuse the expression) shows up here as a boundary lane flipping.
+TEST(EpsFilterKernelTest, ExactBoundaryCoordinatesMatchScalarWalk) {
+  const double eps = 5.0;
+  const double eps2 = eps * eps;
+  const double qx = 1000.0;
+  const double qy = -250.0;
+  std::vector<double> xs, ys;
+  auto add = [&](double dx, double dy) {
+    xs.push_back(qx + dx);
+    ys.push_back(qy + dy);
+  };
+  // Exactly on the closed ball's boundary: axis-aligned and the 3-4-5
+  // triangle (both exact in binary floating point — must be accepted).
+  add(5.0, 0.0);
+  add(0.0, -5.0);
+  add(3.0, 4.0);
+  add(-4.0, 3.0);
+  // Just outside along each axis (must be rejected). The nudge is well
+  // above ulp(qx + 5) ≈ 1.1e-13, so it survives the coordinate addition
+  // — a bare nextafter(5.0, 6.0) would be rounded away at this magnitude
+  // and land back on the boundary.
+  add(5.0 + 1e-11, 0.0);
+  add(0.0, -(5.0 + 1e-11));
+  // Just inside (must be accepted).
+  add(5.0 - 1e-11, 0.0);
+  // Large-magnitude offsets where the subtraction qx+dx-qx is inexact and
+  // the sum-of-squares rounding decides membership either way; the point
+  // is lane-for-lane agreement with the scalar walk, whatever it decides.
+  for (double mag : {1e8, 1e12, 1e15}) {
+    xs.push_back(mag + 3.0);
+    ys.push_back(mag + 4.0);
+    xs.push_back(mag);
+    ys.push_back(mag);
+  }
+  // Tile the adversarial set past the chunk width so the vectorized path
+  // (not just the small-range scalar cutover) sees every case.
+  const size_t pattern = xs.size();
+  while (xs.size() < 3 * 256 + 7) {
+    xs.push_back(xs[xs.size() % pattern]);
+    ys.push_back(ys[ys.size() % pattern]);
+  }
+  const uint32_t n = static_cast<uint32_t>(xs.size());
+
+  std::vector<uint32_t> out(n);
+  for (auto [qpx, qpy] : {std::pair{qx, qy}, std::pair{1e8, 1e8},
+                          std::pair{1e12, 1e12}, std::pair{1e15, 1e15}}) {
+    // Full range (chunked path) and a leading 8-lane window (scalar
+    // cutover path) must both agree with the reference walk.
+    for (uint32_t end : {n, std::min<uint32_t>(8, n)}) {
+      const size_t got = EpsFilterBatch(xs.data(), ys.data(), 0, end, qpx,
+                                        qpy, eps2, out.data());
+      const std::vector<uint32_t> want =
+          ScalarRange(xs, ys, 0, end, qpx, qpy, eps2);
+      ASSERT_EQ(got, want.size()) << "query (" << qpx << ", " << qpy << ")";
+      for (size_t k = 0; k < got; ++k) EXPECT_EQ(out[k], want[k]);
+
+      std::vector<uint32_t> cand(end);
+      for (uint32_t i = 0; i < end; ++i) cand[i] = i;
+      const size_t ggot =
+          EpsFilterGather(xs.data(), ys.data(), cand.data(), cand.size(),
+                          qpx, qpy, eps2, out.data());
+      ASSERT_EQ(ggot, want.size());
+      for (size_t k = 0; k < ggot; ++k) EXPECT_EQ(out[k], want[k]);
+    }
+  }
+  // The boundary rows themselves: exact-distance points accepted, one-ulp
+  // outside rejected (sanity that the fixture tests what it claims).
+  const std::vector<uint32_t> accepted =
+      ScalarRange(xs, ys, 0, static_cast<uint32_t>(pattern), qx, qy, eps2);
+  EXPECT_GE(accepted.size(), 5u);
+  for (uint32_t k : accepted) EXPECT_NE(k, 4u) << "ulp-outside accepted";
+}
+
+// ---------------------------------------------------------------------
+// DbscanGrid: the SoA forward plane-sweep must reproduce the scalar
+// hash-grid branch exactly — labels, core flags, cluster sets, and the
+// logical distance_ops counter (the sweep evaluates each unordered pair
+// once and counts it twice; see src/core/dbscan.cc).
+
+void ExpectSameClustering(const Clustering& a, const Clustering& b,
+                          const char* what) {
+  EXPECT_EQ(a.labels, b.labels) << what;
+  EXPECT_EQ(a.core, b.core) << what;
+  ASSERT_EQ(a.clusters.size(), b.clusters.size()) << what;
+  for (size_t k = 0; k < a.clusters.size(); ++k) {
+    EXPECT_EQ(a.clusters[k], b.clusters[k]) << what << " cluster " << k;
+  }
+}
+
+TEST(DbscanGridSoATest, MatchesScalarGridAcrossSnapshotShapes) {
+  SoAToggleGuard guard;
+  Pcg32 rng(903);
+  DbscanParams params;
+  params.epsilon = 18.0;
+  params.mu = 3;
+
+  std::vector<std::pair<std::string, Snapshot>> cases;
+  cases.emplace_back("clustered",
+                     ClusteredSnapshot(5, 40, 30, 800.0, 10.0, rng));
+  cases.emplace_back("dense_blobs",
+                     ClusteredSnapshot(2, 150, 0, 400.0, 12.0, rng));
+  cases.emplace_back("sparse",
+                     testing_util::RandomSnapshot(120, 5000.0, rng));
+  cases.emplace_back("empty", Snapshot({}, 1.0));
+  cases.emplace_back("single",
+                     testing_util::MakeSnapshot({{7, 10.0, 10.0}}));
+  {
+    // Collocated points: one grid cell holding everything — the sweep's
+    // own-cell tail does all the work, spanning multiple 256-lane chunks.
+    std::vector<ObjectPosition> pos;
+    for (ObjectId i = 0; i < 600; ++i) {
+      pos.push_back(ObjectPosition{i, Point{50.0, 50.0}});
+    }
+    cases.emplace_back("collocated", Snapshot(std::move(pos), 1.0));
+  }
+
+  for (const auto& [name, snapshot] : cases) {
+    SetSoAKernelsEnabled(true);
+    int64_t ops_on = 0;
+    Clustering on = DbscanGrid(snapshot, params, &ops_on);
+    SetSoAKernelsEnabled(false);
+    int64_t ops_off = 0;
+    Clustering off = DbscanGrid(snapshot, params, &ops_off);
+    ExpectSameClustering(on, off, name.c_str());
+    EXPECT_EQ(ops_on, ops_off) << name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end differentials: full discoverer runs, byte-identical
+// serialized state across SoA modes.
+
+GroupDataset ChurnyStream(uint64_t seed) {
+  GroupModelOptions options;
+  options.num_objects = 90;
+  options.num_snapshots = 32;
+  options.area_size = 1600.0;
+  options.min_group_size = 6;
+  options.max_group_size = 12;
+  options.split_probability = 0.015;
+  options.leave_probability = 0.008;
+  options.seed = seed;
+  return GenerateGroupStream(options);
+}
+
+DiscoveryParams BaseParams() {
+  DiscoveryParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.size_threshold = 5;
+  params.duration_threshold = 7;
+  return params;
+}
+
+/// Serialized discoverer state with the wall-clock fields (the last three
+/// tokens of the "stats" line) zeroed; everything else must match bit for
+/// bit between SoA modes.
+std::string NormalizedState(const CompanionDiscoverer& d) {
+  std::ostringstream raw;
+  Status st = d.SaveState(raw);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::istringstream in(raw.str());
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("stats ", 0) == 0) {
+      std::istringstream fields(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (fields >> tok) tokens.push_back(tok);
+      EXPECT_GE(tokens.size(), 4u);
+      for (size_t i = tokens.size() - 3; i < tokens.size(); ++i) {
+        tokens[i].assign(1, '0');
+      }
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << tokens[i];
+      }
+      out << '\n';
+    } else {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::unique_ptr<CompanionDiscoverer> MakeGridBacked(
+    Algorithm algorithm, const DiscoveryParams& params) {
+  std::unique_ptr<CompanionDiscoverer> d = MakeDiscoverer(algorithm, params);
+  d->SetClusterProvider(
+      [params](const Snapshot& s, int64_t* distance_ops) {
+        return DbscanGrid(s, params.cluster, distance_ops);
+      });
+  return d;
+}
+
+struct RunResult {
+  std::string state;
+  int64_t distance_ops = 0;
+  size_t log_size = 0;
+};
+
+RunResult RunDiscoverer(Algorithm algorithm, const SnapshotStream& stream,
+                        const DiscoveryParams& params, bool soa,
+                        bool grid_provider) {
+  SetSoAKernelsEnabled(soa);
+  std::unique_ptr<CompanionDiscoverer> d =
+      grid_provider ? MakeGridBacked(algorithm, params)
+                    : MakeDiscoverer(algorithm, params);
+  for (const Snapshot& s : stream) d->ProcessSnapshot(s, nullptr);
+  RunResult r;
+  r.state = NormalizedState(*d);
+  r.distance_ops = d->stats().distance_ops;
+  r.log_size = d->log().companions().size();
+  return r;
+}
+
+class SoADifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoADifferentialTest, DiscoverersByteIdenticalAcrossSoAModes) {
+  SoAToggleGuard guard;
+  GroupDataset data = ChurnyStream(GetParam());
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    RunResult on = RunDiscoverer(algorithm, data.stream, params, true, false);
+    RunResult off =
+        RunDiscoverer(algorithm, data.stream, params, false, false);
+    EXPECT_GT(on.log_size, 0u) << "test wants companions";
+    EXPECT_EQ(on.state, off.state) << AlgorithmName(algorithm);
+    EXPECT_EQ(on.distance_ops, off.distance_ops) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_P(SoADifferentialTest, GridProviderByteIdenticalAcrossSoAModes) {
+  SoAToggleGuard guard;
+  GroupDataset data = ChurnyStream(GetParam());
+  DiscoveryParams params = BaseParams();
+
+  // DbscanGrid injected as the cluster provider: this is the forward
+  // plane-sweep inside a full pipeline, counter accounting included.
+  RunResult on = RunDiscoverer(Algorithm::kSmartClosed, data.stream, params,
+                               true, true);
+  RunResult off = RunDiscoverer(Algorithm::kSmartClosed, data.stream, params,
+                                false, true);
+  EXPECT_GT(on.log_size, 0u) << "test wants companions";
+  EXPECT_EQ(on.state, off.state);
+  EXPECT_EQ(on.distance_ops, off.distance_ops);
+}
+
+TEST_P(SoADifferentialTest, ConvoyBaselineIdenticalAcrossSoAModes) {
+  SoAToggleGuard guard;
+  GroupDataset data = ChurnyStream(GetParam());
+  ConvoyParams params;
+  params.cluster.epsilon = 18.0;
+  params.cluster.mu = 3;
+  params.min_objects = 5;
+  params.min_lifetime = 7;
+
+  SetSoAKernelsEnabled(true);
+  ConvoyStats stats_on;
+  std::vector<Convoy> on = DiscoverConvoys(data.stream, params, &stats_on);
+  SetSoAKernelsEnabled(false);
+  ConvoyStats stats_off;
+  std::vector<Convoy> off = DiscoverConvoys(data.stream, params, &stats_off);
+
+  EXPECT_FALSE(on.empty()) << "test wants convoys";
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].objects, off[i].objects) << "convoy " << i;
+    EXPECT_EQ(on[i].begin, off[i].begin) << "convoy " << i;
+    EXPECT_EQ(on[i].end, off[i].end) << "convoy " << i;
+  }
+  EXPECT_EQ(stats_on.distance_ops, stats_off.distance_ops);
+  EXPECT_EQ(stats_on.intersections, stats_off.intersections);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoADifferentialTest,
+                         ::testing::Values(901, 902, 903));
+
+/// Flipping the kill switch between snapshots must be invisible: SoA mode
+/// is per-snapshot derived computation, never carried state, so a run
+/// that toggles off and back on mid-stream matches the all-on run.
+TEST(SoAMidStreamToggleTest, ToggleTimelineDoesNotPerturbState) {
+  SoAToggleGuard guard;
+  GroupDataset data = ChurnyStream(904);
+  DiscoveryParams params = BaseParams();
+  const size_t third = data.stream.size() / 3;
+
+  SetSoAKernelsEnabled(true);
+  std::unique_ptr<CompanionDiscoverer> steady =
+      MakeGridBacked(Algorithm::kSmartClosed, params);
+  for (const Snapshot& s : data.stream) steady->ProcessSnapshot(s, nullptr);
+
+  std::unique_ptr<CompanionDiscoverer> toggled =
+      MakeGridBacked(Algorithm::kSmartClosed, params);
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    SetSoAKernelsEnabled(t < third || t >= 2 * third);
+    toggled->ProcessSnapshot(data.stream[t], nullptr);
+  }
+
+  EXPECT_EQ(NormalizedState(*steady), NormalizedState(*toggled));
+}
+
+/// Checkpoints written under one SoA mode must load and continue
+/// identically under the other: the SoA view and its arena are derived
+/// per-snapshot state, never serialized.
+TEST(SoACheckpointTest, StateRoundTripsAcrossSoAModes) {
+  SoAToggleGuard guard;
+  GroupDataset data = ChurnyStream(905);
+  DiscoveryParams params = BaseParams();
+
+  for (Algorithm algorithm :
+       {Algorithm::kClusteringIntersection, Algorithm::kSmartClosed,
+        Algorithm::kBuddy}) {
+    SetSoAKernelsEnabled(true);
+    std::unique_ptr<CompanionDiscoverer> first =
+        MakeDiscoverer(algorithm, params);
+    const size_t half = data.stream.size() / 2;
+    for (size_t t = 0; t < half; ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+    std::stringstream checkpoint;
+    ASSERT_TRUE(first->SaveState(checkpoint).ok());
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      first->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    SetSoAKernelsEnabled(false);
+    std::unique_ptr<CompanionDiscoverer> resumed =
+        MakeDiscoverer(algorithm, params);
+    ASSERT_TRUE(resumed->LoadState(checkpoint).ok());
+    for (size_t t = half; t < data.stream.size(); ++t) {
+      resumed->ProcessSnapshot(data.stream[t], nullptr);
+    }
+
+    EXPECT_EQ(NormalizedState(*first), NormalizedState(*resumed))
+        << AlgorithmName(algorithm);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Arena steady state: once the incremental clusterer has seen the
+// workload's high-water snapshot, further snapshots of the same
+// population must not grow the scratch arena — the per-snapshot SoA
+// views, cell index, and edge buffers all come out of recycled capacity.
+
+TEST(ScratchArenaTest, SteadyStateStopsGrowingHeap) {
+  GroupModelOptions options;
+  options.num_objects = 120;
+  options.num_snapshots = 48;
+  options.area_size = 1800.0;
+  options.min_group_size = 8;
+  options.max_group_size = 14;
+  options.split_probability = 0.0;
+  options.leave_probability = 0.0;
+  options.seed = 906;
+  GroupDataset data = GenerateGroupStream(options);
+
+  DbscanParams params;
+  params.epsilon = 18.0;
+  params.mu = 3;
+  IncrementalClusterer clusterer(params);
+
+  // Warm-up pass: play the entire stream once, so the high-water snapshot
+  // — wherever in the stream it falls — has been seen.
+  for (const Snapshot& s : data.stream) {
+    clusterer.Cluster(s, nullptr, nullptr);
+  }
+  const size_t steady = clusterer.ScratchArenaBytes();
+  EXPECT_GT(steady, 0u) << "arena is not being used at all";
+  // Second pass over the same snapshots (the wrap-around discontinuity
+  // forces a full rebuild, the worst-case scratch user): every byte must
+  // come out of recycled capacity.
+  for (size_t t = 0; t < data.stream.size(); ++t) {
+    clusterer.Cluster(data.stream[t], nullptr, nullptr);
+    EXPECT_EQ(clusterer.ScratchArenaBytes(), steady)
+        << "arena grew at snapshot " << t
+        << " — per-snapshot scratch is leaking into fresh allocations";
+  }
+}
+
+}  // namespace
+}  // namespace tcomp

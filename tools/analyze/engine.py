@@ -32,7 +32,7 @@ RULES = [
     "no-throw", "no-crt-rand", "unordered-iter", "shard-unordered",
     "no-naked-new", "sqrt-eps", "include-layer", "include-cycle",
     "lock-order", "atomic-order", "atomic-strong-order", "wallclock",
-    "addr-order", "allow-without-reason", "stale-allow",
+    "addr-order", "soa-raw-loop", "allow-without-reason", "stale-allow",
 ]
 
 _ALLOW_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")

@@ -363,6 +363,97 @@ def pass_wallclock(project, rel, fm, report):
                    % tok.text)
 
 
+# ---- soa-raw-loop ------------------------------------------------------
+
+_SOA_DIST_CALLS = frozenset(["WithinEps", "SquaredDistance"])
+_SOA_SCOPE_PREFIXES = ("src/core/", "src/shard/")
+_SOA_RAW_LOOP_MSG = (
+    "scalar per-point ε-distance evaluation inside a loop on a snapshot "
+    "hot path; stream the candidate batch through EpsFilterBatch / "
+    "EpsFilterGather (util/eps_filter.h) so the compare vectorizes, or "
+    "annotate why this site must stay scalar")
+
+
+def _skip_paren_group(code, i):
+    """`code[i]` is `(`: returns the index just past the matching `)`."""
+    n = len(code)
+    depth = 0
+    while i < n:
+        t = code[i]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return i
+
+
+def _mark_loop_region(code, i, in_loop):
+    """`code[i]` is a `for`/`while`/`do` keyword. Marks the construct's
+    header and body tokens in `in_loop`. Brace bodies run to the matching
+    `}`; braceless bodies to the next top-level `;` (nested constructs
+    inside are re-marked by their own keyword anyway)."""
+    n = len(code)
+    j = i + 1
+    if code[i].text in ("for", "while") and j < n and code[j].text == "(":
+        j = _skip_paren_group(code, j)
+    if j < n and code[j].text == "{":
+        depth = 0
+        k = j
+        while k < n:
+            t = code[k]
+            if t.kind == "punct":
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    if depth == 0:
+                        k += 1
+                        break
+            k += 1
+        end = k
+    else:
+        depth = 0
+        k = j
+        while k < n:
+            t = code[k]
+            if t.kind == "punct":
+                if t.text == "(":
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                elif t.text == ";" and depth == 0:
+                    k += 1
+                    break
+            k += 1
+        end = k
+    for idx in range(i, end):
+        in_loop[idx] = True
+
+
+def pass_soa_raw_loop(project, rel, fm, report):
+    """New scalar distance loops in the SoA-kernel scope (src/core/ and
+    src/shard/) bypass the batched ε-filter hot path; every sanctioned
+    scalar site (reference backends, fallback branches, anchor probes)
+    carries an allow() with its rationale."""
+    if not rel.startswith(_SOA_SCOPE_PREFIXES):
+        return
+    code = fm.code
+    n = len(code)
+    in_loop = [False] * n
+    for i, tok in enumerate(code):
+        if tok.kind == "ident" and tok.text in ("for", "while", "do"):
+            _mark_loop_region(code, i, in_loop)
+    for i, tok in enumerate(code):
+        if (tok.kind == "ident" and tok.text in _SOA_DIST_CALLS
+                and in_loop[i]
+                and i + 1 < n and code[i + 1].text == "("):
+            report("soa-raw-loop", tok.line, _SOA_RAW_LOOP_MSG)
+
+
 # ---- addr-order --------------------------------------------------------
 
 
@@ -499,4 +590,5 @@ FILE_PASSES = [
     pass_atomic_order,
     pass_wallclock,
     pass_addr_order,
+    pass_soa_raw_loop,
 ]

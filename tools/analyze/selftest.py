@@ -325,6 +325,45 @@ CASES = [
       " { return a->id < b->id; });\n"
       "}\n"},
      []),
+    # ---- soa-raw-loop ------------------------------------------------
+    ("soa-raw-loop/for-loop-fires",
+     {"src/core/case.cc":
+      "void F(const Snapshot& s, double eps2) {\n"
+      "  for (uint32_t j = 0; j < s.size(); ++j) {\n"
+      "    if (WithinEps(s.pos(0), s.pos(j), eps2)) count(j);\n"
+      "  }\n"
+      "}\n"},
+     ["soa-raw-loop"]),
+    ("soa-raw-loop/braceless-while-fires",
+     {"src/shard/case.cc":
+      "void F(Point a, Point b, double e2) {\n"
+      "  while (step())\n"
+      "    total += SquaredDistance(a, b) <= e2 ? 1 : 0;\n"
+      "}\n"},
+     ["soa-raw-loop"]),
+    ("soa-raw-loop/outside-loop-clean",
+     {"src/core/case.cc":
+      "bool F(Point a, Point b, double eps2) {\n"
+      "  return WithinEps(a, b, eps2);\n"
+      "}\n"},
+     []),
+    ("soa-raw-loop/outside-scope-dirs-clean",
+     {"src/stream/case.cc":
+      "void F(const Snapshot& s, double eps2) {\n"
+      "  for (uint32_t j = 0; j < s.size(); ++j) {\n"
+      "    if (WithinEps(s.pos(0), s.pos(j), eps2)) count(j);\n"
+      "  }\n"
+      "}\n"},
+     []),
+    ("soa-raw-loop/allow-clean",
+     {"src/core/case.cc":
+      "void F(const Snapshot& s, double eps2) {\n"
+      "  for (uint32_t j = 0; j < s.size(); ++j) {\n"
+      "    // tcomp-lint: allow(soa-raw-loop): reference scalar baseline\n"
+      "    if (WithinEps(s.pos(0), s.pos(j), eps2)) count(j);\n"
+      "  }\n"
+      "}\n"},
+     []),
     # ---- annotation audit --------------------------------------------
     ("allow-without-reason/fires",
      {"src/case.cc":

@@ -11,9 +11,14 @@ BENCH_PR<N>.json at the repo root — the repo's perf-trajectory record,
 one file per PR that re-measured it (--pr selects N; --out overrides
 the path entirely).
 
+--history skips the harness entirely and reads every BENCH_PR*.json
+already at the repo root, printing one cross-PR trajectory table so the
+speedup story is readable in one place instead of N disconnected files.
+
 Usage:
     tools/bench_json.py --build-dir build --pr 7     # full workload
     tools/bench_json.py --build-dir build --quick    # CI smoke workload
+    tools/bench_json.py --history                    # cross-PR table
 """
 
 import argparse
@@ -21,6 +26,7 @@ import json
 import os
 import pathlib
 import platform
+import re
 import subprocess
 import sys
 
@@ -44,6 +50,79 @@ def git_commit(repo_root):
         return "unknown"
 
 
+def _best_speedup(entries, key):
+    """Largest `key` across a section's entries, or None."""
+    best = None
+    for entry in entries:
+        value = entry.get(key)
+        if value is None:
+            continue
+        if best is None or value > best:
+            best = value
+    return best
+
+
+def _entry_speedup(entries, key, **match):
+    """`key` from the first entry matching every `match` field, or None."""
+    for entry in entries:
+        if all(entry.get(k) == v for k, v in match.items()):
+            return entry.get(key)
+    return None
+
+
+def history(repo_root):
+    """Print the cross-PR speedup trajectory from every BENCH_PR*.json.
+
+    Each column is the headline number of the PR that introduced it:
+    intersect/istep (PR 4 bitset kernels), incr-cluster (PR 6 carried
+    state), shard-best (PR 7 sharded C-step), soa-cluster (PR 9 SoA
+    ε-filter). Older records simply lack the newer sections — those
+    cells print '-', which is the point of the table: you can see when
+    each axis of the trajectory came online.
+    """
+    records = []
+    for path in repo_root.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if not m:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  (skipping {path.name}: {err})", file=sys.stderr)
+            continue
+        records.append((int(m.group(1)), data))
+    if not records:
+        print("no BENCH_PR*.json records at the repo root")
+        return 1
+    records.sort()
+
+    def fmt(value):
+        return f"{value:.2f}x" if value is not None else "-"
+
+    header = (f"{'PR':>4} {'commit':>8} {'objects':>8} {'intersect':>10} "
+              f"{'istep':>7} {'incr-cluster':>13} {'shard-best':>11} "
+              f"{'soa-cluster':>12}")
+    print(header)
+    print("-" * len(header))
+    for pr, data in records:
+        commit = data.get("provenance", {}).get("commit", "?")
+        objects = data.get("config", {}).get("objects", "?")
+        micro = data.get("micro", {})
+        intersect = micro.get("intersect_speedup")
+        istep = _entry_speedup(data.get("e2e", []), "istep_speedup",
+                               algorithm="SC")
+        incr = _entry_speedup(data.get("incremental", []), "cluster_speedup",
+                              algorithm="SC")
+        shard = _best_speedup(data.get("sharded", []), "speedup_vs_1")
+        soa_entries = data.get("soa", {}).get("e2e", [])
+        soa = _entry_speedup(soa_entries, "cluster_speedup",
+                             scenario="coherent")
+        print(f"{pr:>4} {commit:>8} {objects:>8} {fmt(intersect):>10} "
+              f"{fmt(istep):>7} {fmt(incr):>13} {fmt(shard):>11} "
+              f"{fmt(soa):>12}")
+    return 0
+
+
 def main():
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
@@ -62,7 +141,13 @@ def main():
                         help="override the e2e stream population")
     parser.add_argument("--snapshots", type=int, default=None,
                         help="override the e2e stream length")
+    parser.add_argument("--history", action="store_true",
+                        help="print the cross-PR speedup trajectory from "
+                             "existing BENCH_PR*.json records and exit")
     args = parser.parse_args()
+
+    if args.history:
+        return history(repo_root)
 
     binary = pathlib.Path(args.build_dir) / "bench" / "bench_perf_json"
     if not binary.exists():
@@ -107,6 +192,18 @@ def main():
                 "companions differ from the single-shard baseline — the "
                 "decomposition is not product-preserving; refusing to record")
 
+    soa = result.get("soa", {})
+    if soa:
+        if not soa["micro"]["checksums_match"]:
+            raise SystemExit("SoA eps-filter micro checksums disagree with "
+                             "the scalar walk — refusing to record")
+        for entry in soa.get("e2e", []):
+            if not entry["identical_products"]:
+                raise SystemExit(
+                    f"soa {entry['scenario']} ({entry['algorithm']}): "
+                    "products or distance_ops differ across SoA modes — "
+                    "refusing to record")
+
     stage_metrics = result.get("stage_metrics", {})
     histograms = stage_metrics.get("histograms", {})
     if not histograms:
@@ -149,6 +246,13 @@ def main():
               f"total {entry['speedup_vs_1']:.2f}x, "
               f"cluster {entry['cluster_speedup_vs_1']:.2f}x, "
               f"halo {entry['halo_objects']}")
+    if soa:
+        print(f"  soa micro: batch {soa['micro']['batch_speedup']:.2f}x, "
+              f"gather {soa['micro']['gather_speedup']:.2f}x")
+        for entry in soa.get("e2e", []):
+            print(f"  soa {entry['scenario']} ({entry['algorithm']}): "
+                  f"cluster {entry['cluster_speedup']:.2f}x, "
+                  f"total {entry['total_speedup']:.2f}x")
     return 0
 
 
