@@ -28,6 +28,10 @@ const char* StageName(Stage stage) {
       return "shard_cluster";
     case Stage::kMergeStitch:
       return "merge_stitch";
+    case Stage::kFrameDecode:
+      return "frame_decode";
+    case Stage::kConnFlush:
+      return "conn_flush";
   }
   return "unknown";
 }

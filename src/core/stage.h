@@ -29,8 +29,12 @@ enum class Stage {
   kShardRoute,       // partition: stripe assignment + halo computation
   kShardCluster,     // per-shard ε-neighborhood work, submit → all done
   kMergeStitch,      // cross-shard merge: union-find stitch + finishing
+  // Event-loop connection layer (src/service/server.cc): zero samples
+  // unless `serve` is running. Both sit outside kSnapshotClose.
+  kFrameDecode,      // socket bytes → parsed requests (text or binary)
+  kConnFlush,        // queued response bytes → socket, one drain attempt
 };
-inline constexpr int kStageCount = 12;
+inline constexpr int kStageCount = 14;
 
 /// Stable lowercase identifier used as the `stage` label value.
 const char* StageName(Stage stage);

@@ -1,0 +1,62 @@
+#include "service/admission.h"
+
+namespace tcomp {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Status ParseAdmissionPolicy(const std::string& name,
+                            AdmissionPolicy* policy) {
+  if (name == "reject") {
+    *policy = AdmissionPolicy::kReject;
+  } else if (name == "shed") {
+    *policy = AdmissionPolicy::kShed;
+  } else {
+    return Status::InvalidArgument("unknown admission policy: " + name +
+                                   " (expected reject|shed)");
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+void AdmissionController::Update(const AdmissionSample& sample) {
+  if (!enabled()) return;
+  if (!baseline_set_) {
+    // First sample only anchors the window; counters before the server
+    // started watching say nothing about current load.
+    window_offered_base_ = sample.offered;
+    window_refused_base_ = sample.refused;
+    baseline_set_ = true;
+  } else {
+    const int64_t d_offered = sample.offered - window_offered_base_;
+    const int64_t d_refused = sample.refused - window_refused_base_;
+    if (d_offered >= options_.min_window_records && d_offered > 0) {
+      shed_rate_ = static_cast<double>(d_refused) /
+                   static_cast<double>(d_offered);
+      window_offered_base_ = sample.offered;
+      window_refused_base_ = sample.refused;
+    } else if (d_offered <= 0 && d_refused <= 0) {
+      // Counter reset (pipeline restarted underneath us): re-anchor.
+      window_offered_base_ = sample.offered;
+      window_refused_base_ = sample.refused;
+      shed_rate_ = 0.0;
+    }
+    // Otherwise the window keeps accumulating toward min_window_records.
+  }
+  const bool shed_trip =
+      options_.max_shed_rate > 0.0 && shed_rate_ > options_.max_shed_rate;
+  const bool p99_trip = options_.max_p99_ms > 0.0 &&
+                        sample.p99_close_ms > options_.max_p99_ms;
+  overloaded_ = shed_trip || p99_trip;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,86 @@
+#ifndef TCOMP_SERVICE_ADMISSION_H_
+#define TCOMP_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tcomp {
+
+/// What the acceptor does with a NEW connection while overloaded.
+/// Existing connections are never touched — admission control guards the
+/// front door only, so in-flight work finishes deterministically.
+enum class AdmissionPolicy {
+  /// Send a one-line `ERR OUT_OF_RANGE ...` (best-effort) then close, so
+  /// a well-behaved client knows to back off and retry.
+  kReject,
+  /// Close silently. Cheapest possible disposal when the server cannot
+  /// even afford the goodbye write.
+  kShed,
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+/// Parses "reject" / "shed". InvalidArgument otherwise.
+Status ParseAdmissionPolicy(const std::string& name, AdmissionPolicy* policy);
+
+struct AdmissionOptions {
+  /// Overload trips when the windowed shed fraction — (shed + rejected) /
+  /// offered records since the previous evaluation window — exceeds this.
+  /// 0 disables the shed-rate trigger.
+  double max_shed_rate = 0.0;
+  /// Overload trips when the pipeline's p99 snapshot-close latency (the
+  /// PR 5 histogram, milliseconds) exceeds this. 0 disables the trigger.
+  double max_p99_ms = 0.0;
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+  /// A shed-rate window only closes once this many records were offered;
+  /// smaller windows keep accumulating, so a handful of sheds during a
+  /// lull cannot trip the breaker.
+  int64_t min_window_records = 64;
+};
+
+/// Cumulative queue counters plus the latency gauge, sampled by the
+/// server from ServicePipeline::Stats() and the stage histograms.
+struct AdmissionSample {
+  int64_t offered = 0;      // pushed + shed + rejected, cumulative
+  int64_t refused = 0;      // shed + rejected, cumulative
+  double p99_close_ms = 0.0;  // p99 snapshot-close latency
+};
+
+/// Pure decision core for connection admission — no clocks, no locks, no
+/// I/O: the server feeds it counter samples on its own cadence and asks
+/// `overloaded()` per accepted connection, and unit tests feed it
+/// synthetic samples directly. Overload is evaluated per sample; the
+/// breaker closes again as soon as a sample shows both gauges back under
+/// their thresholds.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// True when any trigger is configured; a disabled controller never
+  /// reports overload and the server skips sampling entirely.
+  bool enabled() const {
+    return options_.max_shed_rate > 0.0 || options_.max_p99_ms > 0.0;
+  }
+
+  /// Feeds one cumulative sample and re-evaluates the overload state.
+  void Update(const AdmissionSample& sample);
+
+  bool overloaded() const { return overloaded_; }
+  /// Shed fraction over the last closed window ([0,1]).
+  double shed_rate() const { return shed_rate_; }
+  AdmissionPolicy policy() const { return options_.policy; }
+
+ private:
+  const AdmissionOptions options_;
+  int64_t window_offered_base_ = 0;
+  int64_t window_refused_base_ = 0;
+  bool baseline_set_ = false;
+  double shed_rate_ = 0.0;
+  bool overloaded_ = false;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_ADMISSION_H_

@@ -1,0 +1,210 @@
+#include "service/binary_protocol.h"
+
+#include <cstring>
+
+namespace tcomp {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendDouble(std::string* out, double v) {
+  // Doubles travel as their IEEE-754 bit pattern, serialized LE via the
+  // integer path so the wire format does not depend on host endianness.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+uint32_t ReadU32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t ReadU64(const char* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         (static_cast<uint64_t>(ReadU32(p + 4)) << 32);
+}
+
+double ReadDouble(const char* p) {
+  uint64_t bits = ReadU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void BinaryFramer::Feed(const char* data, size_t n) {
+  if (broken_) return;  // poisoned: nothing past the fault is trusted
+  buffer_.append(data, n);
+}
+
+BinaryFramer::Result BinaryFramer::Next(BinaryFrame* frame,
+                                        std::string* error) {
+  if (broken_) {
+    *error = reason_;
+    return Result::kBad;
+  }
+  // Magic and version are validated as soon as their bytes exist — a
+  // confused peer (text line, response stream) faults on its first bytes
+  // instead of sitting unanswered below the header-size threshold.
+  if (!buffer_.empty() &&
+      static_cast<unsigned char>(buffer_[0]) != kBinaryRequestMagic) {
+    broken_ = true;
+    reason_ = "bad frame magic";
+    *error = reason_;
+    return Result::kBad;
+  }
+  if (buffer_.size() >= 2 &&
+      static_cast<unsigned char>(buffer_[1]) != kBinaryVersion) {
+    broken_ = true;
+    reason_ = "unsupported frame version " +
+              std::to_string(static_cast<unsigned char>(buffer_[1]));
+    *error = reason_;
+    return Result::kBad;
+  }
+  if (buffer_.size() < kBinaryRequestHeaderBytes) return Result::kNeedMore;
+  const uint32_t payload_len = ReadU32(buffer_.data() + 4);
+  if (payload_len > kMaxBinaryPayloadBytes) {
+    // Unlike an oversized text line there is no LF to resync at: the
+    // declared length is the only framing, and it just told us to skip
+    // past the buffering cap. Poison the framer; the caller sends one
+    // error frame and closes.
+    broken_ = true;
+    reason_ = "frame payload " + std::to_string(payload_len) +
+              " bytes exceeds cap of " +
+              std::to_string(kMaxBinaryPayloadBytes);
+    buffer_.clear();
+    *error = reason_;
+    return Result::kBad;
+  }
+  const size_t total = kBinaryRequestHeaderBytes + payload_len;
+  if (buffer_.size() < total) return Result::kNeedMore;
+  frame->type = static_cast<uint8_t>(buffer_[2]);
+  frame->arg = static_cast<uint8_t>(buffer_[3]);
+  frame->payload.assign(buffer_, kBinaryRequestHeaderBytes, payload_len);
+  buffer_.erase(0, total);
+  return Result::kFrame;
+}
+
+std::string EncodeBinaryRequest(BinaryRequestType type, uint8_t arg,
+                                const std::string& payload) {
+  std::string out;
+  out.reserve(kBinaryRequestHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kBinaryRequestMagic));
+  out.push_back(static_cast<char>(kBinaryVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(arg));
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+std::string EncodeIngestBatch(const TrajectoryRecord* records, size_t n) {
+  std::string payload;
+  payload.reserve(n * kBinaryRecordBytes);
+  for (size_t i = 0; i < n; ++i) {
+    AppendU32(&payload, records[i].object);
+    AppendDouble(&payload, records[i].timestamp);
+    AppendDouble(&payload, records[i].pos.x);
+    AppendDouble(&payload, records[i].pos.y);
+  }
+  return EncodeBinaryRequest(BinaryRequestType::kIngestBatch, 0, payload);
+}
+
+Status DecodeIngestPayload(const std::string& payload,
+                           std::vector<TrajectoryRecord>* out) {
+  if (payload.size() % kBinaryRecordBytes != 0) {
+    return Status::InvalidArgument(
+        "INGEST_BATCH payload of " + std::to_string(payload.size()) +
+        " bytes is not a multiple of the " +
+        std::to_string(kBinaryRecordBytes) + "-byte record size");
+  }
+  const size_t n = payload.size() / kBinaryRecordBytes;
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const char* p = payload.data() + i * kBinaryRecordBytes;
+    TrajectoryRecord r;
+    r.object = ReadU32(p);
+    r.timestamp = ReadDouble(p + 4);
+    r.pos.x = ReadDouble(p + 12);
+    r.pos.y = ReadDouble(p + 20);
+    out->push_back(r);
+  }
+  return Status::OK();
+}
+
+std::string EncodeBinaryResponse(BinaryResponseType type, uint8_t code,
+                                 uint64_t value, const std::string& payload) {
+  std::string out;
+  out.reserve(kBinaryResponseHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kBinaryResponseMagic));
+  out.push_back(static_cast<char>(kBinaryVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(code));
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU64(&out, value);
+  out += payload;
+  return out;
+}
+
+void BinaryResponseReader::Feed(const char* data, size_t n) {
+  if (broken_) return;
+  buffer_.append(data, n);
+}
+
+BinaryResponseReader::Result BinaryResponseReader::Next(
+    BinaryResponse* response, std::string* error) {
+  if (broken_) {
+    *error = reason_;
+    return Result::kBad;
+  }
+  if (!buffer_.empty() &&
+      static_cast<unsigned char>(buffer_[0]) != kBinaryResponseMagic) {
+    broken_ = true;
+    reason_ = "bad response frame header";
+    *error = reason_;
+    return Result::kBad;
+  }
+  if (buffer_.size() >= 2 &&
+      static_cast<unsigned char>(buffer_[1]) != kBinaryVersion) {
+    broken_ = true;
+    reason_ = "bad response frame header";
+    *error = reason_;
+    return Result::kBad;
+  }
+  if (buffer_.size() < kBinaryResponseHeaderBytes) return Result::kNeedMore;
+  const uint32_t payload_len = ReadU32(buffer_.data() + 4);
+  if (payload_len > kMaxBinaryPayloadBytes) {
+    broken_ = true;
+    reason_ = "response payload exceeds cap";
+    *error = reason_;
+    return Result::kBad;
+  }
+  const size_t total = kBinaryResponseHeaderBytes + payload_len;
+  if (buffer_.size() < total) return Result::kNeedMore;
+  response->type = static_cast<uint8_t>(buffer_[2]);
+  response->code = static_cast<uint8_t>(buffer_[3]);
+  response->value = ReadU64(buffer_.data() + 8);
+  response->payload.assign(buffer_, kBinaryResponseHeaderBytes, payload_len);
+  buffer_.erase(0, total);
+  return Result::kFrame;
+}
+
+}  // namespace tcomp

@@ -1,0 +1,165 @@
+#ifndef TCOMP_SERVICE_BINARY_PROTOCOL_H_
+#define TCOMP_SERVICE_BINARY_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/record.h"
+#include "util/status.h"
+
+namespace tcomp {
+
+/// Batched binary framing, multiplexed with the text protocol on the same
+/// port. A connection's first byte selects the protocol: every text verb
+/// starts with an ASCII letter (< 0x80), while a binary request frame
+/// starts with the magic byte 0xAB — a value the text parser rejects as a
+/// framing error, so neither protocol can be mistaken for the other.
+///
+/// Request frame (little-endian, 8-byte header + payload):
+///
+///   offset  size  field
+///   0       1     magic 0xAB
+///   1       1     version (currently 1)
+///   2       1     type: 1=INGEST_BATCH 2=QUERY 3=FLUSH 4=SHUTDOWN
+///   3       1     arg: QUERY kind (0=companions 1=stats 2=buddies
+///                 3=metrics); 0 otherwise
+///   4       4     payload length in bytes (uint32 LE)
+///
+/// An INGEST_BATCH payload is N consecutive 28-byte records:
+///
+///   0       4     object id (uint32 LE)
+///   4       8     timestamp (IEEE-754 double, LE)
+///   12      8     x (double, LE)
+///   20      8     y (double, LE)
+///
+/// Records travel as raw IEEE-754 bits, so a batch INGEST admits exactly
+/// the doubles the client held — the byte-identity contract with batch
+/// `discover` needs no printf/strtod round trip. Other request types
+/// carry an empty payload.
+///
+/// Response frame (16-byte header + payload):
+///
+///   0       1     magic 0xBA
+///   1       1     version (currently 1)
+///   2       1     type: 1=OK 2=ERR 3=SHUTDOWN
+///   3       1     status code (StatusCode numeric value; 0 for OK)
+///   4       4     payload length in bytes (uint32 LE)
+///   8       8     value (uint64 LE): accepted-record count for
+///                 INGEST_BATCH, the query's `OK <n>` count for QUERY,
+///                 0 otherwise
+///
+/// An OK INGEST_BATCH response's payload is a uint64 LE count of records
+/// the pipeline refused (shed/rejected/invalid); a QUERY response's
+/// payload is byte-identical to the text protocol's payload body (the
+/// lines between `OK <n>` and `.`). ERR and SHUTDOWN payloads are a
+/// human-readable message. A SHUTDOWN response frame is also what a
+/// binary client receives mid-frame when the server drains: a clean,
+/// complete frame — never a truncated one.
+
+inline constexpr uint8_t kBinaryRequestMagic = 0xAB;
+inline constexpr uint8_t kBinaryResponseMagic = 0xBA;
+inline constexpr uint8_t kBinaryVersion = 1;
+inline constexpr size_t kBinaryRequestHeaderBytes = 8;
+inline constexpr size_t kBinaryResponseHeaderBytes = 16;
+inline constexpr size_t kBinaryRecordBytes = 28;
+
+/// Hard cap on a declared payload length. Bounds per-connection buffering
+/// exactly like kMaxRequestLineBytes bounds text lines; at 28 bytes per
+/// record a maximal frame still batches ~150k records — far past the
+/// point where syscall overhead stops mattering.
+inline constexpr size_t kMaxBinaryPayloadBytes = 4u << 20;
+
+enum class BinaryRequestType : uint8_t {
+  kIngestBatch = 1,
+  kQuery = 2,
+  kFlush = 3,
+  kShutdown = 4,
+};
+
+enum class BinaryResponseType : uint8_t {
+  kOk = 1,
+  kErr = 2,
+  kShutdown = 3,
+};
+
+/// One decoded request frame.
+struct BinaryFrame {
+  uint8_t type = 0;  // BinaryRequestType numeric value
+  uint8_t arg = 0;
+  std::string payload;
+};
+
+/// Accumulates raw bytes and yields complete request frames. Unlike the
+/// text framer there is no resync point inside a corrupt binary stream —
+/// a bad magic/version or an over-cap length poisons the framer (kBad,
+/// with a sticky reason) and the connection must be torn down after an
+/// error frame is sent.
+class BinaryFramer {
+ public:
+  void Feed(const char* data, size_t n);
+
+  enum class Result {
+    kFrame,     // *frame holds a complete request frame
+    kNeedMore,  // header or payload still incomplete
+    kBad,       // unrecoverable framing fault; *error says why
+  };
+  Result Next(BinaryFrame* frame, std::string* error);
+
+  /// True when the stream ended (or is pausing) mid-frame.
+  bool HasPartial() const { return broken_ || !buffer_.empty(); }
+
+  /// Bytes currently buffered toward the next frame.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool broken_ = false;
+  std::string reason_;
+};
+
+/// Builds a request frame around an already-encoded payload.
+std::string EncodeBinaryRequest(BinaryRequestType type, uint8_t arg,
+                                const std::string& payload);
+
+/// Encodes `n` records as an INGEST_BATCH frame (header + N·28 bytes).
+std::string EncodeIngestBatch(const TrajectoryRecord* records, size_t n);
+
+/// Decodes an INGEST_BATCH payload. InvalidArgument when the length is
+/// not a multiple of the record size.
+Status DecodeIngestPayload(const std::string& payload,
+                           std::vector<TrajectoryRecord>* out);
+
+/// Builds a response frame. `code` is the StatusCode numeric value.
+std::string EncodeBinaryResponse(BinaryResponseType type, uint8_t code,
+                                 uint64_t value, const std::string& payload);
+
+/// One decoded response frame (client side).
+struct BinaryResponse {
+  uint8_t type = 0;  // BinaryResponseType numeric value
+  uint8_t code = 0;
+  uint64_t value = 0;
+  std::string payload;
+};
+
+/// Client-side accumulator for response frames; same contract as
+/// BinaryFramer but for the server→client direction.
+class BinaryResponseReader {
+ public:
+  void Feed(const char* data, size_t n);
+
+  enum class Result { kFrame, kNeedMore, kBad };
+  Result Next(BinaryResponse* response, std::string* error);
+
+  bool HasPartial() const { return broken_ || !buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+  bool broken_ = false;
+  std::string reason_;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_BINARY_PROTOCOL_H_

@@ -1,0 +1,115 @@
+#ifndef TCOMP_SERVICE_CONNECTION_H_
+#define TCOMP_SERVICE_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "service/binary_protocol.h"
+#include "service/pipeline.h"
+#include "service/protocol.h"
+
+namespace tcomp {
+
+/// Which wire protocol a connection speaks, decided by its first byte:
+/// 0xAB (the binary request magic) selects binary framing, anything else
+/// is the line protocol. The choice is sticky for the connection's life.
+enum class WireProtocol { kUnknown, kText, kBinary };
+
+/// One client's transport-free state machine for the event-loop server:
+/// the loop feeds raw received bytes into Consume() and drains out(); a
+/// test can do exactly the same without a socket. Handles protocol
+/// sniffing, both framers, request dispatch, and response pipelining —
+/// any number of requests may arrive in one read, and every response is
+/// appended in request order.
+///
+/// Backpressure toward the pipeline is nonblocking: when the admission
+/// queue is full under kBlock, the in-progress record batch is parked and
+/// parsing pauses (responses stay in order); the server re-offers parked
+/// records each tick via RetryParked(). The connection NEVER blocks the
+/// event loop inside an admission call.
+class ServiceConnection {
+ public:
+  explicit ServiceConnection(ServicePipeline* pipeline);
+
+  /// Feeds received bytes and advances the state machine as far as
+  /// admission allows. Responses accumulate in out().
+  void Consume(const char* data, size_t n);
+
+  /// Re-offers parked records, then resumes parsing buffered input.
+  /// Returns true when any progress was made (records admitted or
+  /// response bytes appended) — the server's cue to re-arm writes.
+  bool RetryParked();
+
+  /// Records waiting for queue room (kBlock backpressure).
+  bool has_parked() const { return !parked_.empty(); }
+
+  /// Graceful-drain hook, called by the server before closing during
+  /// shutdown while the pipeline is still accepting: force-admits parked
+  /// records with the blocking Ingest() (completing any fully-received
+  /// batch atomically) and, when a binary client is caught mid-frame,
+  /// appends one clean SHUTDOWN response frame — never a truncated one.
+  /// The partially received frame itself is NOT admitted; the client
+  /// re-sends it after resume, which is what keeps kill+resume
+  /// byte-identical when the kill lands mid-INGEST-batch.
+  void PrepareShutdown();
+
+  /// True once a SHUTDOWN request was handled (response already queued).
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+  /// True when the connection must be closed after out() drains
+  /// (unrecoverable binary framing fault).
+  bool fatal() const { return fatal_; }
+
+  WireProtocol protocol() const { return protocol_; }
+
+  /// True when the peer stopped mid-request (no final LF / incomplete
+  /// frame) — the server's midline-disconnect accounting on EOF.
+  bool has_partial_request() const;
+
+  /// Malformed requests seen on this connection (text parse errors,
+  /// oversize lines, bad frames).
+  int64_t parse_errors() const { return session_.parse_errors(); }
+
+  int64_t frames_decoded() const { return frames_decoded_; }
+  int64_t records_batched() const { return records_batched_; }
+
+  /// Pending response bytes. The server (or test) consumes from the
+  /// front; Connection only ever appends.
+  std::string& out() { return out_; }
+
+ private:
+  void Pump();
+  void HandleTextLine(const std::string& line);
+  void HandleFrame(const BinaryFrame& frame);
+  /// Admits as much of parked_ as the queue accepts without blocking.
+  /// Returns true on any admission/response progress.
+  bool DrainParked();
+  void FinishBatchIfComplete();
+  void AppendBinaryError(const Status& status);
+
+  ServicePipeline* pipeline_;
+  ProtocolSession session_;
+  WireProtocol protocol_ = WireProtocol::kUnknown;
+  LineFramer line_framer_;
+  BinaryFramer binary_framer_;
+
+  std::string out_;
+  std::deque<TrajectoryRecord> parked_;
+
+  // An INGEST_BATCH whose ack is deferred until every record is disposed
+  // of (admitted or refused). Text ingests park at most one record and
+  // ack per record, so they never populate these.
+  bool batch_open_ = false;
+  uint64_t batch_accepted_ = 0;
+  uint64_t batch_refused_ = 0;
+
+  bool shutdown_requested_ = false;
+  bool fatal_ = false;
+  int64_t frames_decoded_ = 0;
+  int64_t records_batched_ = 0;
+};
+
+}  // namespace tcomp
+
+#endif  // TCOMP_SERVICE_CONNECTION_H_

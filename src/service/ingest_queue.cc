@@ -72,6 +72,39 @@ Status IngestQueue::Push(const TrajectoryRecord& record) {
   return Status::OK();
 }
 
+Status IngestQueue::TryPush(const TrajectoryRecord& record, bool* admitted) {
+  *admitted = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("ingest queue is closed");
+  }
+  if (items_.size() >= capacity_) {
+    switch (mode_) {
+      case BackpressureMode::kBlock:
+        // The caller retries later; nothing is counted until the record
+        // is actually admitted or refused.
+        return Status::OK();
+      case BackpressureMode::kShedOldest:
+        items_.pop_front();
+        ++counters_.shed;
+        break;
+      case BackpressureMode::kReject:
+        ++counters_.rejected;
+        return Status::OutOfRange("ingest queue full (capacity " +
+                                  std::to_string(capacity_) + ")");
+    }
+  }
+  items_.push_back(record);
+  ++counters_.pushed;
+  if (static_cast<int64_t>(items_.size()) > counters_.depth_peak) {
+    counters_.depth_peak = static_cast<int64_t>(items_.size());
+  }
+  *admitted = true;
+  lock.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
 bool IngestQueue::Pop(TrajectoryRecord* out) {
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });

@@ -66,6 +66,14 @@ class IngestQueue {
   /// OutOfRange when kReject refuses, InvalidArgument after Close().
   Status Push(const TrajectoryRecord& record);
 
+  /// Nonblocking admission attempt for event-loop producers that must
+  /// never sleep. Identical to Push() under kShedOldest/kReject; under
+  /// kBlock a full queue returns OK with *admitted=false instead of
+  /// stalling — the caller parks the record and retries when the worker
+  /// has drained. OutOfRange (kReject full) and InvalidArgument (closed)
+  /// as in Push(), both with *admitted=false.
+  Status TryPush(const TrajectoryRecord& record, bool* admitted);
+
   /// Blocks until a record is available or the queue is closed and empty.
   /// Returns false exactly when the stream is over (closed + drained).
   bool Pop(TrajectoryRecord* out);

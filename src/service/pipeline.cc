@@ -98,6 +98,38 @@ Status ServicePipeline::Ingest(const TrajectoryRecord& record) {
   return s;
 }
 
+Status ServicePipeline::TryIngest(const TrajectoryRecord& record,
+                                  bool* admitted) {
+  *admitted = false;
+  if (!std::isfinite(record.timestamp) || !std::isfinite(record.pos.x) ||
+      !std::isfinite(record.pos.y)) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++records_invalid_;
+    return Status::InvalidArgument("non-finite record field");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!started_ || stopped_) {
+      return Status::InvalidArgument("pipeline is not running");
+    }
+  }
+  // Unlike Ingest(), a kBlock-full queue never stalls here: the event
+  // loop parks the record and re-offers it on a later tick, so one slow
+  // consumer cannot freeze every connection. Admission latency is only
+  // recorded for the attempt that actually admits.
+  Timer admission_timer;
+  admission_timer.Start();
+  Status s = queue_.TryPush(record, admitted);
+  admission_timer.Stop();
+  if (*admitted) {
+    stage_sink_.RecordStage(Stage::kIngestAdmission,
+                            admission_timer.Seconds());
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++records_ingested_;
+  }
+  return s;
+}
+
 void ServicePipeline::PushToWindow(const TrajectoryRecord& record) {
   // Records were validated at Ingest(); a Push failure here would mean
   // state corruption, so surface it loudly.

@@ -126,6 +126,13 @@ class ServicePipeline {
   /// returns OutOfRange, kShedOldest always succeeds.
   Status Ingest(const TrajectoryRecord& record);
 
+  /// Nonblocking variant for the event-loop front-end, which must never
+  /// sleep inside an admission call. Semantics match Ingest() except
+  /// under kBlock at capacity, where it returns OK with *admitted=false
+  /// and the caller retries once the worker drains. *admitted is false on
+  /// every non-OK status too.
+  Status TryIngest(const TrajectoryRecord& record, bool* admitted);
+
   /// Barrier: waits until every record admitted before the call has been
   /// processed, then pushes the reorder buffer and the in-progress window
   /// through the discoverer. Queries after Flush() see all prior ingests.
@@ -153,6 +160,14 @@ class ServicePipeline {
   /// The registry behind MetricsText(); stage histograms and counters can
   /// be inspected directly (tests, embedding applications).
   const MetricsRegistry& metrics() const { return metrics_; }
+  /// Mutable access for co-located components (the event-loop server)
+  /// that publish their own series into the same exposition. The registry
+  /// is internally synchronized.
+  MetricsRegistry* mutable_metrics() { return &metrics_; }
+  /// The pipeline's stage sink; the server records its connection-layer
+  /// stages (frame decode, connection flush) through it so every stage
+  /// lands in one histogram family.
+  MetricsStageSink* stage_sink() { return &stage_sink_; }
 
   const ServicePipelineOptions& options() const { return options_; }
 

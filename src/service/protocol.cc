@@ -92,6 +92,8 @@ std::string ErrLine(const Status& status) {
 
 }  // namespace
 
+std::string ProtocolErrorLine(const Status& status) { return ErrLine(status); }
+
 LineFramer::LineFramer(size_t max_line_bytes)
     : max_line_bytes_(max_line_bytes) {}
 
@@ -238,15 +240,24 @@ std::string ProtocolSession::HandleLine(const std::string& line,
       break;
   }
 
+  QueryResult result = RunQuery(request.query);
   std::ostringstream out;
-  switch (request.query) {
+  out << "OK " << result.count << '\n' << result.body << ".\n";
+  return out.str();
+}
+
+QueryResult ProtocolSession::RunQuery(Request::QueryKind kind) {
+  QueryResult result;
+  std::ostringstream out;
+  switch (kind) {
     case Request::QueryKind::kCompanions: {
       std::vector<Companion> companions = pipeline_->Companions();
-      out << "OK " << companions.size() << '\n';
+      result.count = companions.size();
       // Payload is the batch CLI's exact --out-csv content (header
       // included), so streamed and batch results diff byte-for-byte.
       WriteCompanionsCsv(companions, out);
-      break;
+      result.body = out.str();
+      return result;
     }
     case Request::QueryKind::kStats: {
       ServiceStats stats = pipeline_->Stats();
@@ -275,8 +286,9 @@ std::string ProtocolSession::HandleLine(const std::string& line,
       std::string text = body.str();
       size_t lines = 0;
       for (char c : text) lines += (c == '\n');
-      out << "OK " << lines << '\n' << text;
-      break;
+      result.count = lines;
+      result.body = std::move(text);
+      return result;
     }
     case Request::QueryKind::kBuddies: {
       ServiceStats stats = pipeline_->Stats();
@@ -294,8 +306,9 @@ std::string ProtocolSession::HandleLine(const std::string& line,
       std::string text = body.str();
       size_t lines = 0;
       for (char c : text) lines += (c == '\n');
-      out << "OK " << lines << '\n' << text;
-      break;
+      result.count = lines;
+      result.body = std::move(text);
+      return result;
     }
     case Request::QueryKind::kMetrics: {
       // Exposition text is '\n'-terminated per line and never contains a
@@ -304,12 +317,12 @@ std::string ProtocolSession::HandleLine(const std::string& line,
       std::string text = pipeline_->MetricsText();
       size_t lines = 0;
       for (char c : text) lines += (c == '\n');
-      out << "OK " << lines << '\n' << text;
-      break;
+      result.count = lines;
+      result.body = std::move(text);
+      return result;
     }
   }
-  out << ".\n";
-  return out.str();
+  return result;
 }
 
 }  // namespace tcomp

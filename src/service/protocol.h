@@ -80,6 +80,21 @@ struct Request {
 /// unparsable numeric fields.
 Status ParseRequest(const std::string& line, Request* request);
 
+/// Formats the text protocol's `ERR <CODE> <message>\n` line (newlines in
+/// the message are flattened to spaces). Shared by the line sessions and
+/// the event-loop connection driver.
+std::string ProtocolErrorLine(const Status& status);
+
+/// One query's result: `count` is the <n> of the text protocol's `OK <n>`
+/// header (companion count for `companions`, payload line count
+/// otherwise) and `body` is the payload bytes. The binary protocol ships
+/// the same `body` verbatim, which is what makes query responses
+/// byte-comparable across protocols.
+struct QueryResult {
+  uint64_t count = 0;
+  std::string body;
+};
+
 /// One client's request/response state machine, independent of any
 /// transport: the server pumps socket bytes through it, and tests drive
 /// it directly in-process. Responses always end with '\n' and never
@@ -94,8 +109,17 @@ class ProtocolSession {
   /// checkpoint happen there); it is never unset.
   std::string HandleLine(const std::string& line, bool* shutdown_requested);
 
+  /// Runs one query against the pipeline. Used by HandleLine and by the
+  /// binary-frame dispatcher, so both protocols serve identical payload
+  /// bytes.
+  QueryResult RunQuery(Request::QueryKind kind);
+
   /// Response for a line the framer flagged as oversized.
   std::string OversizeResponse();
+
+  /// Counts one externally detected malformed request (e.g. a bad binary
+  /// frame on a sniffed connection) against this session.
+  void CountParseError() { ++parse_errors_; }
 
   /// Malformed lines seen on this session (parse errors + oversize).
   int64_t parse_errors() const { return parse_errors_; }

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -33,6 +34,17 @@ Status PollFd(int fd, short events, int timeout_ms, bool* ready) {
     *ready = rc > 0;
     return Status::OK();
   }
+}
+
+Status SetFdNonBlocking(int fd, bool enable, const char* what) {
+  if (fd < 0) return Status::IoError(std::string(what) + " on closed socket");
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && fcntl(fd, F_SETFL, want) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -85,13 +97,18 @@ Status StreamSocket::Read(char* buf, size_t n, int timeout_ms,
                           size_t* read_out) {
   *read_out = 0;
   if (fd_ < 0) return Status::IoError("read on closed socket");
-  bool ready = false;
-  TCOMP_RETURN_IF_ERROR(PollFd(fd_, POLLIN, timeout_ms, &ready));
-  if (!ready) return Status::OutOfRange("read timeout");
   for (;;) {
+    bool ready = false;
+    TCOMP_RETURN_IF_ERROR(PollFd(fd_, POLLIN, timeout_ms, &ready));
+    if (!ready) return Status::OutOfRange("read timeout");
     ssize_t rc = read(fd_, buf, n);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      // A nonblocking descriptor can report ready and still return
+      // EAGAIN (spurious wakeup, or another thread drained it). That is
+      // a "not yet", not an error: re-poll instead of tearing the
+      // session down.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Errno("read");
     }
     *read_out = static_cast<size_t>(rc);
@@ -109,9 +126,58 @@ Status StreamSocket::WriteAll(const std::string& data, int timeout_ms) {
     ssize_t rc = write(fd_, data.data() + off, data.size() - off);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      // On a nonblocking descriptor a full send buffer surfaces as
+      // EAGAIN even right after POLLOUT (the slow-reader race). Failing
+      // here used to abandon the unwritten suffix — the peer saw a
+      // response truncated mid-frame. Re-poll and resume at `off`.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Errno("write");
     }
     off += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status StreamSocket::SetNonBlocking(bool enable) {
+  return SetFdNonBlocking(fd_, enable, "fcntl");
+}
+
+Status StreamSocket::ReadSome(char* buf, size_t n, size_t* read_out,
+                              bool* would_block) {
+  *read_out = 0;
+  *would_block = false;
+  if (fd_ < 0) return Status::IoError("read on closed socket");
+  for (;;) {
+    ssize_t rc = read(fd_, buf, n);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return Status::OK();
+      }
+      return Errno("read");
+    }
+    *read_out = static_cast<size_t>(rc);
+    return Status::OK();
+  }
+}
+
+Status StreamSocket::WriteSome(const char* data, size_t n, size_t* written,
+                               bool* would_block) {
+  *written = 0;
+  *would_block = false;
+  if (fd_ < 0) return Status::IoError("write on closed socket");
+  while (*written < n) {
+    ssize_t rc = write(fd_, data + *written, n - *written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return Status::OK();
+      }
+      return Errno("write");
+    }
+    *written += static_cast<size_t>(rc);
   }
   return Status::OK();
 }
@@ -196,6 +262,39 @@ Status ListenSocket::Accept(int timeout_ms, StreamSocket* accepted) {
     *accepted = StreamSocket(fd);
     return Status::OK();
   }
+}
+
+Status ListenSocket::AcceptNonBlocking(StreamSocket* accepted,
+                                       bool* would_block) {
+  *accepted = StreamSocket();
+  *would_block = false;
+  if (fd_ < 0) return Status::IoError("accept on closed socket");
+  for (;;) {
+    int fd = accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return Status::OK();
+      }
+      // Same taxonomy as Accept(): a peer that vanished before we got
+      // to it is a non-event; resource exhaustion is transient.
+      if (errno == ECONNABORTED || errno == EPROTO) return Status::OK();
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        return Status::OutOfRange("accept: " + std::string(strerror(errno)));
+      }
+      return Errno("accept");
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    *accepted = StreamSocket(fd);
+    return Status::OK();
+  }
+}
+
+Status ListenSocket::SetNonBlocking(bool enable) {
+  return SetFdNonBlocking(fd_, enable, "fcntl");
 }
 
 }  // namespace tcomp

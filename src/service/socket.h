@@ -33,11 +33,30 @@ class StreamSocket {
   void Close();
 
   /// Reads up to `n` bytes into `buf`. Returns the byte count via *read;
-  /// 0 means orderly EOF. OutOfRange on timeout.
+  /// 0 means orderly EOF. OutOfRange on timeout. Works on both blocking
+  /// and nonblocking descriptors: a spurious wakeup (poll ready but the
+  /// read itself reporting EAGAIN) re-polls instead of failing.
   Status Read(char* buf, size_t n, int timeout_ms, size_t* read);
 
   /// Writes all of `data`, waiting up to timeout_ms for each chunk.
+  /// Safe on nonblocking descriptors: a short write or EAGAIN between
+  /// poll and write re-polls and resumes at the unwritten suffix, so a
+  /// slow reader can never cause dropped or interleaved response bytes.
   Status WriteAll(const std::string& data, int timeout_ms);
+
+  /// Toggles O_NONBLOCK on the descriptor.
+  Status SetNonBlocking(bool enable);
+
+  /// Single nonblocking read attempt (no poll). On success *read_out is
+  /// the byte count (0 = orderly EOF, *would_block=false). When the
+  /// socket has no data right now, returns OK with *would_block=true.
+  Status ReadSome(char* buf, size_t n, size_t* read_out, bool* would_block);
+
+  /// Single nonblocking write attempt (no poll). *written is how much of
+  /// [data, data+n) the kernel took; *would_block=true when the send
+  /// buffer is full (possibly after a short write).
+  Status WriteSome(const char* data, size_t n, size_t* written,
+                   bool* would_block);
 
  private:
   int fd_ = -1;
@@ -58,6 +77,7 @@ class ListenSocket {
   static Status Listen(uint16_t port, ListenSocket* out);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   uint16_t port() const { return port_; }
   void Close();
 
@@ -69,6 +89,16 @@ class ListenSocket {
   /// OutOfRange: the listener is still healthy, retry after backing off.
   /// Anything else (IoError) means the listener itself is broken.
   Status Accept(int timeout_ms, StreamSocket* accepted);
+
+  /// Single accept attempt via accept4(SOCK_NONBLOCK | SOCK_CLOEXEC) —
+  /// the event-loop entry point; the listener itself should be
+  /// nonblocking. Same error taxonomy as Accept(), plus
+  /// *would_block=true (with OK, *accepted invalid) when no connection
+  /// is pending. Accepted sockets come back already nonblocking.
+  Status AcceptNonBlocking(StreamSocket* accepted, bool* would_block);
+
+  /// Toggles O_NONBLOCK on the listening descriptor.
+  Status SetNonBlocking(bool enable);
 
  private:
   int fd_ = -1;

@@ -19,7 +19,9 @@ dump_logs_on_failure() {
         echo "cli_smoke: FAILED (exit $status); CLI logs follow" >&2
         for f in gen.log run1.log run2.log run3.log suggest.log \
                  serve1.log serve2.log serve3.log serve4.log \
-                 feed1.log feed2.log feed3.log feed4.log; do
+                 serve5.log serve6.log blast.log \
+                 feed1.log feed2.log feed3.log feed4.log \
+                 feed5.log feed6.log; do
             if [ -f "$f" ]; then
                 echo "--- $f ---" >&2
                 cat "$f" >&2
@@ -78,7 +80,8 @@ for cmd in "generate --dataset d2 --out x.csv" \
            "discover --csv d2.csv" \
            "suggest --csv d2.csv" \
            "serve" \
-           "feed --csv d2.csv --port 1"; do
+           "feed --csv d2.csv --port 1" \
+           "blast"; do
     # shellcheck disable=SC2086  # $cmd is a command line, split on purpose
     if "$CLI" $cmd --no-such-flag > /dev/null 2> flag.err; then exit 1; fi
     grep -q -- "unknown flag --no-such-flag" flag.err
@@ -188,5 +191,54 @@ SERVE_PID=
 grep -q "resumed from shard.ckpt" serve4.log
 grep -q "shards 8" serve4.log
 cmp sc_out.csv shard_served.csv
+
+# Binary-protocol round trip on the same split: batched binary INGEST →
+# SIGTERM → resume → binary feed of the remainder. The binary path must
+# reproduce the same batch companions byte for byte as the text path
+# above — same port, protocol chosen by the first byte.
+rm -f port.txt bserve.ckpt
+"$CLI" serve --algo bu --epsilon 24 --mu 5 --min-size 10 \
+    --min-duration 10 --window-seconds 60 --port-file port.txt \
+    --checkpoint bserve.ckpt > serve5.log 2>&1 &
+SERVE_PID=$!
+wait_for_port_file port.txt
+PORT=$(cat port.txt)
+
+"$CLI" feed --csv feed_a.csv --port "$PORT" --binary --batch 128 \
+    --flush > feed5.log
+grep -q "record batches" feed5.log
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "shut down gracefully" serve5.log
+test -f bserve.ckpt
+
+rm -f port.txt
+"$CLI" serve --algo bu --epsilon 24 --mu 5 --min-size 10 \
+    --min-duration 10 --window-seconds 60 --port-file port.txt \
+    --checkpoint bserve.ckpt > serve6.log 2>&1 &
+SERVE_PID=$!
+wait_for_port_file port.txt
+PORT=$(cat port.txt)
+
+"$CLI" feed --csv feed_b.csv --port "$PORT" --binary --batch 128 \
+    --query companions --out bserved.csv --shutdown --quiet > feed6.log
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "resumed from bserve.ckpt" serve6.log
+cmp d2_out.csv bserved.csv
+
+# Blast smoke: a tiny self-hosted saturation run over both protocols.
+# The verify pass must report byte-identical products for both, and the
+# JSON report must carry both curves with every requested point.
+"$CLI" blast --clients 2 --curve 2000,5000 --seconds 0.3 \
+    --objects 40 --snapshots 10 --epsilon 20 --mu 2 --min-size 3 \
+    --min-duration 2 --json blast.json > blast.log
+grep -q "text identical" blast.log
+grep -q "binary identical" blast.log
+grep -q '"protocol": "text"' blast.json
+grep -q '"protocol": "binary"' blast.json
+grep -q '"text_identical": true' blast.json
+grep -q '"binary_identical": true' blast.json
 
 echo "cli smoke OK"

@@ -9,6 +9,8 @@
 #include "data/group_model.h"
 #include "data/trajectory_io.h"
 #include "eval/export.h"
+#include "service/binary_protocol.h"
+#include "service/connection.h"
 #include "service/pipeline.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -348,6 +350,303 @@ TEST(ProtocolSessionTest, OversizeAndShutdownHandling) {
   std::string response = session.HandleLine("SHUTDOWN", &shutdown);
   EXPECT_EQ(response, "OK shutting-down\n");
   EXPECT_TRUE(shutdown);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+// ---------------------------------------------------------------------
+// BinaryFramer: length-prefixed request framing, fuzzing the boundary
+// cases — truncated prefixes, over-cap lengths, magic confusion, and
+// pipelined frames split at arbitrary byte positions.
+
+std::vector<TrajectoryRecord> GroupRecords() {
+  std::vector<TrajectoryRecord> records;
+  for (int snap = 0; snap < 3; ++snap) {
+    for (int obj = 0; obj < 4; ++obj) {
+      TrajectoryRecord r;
+      r.object = static_cast<ObjectId>(obj);
+      r.timestamp = snap * 60.0;
+      r.pos.x = 100.0 + snap * 25.0 + obj;
+      r.pos.y = 200.0 + obj;
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+TEST(BinaryFramerTest, RoundTripsRecordsBitExactAcrossByteWiseFeeds) {
+  std::vector<TrajectoryRecord> records = GroupRecords();
+  records[0].pos.x = 0.1 + 0.2;  // a value printf round-trips imperfectly
+  std::string wire = EncodeIngestBatch(records.data(), records.size());
+
+  BinaryFramer framer;
+  BinaryFrame frame;
+  std::string error;
+  // Feed one byte at a time: every prefix must be kNeedMore (a truncated
+  // length prefix or payload never yields a frame or an error).
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    framer.Feed(&wire[i], 1);
+    ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kNeedMore)
+        << "byte " << i;
+    EXPECT_TRUE(framer.HasPartial());
+  }
+  framer.Feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kFrame);
+  EXPECT_FALSE(framer.HasPartial());
+  EXPECT_EQ(frame.type,
+            static_cast<uint8_t>(BinaryRequestType::kIngestBatch));
+
+  std::vector<TrajectoryRecord> decoded;
+  ASSERT_TRUE(DecodeIngestPayload(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].object, records[i].object);
+    // Bit-exact, not approximately-equal: records travel as raw IEEE-754.
+    EXPECT_EQ(decoded[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(decoded[i].pos.x, records[i].pos.x);
+    EXPECT_EQ(decoded[i].pos.y, records[i].pos.y);
+  }
+}
+
+TEST(BinaryFramerTest, TruncatedHeaderIsJustPartialNeverAnError) {
+  std::string wire = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  BinaryFramer framer;
+  framer.Feed(wire.data(), 3);  // magic + version + type, no length yet
+  BinaryFrame frame;
+  std::string error;
+  EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kNeedMore);
+  EXPECT_TRUE(framer.HasPartial());
+  EXPECT_EQ(framer.buffered_bytes(), 3u);
+}
+
+TEST(BinaryFramerTest, OversizedDeclaredLengthPoisonsTheFramer) {
+  // A syntactically perfect header whose declared payload length exceeds
+  // the cap: the framer must fault immediately (never buffer toward it)
+  // and stay faulted — there is no resync point in a binary stream.
+  std::string header;
+  header.push_back(static_cast<char>(kBinaryRequestMagic));
+  header.push_back(static_cast<char>(kBinaryVersion));
+  header.push_back(static_cast<char>(BinaryRequestType::kIngestBatch));
+  header.push_back(0);
+  uint32_t huge = static_cast<uint32_t>(kMaxBinaryPayloadBytes) + 1;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  BinaryFramer framer;
+  framer.Feed(header.data(), header.size());
+  BinaryFrame frame;
+  std::string error;
+  ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kBad);
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+  EXPECT_EQ(framer.buffered_bytes(), 0u);  // nothing buffered toward it
+
+  // Sticky: even a perfectly valid frame afterwards stays rejected.
+  std::string good = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  framer.Feed(good.data(), good.size());
+  EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kBad);
+}
+
+TEST(BinaryFramerTest, MagicAndVersionConfusionAreFatal) {
+  BinaryFrame frame;
+  std::string error;
+  {
+    // Text on a binary framer: 'F' is not the request magic.
+    BinaryFramer framer;
+    framer.Feed("FLUSH\n", 6);
+    EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kBad);
+  }
+  {
+    // The RESPONSE magic on the request side is equally wrong — a client
+    // looped back to itself must not be mistaken for a request stream.
+    std::string wire =
+        EncodeBinaryResponse(BinaryResponseType::kOk, 0, 0, "");
+    BinaryFramer framer;
+    framer.Feed(wire.data(), wire.size());
+    EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kBad);
+  }
+  {
+    // Right magic, wrong version.
+    std::string wire = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+    wire[1] = static_cast<char>(kBinaryVersion + 1);
+    BinaryFramer framer;
+    framer.Feed(wire.data(), wire.size());
+    EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kBad);
+    EXPECT_NE(error.find("version"), std::string::npos);
+  }
+}
+
+TEST(BinaryFramerTest, PipelinedFramesSplitAtEveryBoundaryDecodeInOrder) {
+  std::vector<TrajectoryRecord> records = GroupRecords();
+  std::string wire = EncodeIngestBatch(records.data(), 2);
+  wire += EncodeBinaryRequest(
+      BinaryRequestType::kQuery,
+      static_cast<uint8_t>(Request::QueryKind::kStats), "");
+  wire += EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+
+  // Split the 3-frame stream at every possible position; framing must
+  // reassemble the identical sequence regardless of the cut.
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    BinaryFramer framer;
+    framer.Feed(wire.data(), cut);
+    framer.Feed(wire.data() + cut, wire.size() - cut);
+    BinaryFrame frame;
+    std::string error;
+    ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kFrame);
+    EXPECT_EQ(frame.type,
+              static_cast<uint8_t>(BinaryRequestType::kIngestBatch));
+    EXPECT_EQ(frame.payload.size(), 2 * kBinaryRecordBytes);
+    ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kFrame);
+    EXPECT_EQ(frame.type, static_cast<uint8_t>(BinaryRequestType::kQuery));
+    ASSERT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kFrame);
+    EXPECT_EQ(frame.type, static_cast<uint8_t>(BinaryRequestType::kFlush));
+    EXPECT_EQ(framer.Next(&frame, &error), BinaryFramer::Result::kNeedMore);
+    EXPECT_FALSE(framer.HasPartial());
+  }
+}
+
+TEST(BinaryProtocolTest, IngestPayloadMustBeARecordMultiple) {
+  std::vector<TrajectoryRecord> decoded;
+  std::string ragged(kBinaryRecordBytes + 1, '\0');
+  EXPECT_FALSE(DecodeIngestPayload(ragged, &decoded).ok());
+  EXPECT_TRUE(DecodeIngestPayload("", &decoded).ok());  // empty batch is OK
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BinaryResponseReaderTest, RoundTripsAndPoisonsLikeTheRequestSide) {
+  std::string wire =
+      EncodeBinaryResponse(BinaryResponseType::kOk, 0, 42, "payload");
+  BinaryResponseReader reader;
+  reader.Feed(wire.data(), wire.size() - 1);
+  BinaryResponse response;
+  std::string error;
+  EXPECT_EQ(reader.Next(&response, &error),
+            BinaryResponseReader::Result::kNeedMore);
+  reader.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(reader.Next(&response, &error),
+            BinaryResponseReader::Result::kFrame);
+  EXPECT_EQ(response.type, static_cast<uint8_t>(BinaryResponseType::kOk));
+  EXPECT_EQ(response.value, 42u);
+  EXPECT_EQ(response.payload, "payload");
+
+  // Request magic on the response side is confusion, not a frame.
+  std::string confused = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  BinaryResponseReader bad;
+  bad.Feed(confused.data(), confused.size());
+  EXPECT_EQ(bad.Next(&response, &error),
+            BinaryResponseReader::Result::kBad);
+}
+
+// ---------------------------------------------------------------------
+// ServiceConnection: the transport-free state machine, driven directly.
+
+/// Drains every complete response frame out of a connection's output.
+std::vector<BinaryResponse> DrainResponses(ServiceConnection* conn) {
+  BinaryResponseReader reader;
+  reader.Feed(conn->out().data(), conn->out().size());
+  conn->out().clear();
+  std::vector<BinaryResponse> responses;
+  for (;;) {
+    BinaryResponse response;
+    std::string error;
+    BinaryResponseReader::Result r = reader.Next(&response, &error);
+    if (r != BinaryResponseReader::Result::kFrame) break;
+    responses.push_back(response);
+  }
+  return responses;
+}
+
+TEST(ServiceConnectionTest, BinaryBatchQueryMatchesTextQueryByteForByte) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  // Binary connection: one batch, flush, query companions — pipelined in
+  // a single Consume() call.
+  std::vector<TrajectoryRecord> records = GroupRecords();
+  std::string wire = EncodeIngestBatch(records.data(), records.size());
+  wire += EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  wire += EncodeBinaryRequest(
+      BinaryRequestType::kQuery,
+      static_cast<uint8_t>(Request::QueryKind::kCompanions), "");
+  ServiceConnection binary(&pipeline);
+  binary.Consume(wire.data(), wire.size());
+  EXPECT_EQ(binary.protocol(), WireProtocol::kBinary);
+  EXPECT_FALSE(binary.fatal());
+
+  std::vector<BinaryResponse> responses = DrainResponses(&binary);
+  ASSERT_EQ(responses.size(), 3u);  // responses stay in request order
+  EXPECT_EQ(responses[0].type,
+            static_cast<uint8_t>(BinaryResponseType::kOk));
+  EXPECT_EQ(responses[0].value, records.size());  // all admitted
+  EXPECT_EQ(responses[1].type,
+            static_cast<uint8_t>(BinaryResponseType::kOk));
+
+  // Text connection against the same pipeline state.
+  ServiceConnection text(&pipeline);
+  std::string query = "QUERY companions\n";
+  text.Consume(query.data(), query.size());
+  EXPECT_EQ(text.protocol(), WireProtocol::kText);
+  std::string text_out = text.out();
+  // Strip the `OK <n>\n` header and trailing `.\n` to get the body.
+  size_t header_end = text_out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  std::string text_body = text_out.substr(
+      header_end + 1, text_out.size() - header_end - 1 - 2);
+
+  EXPECT_EQ(responses[2].payload, text_body);
+  EXPECT_GT(responses[2].value, 0u);
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(ServiceConnectionTest, BadFrameAnswersOneErrorFrameAndTurnsFatal) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ServiceConnection conn(&pipeline);
+
+  // Valid frame, then garbage where the next magic should be.
+  std::string wire = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  wire += "QUERY stats\n";  // text mid-stream = magic confusion
+  conn.Consume(wire.data(), wire.size());
+
+  std::vector<BinaryResponse> responses = DrainResponses(&conn);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].type,
+            static_cast<uint8_t>(BinaryResponseType::kOk));
+  EXPECT_EQ(responses[1].type,
+            static_cast<uint8_t>(BinaryResponseType::kErr));
+  EXPECT_TRUE(conn.fatal());
+  EXPECT_EQ(conn.parse_errors(), 1);
+
+  // A fatal connection ignores further input rather than resyncing.
+  std::string more = EncodeBinaryRequest(BinaryRequestType::kFlush, 0, "");
+  conn.Consume(more.data(), more.size());
+  EXPECT_TRUE(DrainResponses(&conn).empty());
+  EXPECT_TRUE(pipeline.Stop().ok());
+}
+
+TEST(ServiceConnectionTest, MidFrameShutdownEmitsOneCleanShutdownFrame) {
+  ServicePipeline pipeline(SmallPipelineOptions());
+  ASSERT_TRUE(pipeline.Start().ok());
+  ServiceConnection conn(&pipeline);
+
+  // A fully-delivered batch followed by a truncated one.
+  std::vector<TrajectoryRecord> records = GroupRecords();
+  std::string wire = EncodeIngestBatch(records.data(), records.size());
+  std::string partial = EncodeIngestBatch(records.data(), records.size());
+  partial.resize(partial.size() / 2);
+  wire += partial;
+  conn.Consume(wire.data(), wire.size());
+  EXPECT_TRUE(conn.has_partial_request());
+
+  conn.PrepareShutdown();
+  std::vector<BinaryResponse> responses = DrainResponses(&conn);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].type,
+            static_cast<uint8_t>(BinaryResponseType::kOk));
+  EXPECT_EQ(responses[0].value, records.size());
+  // The partial frame gets a complete SHUTDOWN frame telling the client
+  // to re-send it — never a truncated response, never a silent drop.
+  EXPECT_EQ(responses[1].type,
+            static_cast<uint8_t>(BinaryResponseType::kShutdown));
+  EXPECT_NE(responses[1].payload.find("re-send"), std::string::npos);
   EXPECT_TRUE(pipeline.Stop().ok());
 }
 

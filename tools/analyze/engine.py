@@ -32,7 +32,8 @@ RULES = [
     "no-throw", "no-crt-rand", "unordered-iter", "shard-unordered",
     "no-naked-new", "sqrt-eps", "include-layer", "include-cycle",
     "lock-order", "atomic-order", "atomic-strong-order", "wallclock",
-    "addr-order", "soa-raw-loop", "allow-without-reason", "stale-allow",
+    "addr-order", "soa-raw-loop", "nonblocking-io",
+    "allow-without-reason", "stale-allow",
 ]
 
 _ALLOW_RE = re.compile(r"tcomp-lint:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")

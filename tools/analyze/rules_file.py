@@ -391,11 +391,11 @@ def _skip_paren_group(code, i):
     return i
 
 
-def _mark_loop_region(code, i, in_loop):
-    """`code[i]` is a `for`/`while`/`do` keyword. Marks the construct's
-    header and body tokens in `in_loop`. Brace bodies run to the matching
-    `}`; braceless bodies to the next top-level `;` (nested constructs
-    inside are re-marked by their own keyword anyway)."""
+def _loop_extent(code, i):
+    """`code[i]` is a `for`/`while`/`do` keyword: returns the index just
+    past the construct. Brace bodies run to the matching `}`; braceless
+    bodies to the next top-level `;` (nested constructs inside are
+    re-visited by their own keyword anyway)."""
     n = len(code)
     j = i + 1
     if code[i].text in ("for", "while") and j < n and code[j].text == "(":
@@ -414,23 +414,27 @@ def _mark_loop_region(code, i, in_loop):
                         k += 1
                         break
             k += 1
-        end = k
-    else:
-        depth = 0
-        k = j
-        while k < n:
-            t = code[k]
-            if t.kind == "punct":
-                if t.text == "(":
-                    depth += 1
-                elif t.text == ")":
-                    depth -= 1
-                elif t.text == ";" and depth == 0:
-                    k += 1
-                    break
-            k += 1
-        end = k
-    for idx in range(i, end):
+        return k
+    depth = 0
+    k = j
+    while k < n:
+        t = code[k]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                k += 1
+                break
+        k += 1
+    return k
+
+
+def _mark_loop_region(code, i, in_loop):
+    """`code[i]` is a `for`/`while`/`do` keyword. Marks the construct's
+    header and body tokens in `in_loop`."""
+    for idx in range(i, _loop_extent(code, i)):
         in_loop[idx] = True
 
 
@@ -452,6 +456,57 @@ def pass_soa_raw_loop(project, rel, fm, report):
                 and in_loop[i]
                 and i + 1 < n and code[i + 1].text == "("):
             report("soa-raw-loop", tok.line, _SOA_RAW_LOOP_MSG)
+
+
+# ---- nonblocking-io ----------------------------------------------------
+
+_RAW_IO_CALLS = frozenset(
+    ["read", "write", "accept", "accept4", "recv", "send"])
+_ERRNO_RETRY_IDENTS = frozenset(["EINTR", "EAGAIN", "EWOULDBLOCK"])
+_NONBLOCKING_IO_MSG = (
+    "raw %s() in src/service/ outside a retry loop that handles "
+    "EINTR/EAGAIN: every descriptor on the event-loop path is "
+    "nonblocking, so a single attempt silently drops data on a "
+    "transient errno — loop until handled, or annotate why one "
+    "attempt is safe")
+
+
+def pass_nonblocking_io(project, rel, fm, report):
+    """Raw POSIX I/O calls in the service layer must sit inside a loop
+    whose body names EINTR/EAGAIN/EWOULDBLOCK (the retry idiom in
+    socket.cc), or carry an allow() with the reason a single shot is
+    safe. Method calls (`sock.read(...)`, `out->write(...)`) and
+    namespaced functions are not syscalls and stay out."""
+    if not rel.startswith("src/service/"):
+        return
+    code = fm.code
+    n = len(code)
+    regions = [(i, _loop_extent(code, i)) for i, tok in enumerate(code)
+               if tok.kind == "ident" and tok.text in ("for", "while",
+                                                       "do")]
+    for i, tok in enumerate(code):
+        if tok.kind != "ident" or tok.text not in _RAW_IO_CALLS:
+            continue
+        if i + 1 >= n or code[i + 1].text != "(":
+            continue
+        prev = code[i - 1] if i > 0 else None
+        if prev is not None and prev.kind == "punct" and prev.text in (
+                ".", "->"):
+            continue
+        if prev is not None and prev.text == "::":
+            # `ns::read(` is a namespaced function; a *leading* `::read(`
+            # is the raw syscall, explicitly qualified.
+            before = code[i - 2] if i >= 2 else None
+            if before is not None and before.kind == "ident":
+                continue
+        handled = any(
+            start <= i < end and any(
+                t.kind == "ident" and t.text in _ERRNO_RETRY_IDENTS
+                for t in code[start:end])
+            for start, end in regions)
+        if not handled:
+            report("nonblocking-io", tok.line,
+                   _NONBLOCKING_IO_MSG % tok.text)
 
 
 # ---- addr-order --------------------------------------------------------
@@ -591,4 +646,5 @@ FILE_PASSES = [
     pass_wallclock,
     pass_addr_order,
     pass_soa_raw_loop,
+    pass_nonblocking_io,
 ]

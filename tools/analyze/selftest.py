@@ -364,6 +364,45 @@ CASES = [
       "  }\n"
       "}\n"},
      []),
+    # ---- nonblocking-io ----------------------------------------------
+    ("nonblocking-io/bare-call-fires",
+     {_SERVICE:
+      "void F(int fd) { char b[8]; read(fd, b, sizeof(b)); }\n"},
+     ["nonblocking-io"]),
+    ("nonblocking-io/loop-without-errno-fires",
+     {_SERVICE:
+      "void F(int fd, const char* p, size_t n) {\n"
+      "  size_t off = 0;\n"
+      "  while (off < n) off += write(fd, p + off, n - off);\n"
+      "}\n"},
+     ["nonblocking-io"]),
+    ("nonblocking-io/retry-loop-clean",
+     {_SERVICE:
+      "void F(int fd) {\n"
+      "  char b[8];\n"
+      "  for (;;) {\n"
+      "    ssize_t rc = read(fd, b, sizeof(b));\n"
+      "    if (rc < 0 && errno == EINTR) continue;\n"
+      "    break;\n"
+      "  }\n"
+      "}\n"},
+     []),
+    ("nonblocking-io/allow-clean",
+     {_SERVICE:
+      "void Kick(int fd) {\n"
+      "  uint64_t one = 1;\n"
+      "  // tcomp-lint: allow(nonblocking-io): eventfd add never blocks\n"
+      "  write(fd, &one, sizeof(one));\n"
+      "}\n"},
+     []),
+    ("nonblocking-io/method-call-clean",
+     {_SERVICE:
+      "void F(Stream& s, char* b) { s.read(b, 8); s.stream()->write(b); }\n"},
+     []),
+    ("nonblocking-io/outside-service-clean",
+     {"src/stream/case.cc":
+      "void F(int fd) { char b[8]; read(fd, b, sizeof(b)); }\n"},
+     []),
     # ---- annotation audit --------------------------------------------
     ("allow-without-reason/fires",
      {"src/case.cc":

@@ -11,6 +11,14 @@ BENCH_PR<N>.json at the repo root — the repo's perf-trajectory record,
 one file per PR that re-measured it (--pr selects N; --out overrides
 the path entirely).
 
+--blast (implied by --pr 10) runs the `tcomp blast` service load
+generator instead of the perf harness: a saturation curve per wire
+protocol (sustained records/sec, p50/p95/p99 ingest-admission latency,
+shed fraction vs offered load), gated on the serve-vs-batch verify pass
+reporting byte-identical products for BOTH protocols and on the binary
+protocol's peak effective goodput — achieved x (1 - shed) — clearing
+5x the text protocol's.
+
 --history skips the harness entirely and reads every BENCH_PR*.json
 already at the repo root, printing one cross-PR trajectory table so the
 speedup story is readable in one place instead of N disconnected files.
@@ -18,6 +26,7 @@ speedup story is readable in one place instead of N disconnected files.
 Usage:
     tools/bench_json.py --build-dir build --pr 7     # full workload
     tools/bench_json.py --build-dir build --quick    # CI smoke workload
+    tools/bench_json.py --build-dir build --pr 10    # blast load curve
     tools/bench_json.py --history                    # cross-PR table
 """
 
@@ -29,6 +38,7 @@ import platform
 import re
 import subprocess
 import sys
+import tempfile
 
 
 def run_harness(binary, extra_args):
@@ -70,6 +80,142 @@ def _entry_speedup(entries, key, **match):
     return None
 
 
+# Offered-load points (records/sec, totals across clients). The top
+# point sits far past text saturation so both protocols are measured at
+# overload and the goodput ratio compares like with like.
+_BLAST_CURVE = "2000,20000,200000,2000000"
+_BLAST_POINT_FIELDS = (
+    "offered_rps", "achieved_rps", "shed_fraction", "p50_ms", "p95_ms",
+    "p99_ms", "records_sent", "records_accepted", "records_refused",
+    "elapsed_seconds")
+
+
+def _peak_goodput(curve):
+    """Peak effective goodput over a curve: max achieved x (1 - shed)."""
+    return max(p["achieved_rps"] * (1.0 - p["shed_fraction"])
+               for p in curve["points"])
+
+
+def validate_blast(report):
+    """Schema + identity gates for a blast report. Raises SystemExit on
+    any violation; returns the (text, binary) peak goodputs."""
+    verify = report.get("verify", {})
+    if not verify.get("ran"):
+        raise SystemExit("blast ran without the verify pass — nothing "
+                         "ties the load numbers to correct products; "
+                         "refusing to record")
+    if not (verify.get("text_identical") and verify.get("binary_identical")):
+        raise SystemExit("blast verify: served products differ from batch "
+                         "discover (text_identical=%s binary_identical=%s) "
+                         "— refusing to record"
+                         % (verify.get("text_identical"),
+                            verify.get("binary_identical")))
+    curves = {c.get("protocol"): c for c in report.get("curves", [])}
+    for proto in ("text", "binary"):
+        curve = curves.get(proto)
+        if curve is None:
+            raise SystemExit(f"blast report has no {proto} curve")
+        points = curve.get("points", [])
+        if len(points) < 4:
+            raise SystemExit(
+                f"{proto} curve has {len(points)} offered-load points; "
+                "a saturation curve needs at least 4")
+        for point in points:
+            for field in _BLAST_POINT_FIELDS:
+                if field not in point:
+                    raise SystemExit(
+                        f"{proto} point is missing '{field}'")
+            if not 0.0 <= point["shed_fraction"] <= 1.0:
+                raise SystemExit(
+                    f"{proto} shed_fraction {point['shed_fraction']} "
+                    "out of [0, 1] — torn counters; refusing to record")
+            if point["achieved_rps"] < 0 or point["records_sent"] < 0:
+                raise SystemExit(f"{proto} point has negative counters")
+    text_peak = _peak_goodput(curves["text"])
+    binary_peak = _peak_goodput(curves["binary"])
+    if text_peak <= 0:
+        raise SystemExit("text curve achieved no goodput at all")
+    if binary_peak < 5.0 * text_peak:
+        raise SystemExit(
+            "binary peak effective goodput %.0f rec/s is under 5x the "
+            "text protocol's %.0f rec/s — the batched binary path is "
+            "not paying for itself; refusing to record"
+            % (binary_peak, text_peak))
+    return text_peak, binary_peak
+
+
+def run_blast(args, repo_root):
+    """The --pr 10 path: drive `tcomp blast`, gate, record."""
+    binary = pathlib.Path(args.build_dir) / "tools" / "tcomp"
+    if not binary.exists():
+        raise SystemExit(
+            f"{binary} not found — build first: cmake --build {args.build_dir}")
+    objects = args.objects if args.objects is not None else 100
+    snapshots = args.snapshots if args.snapshots is not None else 30
+    seconds = 0.5 if args.quick else 2.0
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        report_path = tmp.name
+    try:
+        cmd = [str(binary), "blast",
+               "--clients", "4",
+               "--curve", _BLAST_CURVE,
+               "--seconds", str(seconds),
+               "--objects", str(objects),
+               "--snapshots", str(snapshots),
+               "--epsilon", "20", "--mu", "3",
+               "--min-size", "3", "--min-duration", "2",
+               "--json", report_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"tcomp blast exited with {proc.returncode}")
+        report = json.loads(pathlib.Path(report_path).read_text())
+    finally:
+        try:
+            os.unlink(report_path)
+        except OSError:
+            pass
+
+    text_peak, binary_peak = validate_blast(report)
+    report["config"] = {
+        "objects": objects,
+        "snapshots": snapshots,
+        "clients": report.get("clients"),
+        "batch_records": report.get("batch_records"),
+        "seconds_per_point": report.get("seconds_per_point"),
+        "quick": args.quick,
+    }
+    report["summary"] = {
+        "text_peak_goodput_rps": text_peak,
+        "binary_peak_goodput_rps": binary_peak,
+        "binary_vs_text": binary_peak / text_peak,
+    }
+    report["provenance"] = {
+        "commit": git_commit(repo_root),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "hardware_threads": os.cpu_count(),
+    }
+    out_path = pathlib.Path(
+        args.out if args.out is not None
+        else repo_root / f"BENCH_PR{args.pr}.json")
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(f"  verify: {report['verify']['records']} records -> "
+          f"{report['verify']['companions']} companions, both protocols "
+          "byte-identical to batch discover")
+    for curve in report["curves"]:
+        for point in curve["points"]:
+            print(f"  {curve['protocol']:>6} offered {point['offered_rps']:>9.0f}"
+                  f" rec/s: achieved {point['achieved_rps']:>9.0f}, "
+                  f"shed {100.0 * point['shed_fraction']:5.1f}%, "
+                  f"p99 {point['p99_ms']:.3f} ms")
+    print(f"  goodput: text {text_peak:.0f} rec/s, binary {binary_peak:.0f} "
+          f"rec/s ({binary_peak / text_peak:.1f}x)")
+    return 0
+
+
 def history(repo_root):
     """Print the cross-PR speedup trajectory from every BENCH_PR*.json.
 
@@ -101,7 +247,7 @@ def history(repo_root):
 
     header = (f"{'PR':>4} {'commit':>8} {'objects':>8} {'intersect':>10} "
               f"{'istep':>7} {'incr-cluster':>13} {'shard-best':>11} "
-              f"{'soa-cluster':>12}")
+              f"{'soa-cluster':>12} {'blast-wire':>11}")
     print(header)
     print("-" * len(header))
     for pr, data in records:
@@ -117,9 +263,11 @@ def history(repo_root):
         soa_entries = data.get("soa", {}).get("e2e", [])
         soa = _entry_speedup(soa_entries, "cluster_speedup",
                              scenario="coherent")
+        # PR 10 blast records: binary-vs-text peak effective goodput.
+        blast = data.get("summary", {}).get("binary_vs_text")
         print(f"{pr:>4} {commit:>8} {objects:>8} {fmt(intersect):>10} "
               f"{fmt(istep):>7} {fmt(incr):>13} {fmt(shard):>11} "
-              f"{fmt(soa):>12}")
+              f"{fmt(soa):>12} {fmt(blast):>11}")
     return 0
 
 
@@ -144,10 +292,16 @@ def main():
     parser.add_argument("--history", action="store_true",
                         help="print the cross-PR speedup trajectory from "
                              "existing BENCH_PR*.json records and exit")
+    parser.add_argument("--blast", action="store_true",
+                        help="run the `tcomp blast` service saturation "
+                             "curve instead of the perf harness "
+                             "(implied by --pr 10)")
     args = parser.parse_args()
 
     if args.history:
         return history(repo_root)
+    if args.blast or args.pr == 10:
+        return run_blast(args, repo_root)
 
     binary = pathlib.Path(args.build_dir) / "bench" / "bench_perf_json"
     if not binary.exists():

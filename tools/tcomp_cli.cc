@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
@@ -35,6 +36,8 @@
 #include "eval/tuning.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
+#include "service/binary_protocol.h"
+#include "service/blast.h"
 #include "service/lifecycle.h"
 #include "service/pipeline.h"
 #include "service/protocol.h"
@@ -75,10 +78,26 @@ int Usage() {
       "      [--queue-capacity C] [--backpressure block|shed|reject]\n"
       "      [--lateness SECONDS] [--checkpoint FILE]\n"
       "      [--checkpoint-every SNAPSHOTS] [--read-timeout-ms MS]\n"
-      "      [--slow-snapshot-ms MS]\n"
+      "      [--write-timeout-ms MS] [--write-window-bytes B]\n"
+      "      [--max-connections N] [--slow-snapshot-ms MS]\n"
+      "      [--admission-max-shed-rate F] [--admission-max-p99-ms MS]\n"
+      "      [--admission-policy reject|shed]  (new connections are\n"
+      "                     turned away while the pipeline is overloaded)\n"
       "  tcomp feed --csv records.csv --port P [--rate RECORDS_PER_SEC]\n"
+      "      [--binary] [--batch N]  (length-prefixed INGEST batches over\n"
+      "                     the binary protocol; N records per frame)\n"
       "      [--flush] [--query companions|stats|buddies|metrics]\n"
-      "      [--out FILE] [--shutdown] [--quiet]\n");
+      "      [--out FILE] [--shutdown] [--quiet]\n"
+      "  tcomp blast [--clients N] [--curve RPS,RPS,...] [--seconds S]\n"
+      "      [--protocol text|binary|both] [--batch N] [--objects N]\n"
+      "      [--snapshots N] [--seed N] [--no-verify] [--json FILE]\n"
+      "      [--algo ci|sc|bu] [--epsilon E] [--mu M] [--min-size S]\n"
+      "      [--min-duration T] [--threads N] [--queue-capacity C]\n"
+      "      [--window-seconds W | --window-objects N] [--inactive K]\n"
+      "      (self-hosted saturation benchmark: N paced clients per\n"
+      "       offered-load point; reports records/sec, ack latency\n"
+      "       percentiles, and shed fraction, plus a serve-vs-batch\n"
+      "       product identity check per protocol)\n");
   return 2;
 }
 
@@ -580,7 +599,9 @@ int Serve(const FlagParser& flags) {
            "min-duration", "threads", "shards", "window-seconds",
            "window-objects", "inactive", "queue-capacity", "backpressure",
            "lateness", "checkpoint", "checkpoint-every", "read-timeout-ms",
-           "slow-snapshot-ms"})) {
+           "write-timeout-ms", "write-window-bytes", "max-connections",
+           "admission-max-shed-rate", "admission-max-p99-ms",
+           "admission-policy", "slow-snapshot-ms"})) {
     return Usage();
   }
   ServicePipelineOptions popts;
@@ -634,13 +655,36 @@ int Serve(const FlagParser& flags) {
 
   ServerOptions sopts;
   int serve_port = 0;
+  int64_t write_window = static_cast<int64_t>(sopts.write_backpressure_bytes);
   if (!ReadFlag("serve", flags, "port", 0, &serve_port) ||
       !ReadFlag("serve", flags, "read-timeout-ms", 60000,
-                &sopts.read_timeout_ms)) {
+                &sopts.read_timeout_ms) ||
+      !ReadFlag("serve", flags, "write-timeout-ms", sopts.write_timeout_ms,
+                &sopts.write_timeout_ms) ||
+      !ReadFlag("serve", flags, "write-window-bytes", write_window,
+                &write_window) ||
+      !ReadFlag("serve", flags, "max-connections", 0,
+                &sopts.max_connections) ||
+      !ReadFlag("serve", flags, "admission-max-shed-rate", 0.0,
+                &sopts.admission.max_shed_rate) ||
+      !ReadFlag("serve", flags, "admission-max-p99-ms", 0.0,
+                &sopts.admission.max_p99_ms)) {
     return Usage();
   }
   if (serve_port < 0 || serve_port > 65535) {
     std::fprintf(stderr, "serve: --port must be in [0, 65535]\n");
+    return Usage();
+  }
+  if (write_window < 4096) {
+    std::fprintf(stderr, "serve: --write-window-bytes must be >= 4096\n");
+    return Usage();
+  }
+  sopts.write_backpressure_bytes = static_cast<size_t>(write_window);
+  Status as = ParseAdmissionPolicy(
+      flags.GetString("admission-policy", "reject"),
+      &sopts.admission.policy);
+  if (!as.ok()) {
+    std::fprintf(stderr, "serve: %s\n", as.ToString().c_str());
     return Usage();
   }
   sopts.port = static_cast<uint16_t>(serve_port);
@@ -726,10 +770,184 @@ class LineClient {
   LineFramer framer_{1 << 20};
 };
 
+/// Client-side frame transport for feed --binary.
+class FrameClient {
+ public:
+  Status Connect(uint16_t port) {
+    return StreamSocket::Connect(port, /*timeout_ms=*/5000, &sock_);
+  }
+  /// Sends one request frame and reads the matching response frame.
+  Status Transact(const std::string& frame, BinaryResponse* response) {
+    TCOMP_RETURN_IF_ERROR(sock_.WriteAll(frame, /*timeout_ms=*/30000));
+    for (;;) {
+      std::string error;
+      BinaryResponseReader::Result r = reader_.Next(response, &error);
+      if (r == BinaryResponseReader::Result::kFrame) return Status::OK();
+      if (r == BinaryResponseReader::Result::kBad) {
+        return Status::Corruption(error);
+      }
+      char buf[4096];
+      size_t n = 0;
+      TCOMP_RETURN_IF_ERROR(
+          sock_.Read(buf, sizeof(buf), /*timeout_ms=*/30000, &n));
+      if (n == 0) return Status::IoError("server closed the connection");
+      reader_.Feed(buf, n);
+    }
+  }
+
+ private:
+  StreamSocket sock_;
+  BinaryResponseReader reader_;
+};
+
+/// Reads the low 8 bytes of a payload as a uint64 LE (the refused-record
+/// count of an OK INGEST_BATCH response).
+uint64_t PayloadU64(const std::string& payload) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < payload.size(); ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(payload[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Writes a query payload body the way the text path does: to --out when
+/// given, stdout otherwise.
+int EmitQueryPayload(const FlagParser& flags, const std::string& query,
+                     const std::string& payload, bool quiet) {
+  std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fputs(payload.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  out << payload;
+  out.flush();  // surface buffered write failures before reporting OK
+  if (!out) {
+    std::fprintf(stderr, "feed: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("feed: %s written to %s\n", query.c_str(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+/// feed --binary: the same workflow as the text path (ingest, flush,
+/// query, shutdown) over length-prefixed frames. Records travel as raw
+/// IEEE-754 bits in batches, and a query's payload bytes are identical
+/// to the text protocol's, so --out files are byte-comparable.
+int FeedBinary(const FlagParser& flags,
+               const std::vector<TrajectoryRecord>& records, uint16_t port,
+               double rate, int batch, bool want_flush,
+               const std::string& query, bool want_shutdown, bool quiet) {
+  Request::QueryKind kind = Request::QueryKind::kCompanions;
+  if (!query.empty()) {
+    if (query == "companions") {
+      kind = Request::QueryKind::kCompanions;
+    } else if (query == "stats") {
+      kind = Request::QueryKind::kStats;
+    } else if (query == "buddies") {
+      kind = Request::QueryKind::kBuddies;
+    } else if (query == "metrics") {
+      kind = Request::QueryKind::kMetrics;
+    } else {
+      std::fprintf(stderr, "feed: unknown --query %s\n", query.c_str());
+      return Usage();
+    }
+  }
+
+  FrameClient client;
+  Status cs = client.Connect(port);
+  if (!cs.ok()) {
+    std::fprintf(stderr, "feed: %s\n", cs.ToString().c_str());
+    return 1;
+  }
+
+  int64_t sent = 0;
+  int64_t refused = 0;
+  for (size_t i = 0; i < records.size();
+       i += static_cast<size_t>(batch)) {
+    size_t n = std::min(static_cast<size_t>(batch), records.size() - i);
+    BinaryResponse response;
+    Status ts = client.Transact(EncodeIngestBatch(&records[i], n),
+                                &response);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "feed: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+    if (response.type != static_cast<uint8_t>(BinaryResponseType::kOk)) {
+      std::fprintf(stderr, "feed: ingest batch failed: %s\n",
+                   response.payload.c_str());
+      return 1;
+    }
+    sent += static_cast<int64_t>(n);
+    refused += static_cast<int64_t>(PayloadU64(response.payload));
+    if (rate > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(static_cast<double>(n) / rate));
+    }
+  }
+
+  if (want_flush || !query.empty()) {
+    BinaryResponse response;
+    Status fs = client.Transact(
+        EncodeBinaryRequest(BinaryRequestType::kFlush, 0, ""), &response);
+    if (!fs.ok() ||
+        response.type != static_cast<uint8_t>(BinaryResponseType::kOk)) {
+      std::fprintf(stderr, "feed: flush failed: %s\n",
+                   fs.ok() ? response.payload.c_str()
+                           : fs.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!query.empty()) {
+    BinaryResponse response;
+    Status qs = client.Transact(
+        EncodeBinaryRequest(BinaryRequestType::kQuery,
+                            static_cast<uint8_t>(kind), ""),
+        &response);
+    if (!qs.ok() ||
+        response.type != static_cast<uint8_t>(BinaryResponseType::kOk)) {
+      std::fprintf(stderr, "feed: query failed: %s\n",
+                   qs.ok() ? response.payload.c_str()
+                           : qs.ToString().c_str());
+      return 1;
+    }
+    int rc = EmitQueryPayload(flags, query, response.payload, quiet);
+    if (rc != 0) return rc;
+  }
+
+  if (want_shutdown) {
+    BinaryResponse response;
+    Status ds = client.Transact(
+        EncodeBinaryRequest(BinaryRequestType::kShutdown, 0, ""),
+        &response);
+    if (!ds.ok() ||
+        response.type != static_cast<uint8_t>(BinaryResponseType::kOk)) {
+      std::fprintf(stderr, "feed: shutdown failed: %s\n",
+                   ds.ok() ? response.payload.c_str()
+                           : ds.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!quiet && !records.empty()) {
+    std::printf("feed: sent %lld records in %lld-record batches "
+                "(%lld refused)\n",
+                static_cast<long long>(sent),
+                static_cast<long long>(batch),
+                static_cast<long long>(refused));
+  }
+  return 0;
+}
+
 int Feed(const FlagParser& flags) {
   if (!RejectUnknownFlags("feed", flags,
                           {"csv", "port", "rate", "flush", "query", "out",
-                           "shutdown", "quiet"})) {
+                           "shutdown", "quiet", "binary", "batch"})) {
     return Usage();
   }
   std::string csv = flags.GetString("csv", "");
@@ -737,13 +955,22 @@ int Feed(const FlagParser& flags) {
   bool want_flush = false;
   bool want_shutdown = false;
   bool quiet = false;
+  bool use_binary = false;
   int port = 0;
+  int batch = 256;
   double rate = 0.0;
   if (!ReadFlag("feed", flags, "flush", false, &want_flush) ||
       !ReadFlag("feed", flags, "shutdown", false, &want_shutdown) ||
       !ReadFlag("feed", flags, "quiet", false, &quiet) ||
+      !ReadFlag("feed", flags, "binary", false, &use_binary) ||
       !ReadFlag("feed", flags, "port", 0, &port) ||
+      !ReadFlag("feed", flags, "batch", 256, &batch) ||
       !ReadFlag("feed", flags, "rate", 0.0, &rate)) {
+    return Usage();
+  }
+  if (batch < 1 || static_cast<size_t>(batch) * kBinaryRecordBytes >
+                       kMaxBinaryPayloadBytes) {
+    std::fprintf(stderr, "feed: --batch out of range\n");
     return Usage();
   }
   if (csv.empty() && query.empty() && !want_flush && !want_shutdown) {
@@ -764,6 +991,11 @@ int Feed(const FlagParser& flags) {
       std::fprintf(stderr, "feed: %s\n", rs.ToString().c_str());
       return 1;
     }
+  }
+
+  if (use_binary) {
+    return FeedBinary(flags, records, static_cast<uint16_t>(port), rate,
+                      batch, want_flush, query, want_shutdown, quiet);
   }
 
   LineClient client;
@@ -872,6 +1104,117 @@ int Feed(const FlagParser& flags) {
   return 0;
 }
 
+int Blast(const FlagParser& flags) {
+  if (!RejectUnknownFlags(
+          "blast", flags,
+          {"clients", "curve", "seconds", "protocol", "batch", "objects",
+           "snapshots", "seed", "no-verify", "json", "algo", "epsilon",
+           "mu", "min-size", "min-duration", "threads", "queue-capacity",
+           "window-seconds", "window-objects", "inactive"})) {
+    return Usage();
+  }
+  BlastOptions bopts;
+  if (!ParseDiscoveryOptions("blast", flags, &bopts.pipeline)) {
+    return Usage();
+  }
+  if (!flags.Has("window-seconds") && !flags.Has("window-objects")) {
+    // The blast scenario emits one snapshot per stream second.
+    bopts.pipeline.window.window_length = 1.0;
+  }
+
+  bool no_verify = false;
+  int64_t seed_raw = 0;
+  int capacity = 1024;
+  if (!ReadFlag("blast", flags, "clients", 4, &bopts.clients) ||
+      !ReadFlag("blast", flags, "seconds", 2.0,
+                &bopts.seconds_per_point) ||
+      !ReadFlag("blast", flags, "batch", 256, &bopts.batch_records) ||
+      !ReadFlag("blast", flags, "objects", 100, &bopts.objects) ||
+      !ReadFlag("blast", flags, "snapshots", 30, &bopts.snapshots) ||
+      !ReadFlag("blast", flags, "seed", int64_t{405}, &seed_raw) ||
+      !ReadFlag("blast", flags, "queue-capacity", 1024, &capacity) ||
+      !ReadFlag("blast", flags, "no-verify", false, &no_verify)) {
+    return Usage();
+  }
+  if (bopts.clients < 1 || bopts.clients > 256) {
+    std::fprintf(stderr, "blast: --clients must be in [1, 256]\n");
+    return Usage();
+  }
+  if (capacity < 1) {
+    std::fprintf(stderr, "blast: --queue-capacity must be >= 1\n");
+    return Usage();
+  }
+  bopts.seed = static_cast<uint64_t>(seed_raw);
+  bopts.pipeline.queue_capacity = static_cast<size_t>(capacity);
+  bopts.verify_products = !no_verify;
+
+  std::string protocol = flags.GetString("protocol", "both");
+  bopts.run_text = (protocol == "text" || protocol == "both");
+  bopts.run_binary = (protocol == "binary" || protocol == "both");
+  if (!bopts.run_text && !bopts.run_binary) {
+    std::fprintf(stderr, "blast: --protocol must be text|binary|both\n");
+    return Usage();
+  }
+
+  std::string curve = flags.GetString("curve", "");
+  if (!curve.empty()) {
+    std::istringstream in(curve);
+    std::string field;
+    while (std::getline(in, field, ',')) {
+      char* end = nullptr;
+      double rate = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0' || !(rate > 0.0)) {
+        std::fprintf(stderr, "blast: bad --curve entry '%s'\n",
+                     field.c_str());
+        return Usage();
+      }
+      bopts.offered_rates.push_back(rate);
+    }
+  }
+
+  BlastReport report;
+  Status s = RunBlast(bopts, &report);
+  if (!s.ok()) {
+    std::fprintf(stderr, "blast: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (report.verify.ran) {
+    std::printf("blast: verify %lld records -> %llu companions; "
+                "text %s, binary %s\n",
+                static_cast<long long>(report.verify.records),
+                static_cast<unsigned long long>(report.verify.companions),
+                report.verify.text_identical ? "identical" : "DIFFERS",
+                report.verify.binary_identical ? "identical" : "DIFFERS");
+  }
+  for (const BlastCurve& curve_result : report.curves) {
+    for (const BlastPoint& p : curve_result.points) {
+      std::printf(
+          "blast: %-6s offered %9.0f rec/s -> achieved %9.0f rec/s, "
+          "shed %5.1f%%, ack p50/p95/p99 %.3f/%.3f/%.3f ms\n",
+          curve_result.protocol.c_str(), p.offered_rps, p.achieved_rps,
+          100.0 * p.shed_fraction, p.p50_ms, p.p95_ms, p.p99_ms);
+    }
+  }
+
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << BlastReportJson(report);
+    out.flush();  // the error check must see buffered write failures
+    if (!out) {
+      std::fprintf(stderr, "blast: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("blast: report written to %s\n", json_path.c_str());
+  }
+
+  bool verify_failed =
+      report.verify.ran && !(report.verify.text_identical &&
+                             report.verify.binary_identical);
+  return verify_failed ? 1 : 0;
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -886,6 +1229,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "suggest") return Suggest(flags);
   if (command == "serve") return Serve(flags);
   if (command == "feed") return Feed(flags);
+  if (command == "blast") return Blast(flags);
   if (command == "help" || command == "--help") {
     Usage();
     return 0;
